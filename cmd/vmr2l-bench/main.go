@@ -1,0 +1,59 @@
+// Command vmr2l-bench regenerates the paper's tables and figures:
+//
+//	vmr2l-bench -exp fig9          # one experiment
+//	vmr2l-bench -exp all           # everything, in paper order
+//	vmr2l-bench -exp fig9 -full    # larger datasets/budgets (slow)
+//	vmr2l-bench -list              # available experiment ids
+//
+// Reports are printed as aligned text tables; EXPERIMENTS.md interprets them
+// against the paper's numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"vmr2l/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vmr2l-bench: ")
+	var (
+		exp  = flag.String("exp", "all", "experiment id (fig1..fig21, tab2..tab5) or 'all'")
+		full = flag.Bool("full", false, "use the larger (slow) experiment scale")
+		seed = flag.Int64("seed", 1, "random seed")
+		list = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+	if *list {
+		for _, e := range bench.Registry() {
+			fmt.Printf("%-6s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	opts := bench.Options{Seed: *seed, Full: *full}
+	run := func(e bench.Experiment) {
+		start := time.Now()
+		rep, err := e.Run(opts)
+		if err != nil {
+			log.Fatalf("%s: %v", e.ID, err)
+		}
+		rep.Fprint(os.Stdout)
+		fmt.Printf("elapsed: %s\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	if *exp == "all" {
+		for _, e := range bench.Registry() {
+			run(e)
+		}
+		return
+	}
+	e, ok := bench.Lookup(*exp)
+	if !ok {
+		log.Fatalf("unknown experiment %q (use -list)", *exp)
+	}
+	run(e)
+}

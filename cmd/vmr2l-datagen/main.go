@@ -1,0 +1,46 @@
+// Command vmr2l-datagen synthesizes VM-PM mapping datasets (the stand-in
+// for the paper's proprietary ByteDance traces; see DESIGN.md) and writes
+// them as JSON under an output directory:
+//
+//	vmr2l-datagen -profile medium-small -n 120 -out ./data -seed 7
+//
+// The resulting layout is data/<profile>/{train,val,test}/NNNN.json,
+// loadable with trace.LoadDataset and by the other commands.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"vmr2l/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vmr2l-datagen: ")
+	var (
+		profile = flag.String("profile", "medium-small", "dataset profile (see internal/trace.Profiles)")
+		n       = flag.Int("n", 60, "number of mappings to generate (split 10:1:1)")
+		out     = flag.String("out", "data", "output directory")
+		seed    = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	p, err := trace.Profiles(*profile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	d := p.Generate(rng, *n)
+	if err := trace.SaveDataset(*out, d); err != nil {
+		log.Fatal(err)
+	}
+	fr := 0.0
+	for _, c := range d.All() {
+		fr += c.FragRate(16)
+	}
+	fmt.Printf("wrote %d mappings (%d train / %d val / %d test) to %s/%s\n",
+		*n, len(d.Train), len(d.Val), len(d.Test), *out, p.Name)
+	fmt.Printf("mean initial 16-core fragment rate: %.4f\n", fr/float64(*n))
+}

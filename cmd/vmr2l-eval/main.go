@@ -1,0 +1,81 @@
+// Command vmr2l-eval evaluates a trained checkpoint with risk-seeking
+// sampling (paper section 3.4) against the HA heuristic on test mappings:
+//
+//	vmr2l-eval -ckpt vmr2l.gob -profile medium-small -mnl 20 -traj 16
+//
+// It reports FR for one greedy trajectory, K sampled trajectories, and K
+// thresholded trajectories, mirroring paper Fig. 12.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"vmr2l/internal/cluster"
+	"vmr2l/internal/eval"
+	"vmr2l/internal/heuristics"
+	"vmr2l/internal/policy"
+	"vmr2l/internal/sim"
+	"vmr2l/internal/solver"
+	"vmr2l/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vmr2l-eval: ")
+	var (
+		ckpt    = flag.String("ckpt", "vmr2l.gob", "checkpoint path")
+		profile = flag.String("profile", "medium-small", "dataset profile")
+		nMaps   = flag.Int("maps", 6, "test mappings to evaluate")
+		mnl     = flag.Int("mnl", 10, "migration number limit")
+		traj    = flag.Int("traj", 16, "risk-seeking trajectories")
+		seed    = flag.Int64("seed", 99, "random seed")
+		dModel  = flag.Int("dmodel", 32, "embedding width (must match training)")
+		blocks  = flag.Int("blocks", 2, "attention blocks (must match training)")
+	)
+	flag.Parse()
+
+	cfg := policy.Config{DModel: *dModel, Hidden: 2 * *dModel, Blocks: *blocks,
+		Extractor: policy.SparseAttention, Action: policy.TwoStage}
+	m := policy.New(cfg)
+	if err := m.Params.LoadFile(*ckpt); err != nil {
+		log.Fatal(err)
+	}
+	p, err := trace.Profiles(*profile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	envCfg := sim.DefaultConfig(*mnl)
+
+	var initFR, haFR, greedyFR, riskFR, thrFR float64
+	val := p.GenerateMapping(rng) // one validation mapping for thresholds
+	vq, pq := eval.GridSearchThresholds(m, []*cluster.Cluster{val}, envCfg, 4, *seed)
+	for i := 0; i < *nMaps; i++ {
+		c := p.GenerateMapping(rng)
+		initFR += c.FragRate(16)
+		h, err := solver.Evaluate(heuristics.HA{}, c, envCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		haFR += h.FinalFR
+		greedy := eval.Run(m, c, envCfg, eval.Options{Trajectories: 1, Seed: *seed + int64(i)})
+		greedyFR += greedy.BestValue
+		risk := eval.Run(m, c, envCfg, eval.Options{Trajectories: *traj, Seed: *seed + int64(i), Parallel: true})
+		riskFR += risk.BestValue
+		thr := eval.Run(m, c, envCfg, eval.Options{
+			Trajectories: *traj, Seed: *seed + int64(i), Parallel: true,
+			VMQuantile: vq, PMQuantile: pq,
+		})
+		thrFR += thr.BestValue
+	}
+	n := float64(*nMaps)
+	fmt.Printf("profile %s, MNL %d, %d mappings\n", *profile, *mnl, *nMaps)
+	fmt.Printf("  initial FR            %.4f\n", initFR/n)
+	fmt.Printf("  HA                    %.4f\n", haFR/n)
+	fmt.Printf("  VMR2L greedy          %.4f\n", greedyFR/n)
+	fmt.Printf("  VMR2L risk-seek K=%-3d %.4f\n", *traj, riskFR/n)
+	fmt.Printf("  VMR2L +threshold      %.4f (vm q=%.3f pm q=%.3f)\n", thrFR/n, vq, pq)
+}

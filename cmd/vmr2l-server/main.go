@@ -1,0 +1,58 @@
+// Command vmr2l-server runs the rescheduling service: an HTTP API where
+// clients POST a VM-PM mapping and receive a migration plan, the way the
+// paper's central server answers VMR requests (section 1).
+//
+//	vmr2l-server -addr :8080 -ckpt vmr2l.gob
+//
+//	curl -s localhost:8080/v1/solvers
+//	curl -s -X POST localhost:8080/v1/reschedule \
+//	     -d '{"mnl":10,"solver":"vmr2l","mapping":{...}}'
+//
+// Registered engines: ha, swap-ha, vbpp, bnb, pop, and (with -ckpt) the
+// trained VMR2L agent. The default engine is HA — always within the
+// five-second budget.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"vmr2l/internal/exact"
+	"vmr2l/internal/heuristics"
+	"vmr2l/internal/policy"
+	"vmr2l/internal/service"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vmr2l-server: ")
+	var (
+		addr   = flag.String("addr", ":8080", "listen address")
+		ckpt   = flag.String("ckpt", "", "VMR2L checkpoint to serve (optional)")
+		dModel = flag.Int("dmodel", 32, "embedding width (must match training)")
+		blocks = flag.Int("blocks", 2, "attention blocks (must match training)")
+	)
+	flag.Parse()
+
+	s := service.New()
+	s.Register("ha", heuristics.HA{})
+	s.Register("swap-ha", heuristics.SwapHA{})
+	s.Register("vbpp", heuristics.VBPP{})
+	s.Register("bnb", &exact.Solver{Beam: 6, AllowLoss: true, MaxNodes: 200000})
+	s.Register("pop", exact.POP{Parts: 4, Inner: exact.Solver{Beam: 4, AllowLoss: true, MaxNodes: 100000}})
+	if *ckpt != "" {
+		m := policy.New(policy.Config{
+			DModel: *dModel, Hidden: 2 * *dModel, Blocks: *blocks,
+			Extractor: policy.SparseAttention, Action: policy.TwoStage,
+		})
+		if err := m.Params.LoadFile(*ckpt); err != nil {
+			log.Fatal(err)
+		}
+		s.Register("vmr2l", &policy.Agent{Model: m, Opts: policy.SampleOpts{Greedy: true}})
+		fmt.Printf("serving VMR2L checkpoint %s\n", *ckpt)
+	}
+	fmt.Printf("listening on %s\n", *addr)
+	log.Fatal(http.ListenAndServe(*addr, s))
+}

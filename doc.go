@@ -1,0 +1,12 @@
+// Package vmr2l is a from-scratch Go reproduction of "Towards VM
+// Rescheduling Optimization Through Deep Reinforcement Learning"
+// (EuroSys 2025): a cluster simulator, a Gym-style rescheduling
+// environment, a pure-Go deep-RL stack, the VMR2L two-stage agent with
+// sparse tree-local attention and risk-seeking evaluation, all baseline
+// families from the paper's evaluation, and a benchmark harness that
+// regenerates every table and figure.
+//
+// Start with README.md, DESIGN.md (architecture and experiment index) and
+// EXPERIMENTS.md (paper-vs-measured results). The public entry points live
+// under cmd/ and examples/; the library packages are in internal/.
+package vmr2l

@@ -1,0 +1,76 @@
+// Dynamic: why VMR inference must finish in seconds (paper section 2.2,
+// Fig. 5). A near-optimal plan is computed from a snapshot; meanwhile the
+// cluster keeps serving VM arrivals and exits through the best-fit VMS
+// scheduler. The longer the solver takes, the more plan actions become
+// infeasible and the worse the achieved fragment rate. Also prints the
+// live-migration cost of the deployed plan (pre-copy rounds, downtime).
+//
+//	go run ./examples/dynamic
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"vmr2l/internal/cluster"
+	"vmr2l/internal/exact"
+	"vmr2l/internal/migrate"
+	"vmr2l/internal/sched"
+	"vmr2l/internal/sim"
+	"vmr2l/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	rng := rand.New(rand.NewSource(9))
+	profile := trace.MustProfile("tiny")
+	snapshot := profile.GenerateFragmented(rng, 0.15, 20)
+	fmt.Printf("snapshot: %d PMs, %d VMs, FR %.4f\n",
+		len(snapshot.PMs), len(snapshot.VMs), snapshot.FragRate(16))
+
+	// Compute a near-optimal plan from the snapshot (the "MIP" role).
+	s := &exact.Solver{Beam: 6, AllowLoss: true, MaxNodes: 60000}
+	env := sim.New(snapshot, sim.DefaultConfig(6))
+	if err := s.Run(env); err != nil {
+		log.Fatal(err)
+	}
+	plan := env.Plan()
+	fmt.Printf("plan: %d migrations, would reach FR %.4f if deployed instantly\n\n",
+		len(plan), env.FragRate())
+
+	// Deploy the same plan after increasing amounts of churn.
+	var mix []cluster.VMType
+	for _, tw := range profile.VMMix {
+		mix = append(mix, tw.Type)
+	}
+	fmt.Printf("%-10s %-12s %-9s %-9s\n", "delay", "achieved FR", "applied", "skipped")
+	for _, delaySec := range []int{0, 2, 5, 15, 60, 300} {
+		evolved := snapshot.Clone()
+		churn := rand.New(rand.NewSource(int64(delaySec) + 100))
+		// ~0.5 VM events per second of solver delay.
+		for i := 0; i < delaySec/2; i++ {
+			ev := sched.Event{Arrive: churn.Float64() < 0.5, Type: mix[churn.Intn(len(mix))]}
+			sched.Replay(evolved, []sched.Event{ev}, churn)
+		}
+		applied, skipped := sim.ApplyPlan(evolved, plan)
+		fmt.Printf("%-10s %-12.4f %-9d %-9d\n",
+			fmt.Sprintf("%ds", delaySec), evolved.FragRate(16), applied, skipped)
+	}
+
+	// Live-migration cost of the full plan (paper section 1: pre-copy with
+	// dirty-page tracking; only memory moves under compute-storage
+	// separation).
+	model := migrate.DefaultModel()
+	total, downtime, copied := migrate.PlanCost(snapshot, plan, model)
+	fmt.Printf("\nlive-migration cost of the plan (%.0f MB/s link, %.0f MB/s dirty rate):\n",
+		model.BandwidthMBps, model.DirtyRateMBps)
+	fmt.Printf("  total copy time %v, guest downtime %v, %.0f MB moved\n",
+		total.Round(1000000), downtime.Round(1000), copied)
+	for i, m := range plan {
+		est := model.Estimate(snapshot.VMs[m.VM].Mem)
+		fmt.Printf("  migration %d: vm%d (%d GB) pm%d->pm%d: %d pre-copy rounds, %v total, %v pause\n",
+			i+1, m.VM, snapshot.VMs[m.VM].Mem, m.FromPM, m.ToPM,
+			est.Rounds, est.Duration.Round(1000000), est.Downtime.Round(1000))
+	}
+}

@@ -1,0 +1,139 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"vmr2l/internal/cluster"
+)
+
+// TestEveryExperimentRuns executes each registered experiment in quick mode
+// and sanity-checks its report — the end-to-end integration test of the
+// whole reproduction stack.
+func TestEveryExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments train small agents")
+	}
+	for _, e := range Registry() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			rep, err := e.Run(Options{Seed: 1})
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if rep.ID != e.ID {
+				t.Errorf("report id %q != %q", rep.ID, e.ID)
+			}
+			if len(rep.Tables) == 0 {
+				t.Fatalf("%s produced no tables", e.ID)
+			}
+			for _, tbl := range rep.Tables {
+				if len(tbl.Rows) == 0 {
+					t.Errorf("%s: table %q has no rows", e.ID, tbl.Title)
+				}
+				for _, row := range tbl.Rows {
+					if len(row) != len(tbl.Header) {
+						t.Errorf("%s: table %q ragged row %v", e.ID, tbl.Title, row)
+					}
+					for _, cell := range row {
+						if strings.Contains(cell, "NaN") {
+							t.Errorf("%s: NaN cell in %q", e.ID, tbl.Title)
+						}
+					}
+				}
+			}
+			var buf bytes.Buffer
+			rep.Fprint(&buf)
+			if buf.Len() == 0 {
+				t.Error("empty rendering")
+			}
+		})
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, ok := Lookup("fig9"); !ok {
+		t.Fatal("fig9 missing")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Fatal("unknown id found")
+	}
+	if len(Registry()) != 20 {
+		t.Fatalf("registry has %d experiments, want 20", len(Registry()))
+	}
+}
+
+func TestTableFprintAlignment(t *testing.T) {
+	tbl := Table{
+		Title:  "x",
+		Header: []string{"a", "longcol"},
+		Rows:   [][]string{{"verylongcell", "b"}},
+	}
+	var buf bytes.Buffer
+	tbl.Fprint(&buf)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("expected 4 lines, got %d: %q", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "## x") {
+		t.Error("missing title")
+	}
+}
+
+func TestHistogramBins(t *testing.T) {
+	h := newLogHistogram()
+	h.add(0)
+	h.add(5e-4)
+	h.add(0.5)
+	h.add(1.0)
+	if h.counts[0] != 1 || h.counts[2] != 1 || h.counts[5] != 2 {
+		t.Fatalf("histogram counts %v", h.counts)
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	q := quantiles([]float64{3, 1, 2}, 0, 0.5, 1)
+	if q[0] != 1 || q[1] != 2 || q[2] != 3 {
+		t.Fatalf("quantiles = %v", q)
+	}
+	if got := quantiles(nil, 0.5); got[0] != 0 {
+		t.Fatal("empty quantiles should be zero")
+	}
+}
+
+func TestNumaBarRendering(t *testing.T) {
+	c := clusterForBarTest(t)
+	bar := NumaBar(c, 0, 0, 16)
+	if len(bar) != 16 {
+		t.Fatalf("bar width %d, want 16", len(bar))
+	}
+	// Half allocated (8 of 16 cores) -> 8 glyphs + 8 dots.
+	glyphs, dots := 0, 0
+	for _, ch := range bar {
+		if ch == '.' {
+			dots++
+		} else {
+			glyphs++
+		}
+	}
+	if glyphs != 8 || dots != 8 {
+		t.Fatalf("bar %q: %d glyphs %d dots, want 8/8", bar, glyphs, dots)
+	}
+	// Empty NUMA: all dots; zero-capacity: all dots too.
+	empty := NumaBar(c, 1, 0, 10)
+	if empty != ".........." {
+		t.Fatalf("empty bar %q", empty)
+	}
+}
+
+func clusterForBarTest(t *testing.T) *cluster.Cluster {
+	t.Helper()
+	c := cluster.New(2, cluster.PMType{CPUPerNuma: 16, MemPerNuma: 32})
+	id := c.AddVM(cluster.VMType{CPU: 8, Mem: 16, Numas: 1})
+	if err := c.Place(id, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}

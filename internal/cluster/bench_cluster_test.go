@@ -1,0 +1,95 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchCluster(b *testing.B) *Cluster {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	c := New(64, PMType{CPUPerNuma: 64, MemPerNuma: 128})
+	for i := 0; i < 400; i++ {
+		id := c.AddVM(StandardTypes[rng.Intn(len(StandardTypes))])
+		for a := 0; a < 8; a++ {
+			numa := rng.Intn(NumasPerPM)
+			if c.VMs[id].Numas == 2 {
+				numa = 0
+			}
+			if c.Place(id, rng.Intn(64), numa) == nil {
+				break
+			}
+		}
+	}
+	return c
+}
+
+func BenchmarkFragmentRate(b *testing.B) {
+	c := benchCluster(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.FragRate(16)
+	}
+}
+
+func BenchmarkCanHostScan(b *testing.B) {
+	c := benchCluster(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vm := i % len(c.VMs)
+		for pm := range c.PMs {
+			_ = c.CanHost(vm, pm)
+		}
+	}
+}
+
+func BenchmarkMigrateAndBack(b *testing.B) {
+	c := benchCluster(b)
+	// Find one legal move to ping-pong.
+	vm, dst := -1, -1
+	for v := range c.VMs {
+		if !c.VMs[v].Placed() {
+			continue
+		}
+		for pm := range c.PMs {
+			if c.CanHost(v, pm) {
+				vm, dst = v, pm
+				break
+			}
+		}
+		if vm >= 0 {
+			break
+		}
+	}
+	if vm < 0 {
+		b.Skip("no legal move")
+	}
+	src := c.VMs[vm].PM
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Migrate(vm, dst, 16); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Migrate(vm, src, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClone(b *testing.B) {
+	c := benchCluster(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.Clone()
+	}
+}
+
+func BenchmarkValidate(b *testing.B) {
+	c := benchCluster(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Validate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,442 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Cluster is the mutable VM-PM mapping the rescheduler operates on. The zero
+// value is unusable; build one with New or by loading a trace mapping.
+type Cluster struct {
+	PMs []PM
+	VMs []VM
+	// AntiAffinity enables the hard service anti-affinity constraint: two
+	// VMs with the same non-negative Service id must not share a PM.
+	AntiAffinity bool
+	// serviceCount[pm][service] tracks hosted VMs per service for O(1)
+	// anti-affinity checks. Lazily maintained; nil when AntiAffinity is off.
+	serviceCount []map[int]int
+}
+
+// Common placement errors.
+var (
+	ErrNoCapacity   = errors.New("cluster: insufficient capacity")
+	ErrAffinity     = errors.New("cluster: anti-affinity conflict")
+	ErrAlreadyHere  = errors.New("cluster: vm already placed")
+	ErrNotPlaced    = errors.New("cluster: vm not placed")
+	ErrBadReference = errors.New("cluster: index out of range")
+)
+
+// New builds a cluster of n PMs of the given type with no VMs.
+func New(n int, pt PMType) *Cluster {
+	c := &Cluster{PMs: make([]PM, n)}
+	for i := range c.PMs {
+		c.PMs[i].ID = i
+		for j := range c.PMs[i].Numas {
+			c.PMs[i].Numas[j] = Numa{CPUCap: pt.CPUPerNuma, MemCap: pt.MemPerNuma}
+		}
+	}
+	return c
+}
+
+// AddVM registers an unplaced VM and returns its id.
+func (c *Cluster) AddVM(t VMType) int {
+	id := len(c.VMs)
+	c.VMs = append(c.VMs, VM{
+		ID: id, CPU: t.CPU, Mem: t.Mem, Numas: t.Numas, PM: -1, Numa: -1, Service: -1,
+	})
+	return id
+}
+
+// EnableAntiAffinity turns on the anti-affinity constraint and (re)builds the
+// per-PM service index.
+func (c *Cluster) EnableAntiAffinity() {
+	c.AntiAffinity = true
+	c.serviceCount = make([]map[int]int, len(c.PMs))
+	for i := range c.serviceCount {
+		c.serviceCount[i] = make(map[int]int)
+	}
+	for i := range c.VMs {
+		v := &c.VMs[i]
+		if v.Placed() && v.Service >= 0 {
+			c.serviceCount[v.PM][v.Service]++
+		}
+	}
+}
+
+// FitsNuma reports whether vm fits on NUMA j of PM p by capacity alone.
+func (c *Cluster) FitsNuma(vmID, pmID, numa int) bool {
+	v := &c.VMs[vmID]
+	if v.Numas != 1 {
+		return false
+	}
+	n := &c.PMs[pmID].Numas[numa]
+	return n.FreeCPU() >= v.CPUPerNuma() && n.FreeMem() >= v.MemPerNuma()
+}
+
+// fitsCapacity reports whether vm fits anywhere on PM p by capacity.
+func (c *Cluster) fitsCapacity(v *VM, p *PM) bool {
+	if v.Numas == 2 {
+		for j := range p.Numas {
+			if p.Numas[j].FreeCPU() < v.CPUPerNuma() || p.Numas[j].FreeMem() < v.MemPerNuma() {
+				return false
+			}
+		}
+		return true
+	}
+	for j := range p.Numas {
+		if p.Numas[j].FreeCPU() >= v.CPUPerNuma() && p.Numas[j].FreeMem() >= v.MemPerNuma() {
+			return true
+		}
+	}
+	return false
+}
+
+// violatesAffinity reports whether placing v on PM p breaks anti-affinity.
+func (c *Cluster) violatesAffinity(v *VM, pmID int) bool {
+	if !c.AntiAffinity || v.Service < 0 {
+		return false
+	}
+	return c.serviceCount[pmID][v.Service] > 0
+}
+
+// CanHost reports whether PM pmID can legally receive vmID: capacity on the
+// required NUMAs and, if enabled, anti-affinity. A VM can never "move" to the
+// PM currently hosting it.
+func (c *Cluster) CanHost(vmID, pmID int) bool {
+	v := &c.VMs[vmID]
+	if v.PM == pmID {
+		return false
+	}
+	if c.violatesAffinity(v, pmID) {
+		return false
+	}
+	return c.fitsCapacity(v, &c.PMs[pmID])
+}
+
+// BestNuma returns the feasible NUMA of pmID for a single-NUMA VM that
+// minimizes the post-placement X-core fragment (ties: lower index). Returns
+// -1 when the VM does not fit on any NUMA. For double-NUMA VMs it returns 0
+// when both NUMAs fit, else -1.
+func (c *Cluster) BestNuma(vmID, pmID, x int) int {
+	v := &c.VMs[vmID]
+	p := &c.PMs[pmID]
+	if v.Numas == 2 {
+		if c.fitsCapacity(v, p) {
+			return 0
+		}
+		return -1
+	}
+	best, bestFrag := -1, 0
+	for j := range p.Numas {
+		n := &p.Numas[j]
+		if n.FreeCPU() < v.CPUPerNuma() || n.FreeMem() < v.MemPerNuma() {
+			continue
+		}
+		frag := (n.FreeCPU() - v.CPUPerNuma()) % x
+		if best == -1 || frag < bestFrag {
+			best, bestFrag = j, frag
+		}
+	}
+	return best
+}
+
+// Place puts an unplaced VM onto PM pmID / NUMA numa (numa ignored for
+// double-NUMA VMs). It validates capacity and anti-affinity.
+func (c *Cluster) Place(vmID, pmID, numa int) error {
+	if vmID < 0 || vmID >= len(c.VMs) || pmID < 0 || pmID >= len(c.PMs) {
+		return ErrBadReference
+	}
+	v := &c.VMs[vmID]
+	if v.Placed() {
+		return fmt.Errorf("%w: vm %d on pm %d", ErrAlreadyHere, vmID, v.PM)
+	}
+	if c.violatesAffinity(v, pmID) {
+		return fmt.Errorf("%w: vm %d service %d on pm %d", ErrAffinity, vmID, v.Service, pmID)
+	}
+	p := &c.PMs[pmID]
+	if v.Numas == 2 {
+		if !c.fitsCapacity(v, p) {
+			return fmt.Errorf("%w: vm %d on pm %d", ErrNoCapacity, vmID, pmID)
+		}
+		for j := range p.Numas {
+			p.Numas[j].CPUUsed += v.CPUPerNuma()
+			p.Numas[j].MemUsed += v.MemPerNuma()
+		}
+		numa = 0
+	} else {
+		if numa < 0 || numa >= NumasPerPM {
+			return ErrBadReference
+		}
+		n := &p.Numas[numa]
+		if n.FreeCPU() < v.CPUPerNuma() || n.FreeMem() < v.MemPerNuma() {
+			return fmt.Errorf("%w: vm %d on pm %d numa %d", ErrNoCapacity, vmID, pmID, numa)
+		}
+		n.CPUUsed += v.CPUPerNuma()
+		n.MemUsed += v.MemPerNuma()
+	}
+	v.PM, v.Numa = pmID, numa
+	p.VMs = append(p.VMs, vmID)
+	if c.AntiAffinity && v.Service >= 0 {
+		c.serviceCount[pmID][v.Service]++
+	}
+	return nil
+}
+
+// Remove detaches a placed VM from its PM, freeing resources.
+func (c *Cluster) Remove(vmID int) error {
+	if vmID < 0 || vmID >= len(c.VMs) {
+		return ErrBadReference
+	}
+	v := &c.VMs[vmID]
+	if !v.Placed() {
+		return fmt.Errorf("%w: vm %d", ErrNotPlaced, vmID)
+	}
+	p := &c.PMs[v.PM]
+	if v.Numas == 2 {
+		for j := range p.Numas {
+			p.Numas[j].CPUUsed -= v.CPUPerNuma()
+			p.Numas[j].MemUsed -= v.MemPerNuma()
+		}
+	} else {
+		p.Numas[v.Numa].CPUUsed -= v.CPUPerNuma()
+		p.Numas[v.Numa].MemUsed -= v.MemPerNuma()
+	}
+	for i, id := range p.VMs {
+		if id == vmID {
+			p.VMs[i] = p.VMs[len(p.VMs)-1]
+			p.VMs = p.VMs[:len(p.VMs)-1]
+			break
+		}
+	}
+	if c.AntiAffinity && v.Service >= 0 {
+		c.serviceCount[v.PM][v.Service]--
+	}
+	v.PM, v.Numa = -1, -1
+	return nil
+}
+
+// Migrate moves a placed VM to PM pmID, choosing the destination NUMA with
+// BestNuma under fragment granularity x. It is atomic: on failure the VM
+// remains on its source PM.
+func (c *Cluster) Migrate(vmID, pmID, x int) error {
+	if vmID < 0 || vmID >= len(c.VMs) || pmID < 0 || pmID >= len(c.PMs) {
+		return ErrBadReference
+	}
+	v := &c.VMs[vmID]
+	if !v.Placed() {
+		return fmt.Errorf("%w: vm %d", ErrNotPlaced, vmID)
+	}
+	if v.PM == pmID {
+		return fmt.Errorf("%w: vm %d already on pm %d", ErrAlreadyHere, vmID, pmID)
+	}
+	if !c.CanHost(vmID, pmID) {
+		return fmt.Errorf("%w: vm %d to pm %d", ErrNoCapacity, vmID, pmID)
+	}
+	srcPM, srcNuma := v.PM, v.Numa
+	if err := c.Remove(vmID); err != nil {
+		return err
+	}
+	numa := c.BestNuma(vmID, pmID, x)
+	if numa < 0 {
+		// Should be impossible after CanHost; restore and report.
+		if rerr := c.Place(vmID, srcPM, srcNuma); rerr != nil {
+			return fmt.Errorf("cluster: migrate rollback failed: %v (original: %w)", rerr, ErrNoCapacity)
+		}
+		return fmt.Errorf("%w: vm %d to pm %d", ErrNoCapacity, vmID, pmID)
+	}
+	if err := c.Place(vmID, pmID, numa); err != nil {
+		if rerr := c.Place(vmID, srcPM, srcNuma); rerr != nil {
+			return fmt.Errorf("cluster: migrate rollback failed: %v (original: %v)", rerr, err)
+		}
+		return err
+	}
+	return nil
+}
+
+// Fragment returns the total X-core CPU fragment across all PMs.
+func (c *Cluster) Fragment(x int) int {
+	total := 0
+	for i := range c.PMs {
+		total += c.PMs[i].Fragment(x)
+	}
+	return total
+}
+
+// MemFragment returns the total chunk-GB memory fragment across all PMs.
+func (c *Cluster) MemFragment(chunk int) int {
+	total := 0
+	for i := range c.PMs {
+		total += c.PMs[i].MemFragment(chunk)
+	}
+	return total
+}
+
+// FreeCPU returns total spare CPU across all PMs.
+func (c *Cluster) FreeCPU() int {
+	total := 0
+	for i := range c.PMs {
+		total += c.PMs[i].FreeCPU()
+	}
+	return total
+}
+
+// FreeMem returns total spare memory across all PMs.
+func (c *Cluster) FreeMem() int {
+	total := 0
+	for i := range c.PMs {
+		total += c.PMs[i].FreeMem()
+	}
+	return total
+}
+
+// FragRate returns the X-core fragment rate: unusable spare CPU divided by
+// total spare CPU (paper section 1). Zero free CPU yields FR 0.
+func (c *Cluster) FragRate(x int) float64 {
+	free := c.FreeCPU()
+	if free == 0 {
+		return 0
+	}
+	return float64(c.Fragment(x)) / float64(free)
+}
+
+// MemFragRate returns the chunk-GB memory fragment rate.
+func (c *Cluster) MemFragRate(chunk int) float64 {
+	free := c.FreeMem()
+	if free == 0 {
+		return 0
+	}
+	return float64(c.MemFragment(chunk)) / float64(free)
+}
+
+// Clone returns a deep copy of the cluster (PM VM lists and affinity index
+// included). Mutating the copy never affects the original.
+func (c *Cluster) Clone() *Cluster {
+	cp := &Cluster{
+		PMs:          make([]PM, len(c.PMs)),
+		VMs:          make([]VM, len(c.VMs)),
+		AntiAffinity: c.AntiAffinity,
+	}
+	copy(cp.VMs, c.VMs)
+	for i := range c.PMs {
+		cp.PMs[i] = c.PMs[i]
+		cp.PMs[i].VMs = append([]int(nil), c.PMs[i].VMs...)
+	}
+	if c.serviceCount != nil {
+		cp.serviceCount = make([]map[int]int, len(c.serviceCount))
+		for i, m := range c.serviceCount {
+			cp.serviceCount[i] = make(map[int]int, len(m))
+			for k, v := range m {
+				cp.serviceCount[i][k] = v
+			}
+		}
+	}
+	return cp
+}
+
+// CountPlaced returns the number of VMs currently assigned to a PM.
+func (c *Cluster) CountPlaced() int {
+	n := 0
+	for i := range c.VMs {
+		if c.VMs[i].Placed() {
+			n++
+		}
+	}
+	return n
+}
+
+// Validate checks internal consistency: per-NUMA usage equals the sum of
+// hosted VM demands, membership lists match VM records, no capacity is
+// exceeded, and anti-affinity holds when enabled. Returns the first problem
+// found.
+func (c *Cluster) Validate() error {
+	type usage struct{ cpu, mem int }
+	use := make([][NumasPerPM]usage, len(c.PMs))
+	for i := range c.VMs {
+		v := &c.VMs[i]
+		if v.ID != i {
+			return fmt.Errorf("cluster: vm %d has id %d", i, v.ID)
+		}
+		if !v.Placed() {
+			continue
+		}
+		if v.PM >= len(c.PMs) {
+			return fmt.Errorf("cluster: vm %d on unknown pm %d", i, v.PM)
+		}
+		if v.Numas == 2 {
+			for j := 0; j < NumasPerPM; j++ {
+				use[v.PM][j].cpu += v.CPUPerNuma()
+				use[v.PM][j].mem += v.MemPerNuma()
+			}
+		} else {
+			if v.Numa < 0 || v.Numa >= NumasPerPM {
+				return fmt.Errorf("cluster: vm %d bad numa %d", i, v.Numa)
+			}
+			use[v.PM][v.Numa].cpu += v.CPUPerNuma()
+			use[v.PM][v.Numa].mem += v.MemPerNuma()
+		}
+	}
+	for i := range c.PMs {
+		p := &c.PMs[i]
+		if p.ID != i {
+			return fmt.Errorf("cluster: pm %d has id %d", i, p.ID)
+		}
+		for j := range p.Numas {
+			n := &p.Numas[j]
+			if n.CPUUsed != use[i][j].cpu || n.MemUsed != use[i][j].mem {
+				return fmt.Errorf("cluster: pm %d numa %d usage (%d cpu, %d mem) != hosted (%d, %d)",
+					i, j, n.CPUUsed, n.MemUsed, use[i][j].cpu, use[i][j].mem)
+			}
+			if n.CPUUsed > n.CPUCap || n.MemUsed > n.MemCap {
+				return fmt.Errorf("cluster: pm %d numa %d over capacity", i, j)
+			}
+			if n.CPUUsed < 0 || n.MemUsed < 0 {
+				return fmt.Errorf("cluster: pm %d numa %d negative usage", i, j)
+			}
+			if n.CPUCap < 0 || n.MemCap < 0 {
+				return fmt.Errorf("cluster: pm %d numa %d negative capacity", i, j)
+			}
+		}
+		seen := make(map[int]bool, len(p.VMs))
+		services := make(map[int]int)
+		for _, id := range p.VMs {
+			if id < 0 || id >= len(c.VMs) {
+				return fmt.Errorf("cluster: pm %d hosts unknown vm %d", i, id)
+			}
+			if seen[id] {
+				return fmt.Errorf("cluster: pm %d lists vm %d twice", i, id)
+			}
+			seen[id] = true
+			if c.VMs[id].PM != i {
+				return fmt.Errorf("cluster: pm %d lists vm %d but vm records pm %d", i, id, c.VMs[id].PM)
+			}
+			if s := c.VMs[id].Service; s >= 0 {
+				services[s]++
+			}
+		}
+		if c.AntiAffinity {
+			for s, n := range services {
+				if n > 1 {
+					return fmt.Errorf("cluster: pm %d hosts %d VMs of service %d", i, n, s)
+				}
+			}
+		}
+	}
+	for i := range c.VMs {
+		v := &c.VMs[i]
+		if !v.Placed() {
+			continue
+		}
+		found := false
+		for _, id := range c.PMs[v.PM].VMs {
+			if id == i {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("cluster: vm %d records pm %d but is not in its list", i, v.PM)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,133 @@
+// Package eval implements VMR2L's risk-seeking evaluation (paper section
+// 3.4): because the simulator is a perfect world model, many trajectories
+// can be sampled from the stochastic policy and only the best one deployed.
+// Action thresholding masks low-probability candidates so sampled
+// trajectories avoid sub-optimal tail actions.
+package eval
+
+import (
+	"math/rand"
+
+	"vmr2l/internal/cluster"
+	"vmr2l/internal/policy"
+	"vmr2l/internal/sim"
+)
+
+// Options configures risk-seeking evaluation.
+type Options struct {
+	// Trajectories is the number of sampled rollouts K (the paper samples
+	// up to ~100; 16 in 2.2s with 8 GPUs).
+	Trajectories int
+	// VMQuantile / PMQuantile apply action thresholding; 0 disables.
+	VMQuantile float64
+	PMQuantile float64
+	// Parallel runs rollouts on goroutines (the paper's multi-GPU analog).
+	Parallel bool
+	Seed     int64
+}
+
+// Outcome is the result of one risk-seeking evaluation.
+type Outcome struct {
+	BestValue  float64
+	BestPlan   []sim.Migration
+	MeanValue  float64
+	Trajectory int // index of the winning rollout
+}
+
+// Run samples K trajectories of the policy on init and returns the best.
+// The first trajectory is greedy (the deployment fallback); the rest sample
+// from π(·|s), optionally thresholded.
+func Run(m *policy.Model, init *cluster.Cluster, cfg sim.Config, opts Options) Outcome {
+	k := opts.Trajectories
+	if k < 1 {
+		k = 1
+	}
+	type result struct {
+		value float64
+		plan  []sim.Migration
+	}
+	results := make([]result, k)
+	runOne := func(i int) {
+		env := sim.New(init, cfg)
+		sampleOpts := policy.SampleOpts{
+			Greedy:     i == 0,
+			VMQuantile: opts.VMQuantile,
+			PMQuantile: opts.PMQuantile,
+		}
+		ag := policy.Agent{Model: m, Opts: sampleOpts, Seed: opts.Seed + int64(i)*9973}
+		_ = ag.Run(env)
+		results[i] = result{value: env.Value(), plan: append([]sim.Migration(nil), env.Plan()...)}
+	}
+	if opts.Parallel {
+		done := make(chan int, k)
+		for i := 0; i < k; i++ {
+			// Each rollout forks its own model view; the model is read-only
+			// during inference so sharing parameters is safe.
+			go func(i int) {
+				runOne(i)
+				done <- i
+			}(i)
+		}
+		for i := 0; i < k; i++ {
+			<-done
+		}
+	} else {
+		for i := 0; i < k; i++ {
+			runOne(i)
+		}
+	}
+	out := Outcome{BestValue: results[0].value, BestPlan: results[0].plan}
+	for i, r := range results {
+		out.MeanValue += r.value
+		if r.value < out.BestValue {
+			out.BestValue = r.value
+			out.BestPlan = r.plan
+			out.Trajectory = i
+		}
+	}
+	out.MeanValue /= float64(k)
+	return out
+}
+
+// GridSearchThresholds evaluates the quantile grid of the paper (section
+// 5.3: {0.95, 0.98, 0.99, 0.995} for both stages) on validation mappings and
+// returns the pair minimizing mean best value.
+func GridSearchThresholds(m *policy.Model, val []*cluster.Cluster, cfg sim.Config, k int, seed int64) (vmQ, pmQ float64) {
+	grid := []float64{0.95, 0.98, 0.99, 0.995}
+	best := 0.0
+	first := true
+	for _, vq := range grid {
+		for _, pq := range grid {
+			total := 0.0
+			for i, init := range val {
+				o := Run(m, init, cfg, Options{
+					Trajectories: k, VMQuantile: vq, PMQuantile: pq, Seed: seed + int64(i),
+				})
+				total += o.BestValue
+			}
+			if first || total < best {
+				best, vmQ, pmQ = total, vq, pq
+				first = false
+			}
+		}
+	}
+	return vmQ, pmQ
+}
+
+// RandomPolicyValue rolls a uniform-random legal policy once — the sanity
+// baseline used in tests and the case-study tool.
+func RandomPolicyValue(init *cluster.Cluster, cfg sim.Config, seed int64) float64 {
+	env := sim.New(init, cfg)
+	rng := rand.New(rand.NewSource(seed))
+	for !env.Done() {
+		acts := sim.TopActions(env.Cluster(), env.Objective(), 0)
+		if len(acts) == 0 {
+			break
+		}
+		a := acts[rng.Intn(len(acts))]
+		if _, _, err := env.Step(a.VM, a.PM); err != nil {
+			break
+		}
+	}
+	return env.Value()
+}

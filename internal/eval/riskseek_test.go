@@ -1,0 +1,90 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+
+	"vmr2l/internal/cluster"
+	"vmr2l/internal/policy"
+	"vmr2l/internal/sim"
+	"vmr2l/internal/trace"
+)
+
+func testModel() *policy.Model {
+	return policy.New(policy.Config{
+		DModel: 16, Hidden: 24, Blocks: 1,
+		Extractor: policy.SparseAttention, Action: policy.TwoStage, Seed: 5,
+	})
+}
+
+func testMapping(seed int64) *cluster.Cluster {
+	return trace.MustProfile("tiny").GenerateMapping(rand.New(rand.NewSource(seed)))
+}
+
+func TestRiskSeekingBestNotWorseThanMean(t *testing.T) {
+	m := testModel()
+	c := testMapping(1)
+	o := Run(m, c, sim.DefaultConfig(5), Options{Trajectories: 8, Seed: 1})
+	if o.BestValue > o.MeanValue+1e-12 {
+		t.Fatalf("best %v worse than mean %v", o.BestValue, o.MeanValue)
+	}
+	if len(o.BestPlan) > 5 {
+		t.Fatalf("plan longer than MNL: %d", len(o.BestPlan))
+	}
+}
+
+func TestMoreTrajectoriesNeverHurt(t *testing.T) {
+	m := testModel()
+	c := testMapping(2)
+	cfg := sim.DefaultConfig(5)
+	// With identical seeds, K=8 includes the K=2 trajectories plus more, so
+	// min over the larger set cannot be worse.
+	small := Run(m, c, cfg, Options{Trajectories: 2, Seed: 7})
+	big := Run(m, c, cfg, Options{Trajectories: 8, Seed: 7})
+	if big.BestValue > small.BestValue+1e-12 {
+		t.Fatalf("K=8 best %v worse than K=2 best %v", big.BestValue, small.BestValue)
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	m := testModel()
+	c := testMapping(3)
+	cfg := sim.DefaultConfig(4)
+	seq := Run(m, c, cfg, Options{Trajectories: 6, Seed: 11})
+	par := Run(m, c, cfg, Options{Trajectories: 6, Seed: 11, Parallel: true})
+	if seq.BestValue != par.BestValue {
+		t.Fatalf("parallel best %v != sequential best %v", par.BestValue, seq.BestValue)
+	}
+}
+
+func TestBestPlanReplaysToBestValue(t *testing.T) {
+	m := testModel()
+	c := testMapping(4)
+	cfg := sim.DefaultConfig(5)
+	o := Run(m, c, cfg, Options{Trajectories: 6, Seed: 13, VMQuantile: 0.95, PMQuantile: 0.95})
+	replay := c.Clone()
+	if _, skipped := sim.ApplyPlan(replay, o.BestPlan); skipped != 0 {
+		t.Fatalf("replay skipped %d migrations", skipped)
+	}
+	if got := cfg.Obj.Value(replay); got != o.BestValue {
+		t.Fatalf("replayed value %v != reported %v", got, o.BestValue)
+	}
+}
+
+func TestGridSearchReturnsGridValues(t *testing.T) {
+	m := testModel()
+	val := []*cluster.Cluster{testMapping(5)}
+	vq, pq := GridSearchThresholds(m, val, sim.DefaultConfig(3), 2, 1)
+	valid := map[float64]bool{0.95: true, 0.98: true, 0.99: true, 0.995: true}
+	if !valid[vq] || !valid[pq] {
+		t.Fatalf("grid search returned off-grid values %v %v", vq, pq)
+	}
+}
+
+func TestRandomPolicyValueBounded(t *testing.T) {
+	c := testMapping(6)
+	v := RandomPolicyValue(c, sim.DefaultConfig(4), 3)
+	if v < 0 || v > 1 {
+		t.Fatalf("random policy FR out of range: %v", v)
+	}
+}

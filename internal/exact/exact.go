@@ -1,0 +1,226 @@
+// Package exact implements the optimization-algorithm role of the paper's
+// evaluation: an anytime depth-first branch-and-bound over migration
+// sequences (standing in for the Gurobi MIP solver, see DESIGN.md) and the
+// POP random-partition wrapper of Narayanan et al. used at ByteDance.
+//
+// On small instances with Beam == 0 the search is exhaustive and provably
+// optimal (verified against brute force in tests). On larger instances a
+// beam plus deadline makes it a near-optimal anytime solver — the same role
+// MIP plays in the paper: best quality, worst latency.
+package exact
+
+import (
+	"fmt"
+	"time"
+
+	"vmr2l/internal/cluster"
+	"vmr2l/internal/sim"
+)
+
+// Solver is a branch-and-bound rescheduler.
+type Solver struct {
+	// Beam caps the branching factor per node by immediate gain; 0 means
+	// exhaustive (every legal action).
+	Beam int
+	// Deadline bounds wall-clock time; 0 means unbounded. The best plan
+	// found so far is returned when the deadline passes (anytime).
+	Deadline time.Duration
+	// MaxNodes bounds explored nodes (0 = unbounded); useful for
+	// deterministic budgeting in tests and POP subproblems.
+	MaxNodes int
+	// AllowLoss admits actions with negative immediate gain, which is
+	// required for optimality (the paper's step 38-40 case study sacrifices
+	// immediate reward). Beam search with AllowLoss=false is a fast greedy
+	// variant.
+	AllowLoss bool
+}
+
+// Name implements solver.Solver.
+func (s *Solver) Name() string {
+	if s.Beam == 0 {
+		return "MIP(B&B)"
+	}
+	return fmt.Sprintf("MIP(B&B,beam=%d)", s.Beam)
+}
+
+type searchState struct {
+	c        *cluster.Cluster
+	obj      sim.Objective
+	beam     int
+	allow    bool
+	deadline time.Time
+	hasDL    bool
+	nodes    int
+	maxNodes int
+	// maxGain is an admissible per-move bound on objective-score reduction.
+	maxGain   float64
+	bestScore float64
+	bestPlan  []sim.Action
+	stack     []sim.Action
+	// filter restricts candidate actions (POP partitioning); nil = all.
+	filter func(sim.Action) bool
+}
+
+// clusterScore is the total objective score (sum of PM scores); the search
+// minimizes it. It differs from Objective.Value (a rate) by normalization
+// but has the same argmin over final states reachable by migrations only
+// when total free CPU is constant — which holds: migrations conserve free
+// resources, so minimizing total fragment score minimizes the rate.
+func clusterScore(c *cluster.Cluster, obj sim.Objective) float64 {
+	total := 0.0
+	for i := range c.PMs {
+		total += obj.PMScore(&c.PMs[i])
+	}
+	return total
+}
+
+// perMoveBound returns an admissible upper bound on how much a single
+// migration can reduce the total score: each affected NUMA's fragment can
+// drop by at most chunk-1 units, four NUMAs are touched, scaled by 1/(4·chunk)
+// and the term weight.
+func perMoveBound(obj sim.Objective) float64 {
+	bound := 0.0
+	for _, t := range obj.Terms {
+		bound += t.Weight * 4 * float64(t.Chunk-1) / float64(4*t.Chunk)
+	}
+	return bound
+}
+
+func (st *searchState) expired() bool {
+	if st.maxNodes > 0 && st.nodes >= st.maxNodes {
+		return true
+	}
+	return st.hasDL && time.Now().After(st.deadline)
+}
+
+// dfs explores sequences up to depth more migrations.
+func (st *searchState) dfs(score float64, depth int) {
+	st.nodes++
+	if score < st.bestScore-1e-12 {
+		st.bestScore = score
+		st.bestPlan = append(st.bestPlan[:0], st.stack...)
+	}
+	if depth == 0 || st.expired() {
+		return
+	}
+	// Admissible bound: even taking the max gain every remaining move
+	// cannot beat the incumbent.
+	if score-float64(depth)*st.maxGain >= st.bestScore-1e-12 {
+		return
+	}
+	acts := sim.TopActions(st.c, st.obj, 0)
+	if st.filter != nil {
+		kept := acts[:0]
+		for _, a := range acts {
+			if st.filter(a) {
+				kept = append(kept, a)
+			}
+		}
+		acts = kept
+	}
+	if !st.allow {
+		kept := acts[:0]
+		for _, a := range acts {
+			if a.Gain > 1e-12 {
+				kept = append(kept, a)
+			}
+		}
+		acts = kept
+	}
+	if st.beam > 0 && len(acts) > st.beam {
+		acts = acts[:st.beam]
+	}
+	for _, a := range acts {
+		v := &st.c.VMs[a.VM]
+		srcPM, srcNuma := v.PM, v.Numa
+		if err := st.c.Migrate(a.VM, a.PM, cluster.DefaultFragCores); err != nil {
+			continue
+		}
+		st.stack = append(st.stack, a)
+		st.dfs(score-a.Gain, depth-1)
+		st.stack = st.stack[:len(st.stack)-1]
+		// Undo: move the VM back to its original slot.
+		if err := st.c.Remove(a.VM); err != nil {
+			panic(fmt.Sprintf("exact: undo remove: %v", err))
+		}
+		if err := st.c.Place(a.VM, srcPM, srcNuma); err != nil {
+			panic(fmt.Sprintf("exact: undo place: %v", err))
+		}
+		if st.expired() {
+			return
+		}
+	}
+}
+
+// Search returns the best migration sequence of length <= depth found under
+// the solver's budgets, without mutating init.
+func (s *Solver) Search(init *cluster.Cluster, obj sim.Objective, depth int) []sim.Action {
+	return s.searchFiltered(init, obj, depth, nil)
+}
+
+func (s *Solver) searchFiltered(init *cluster.Cluster, obj sim.Objective, depth int, filter func(sim.Action) bool) []sim.Action {
+	if len(obj.Terms) == 0 {
+		obj = sim.FR16()
+	}
+	st := &searchState{
+		c:        init.Clone(),
+		obj:      obj,
+		beam:     s.Beam,
+		allow:    s.AllowLoss,
+		maxNodes: s.MaxNodes,
+		maxGain:  perMoveBound(obj),
+		filter:   filter,
+	}
+	if s.Deadline > 0 {
+		st.deadline = time.Now().Add(s.Deadline)
+		st.hasDL = true
+	}
+	st.bestScore = clusterScore(st.c, obj)
+	st.dfs(st.bestScore, depth)
+	return append([]sim.Action(nil), st.bestPlan...)
+}
+
+// Run implements solver.Solver: plan with branch-and-bound, then execute.
+func (s *Solver) Run(env *sim.Env) error {
+	plan := s.Search(env.Cluster(), env.Objective(), env.MNL()-env.StepsTaken())
+	for _, a := range plan {
+		if env.Done() {
+			break
+		}
+		if _, _, err := env.Step(a.VM, a.PM); err != nil {
+			return fmt.Errorf("exact: executing plan: %w", err)
+		}
+	}
+	return nil
+}
+
+// SearchGoal finds a shortest migration sequence that brings the 16-core
+// fragment rate to at most goal, up to maxDepth moves (iterative deepening).
+// It returns nil when the goal is unreachable within the budget. This is the
+// exact solver for the paper's "minimize MNL given FR goal" objective
+// (section 5.5.1, Fig. 14).
+func (s *Solver) SearchGoal(init *cluster.Cluster, obj sim.Objective, goal float64, maxDepth int) []sim.Action {
+	if init.FragRate(cluster.DefaultFragCores) <= goal {
+		return []sim.Action{}
+	}
+	for depth := 1; depth <= maxDepth; depth++ {
+		plan := s.Search(init, obj, depth)
+		c := init.Clone()
+		ok := true
+		var used []sim.Action
+		for _, a := range plan {
+			if err := c.Migrate(a.VM, a.PM, cluster.DefaultFragCores); err != nil {
+				ok = false
+				break
+			}
+			used = append(used, a)
+			if c.FragRate(cluster.DefaultFragCores) <= goal {
+				break
+			}
+		}
+		if ok && c.FragRate(cluster.DefaultFragCores) <= goal {
+			return used
+		}
+	}
+	return nil
+}

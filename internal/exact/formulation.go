@@ -1,0 +1,197 @@
+package exact
+
+import (
+	"fmt"
+
+	"vmr2l/internal/cluster"
+)
+
+// Formulation is the explicit MIP model of paper section 2.1 (Eq. 1-7),
+// extracted from a cluster snapshot. It exists to make the optimization
+// problem auditable: any proposed assignment can be checked against the
+// exact constraint set, and the fragment objective can be computed directly
+// from the decision variables rather than through the simulator. The tests
+// verify that every solver in this repository emits assignments that satisfy
+// it and that its objective agrees with the cluster's fragment arithmetic.
+type Formulation struct {
+	// X is the fragment granularity (16-core in the main experiments).
+	X int
+	// MNL bounds the number of VMs whose placement may differ from the
+	// initial assignment (Eq. 5).
+	MNL int
+	// CPUCap[i][j] and MemCap[i][j] are U_{i,j} and V_{i,j} (Eq. 2-3).
+	CPUCap [][cluster.NumasPerPM]int
+	MemCap [][cluster.NumasPerPM]int
+	// VMCPU[k], VMMem[k] are u_k, v_k; VMNumas[k] is w_k (Eq. 4, 6).
+	VMCPU   []int
+	VMMem   []int
+	VMNumas []int
+	// InitPM[k], InitNuma[k] are i_k, j_k: the initial placement (Eq. 5).
+	InitPM   []int
+	InitNuma []int
+	// Service[k] carries the optional anti-affinity group (-1 = none); the
+	// paper models it as additional hard constraints in section 5.4.
+	Service      []int
+	AntiAffinity bool
+}
+
+// Slot is one VM's placement decision: the x_{k,i,j} variables of the paper
+// collapsed to (PM, Numa) per VM, with Numa == -1 for double-NUMA VMs
+// occupying both NUMAs (Eq. 6 forces them onto one PM).
+type Slot struct {
+	PM   int
+	Numa int
+}
+
+// Assignment maps each VM to its slot — a full solution candidate.
+type Assignment []Slot
+
+// NewFormulation extracts the MIP model from a cluster snapshot.
+func NewFormulation(c *cluster.Cluster, x, mnl int) *Formulation {
+	f := &Formulation{X: x, MNL: mnl, AntiAffinity: c.AntiAffinity}
+	f.CPUCap = make([][cluster.NumasPerPM]int, len(c.PMs))
+	f.MemCap = make([][cluster.NumasPerPM]int, len(c.PMs))
+	for i := range c.PMs {
+		for j := 0; j < cluster.NumasPerPM; j++ {
+			f.CPUCap[i][j] = c.PMs[i].Numas[j].CPUCap
+			f.MemCap[i][j] = c.PMs[i].Numas[j].MemCap
+		}
+	}
+	for k := range c.VMs {
+		v := &c.VMs[k]
+		f.VMCPU = append(f.VMCPU, v.CPU)
+		f.VMMem = append(f.VMMem, v.Mem)
+		f.VMNumas = append(f.VMNumas, v.Numas)
+		f.InitPM = append(f.InitPM, v.PM)
+		f.InitNuma = append(f.InitNuma, v.Numa)
+		f.Service = append(f.Service, v.Service)
+	}
+	return f
+}
+
+// AssignmentOf reads the current placement of a cluster as an Assignment
+// (the cluster must have the same VM set as the formulation's snapshot).
+func AssignmentOf(c *cluster.Cluster) Assignment {
+	a := make(Assignment, len(c.VMs))
+	for k := range c.VMs {
+		v := &c.VMs[k]
+		slot := Slot{PM: v.PM, Numa: v.Numa}
+		if v.Numas == 2 {
+			slot.Numa = -1
+		}
+		a[k] = slot
+	}
+	return a
+}
+
+// Check verifies an assignment against Eq. 2-6: per-NUMA CPU and memory
+// capacity, every VM deployed on exactly one PM with its required NUMA
+// count, double-NUMA VMs on both NUMAs of one PM, the migration limit, and
+// (when enabled) anti-affinity. It returns the first violation found.
+func (f *Formulation) Check(a Assignment) error {
+	if len(a) != len(f.VMCPU) {
+		return fmt.Errorf("exact: assignment covers %d of %d VMs", len(a), len(f.VMCPU))
+	}
+	cpu := make([][cluster.NumasPerPM]int, len(f.CPUCap))
+	mem := make([][cluster.NumasPerPM]int, len(f.CPUCap))
+	services := make(map[[2]int]bool)
+	migrations := 0
+	for k, slot := range a {
+		// Eq. 4: each VM deployed on exactly one PM.
+		if slot.PM < 0 || slot.PM >= len(f.CPUCap) {
+			return fmt.Errorf("exact: vm %d not deployed (pm %d)", k, slot.PM)
+		}
+		w := f.VMNumas[k]
+		switch {
+		case w == 2 && slot.Numa != -1:
+			// Eq. 6: double-NUMA VMs occupy both NUMAs of the PM.
+			return fmt.Errorf("exact: double-NUMA vm %d pinned to numa %d", k, slot.Numa)
+		case w == 1 && (slot.Numa < 0 || slot.Numa >= cluster.NumasPerPM):
+			return fmt.Errorf("exact: vm %d has invalid numa %d", k, slot.Numa)
+		}
+		if w == 2 {
+			for j := 0; j < cluster.NumasPerPM; j++ {
+				cpu[slot.PM][j] += f.VMCPU[k] / 2
+				mem[slot.PM][j] += f.VMMem[k] / 2
+			}
+		} else {
+			cpu[slot.PM][slot.Numa] += f.VMCPU[k]
+			mem[slot.PM][slot.Numa] += f.VMMem[k]
+		}
+		// Eq. 5: count VMs off their initial placement.
+		if slot.PM != f.InitPM[k] {
+			migrations++
+		}
+		// Section 5.4 anti-affinity.
+		if f.AntiAffinity && f.Service[k] >= 0 {
+			key := [2]int{slot.PM, f.Service[k]}
+			if services[key] {
+				return fmt.Errorf("exact: vms of service %d colocated on pm %d", f.Service[k], slot.PM)
+			}
+			services[key] = true
+		}
+	}
+	// Eq. 2-3: capacity.
+	for i := range cpu {
+		for j := 0; j < cluster.NumasPerPM; j++ {
+			if cpu[i][j] > f.CPUCap[i][j] {
+				return fmt.Errorf("exact: pm %d numa %d CPU %d > cap %d", i, j, cpu[i][j], f.CPUCap[i][j])
+			}
+			if mem[i][j] > f.MemCap[i][j] {
+				return fmt.Errorf("exact: pm %d numa %d mem %d > cap %d", i, j, mem[i][j], f.MemCap[i][j])
+			}
+		}
+	}
+	if migrations > f.MNL {
+		return fmt.Errorf("exact: %d migrations exceed MNL %d (Eq. 5)", migrations, f.MNL)
+	}
+	return nil
+}
+
+// Objective computes Eq. 1: the total X-core fragments of the assignment,
+// i.e. Σ_{i,j} (Ũ_{i,j} mod X) where Ũ is the spare CPU after deployment.
+// (The paper writes this as U - Σ x·u/w - X·y with y the integral count of
+// X-core slots; the modulo form is the same quantity.)
+func (f *Formulation) Objective(a Assignment) (int, error) {
+	if len(a) != len(f.VMCPU) {
+		return 0, fmt.Errorf("exact: assignment covers %d of %d VMs", len(a), len(f.VMCPU))
+	}
+	cpu := make([][cluster.NumasPerPM]int, len(f.CPUCap))
+	for k, slot := range a {
+		if slot.PM < 0 || slot.PM >= len(f.CPUCap) {
+			return 0, fmt.Errorf("exact: vm %d not deployed", k)
+		}
+		if f.VMNumas[k] == 2 {
+			for j := 0; j < cluster.NumasPerPM; j++ {
+				cpu[slot.PM][j] += f.VMCPU[k] / 2
+			}
+		} else {
+			cpu[slot.PM][slot.Numa] += f.VMCPU[k]
+		}
+	}
+	total := 0
+	for i := range cpu {
+		for j := 0; j < cluster.NumasPerPM; j++ {
+			total += (f.CPUCap[i][j] - cpu[i][j]) % f.X
+		}
+	}
+	return total, nil
+}
+
+// Migrations counts Eq. 5's left-hand side: VMs placed off their initial PM.
+func (f *Formulation) Migrations(a Assignment) int {
+	n := 0
+	for k, slot := range a {
+		if k < len(f.InitPM) && slot.PM != f.InitPM[k] {
+			n++
+		}
+	}
+	return n
+}
+
+// Vars reports the size of the decision-variable space of the flat MIP
+// encoding: one binary x_{k,i,j} per (VM, PM, NUMA) plus one integer y_{i,j}
+// per NUMA — the O(M·N) action-space figure the paper cites.
+func (f *Formulation) Vars() (binary, integer int) {
+	return len(f.VMCPU) * len(f.CPUCap) * cluster.NumasPerPM, len(f.CPUCap) * cluster.NumasPerPM
+}

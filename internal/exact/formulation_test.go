@@ -1,0 +1,198 @@
+package exact
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"vmr2l/internal/heuristics"
+	"vmr2l/internal/sim"
+	"vmr2l/internal/solver"
+	"vmr2l/internal/trace"
+)
+
+func TestFormulationAcceptsInitialAssignment(t *testing.T) {
+	c := trace.MustProfile("tiny").GenerateMapping(rand.New(rand.NewSource(1)))
+	f := NewFormulation(c, 16, 0) // zero migrations allowed
+	a := AssignmentOf(c)
+	if err := f.Check(a); err != nil {
+		t.Fatalf("initial assignment rejected: %v", err)
+	}
+	if got := f.Migrations(a); got != 0 {
+		t.Fatalf("initial assignment has %d migrations", got)
+	}
+	obj, err := f.Objective(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := c.Fragment(16); obj != want {
+		t.Fatalf("Eq.1 objective %d != cluster fragment %d", obj, want)
+	}
+}
+
+// TestSolversSatisfyFormulation: every solver's final state must be a
+// feasible MIP solution within the migration limit — the contract between
+// the simulator and the paper's formal model.
+func TestSolversSatisfyFormulation(t *testing.T) {
+	c := trace.MustProfile("tiny").GenerateFragmented(rand.New(rand.NewSource(2)), 0.1, 10)
+	const mnl = 5
+	f := NewFormulation(c, 16, mnl)
+	solvers := []solver.Solver{
+		heuristics.HA{},
+		heuristics.VBPP{Alpha: 3},
+		&Solver{Beam: 4, AllowLoss: true, MaxNodes: 10000},
+		POP{Parts: 2, Seed: 1, Inner: Solver{Beam: 3, MaxNodes: 5000, AllowLoss: true}},
+	}
+	for _, s := range solvers {
+		env := sim.New(c, sim.DefaultConfig(mnl))
+		if err := s.Run(env); err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		a := AssignmentOf(env.Cluster())
+		if err := f.Check(a); err != nil {
+			t.Fatalf("%s produced infeasible assignment: %v", s.Name(), err)
+		}
+		obj, err := f.Objective(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := env.Cluster().Fragment(16); obj != want {
+			t.Fatalf("%s: objective %d != simulator fragment %d", s.Name(), obj, want)
+		}
+	}
+}
+
+func TestFormulationRejectsViolations(t *testing.T) {
+	c := trace.MustProfile("tiny").GenerateMapping(rand.New(rand.NewSource(3)))
+	f := NewFormulation(c, 16, 1)
+	base := AssignmentOf(c)
+
+	// Undeployed VM (Eq. 4).
+	bad := append(Assignment(nil), base...)
+	bad[0].PM = -1
+	if err := f.Check(bad); err == nil {
+		t.Error("undeployed VM accepted")
+	}
+	// Over capacity (Eq. 2): pile every single-NUMA VM onto PM0/NUMA0.
+	bad = append(Assignment(nil), base...)
+	for k := range bad {
+		if f.VMNumas[k] == 1 {
+			bad[k] = Slot{PM: 0, Numa: 0}
+		}
+	}
+	if err := f.Check(bad); err == nil {
+		t.Error("overloaded NUMA accepted")
+	}
+	// Migration limit (Eq. 5): move two VMs with MNL 1.
+	bad = append(Assignment(nil), base...)
+	moved := 0
+	for k := range bad {
+		if moved == 2 {
+			break
+		}
+		np := (bad[k].PM + 1) % len(c.PMs)
+		bad[k].PM = np
+		moved++
+	}
+	if err := f.Check(bad); err == nil {
+		t.Error("migration-limit violation accepted")
+	}
+	// Double-NUMA pinned to a single NUMA (Eq. 6).
+	for k := range base {
+		if f.VMNumas[k] == 2 {
+			bad = append(Assignment(nil), base...)
+			bad[k].Numa = 0
+			if err := f.Check(bad); err == nil {
+				t.Error("Eq.6 violation accepted")
+			}
+			break
+		}
+	}
+	// Wrong length.
+	if err := f.Check(base[:1]); err == nil {
+		t.Error("short assignment accepted")
+	}
+	if _, err := f.Objective(base[:1]); err == nil {
+		t.Error("short assignment objective accepted")
+	}
+}
+
+func TestFormulationAntiAffinity(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	c := trace.MustProfile("tiny").GenerateMapping(rng)
+	trace.AttachAffinity(c, 4, rng)
+	f := NewFormulation(c, 16, 5)
+	a := AssignmentOf(c)
+	if err := f.Check(a); err != nil {
+		t.Fatalf("feasible affinity state rejected: %v", err)
+	}
+	// Force two same-service VMs onto one PM.
+	var s0, s1 = -1, -1
+	for k := range c.VMs {
+		if c.VMs[k].Service < 0 {
+			continue
+		}
+		for k2 := k + 1; k2 < len(c.VMs); k2++ {
+			if c.VMs[k2].Service == c.VMs[k].Service {
+				s0, s1 = k, k2
+				break
+			}
+		}
+		if s0 >= 0 {
+			break
+		}
+	}
+	if s0 < 0 {
+		t.Skip("no service pair found")
+	}
+	bad := append(Assignment(nil), a...)
+	bad[s1].PM = bad[s0].PM
+	if err := f.Check(bad); err == nil {
+		t.Error("anti-affinity violation accepted")
+	}
+}
+
+func TestFormulationVars(t *testing.T) {
+	c := trace.MustProfile("tiny").GenerateMapping(rand.New(rand.NewSource(5)))
+	f := NewFormulation(c, 16, 5)
+	bin, integer := f.Vars()
+	if bin != len(c.VMs)*len(c.PMs)*2 || integer != len(c.PMs)*2 {
+		t.Fatalf("vars = %d/%d", bin, integer)
+	}
+}
+
+// TestPropertySimulatorAgreesWithFormulation: after arbitrary legal
+// migrations, the simulator state is always a feasible MIP point with
+// matching objective.
+func TestPropertySimulatorAgreesWithFormulation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := trace.MustProfile("tiny").GenerateMapping(rng)
+		const mnl = 6
+		form := NewFormulation(c, 16, mnl)
+		env := sim.New(c, sim.DefaultConfig(mnl))
+		for !env.Done() {
+			acts := sim.TopActions(env.Cluster(), sim.FR16(), 0)
+			if len(acts) == 0 {
+				break
+			}
+			a := acts[rng.Intn(len(acts))]
+			if _, _, err := env.Step(a.VM, a.PM); err != nil {
+				return false
+			}
+		}
+		a := AssignmentOf(env.Cluster())
+		if err := form.Check(a); err != nil {
+			t.Logf("infeasible after legal migrations: %v", err)
+			return false
+		}
+		obj, err := form.Objective(a)
+		if err != nil {
+			return false
+		}
+		return obj == env.Cluster().Fragment(16)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,121 @@
+package heuristics
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"vmr2l/internal/sim"
+	"vmr2l/internal/solver"
+	"vmr2l/internal/trace"
+)
+
+var _ solver.Solver = HA{}
+var _ solver.Solver = VBPP{}
+
+func TestHAImprovesAndStopsAtLocalOptimum(t *testing.T) {
+	c := trace.MustProfile("medium-small").GenerateMapping(rand.New(rand.NewSource(1)))
+	res, err := solver.Evaluate(HA{}, c, sim.DefaultConfig(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalFR > res.InitialFR {
+		t.Errorf("HA worsened FR: %v -> %v", res.InitialFR, res.FinalFR)
+	}
+	if res.Steps > 30 {
+		t.Errorf("HA exceeded MNL: %d", res.Steps)
+	}
+	// HA must stop when no improving move exists: re-running from the final
+	// state performs zero migrations.
+	final := c.Clone()
+	if _, skipped := sim.ApplyPlan(final, res.Plan); skipped != 0 {
+		t.Fatalf("plan replay skipped %d", skipped)
+	}
+	res2, err := solver.Evaluate(HA{}, final, sim.DefaultConfig(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Steps != 0 {
+		t.Errorf("HA found %d more moves after claiming local optimum", res2.Steps)
+	}
+}
+
+func TestHAEveryStepImproves(t *testing.T) {
+	// HA is strictly greedy: each migration strictly lowers the objective.
+	f := func(seed int64) bool {
+		c := trace.MustProfile("tiny").GenerateMapping(rand.New(rand.NewSource(seed)))
+		env := sim.New(c, sim.DefaultConfig(10))
+		prev := env.Value()
+		if err := (HA{}).Run(env); err != nil {
+			return false
+		}
+		// Replay and check monotonicity.
+		replay := sim.New(c, sim.DefaultConfig(10))
+		for _, m := range env.Plan() {
+			if _, _, err := replay.Step(m.VM, m.ToPM); err != nil {
+				return false
+			}
+			if v := replay.Value(); v >= prev {
+				t.Logf("non-improving HA step: %v -> %v", prev, v)
+				return false
+			} else {
+				prev = v
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVBPPImproves(t *testing.T) {
+	c := trace.MustProfile("medium-small").GenerateMapping(rand.New(rand.NewSource(2)))
+	res, err := solver.Evaluate(VBPP{Alpha: 5}, c, sim.DefaultConfig(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalFR > res.InitialFR {
+		t.Errorf("VBPP worsened FR: %v -> %v", res.InitialFR, res.FinalFR)
+	}
+	if res.Steps > 30 {
+		t.Errorf("VBPP exceeded MNL: %d", res.Steps)
+	}
+}
+
+func TestVBPPDefaultsAndName(t *testing.T) {
+	if got := (VBPP{}).alpha(); got != 10 {
+		t.Errorf("default alpha = %d, want 10", got)
+	}
+	if got := (VBPP{Alpha: 3}).Name(); got != "a-VBPP(3)" {
+		t.Errorf("name = %q", got)
+	}
+	if got := (HA{}).Name(); got != "HA" {
+		t.Errorf("name = %q", got)
+	}
+}
+
+func TestHAWithMixedObjective(t *testing.T) {
+	c := trace.MustProfile("multi-resource-small").GenerateMapping(rand.New(rand.NewSource(3)))
+	cfg := sim.Config{MNL: 15, Obj: sim.MixedResource(0.5)}
+	res, err := solver.Evaluate(HA{}, c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalValue > res.InitialValue {
+		t.Errorf("HA worsened mixed objective: %v -> %v", res.InitialValue, res.FinalValue)
+	}
+}
+
+func TestSolversNoOpAtZeroMNL(t *testing.T) {
+	c := trace.MustProfile("tiny").GenerateMapping(rand.New(rand.NewSource(4)))
+	for _, s := range []solver.Solver{HA{}, VBPP{Alpha: 4}} {
+		env := sim.New(c, sim.DefaultConfig(0))
+		if err := s.Run(env); err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if env.StepsTaken() != 0 {
+			t.Errorf("%s moved with MNL=0", s.Name())
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package heuristics
+
+import (
+	"fmt"
+	"sort"
+
+	"vmr2l/internal/sim"
+)
+
+// SwapHA extends HA with the atomic two-VM swaps of the paper's future-work
+// extension (section 8): when two PMs are mutually deadlocked — each VM
+// would fit only after the other leaves — no sequence of single migrations
+// helps, but an atomic exchange does. Each iteration takes the better of the
+// best single move and the best swap among high-removal-gain VM candidates.
+type SwapHA struct {
+	// TopK bounds the candidate set for swap enumeration (pairs among the
+	// TopK VMs with the highest removal gain). Values < 2 default to 8.
+	TopK int
+}
+
+// Name implements solver.Solver.
+func (s SwapHA) Name() string { return fmt.Sprintf("SwapHA(%d)", s.topK()) }
+
+func (s SwapHA) topK() int {
+	if s.TopK < 2 {
+		return 8
+	}
+	return s.TopK
+}
+
+// Run executes moves and swaps until the episode ends or no action improves
+// the objective.
+func (s SwapHA) Run(env *sim.Env) error {
+	obj := env.Objective()
+	for !env.Done() {
+		c := env.Cluster()
+		// Best single move.
+		var bestMove sim.Action
+		haveMove := false
+		if acts := sim.TopActions(c, obj, 1); len(acts) > 0 && acts[0].Gain > 1e-12 {
+			bestMove, haveMove = acts[0], true
+		}
+		// Best swap among top-K removal-gain candidates.
+		type cand struct {
+			vm   int
+			gain float64
+		}
+		var cands []cand
+		for vm := range c.VMs {
+			if g, ok := sim.RemovalGain(c, obj, vm); ok {
+				cands = append(cands, cand{vm, g})
+			}
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].gain != cands[j].gain {
+				return cands[i].gain > cands[j].gain
+			}
+			return cands[i].vm < cands[j].vm
+		})
+		if len(cands) > s.topK() {
+			cands = cands[:s.topK()]
+		}
+		bestA, bestB, bestSwap := -1, -1, 0.0
+		for i := 0; i < len(cands); i++ {
+			for j := i + 1; j < len(cands); j++ {
+				if g, ok := env.SwapGain(cands[i].vm, cands[j].vm); ok && g > bestSwap {
+					bestA, bestB, bestSwap = cands[i].vm, cands[j].vm, g
+				}
+			}
+		}
+		// A swap spends two steps; prefer it only when it beats the single
+		// move even after accounting for the step a second move could use.
+		switch {
+		case bestA >= 0 && bestSwap > 1e-12 && (!haveMove || bestSwap > 2*bestMove.Gain):
+			if _, _, err := env.SwapStep(bestA, bestB); err != nil {
+				return fmt.Errorf("heuristics: SwapHA swap: %w", err)
+			}
+		case haveMove:
+			if _, _, err := env.Step(bestMove.VM, bestMove.PM); err != nil {
+				return fmt.Errorf("heuristics: SwapHA move: %w", err)
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}

@@ -1,0 +1,183 @@
+// Package mcts implements the search-based baseline of the paper's
+// evaluation: Monte-Carlo tree search with candidate pruning in the style of
+// DDTS (Zhu et al., CIKM'21). Traditional search needs many rollouts at
+// inference time to perform well, which is what makes it miss the paper's
+// five-second latency budget at scale.
+package mcts
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"vmr2l/internal/cluster"
+	"vmr2l/internal/sim"
+)
+
+// Solver is a receding-horizon UCT searcher: at every environment step it
+// searches from the current state, executes the most-visited root action,
+// and repeats.
+type Solver struct {
+	// Iterations is the UCT simulation budget per environment step.
+	Iterations int
+	// Width prunes each node's children to the top-Width candidates by
+	// immediate gain (the DDTS-style neural pruning is approximated by
+	// gain-ranked pruning; see DESIGN.md).
+	Width int
+	// RolloutDepth caps greedy rollout length (0 = until episode end).
+	RolloutDepth int
+	// C is the UCB exploration constant.
+	C float64
+	// Seed drives rollout tie-breaking.
+	Seed int64
+	// Deadline bounds total wall time across all steps (0 = unbounded).
+	Deadline time.Duration
+}
+
+// Name implements solver.Solver.
+func (s *Solver) Name() string { return fmt.Sprintf("MCTS(%d)", s.iterations()) }
+
+func (s *Solver) iterations() int {
+	if s.Iterations < 1 {
+		return 64
+	}
+	return s.Iterations
+}
+
+func (s *Solver) width() int {
+	if s.Width < 1 {
+		return 8
+	}
+	return s.Width
+}
+
+func (s *Solver) c() float64 {
+	if s.C <= 0 {
+		return 0.7
+	}
+	return s.C
+}
+
+type node struct {
+	action   sim.Action
+	children []*node
+	visits   int
+	total    float64 // cumulative return
+	expanded bool
+}
+
+func (n *node) ucb(parentVisits int, c float64) float64 {
+	if n.visits == 0 {
+		return math.Inf(1)
+	}
+	return n.total/float64(n.visits) + c*math.Sqrt(math.Log(float64(parentVisits))/float64(n.visits))
+}
+
+// greedyRollout plays the best immediate-gain action while one with positive
+// gain exists, up to depth moves, returning the cumulative gain.
+func greedyRollout(c *cluster.Cluster, obj sim.Objective, depth int) float64 {
+	total := 0.0
+	for d := 0; depth == 0 || d < depth; d++ {
+		acts := sim.TopActions(c, obj, 1)
+		if len(acts) == 0 || acts[0].Gain <= 1e-12 {
+			break
+		}
+		if err := c.Migrate(acts[0].VM, acts[0].PM, cluster.DefaultFragCores); err != nil {
+			break
+		}
+		total += acts[0].Gain
+	}
+	return total
+}
+
+// simulate runs one UCT iteration from the root state, returning the sampled
+// return. state is mutated and must be a scratch clone.
+func (s *Solver) simulate(root *node, state *cluster.Cluster, obj sim.Objective, depth int, rng *rand.Rand) float64 {
+	if depth == 0 {
+		return 0
+	}
+	if !root.expanded {
+		root.expanded = true
+		for _, a := range sim.TopActions(state, obj, s.width()) {
+			root.children = append(root.children, &node{action: a})
+		}
+	}
+	if len(root.children) == 0 {
+		return 0
+	}
+	// Selection.
+	best, bestScore := root.children[0], math.Inf(-1)
+	for _, ch := range root.children {
+		score := ch.ucb(root.visits+1, s.c())
+		if score > bestScore {
+			best, bestScore = ch, score
+		}
+	}
+	if err := state.Migrate(best.action.VM, best.action.PM, cluster.DefaultFragCores); err != nil {
+		// Stale candidate (should not happen on a fresh clone); treat as 0.
+		return 0
+	}
+	var ret float64
+	if best.visits == 0 {
+		// Expansion + rollout.
+		rd := s.RolloutDepth
+		if rd == 0 || rd > depth-1 {
+			rd = depth - 1
+		}
+		ret = best.action.Gain + greedyRollout(state, obj, rd)
+	} else {
+		ret = best.action.Gain + s.simulate(best, state, obj, depth-1, rng)
+	}
+	best.visits++
+	best.total += ret
+	root.visits++
+	return ret
+}
+
+// Run implements solver.Solver.
+func (s *Solver) Run(env *sim.Env) error {
+	rng := rand.New(rand.NewSource(s.Seed))
+	var deadline time.Time
+	if s.Deadline > 0 {
+		deadline = time.Now().Add(s.Deadline)
+	}
+	for !env.Done() {
+		remaining := env.MNL() - env.StepsTaken()
+		root := &node{}
+		for it := 0; it < s.iterations(); it++ {
+			if !deadline.IsZero() && time.Now().After(deadline) {
+				break
+			}
+			scratch := env.Cluster().Clone()
+			s.simulate(root, scratch, env.Objective(), remaining, rng)
+		}
+		if len(root.children) == 0 {
+			return nil
+		}
+		best := root.children[0]
+		for _, ch := range root.children {
+			if ch.visits > best.visits {
+				best = ch
+			}
+		}
+		// Stop when search believes no improvement remains.
+		if best.visits == 0 || (best.total/float64(max(best.visits, 1))) <= 1e-12 && best.action.Gain <= 1e-12 {
+			return nil
+		}
+		if _, _, err := env.Step(best.action.VM, best.action.PM); err != nil {
+			return fmt.Errorf("mcts: step: %w", err)
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return nil
+		}
+	}
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

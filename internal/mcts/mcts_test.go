@@ -1,0 +1,74 @@
+package mcts
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"vmr2l/internal/heuristics"
+	"vmr2l/internal/sim"
+	"vmr2l/internal/solver"
+	"vmr2l/internal/trace"
+)
+
+var _ solver.Solver = (*Solver)(nil)
+
+func TestMCTSImprovesWithinMNL(t *testing.T) {
+	c := trace.MustProfile("tiny").GenerateMapping(rand.New(rand.NewSource(1)))
+	res, err := solver.Evaluate(&Solver{Iterations: 48, Width: 6, Seed: 1}, c, sim.DefaultConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps > 8 {
+		t.Fatalf("MCTS exceeded MNL: %d", res.Steps)
+	}
+	if res.FinalFR > res.InitialFR+1e-9 {
+		t.Errorf("MCTS worsened FR: %v -> %v", res.InitialFR, res.FinalFR)
+	}
+}
+
+func TestMCTSAtLeastMatchesGreedyOnSmallMNL(t *testing.T) {
+	// Paper section 5.2: HA/MCTS are competitive on small MNLs. With enough
+	// iterations MCTS should be no worse than HA on average over seeds.
+	var haSum, mctsSum float64
+	const n = 3
+	for i := int64(0); i < n; i++ {
+		c := trace.MustProfile("tiny").GenerateMapping(rand.New(rand.NewSource(10 + i)))
+		h, err := solver.Evaluate(heuristics.HA{}, c, sim.DefaultConfig(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := solver.Evaluate(&Solver{Iterations: 80, Width: 8, Seed: i}, c, sim.DefaultConfig(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		haSum += h.FinalFR
+		mctsSum += m.FinalFR
+	}
+	if mctsSum > haSum+0.08*n {
+		t.Errorf("MCTS mean FR %.4f much worse than HA %.4f", mctsSum/n, haSum/n)
+	}
+}
+
+func TestMCTSDeadline(t *testing.T) {
+	c := trace.MustProfile("medium-small").GenerateMapping(rand.New(rand.NewSource(2)))
+	s := &Solver{Iterations: 1 << 20, Width: 8, Seed: 2, Deadline: 50 * time.Millisecond}
+	start := time.Now()
+	env := sim.New(c, sim.DefaultConfig(20))
+	if err := s.Run(env); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 3*time.Second {
+		t.Fatal("deadline ignored")
+	}
+}
+
+func TestMCTSDefaults(t *testing.T) {
+	s := &Solver{}
+	if s.iterations() != 64 || s.width() != 8 || s.c() != 0.7 {
+		t.Errorf("defaults wrong: %d %d %v", s.iterations(), s.width(), s.c())
+	}
+	if s.Name() != "MCTS(64)" {
+		t.Errorf("name = %q", s.Name())
+	}
+}

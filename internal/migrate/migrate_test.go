@@ -1,0 +1,97 @@
+package migrate
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"vmr2l/internal/heuristics"
+	"vmr2l/internal/sim"
+	"vmr2l/internal/solver"
+	"vmr2l/internal/trace"
+)
+
+func TestEstimateConvergesWhenBandwidthWins(t *testing.T) {
+	m := DefaultModel()
+	e := m.Estimate(32) // a 16xlarge-class VM
+	if !e.Converged {
+		t.Fatal("should converge at 15:1 bandwidth:dirty ratio")
+	}
+	if e.Rounds < 2 {
+		t.Fatalf("expected multiple pre-copy rounds, got %d", e.Rounds)
+	}
+	// First round alone copies 32 GB; total must exceed it.
+	if e.TotalCopiedMB <= 32*1024 {
+		t.Fatalf("total copied %v MB too small", e.TotalCopiedMB)
+	}
+	// Downtime is tiny relative to total duration (the live-migration win).
+	if e.Downtime > e.Duration/10 {
+		t.Fatalf("downtime %v not small vs duration %v", e.Downtime, e.Duration)
+	}
+	if e.Downtime <= 0 {
+		t.Fatal("downtime must be positive (final stop-copy)")
+	}
+}
+
+func TestEstimateGeometricSeries(t *testing.T) {
+	// With dirty/bandwidth ratio r, round k copies size*r^k; verify the
+	// second round is exactly ratio times the first.
+	m := Model{BandwidthMBps: 1000, DirtyRateMBps: 100, StopCopyMB: 1, MaxRounds: 50}
+	e := m.Estimate(1) // 1024 MB
+	if !e.Converged {
+		t.Fatal("must converge")
+	}
+	// Sum of geometric series: 1024 * (1/(1-0.1)) ≈ 1137.8 MB.
+	want := 1024.0 / (1 - 0.1)
+	if e.TotalCopiedMB < 1024 || e.TotalCopiedMB > want*1.01 {
+		t.Fatalf("total copied %v MB, want <= %v", e.TotalCopiedMB, want)
+	}
+}
+
+func TestEstimateNonConverging(t *testing.T) {
+	m := Model{BandwidthMBps: 100, DirtyRateMBps: 200, StopCopyMB: 16, MaxRounds: 10}
+	e := m.Estimate(4)
+	if e.Converged {
+		t.Fatal("dirtying faster than copying cannot converge")
+	}
+	if e.Downtime <= 0 {
+		t.Fatal("forced stop-copy must have downtime")
+	}
+}
+
+func TestEstimateEdgeCases(t *testing.T) {
+	m := DefaultModel()
+	if e := m.Estimate(0); e.Duration != 0 || !e.Converged {
+		t.Fatalf("zero memory should be free: %+v", e)
+	}
+	bad := Model{BandwidthMBps: 0}
+	if e := bad.Estimate(8); e.Duration != 0 {
+		t.Fatalf("zero bandwidth guarded: %+v", e)
+	}
+}
+
+func TestPlanCostAccumulates(t *testing.T) {
+	c := trace.MustProfile("tiny").GenerateFragmented(rand.New(rand.NewSource(1)), 0.1, 10)
+	res, err := solver.Evaluate(heuristics.HA{}, c, sim.DefaultConfig(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Plan) == 0 {
+		t.Skip("no migrations")
+	}
+	total, down, copied := PlanCost(c, res.Plan, DefaultModel())
+	if total <= 0 || copied <= 0 {
+		t.Fatalf("empty cost for %d migrations", len(res.Plan))
+	}
+	if down >= total {
+		t.Fatal("downtime cannot exceed total duration")
+	}
+	// Per-VM sanity: cost of the plan equals the sum of singles.
+	var sum time.Duration
+	for _, m := range res.Plan {
+		sum += DefaultModel().Estimate(c.VMs[m.VM].Mem).Duration
+	}
+	if sum != total {
+		t.Fatalf("PlanCost %v != summed %v", total, sum)
+	}
+}

@@ -1,0 +1,49 @@
+package nn
+
+import "math"
+
+// Adam is the Adam optimizer (Kingma & Ba) over a parameter registry, the
+// optimizer CleanRL's PPO uses.
+type Adam struct {
+	LR      float64
+	Beta1   float64
+	Beta2   float64
+	Eps     float64
+	params  *Params
+	m, v    [][]float64
+	t       int
+	ordered []string
+}
+
+// NewAdam builds an optimizer with the CleanRL defaults (lr as given,
+// betas 0.9/0.999, eps 1e-8).
+func NewAdam(p *Params, lr float64) *Adam {
+	a := &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, params: p, ordered: p.Names()}
+	for _, name := range a.ordered {
+		n := len(p.Get(name).Data)
+		a.m = append(a.m, make([]float64, n))
+		a.v = append(a.v, make([]float64, n))
+	}
+	return a
+}
+
+// Step applies one update from the accumulated gradients.
+func (a *Adam) Step() {
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for pi, name := range a.ordered {
+		if a.params.IsFrozen(name) {
+			continue
+		}
+		p := a.params.Get(name)
+		m, v := a.m[pi], a.v[pi]
+		for i, g := range p.Grad {
+			m[i] = a.Beta1*m[i] + (1-a.Beta1)*g
+			v[i] = a.Beta2*v[i] + (1-a.Beta2)*g*g
+			mhat := m[i] / bc1
+			vhat := v[i] / bc2
+			p.Data[i] -= a.LR * mhat / (math.Sqrt(vhat) + a.Eps)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// checkpoint is the on-disk format: named tensors with shapes. The format is
+// self-describing so checkpoints survive refactors that keep names stable.
+type checkpoint struct {
+	Version int
+	Rows    map[string]int
+	Cols    map[string]int
+	Data    map[string][]float64
+}
+
+// Save writes all parameters as a gob stream.
+func (p *Params) Save(w io.Writer) error {
+	ck := checkpoint{
+		Version: 1,
+		Rows:    map[string]int{},
+		Cols:    map[string]int{},
+		Data:    map[string][]float64{},
+	}
+	for _, name := range p.Names() {
+		t := p.Get(name)
+		ck.Rows[name] = t.Rows
+		ck.Cols[name] = t.Cols
+		ck.Data[name] = t.Data
+	}
+	return gob.NewEncoder(w).Encode(ck)
+}
+
+// Load restores parameter values from a gob stream written by Save. Every
+// registered parameter must be present with a matching shape.
+func (p *Params) Load(r io.Reader) error {
+	var ck checkpoint
+	if err := gob.NewDecoder(r).Decode(&ck); err != nil {
+		return fmt.Errorf("nn: decode checkpoint: %w", err)
+	}
+	for _, name := range p.Names() {
+		t := p.Get(name)
+		data, ok := ck.Data[name]
+		if !ok {
+			return fmt.Errorf("nn: checkpoint missing parameter %q", name)
+		}
+		if ck.Rows[name] != t.Rows || ck.Cols[name] != t.Cols || len(data) != len(t.Data) {
+			return fmt.Errorf("nn: checkpoint shape mismatch for %q: %dx%d vs %dx%d",
+				name, ck.Rows[name], ck.Cols[name], t.Rows, t.Cols)
+		}
+		copy(t.Data, data)
+	}
+	return nil
+}
+
+// SaveFile writes a checkpoint to path.
+func (p *Params) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := p.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile restores a checkpoint from path.
+func (p *Params) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return p.Load(f)
+}

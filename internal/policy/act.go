@@ -1,0 +1,292 @@
+package policy
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"vmr2l/internal/sim"
+	"vmr2l/internal/tensor"
+)
+
+// State is everything needed to re-evaluate a stored decision during PPO
+// updates: the observation, the masks that applied, and the action taken.
+type State struct {
+	Feat *sim.Features
+	// VMMask and PMMask are the stage-1/stage-2 masks in effect (nil when
+	// the action mode does not mask).
+	VMMask []bool
+	PMMask []bool
+	// JointMask is the M×N legality mask for FullMask mode.
+	JointMask []bool
+	// VM and PM are the chosen action.
+	VM int
+	PM int
+}
+
+// SampleOpts controls action selection at inference.
+type SampleOpts struct {
+	// Greedy takes the argmax instead of sampling.
+	Greedy bool
+	// VMQuantile / PMQuantile, when > 0, mask out candidates whose
+	// probability falls below that quantile of the stage's distribution —
+	// the paper's action thresholding (section 3.4).
+	VMQuantile float64
+	PMQuantile float64
+}
+
+// Decision is one sampled action plus the quantities PPO stores.
+type Decision struct {
+	State   *State
+	LogProb float64
+	Value   float64
+}
+
+func sampleRow(probs []float64, rng *rand.Rand, greedy bool) int {
+	if greedy {
+		best := 0
+		for i, p := range probs {
+			if p > probs[best] {
+				best = i
+			}
+		}
+		return best
+	}
+	r := rng.Float64()
+	acc := 0.0
+	for i, p := range probs {
+		acc += p
+		if r < acc {
+			return i
+		}
+	}
+	return len(probs) - 1
+}
+
+// quantileThreshold returns the q-th quantile of the probability vector
+// (paper section 3.4 computes thresholds over all candidate probabilities).
+func quantileThreshold(probs []float64, q float64) float64 {
+	if q <= 0 || len(probs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), probs...)
+	sort.Float64s(sorted)
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// applyThreshold zeroes entries below the quantile threshold and
+// renormalizes, respecting an optional legality mask.
+func applyThreshold(probs []float64, mask []bool, q float64) {
+	th := quantileThreshold(probs, q)
+	sum := 0.0
+	for i, p := range probs {
+		if p >= th && (mask == nil || mask[i]) {
+			sum += p
+		}
+	}
+	if sum == 0 {
+		return // degenerate: leave as-is (caller falls back to legal max)
+	}
+	for i, p := range probs {
+		if p >= th && (mask == nil || mask[i]) {
+			probs[i] = p / sum
+		} else {
+			probs[i] = 0
+		}
+	}
+}
+
+// Act selects an action for the environment's current state. It returns the
+// decision record used by PPO (state snapshot, log-prob, value).
+func (m *Model) Act(env *sim.Env, rng *rand.Rand, opts SampleOpts) (*Decision, error) {
+	feat := sim.Extract(env.Cluster())
+	out := m.forward(feat)
+	st := &State{Feat: feat}
+	dec := &Decision{State: st, Value: m.value(out).Scalar()}
+
+	switch m.Cfg.Action {
+	case FullMask:
+		mTotal := len(feat.VM)
+		nTotal := len(feat.PM)
+		st.JointMask = make([]bool, mTotal*nTotal)
+		vmMask := env.VMMask()
+		for vm := 0; vm < mTotal; vm++ {
+			if !vmMask[vm] {
+				continue
+			}
+			pmMask := env.PMMask(vm)
+			for pm := 0; pm < nTotal; pm++ {
+				st.JointMask[vm*nTotal+pm] = pmMask[pm]
+			}
+		}
+		logits := m.jointLogits(out, st.JointMask)
+		probs := tensor.Softmax(logits).Data
+		idx := sampleRow(probs, rng, opts.Greedy)
+		st.VM, st.PM = idx/nTotal, idx%nTotal
+		dec.LogProb = math.Log(probs[idx] + 1e-300)
+		return dec, nil
+
+	case Penalty:
+		// Unmasked two-stage sampling; illegal choices are possible and
+		// penalized by the caller via PenaltyStep.
+		vmProbs := tensor.Softmax(m.vmLogits(out, nil)).Data
+		st.VM = sampleRow(vmProbs, rng, opts.Greedy)
+		pmProbs := tensor.Softmax(m.pmLogits(out, st.VM, nil)).Data
+		st.PM = sampleRow(pmProbs, rng, opts.Greedy)
+		dec.LogProb = math.Log(vmProbs[st.VM]+1e-300) + math.Log(pmProbs[st.PM]+1e-300)
+		return dec, nil
+
+	default: // TwoStage
+		st.VMMask = env.VMMask()
+		if !anyTrue(st.VMMask) {
+			return nil, fmt.Errorf("policy: no migratable VM")
+		}
+		vmProbs := append([]float64(nil), tensor.Softmax(m.vmLogits(out, st.VMMask)).Data...)
+		if opts.VMQuantile > 0 {
+			applyThreshold(vmProbs, st.VMMask, opts.VMQuantile)
+		}
+		st.VM = sampleLegal(vmProbs, st.VMMask, rng, opts.Greedy)
+
+		pmMask := env.PMMask(st.VM)
+		st.PMMask = pmMask
+		pmProbs := append([]float64(nil), tensor.Softmax(m.pmLogits(out, st.VM, pmMask)).Data...)
+		if opts.PMQuantile > 0 {
+			applyThreshold(pmProbs, pmMask, opts.PMQuantile)
+		}
+		st.PM = sampleLegal(pmProbs, pmMask, rng, opts.Greedy)
+		dec.LogProb = math.Log(vmProbs[st.VM]+1e-300) + math.Log(pmProbs[st.PM]+1e-300)
+
+		if m.Cfg.PMSubset > 0 {
+			// Decima-style: resample the PM from a random legal subset,
+			// overriding the learned stage-2 choice.
+			st.PM = subsetPM(pmMask, m.Cfg.PMSubset, pmProbs, rng)
+		}
+		return dec, nil
+	}
+}
+
+// sampleLegal samples from probs but never returns an illegal index: if the
+// sampled index is illegal (possible only in degenerate distributions), it
+// falls back to the legal argmax.
+func sampleLegal(probs []float64, mask []bool, rng *rand.Rand, greedy bool) int {
+	idx := sampleRow(probs, rng, greedy)
+	if mask == nil || mask[idx] {
+		return idx
+	}
+	best := -1
+	for i, ok := range mask {
+		if ok && (best < 0 || probs[i] > probs[best]) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return idx
+	}
+	return best
+}
+
+// subsetPM picks the highest-probability PM within a random legal subset of
+// size k (Decima's random destination subsampling).
+func subsetPM(mask []bool, k int, probs []float64, rng *rand.Rand) int {
+	var legal []int
+	for pm, ok := range mask {
+		if ok {
+			legal = append(legal, pm)
+		}
+	}
+	if len(legal) == 0 {
+		return sampleRow(probs, rng, false)
+	}
+	rng.Shuffle(len(legal), func(i, j int) { legal[i], legal[j] = legal[j], legal[i] })
+	if len(legal) > k {
+		legal = legal[:k]
+	}
+	best := legal[0]
+	for _, pm := range legal {
+		if probs[pm] > probs[best] {
+			best = pm
+		}
+	}
+	return best
+}
+
+func anyTrue(mask []bool) bool {
+	for _, b := range mask {
+		if b {
+			return true
+		}
+	}
+	return false
+}
+
+// jointLogits builds the FullMask joint score matrix flattened to 1×(M·N):
+// pairwise compatibility between VM and PM embeddings.
+func (m *Model) jointLogits(out *forwardOut, mask []bool) *tensor.Tensor {
+	scores := tensor.MatMulT(out.vmE, out.pmE) // M×N
+	flat := tensor.Reshape(scores, 1, scores.Rows*scores.Cols)
+	if mask != nil {
+		flat = tensor.MaskedFill(flat, mask, -1e9)
+	}
+	return flat
+}
+
+// Evaluation holds the differentiable quantities PPO needs for one stored
+// step.
+type Evaluation struct {
+	LogProb *tensor.Tensor // 1×1
+	Value   *tensor.Tensor // 1×1
+	Entropy *tensor.Tensor // 1×1
+}
+
+// Evaluate recomputes log π(a|s), V(s) and the policy entropy for a stored
+// state, building the autodiff graph for the PPO update.
+func (m *Model) Evaluate(st *State) *Evaluation {
+	out := m.forward(st.Feat)
+	ev := &Evaluation{Value: m.value(out)}
+	switch m.Cfg.Action {
+	case FullMask:
+		n := len(st.Feat.PM)
+		logp := tensor.LogSoftmax(m.jointLogits(out, st.JointMask))
+		ev.LogProb = tensor.PickPerRow(logp, []int{st.VM*n + st.PM})
+		ev.Entropy = entropyOf(logp)
+	case Penalty:
+		vmLogp := tensor.LogSoftmax(m.vmLogits(out, nil))
+		pmLogp := tensor.LogSoftmax(m.pmLogits(out, st.VM, nil))
+		ev.LogProb = tensor.Add(
+			tensor.PickPerRow(vmLogp, []int{st.VM}),
+			tensor.PickPerRow(pmLogp, []int{st.PM}))
+		ev.Entropy = tensor.Add(entropyOf(vmLogp), entropyOf(pmLogp))
+	default:
+		vmLogp := tensor.LogSoftmax(m.vmLogits(out, st.VMMask))
+		pmLogp := tensor.LogSoftmax(m.pmLogits(out, st.VM, st.PMMask))
+		ev.LogProb = tensor.Add(
+			tensor.PickPerRow(vmLogp, []int{st.VM}),
+			tensor.PickPerRow(pmLogp, []int{st.PM}))
+		ev.Entropy = tensor.Add(entropyOf(vmLogp), entropyOf(pmLogp))
+	}
+	return ev
+}
+
+// entropyOf computes -Σ p·log p from a 1×n log-probability row.
+func entropyOf(logp *tensor.Tensor) *tensor.Tensor {
+	return tensor.Scale(tensor.Sum(tensor.Mul(tensor.Exp(logp), logp)), -1)
+}
+
+// Probabilities returns the stage-1 VM distribution and, for its argmax VM,
+// the stage-2 PM distribution — the data behind paper Fig. 11.
+func (m *Model) Probabilities(env *sim.Env) (vmProbs, pmProbs []float64) {
+	feat := sim.Extract(env.Cluster())
+	out := m.forward(feat)
+	vmMask := env.VMMask()
+	vmProbs = tensor.Softmax(m.vmLogits(out, vmMask)).Data
+	best := 0
+	for i, p := range vmProbs {
+		if p > vmProbs[best] {
+			best = i
+		}
+	}
+	pmProbs = tensor.Softmax(m.pmLogits(out, best, env.PMMask(best))).Data
+	return vmProbs, pmProbs
+}

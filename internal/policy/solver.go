@@ -1,0 +1,101 @@
+package policy
+
+import (
+	"fmt"
+	"math/rand"
+
+	"vmr2l/internal/exact"
+	"vmr2l/internal/sim"
+)
+
+// Agent wraps a trained model as a solver.Solver that rolls the policy out
+// on an environment. With Opts.Greedy it is the deterministic deployment
+// mode; with sampling it is one risk-seeking trajectory.
+type Agent struct {
+	Model *Model
+	Opts  SampleOpts
+	Seed  int64
+	// Label overrides the reported name (e.g. "Decima").
+	Label string
+	// EarlyStop ends the rollout when the chosen action has a negative
+	// immediate gain. The paper's agent always takes MNL steps (negative
+	// rewards can pay off later, section 5.8); this is a deployment
+	// convenience for lightly-trained models, off by default.
+	EarlyStop bool
+}
+
+// Name implements solver.Solver.
+func (a *Agent) Name() string {
+	if a.Label != "" {
+		return a.Label
+	}
+	return "VMR2L"
+}
+
+// Run implements solver.Solver.
+func (a *Agent) Run(env *sim.Env) error {
+	rng := rand.New(rand.NewSource(a.Seed))
+	for !env.Done() {
+		dec, err := a.Model.Act(env, rng, a.Opts)
+		if err != nil {
+			return nil // no migratable VM left: episode effectively over
+		}
+		if a.Model.Cfg.Action == Penalty {
+			if _, _, err := env.PenaltyStep(dec.State.VM, dec.State.PM, -5); err != nil {
+				return fmt.Errorf("policy: penalty step: %w", err)
+			}
+			continue
+		}
+		if a.EarlyStop {
+			if g, ok := sim.MoveGain(env.Cluster(), env.Objective(), dec.State.VM, dec.State.PM); ok && g < 0 {
+				return nil
+			}
+		}
+		if _, _, err := env.Step(dec.State.VM, dec.State.PM); err != nil {
+			return fmt.Errorf("policy: step: %w", err)
+		}
+	}
+	return nil
+}
+
+// NeuPlan is the hybrid baseline (Zhu et al., SIGCOMM'21; paper section
+// 5.1): the RL agent emits the first moves to prune the search space, then
+// an exact solver finishes the remaining budget. Beta is the paper's relax
+// factor: the number of trailing migrations left to the solver.
+type NeuPlan struct {
+	Model *Model
+	Beta  int
+	Inner exact.Solver
+	Seed  int64
+}
+
+// Name implements solver.Solver.
+func (n *NeuPlan) Name() string { return fmt.Sprintf("NeuPlan(b=%d)", n.Beta) }
+
+// Run implements solver.Solver.
+func (n *NeuPlan) Run(env *sim.Env) error {
+	rng := rand.New(rand.NewSource(n.Seed))
+	rlSteps := env.MNL() - n.Beta
+	for env.StepsTaken() < rlSteps && !env.Done() {
+		dec, err := n.Model.Act(env, rng, SampleOpts{Greedy: true})
+		if err != nil {
+			break
+		}
+		if _, _, err := env.Step(dec.State.VM, dec.State.PM); err != nil {
+			return fmt.Errorf("policy: neuplan rl step: %w", err)
+		}
+	}
+	if env.Done() {
+		return nil
+	}
+	plan := n.Inner.Search(env.Cluster(), env.Objective(), env.MNL()-env.StepsTaken())
+	for _, a := range plan {
+		if env.Done() {
+			break
+		}
+		if _, _, err := env.Step(a.VM, a.PM); err != nil {
+			return fmt.Errorf("policy: neuplan exact step: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,158 @@
+// Package sched implements the VM scheduling (VMS) half of the paper's
+// control plane: the latency-critical best-fit placement that handles new VM
+// requests throughout the day (paper section 1), plus the diurnal
+// arrival/exit stream of Fig. 1 used to replay dynamic cluster state while a
+// rescheduling solution is being computed (Fig. 5).
+package sched
+
+import (
+	"math"
+	"math/rand"
+
+	"vmr2l/internal/cluster"
+)
+
+// BestFit places VM id using ByteDance's production VMS rule: among PMs that
+// can host the VM, choose the one with the largest drop in 16-core fragment
+// from adding it (paper section 1). Returns the chosen PM or -1 if none fits.
+func BestFit(c *cluster.Cluster, id int) int {
+	bestPM, bestNuma, bestScore := -1, -1, math.MinInt
+	for pm := range c.PMs {
+		numa := c.BestNuma(id, pm, cluster.DefaultFragCores)
+		if numa < 0 {
+			continue
+		}
+		if c.AntiAffinity && !canHostUnplaced(c, id, pm) {
+			continue
+		}
+		before := c.PMs[pm].Fragment(cluster.DefaultFragCores)
+		if err := c.Place(id, pm, numa); err != nil {
+			continue
+		}
+		after := c.PMs[pm].Fragment(cluster.DefaultFragCores)
+		if err := c.Remove(id); err != nil {
+			panic(err)
+		}
+		if score := before - after; score > bestScore {
+			bestPM, bestNuma, bestScore = pm, numa, score
+		}
+	}
+	if bestPM < 0 {
+		return -1
+	}
+	if err := c.Place(id, bestPM, bestNuma); err != nil {
+		return -1
+	}
+	return bestPM
+}
+
+// canHostUnplaced mirrors Cluster.CanHost for a VM that is not yet placed
+// (CanHost's "not the current PM" check is vacuous there, but the affinity
+// check is not exported separately).
+func canHostUnplaced(c *cluster.Cluster, id, pm int) bool {
+	v := c.VMs[id]
+	if v.Service < 0 {
+		return true
+	}
+	for _, other := range c.PMs[pm].VMs {
+		if c.VMs[other].Service == v.Service {
+			return false
+		}
+	}
+	return true
+}
+
+// Event is one VM arrival or exit in a replayed stream.
+type Event struct {
+	Minute int
+	// Arrive is true for a new VM request, false for an exit.
+	Arrive bool
+	// Type is the flavor of an arriving VM.
+	Type cluster.VMType
+	// VM is the exiting VM id (index into the cluster's VM slice); only
+	// meaningful for exits and resolved against live VMs at replay time.
+	VM int
+}
+
+// DiurnalRate returns the expected VM changes per minute at the given minute
+// of day, reproducing the shape of paper Fig. 1: a midday peak (deploy hours)
+// and an early-morning trough where VMR runs. peak scales the curve.
+func DiurnalRate(minute int, peak float64) float64 {
+	// Cosine day-cycle with trough at 04:00 and peak at 16:00.
+	phase := 2 * math.Pi * (float64(minute)/1440.0 - 4.0/24.0)
+	base := 0.55 - 0.45*math.Cos(phase)
+	return peak * base
+}
+
+// Stream generates minutes' worth of arrival/exit events against the mix of
+// the given profile-like type weights. The arrival and exit rates follow the
+// same diurnal curve (steady-state population), with Poisson-like counts.
+func Stream(rng *rand.Rand, minutes int, peak float64, mix []cluster.VMType) []Event {
+	var events []Event
+	for m := 0; m < minutes; m++ {
+		rate := DiurnalRate(m, peak)
+		n := poisson(rng, rate)
+		for i := 0; i < n; i++ {
+			if rng.Float64() < 0.5 {
+				events = append(events, Event{Minute: m, Arrive: true, Type: mix[rng.Intn(len(mix))]})
+			} else {
+				events = append(events, Event{Minute: m, Arrive: false, VM: rng.Int()})
+			}
+		}
+	}
+	return events
+}
+
+func poisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	l := math.Exp(-lambda)
+	k, p := 0, 1.0
+	for p > l {
+		k++
+		p *= rng.Float64()
+	}
+	return k - 1
+}
+
+// Replay applies events to the cluster: arrivals are placed by BestFit (and
+// dropped when no PM fits), exits remove a uniformly random placed VM. It
+// mutates c in place and returns counts of applied arrivals and exits.
+func Replay(c *cluster.Cluster, events []Event, rng *rand.Rand) (arrivals, exits int) {
+	for _, ev := range events {
+		if ev.Arrive {
+			id := c.AddVM(ev.Type)
+			if BestFit(c, id) >= 0 {
+				arrivals++
+			}
+		} else {
+			var placed []int
+			for i := range c.VMs {
+				if c.VMs[i].Placed() {
+					placed = append(placed, i)
+				}
+			}
+			if len(placed) == 0 {
+				continue
+			}
+			id := placed[rng.Intn(len(placed))]
+			if err := c.Remove(id); err == nil {
+				exits++
+			}
+		}
+	}
+	return arrivals, exits
+}
+
+// PerMinuteCounts aggregates a stream into changes-per-minute, the series
+// plotted in paper Fig. 1.
+func PerMinuteCounts(events []Event, minutes int) []int {
+	counts := make([]int, minutes)
+	for _, ev := range events {
+		if ev.Minute >= 0 && ev.Minute < minutes {
+			counts[ev.Minute]++
+		}
+	}
+	return counts
+}

@@ -1,0 +1,181 @@
+// Package service exposes the rescheduler as an HTTP API — the "central
+// server" role of the paper's control plane (section 1): clients submit the
+// current VM-PM mapping and receive a migration plan within the latency
+// budget. Solvers are pluggable so the same endpoint can serve the
+// heuristic, the exact solver, or a trained VMR2L checkpoint.
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	"vmr2l/internal/sim"
+	"vmr2l/internal/solver"
+	"vmr2l/internal/trace"
+)
+
+// PlanRequest is the body of POST /v1/reschedule. The mapping uses the
+// dataset JSON schema of internal/trace.
+type PlanRequest struct {
+	// MNL is the migration number limit; required, > 0.
+	MNL int `json:"mnl"`
+	// Solver selects the engine; empty means the server default.
+	Solver string `json:"solver,omitempty"`
+	// Objective: "fr16" (default), "mixed-vm:<lambda>", "mixed-mem:<lambda>".
+	Objective string `json:"objective,omitempty"`
+	// Mapping is the cluster snapshot (trace JSON schema).
+	Mapping json.RawMessage `json:"mapping"`
+}
+
+// PlanMigration is one step of the returned plan.
+type PlanMigration struct {
+	VM     int  `json:"vm"`
+	FromPM int  `json:"from_pm"`
+	ToPM   int  `json:"to_pm"`
+	Swap   bool `json:"swap,omitempty"`
+}
+
+// PlanResponse is the body returned by POST /v1/reschedule.
+type PlanResponse struct {
+	Solver    string          `json:"solver"`
+	InitialFR float64         `json:"initial_fr"`
+	FinalFR   float64         `json:"final_fr"`
+	Steps     int             `json:"steps"`
+	ElapsedMS float64         `json:"elapsed_ms"`
+	Plan      []PlanMigration `json:"plan"`
+}
+
+// Server routes rescheduling requests to registered solvers.
+type Server struct {
+	mux      *http.ServeMux
+	solvers  map[string]solver.Solver
+	fallback string
+	// Timeout bounds one solve; zero means the paper's five-second limit.
+	Timeout time.Duration
+}
+
+// New builds a server. The first registered solver is the default engine.
+func New() *Server {
+	s := &Server{mux: http.NewServeMux(), solvers: map[string]solver.Solver{}}
+	s.mux.HandleFunc("/v1/reschedule", s.handleReschedule)
+	s.mux.HandleFunc("/v1/solvers", s.handleSolvers)
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return s
+}
+
+// Register adds a solver under name; the first registration becomes the
+// default engine.
+func (s *Server) Register(name string, sv solver.Solver) {
+	if s.fallback == "" {
+		s.fallback = name
+	}
+	s.solvers[name] = sv
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSolvers(w http.ResponseWriter, r *http.Request) {
+	names := make([]string, 0, len(s.solvers))
+	for n := range s.solvers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{"solvers": names, "default": s.fallback})
+}
+
+// parseObjective understands "fr16", "mixed-vm:<l>", "mixed-mem:<l>".
+func parseObjective(spec string) (sim.Objective, error) {
+	if spec == "" || spec == "fr16" {
+		return sim.FR16(), nil
+	}
+	var lambda float64
+	switch {
+	case len(spec) > 9 && spec[:9] == "mixed-vm:":
+		if _, err := fmt.Sscanf(spec[9:], "%f", &lambda); err == nil && lambda >= 0 && lambda <= 1 {
+			return sim.MixedVMType(lambda), nil
+		}
+	case len(spec) > 10 && spec[:10] == "mixed-mem:":
+		if _, err := fmt.Sscanf(spec[10:], "%f", &lambda); err == nil && lambda >= 0 && lambda <= 1 {
+			return sim.MixedResource(lambda), nil
+		}
+	}
+	return sim.Objective{}, fmt.Errorf("unknown objective %q", spec)
+}
+
+func (s *Server) handleReschedule(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req PlanRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	if req.MNL <= 0 {
+		httpError(w, http.StatusBadRequest, "mnl must be positive")
+		return
+	}
+	name := req.Solver
+	if name == "" {
+		name = s.fallback
+	}
+	sv, ok := s.solvers[name]
+	if !ok {
+		httpError(w, http.StatusBadRequest, "unknown solver %q", name)
+		return
+	}
+	obj, err := parseObjective(req.Objective)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	c, err := trace.ReadMapping(newBytesReader(req.Mapping))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "invalid mapping: %v", err)
+		return
+	}
+	res, err := solver.Evaluate(sv, c, sim.Config{MNL: req.MNL, Obj: obj})
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "solver failed: %v", err)
+		return
+	}
+	timeout := s.Timeout
+	if timeout == 0 {
+		timeout = solver.FiveSecondLimit
+	}
+	if res.Elapsed > timeout {
+		// The plan is stale by the paper's own latency argument; report it
+		// but flag the overrun so operators can pick a faster engine.
+		w.Header().Set("X-Latency-Budget-Exceeded", res.Elapsed.String())
+	}
+	resp := PlanResponse{
+		Solver:    res.Solver,
+		InitialFR: res.InitialFR,
+		FinalFR:   res.FinalFR,
+		Steps:     res.Steps,
+		ElapsedMS: float64(res.Elapsed.Microseconds()) / 1000,
+	}
+	for _, m := range res.Plan {
+		resp.Plan = append(resp.Plan, PlanMigration{VM: m.VM, FromPM: m.FromPM, ToPM: m.ToPM, Swap: m.Swap})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// newBytesReader adapts raw JSON to the io.Reader ReadMapping expects.
+func newBytesReader(b []byte) *bytes.Reader { return bytes.NewReader(b) }

@@ -1,0 +1,162 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"vmr2l/internal/cluster"
+	"vmr2l/internal/heuristics"
+	"vmr2l/internal/sim"
+	"vmr2l/internal/trace"
+)
+
+func testServer(t *testing.T) *Server {
+	t.Helper()
+	s := New()
+	s.Register("ha", heuristics.HA{})
+	s.Register("swap-ha", heuristics.SwapHA{TopK: 6})
+	return s
+}
+
+func mappingJSON(t *testing.T, seed int64) ([]byte, *cluster.Cluster) {
+	t.Helper()
+	c := trace.MustProfile("tiny").GenerateFragmented(rand.New(rand.NewSource(seed)), 0.12, 10)
+	var buf bytes.Buffer
+	if err := trace.WriteMapping(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), c
+}
+
+func postPlan(t *testing.T, s *Server, req PlanRequest) (*httptest.ResponseRecorder, *PlanResponse) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := httptest.NewRequest(http.MethodPost, "/v1/reschedule", bytes.NewReader(body))
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, r)
+	if w.Code != http.StatusOK {
+		return w, nil
+	}
+	var resp PlanResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	return w, &resp
+}
+
+func TestRescheduleEndToEnd(t *testing.T) {
+	s := testServer(t)
+	mapping, c := mappingJSON(t, 1)
+	w, resp := postPlan(t, s, PlanRequest{MNL: 6, Mapping: mapping})
+	if resp == nil {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	if resp.Solver != "HA" {
+		t.Errorf("default solver %q", resp.Solver)
+	}
+	if resp.FinalFR > resp.InitialFR {
+		t.Errorf("plan worsened FR: %v -> %v", resp.InitialFR, resp.FinalFR)
+	}
+	// Replaying the returned plan on the original mapping reaches FinalFR.
+	replay := c.Clone()
+	var plan []sim.Migration
+	for _, m := range resp.Plan {
+		plan = append(plan, sim.Migration{VM: m.VM, FromPM: m.FromPM, ToPM: m.ToPM, Swap: m.Swap})
+	}
+	if _, skipped := sim.ApplyPlan(replay, plan); skipped != 0 {
+		t.Fatalf("replay skipped %d migrations", skipped)
+	}
+	if got := replay.FragRate(16); got != resp.FinalFR {
+		t.Errorf("replayed FR %v != reported %v", got, resp.FinalFR)
+	}
+}
+
+func TestRescheduleSolverSelectionAndObjective(t *testing.T) {
+	s := testServer(t)
+	mapping, _ := mappingJSON(t, 2)
+	w, resp := postPlan(t, s, PlanRequest{MNL: 4, Solver: "swap-ha", Objective: "mixed-mem:0.5", Mapping: mapping})
+	if resp == nil {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	if resp.Solver != "SwapHA(6)" {
+		t.Errorf("solver %q", resp.Solver)
+	}
+}
+
+func TestRescheduleValidation(t *testing.T) {
+	s := testServer(t)
+	mapping, _ := mappingJSON(t, 3)
+	cases := []struct {
+		name string
+		req  PlanRequest
+		code int
+	}{
+		{"zero mnl", PlanRequest{MNL: 0, Mapping: mapping}, http.StatusBadRequest},
+		{"unknown solver", PlanRequest{MNL: 3, Solver: "nope", Mapping: mapping}, http.StatusBadRequest},
+		{"bad objective", PlanRequest{MNL: 3, Objective: "wat", Mapping: mapping}, http.StatusBadRequest},
+		{"bad mapping", PlanRequest{MNL: 3, Mapping: []byte(`{"pms": 5}`)}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		w, _ := postPlan(t, s, tc.req)
+		if w.Code != tc.code {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, w.Code, tc.code, w.Body.String())
+		}
+	}
+	// Wrong method.
+	r := httptest.NewRequest(http.MethodGet, "/v1/reschedule", nil)
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, r)
+	if w.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET status %d", w.Code)
+	}
+	// Malformed body.
+	r = httptest.NewRequest(http.MethodPost, "/v1/reschedule", bytes.NewBufferString("{nope"))
+	w = httptest.NewRecorder()
+	s.ServeHTTP(w, r)
+	if w.Code != http.StatusBadRequest {
+		t.Errorf("malformed body status %d", w.Code)
+	}
+}
+
+func TestSolversAndHealth(t *testing.T) {
+	s := testServer(t)
+	r := httptest.NewRequest(http.MethodGet, "/v1/solvers", nil)
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, r)
+	var got struct {
+		Solvers []string `json:"solvers"`
+		Default string   `json:"default"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Solvers) != 2 || got.Default != "ha" {
+		t.Errorf("solvers = %+v", got)
+	}
+	r = httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	w = httptest.NewRecorder()
+	s.ServeHTTP(w, r)
+	if w.Code != http.StatusOK {
+		t.Errorf("healthz status %d", w.Code)
+	}
+}
+
+func TestParseObjective(t *testing.T) {
+	for _, spec := range []string{"", "fr16", "mixed-vm:0.5", "mixed-mem:1"} {
+		if _, err := parseObjective(spec); err != nil {
+			t.Errorf("parseObjective(%q): %v", spec, err)
+		}
+	}
+	for _, spec := range []string{"x", "mixed-vm:2", "mixed-mem:-1", "mixed-vm:"} {
+		if _, err := parseObjective(spec); err == nil {
+			t.Errorf("parseObjective(%q) accepted", spec)
+		}
+	}
+}

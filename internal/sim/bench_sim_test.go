@@ -1,0 +1,60 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"vmr2l/internal/trace"
+)
+
+func benchEnv(b *testing.B) *Env {
+	b.Helper()
+	c := trace.MustProfile("medium-small").GenerateMapping(rand.New(rand.NewSource(1)))
+	return New(c, DefaultConfig(50))
+}
+
+func BenchmarkExtractFeatures(b *testing.B) {
+	e := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Extract(e.Cluster())
+	}
+}
+
+func BenchmarkTopActions(b *testing.B) {
+	e := benchEnv(b)
+	obj := FR16()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = TopActions(e.Cluster(), obj, 16)
+	}
+}
+
+func BenchmarkStepAndFork(b *testing.B) {
+	e := benchEnv(b)
+	acts := TopActions(e.Cluster(), FR16(), 1)
+	if len(acts) == 0 {
+		b.Skip("no action")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := e.Fork()
+		if _, _, err := f.Step(acts[0].VM, acts[0].PM); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVMMaskPMMask(b *testing.B) {
+	e := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mask := e.VMMask()
+		for vm, ok := range mask {
+			if ok {
+				_ = e.PMMask(vm)
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package sim
+
+import "vmr2l/internal/cluster"
+
+// Feature dimensions of the paper's state representation (section 3.1):
+// four features for each of the two NUMAs of a PM, and 14 VM features
+// (per-NUMA requested cpu/mem, per-NUMA fragment deltas, plus the source
+// PM's eight features).
+const (
+	PMFeatDim = 4 * cluster.NumasPerPM
+	VMFeatDim = 4 + 2 + PMFeatDim
+)
+
+// Features is the neural-network input for one state: one row per PM and one
+// row per VM, plus the tree structure (which VMs live on which PM) consumed
+// by the sparse local-attention stage.
+type Features struct {
+	PM [][]float64 // len(PMs) x PMFeatDim, min-max normalized
+	VM [][]float64 // len(VMs) x VMFeatDim, min-max normalized
+	// HostPM[v] is the PM currently hosting VM v, or -1.
+	HostPM []int
+}
+
+// pmRaw fills an 8-feature row for one PM: per NUMA, free CPU, free memory,
+// 16-core fragment, and fragment share of free CPU.
+func pmRaw(p *cluster.PM, row []float64) {
+	for j := 0; j < cluster.NumasPerPM; j++ {
+		n := &p.Numas[j]
+		free := n.FreeCPU()
+		frag := n.Fragment(cluster.DefaultFragCores)
+		share := 0.0
+		if free > 0 {
+			share = float64(frag) / float64(free)
+		}
+		row[4*j+0] = float64(free)
+		row[4*j+1] = float64(n.FreeMem())
+		row[4*j+2] = float64(frag)
+		row[4*j+3] = share
+	}
+}
+
+// Extract builds the state features for the current cluster of the
+// environment. Each feature dimension is min-max normalized across machines
+// (paper section 3.1); constant dimensions become zero.
+func Extract(c *cluster.Cluster) *Features {
+	f := &Features{
+		PM:     make([][]float64, len(c.PMs)),
+		VM:     make([][]float64, len(c.VMs)),
+		HostPM: make([]int, len(c.VMs)),
+	}
+	for i := range c.PMs {
+		f.PM[i] = make([]float64, PMFeatDim)
+		pmRaw(&c.PMs[i], f.PM[i])
+	}
+	for v := range c.VMs {
+		vm := &c.VMs[v]
+		row := make([]float64, VMFeatDim)
+		f.VM[v] = row
+		f.HostPM[v] = vm.PM
+		// Requested cpu/mem per NUMA; zeros pad the unused NUMA slot of
+		// single-NUMA VMs (paper section 3.1).
+		row[0] = float64(vm.CPUPerNuma())
+		row[1] = float64(vm.MemPerNuma())
+		if vm.Numas == 2 {
+			row[2] = float64(vm.CPUPerNuma())
+			row[3] = float64(vm.MemPerNuma())
+		}
+		if vm.Placed() {
+			p := &c.PMs[vm.PM]
+			// Fragment delta on each source NUMA if this VM were removed.
+			for j := 0; j < cluster.NumasPerPM; j++ {
+				n := p.Numas[j]
+				occupies := vm.Numas == 2 || vm.Numa == j
+				if !occupies {
+					continue
+				}
+				before := n.Fragment(cluster.DefaultFragCores)
+				after := (n.FreeCPU() + vm.CPUPerNuma()) % cluster.DefaultFragCores
+				row[4+j] = float64(after - before)
+			}
+			pmRaw(p, row[6:])
+		}
+	}
+	normalize(f.PM)
+	normalize(f.VM)
+	return f
+}
+
+// normalize applies per-column min-max scaling in place.
+func normalize(rows [][]float64) {
+	if len(rows) == 0 {
+		return
+	}
+	dim := len(rows[0])
+	for col := 0; col < dim; col++ {
+		lo, hi := rows[0][col], rows[0][col]
+		for _, r := range rows {
+			if r[col] < lo {
+				lo = r[col]
+			}
+			if r[col] > hi {
+				hi = r[col]
+			}
+		}
+		span := hi - lo
+		for _, r := range rows {
+			if span == 0 {
+				r[col] = 0
+			} else {
+				r[col] = (r[col] - lo) / span
+			}
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package sim
+
+import (
+	"sort"
+
+	"vmr2l/internal/cluster"
+)
+
+// PMScore returns the weighted, rescaled fragment size of one PM under the
+// objective — S_i of paper Eq. 8, generalized to multi-term objectives.
+func (o Objective) PMScore(p *cluster.PM) float64 { return o.pmScore(p) }
+
+// termFrag computes one objective term's rescaled fragment score for a
+// NUMA with the given free CPU and memory.
+func termFrag(t Term, freeCPU, freeMem int) float64 {
+	c := float64(4 * t.Chunk)
+	switch t.Res {
+	case CPU:
+		return t.Weight * float64(freeCPU%t.Chunk) / c
+	case Mem:
+		return t.Weight * float64(freeMem%t.Chunk) / c
+	}
+	return 0
+}
+
+// RemovalGain returns the drop in the source PM's score if vm were removed
+// (positive is good) — the quantity HA's filtering stage ranks VMs by. The
+// second result is false for unplaced VMs.
+func RemovalGain(c *cluster.Cluster, o Objective, vm int) (float64, bool) {
+	if vm < 0 || vm >= len(c.VMs) || !c.VMs[vm].Placed() {
+		return 0, false
+	}
+	v := &c.VMs[vm]
+	p := &c.PMs[v.PM]
+	gain := 0.0
+	for j := 0; j < cluster.NumasPerPM; j++ {
+		if v.Numas == 1 && v.Numa != j {
+			continue
+		}
+		n := &p.Numas[j]
+		for _, t := range o.Terms {
+			before := termFrag(t, n.FreeCPU(), n.FreeMem())
+			after := termFrag(t, n.FreeCPU()+v.CPUPerNuma(), n.FreeMem()+v.MemPerNuma())
+			gain += before - after
+		}
+	}
+	return gain, true
+}
+
+// InsertGain returns the drop in PM pm's score if vm were added to it, using
+// the same destination-NUMA rule as Cluster.Migrate. The second result is
+// false when the VM cannot be hosted (capacity, affinity, or same PM).
+func InsertGain(c *cluster.Cluster, o Objective, vm, pm int) (float64, bool) {
+	if !c.CanHost(vm, pm) {
+		return 0, false
+	}
+	v := &c.VMs[vm]
+	numa := c.BestNuma(vm, pm, cluster.DefaultFragCores)
+	if numa < 0 {
+		return 0, false
+	}
+	p := &c.PMs[pm]
+	gain := 0.0
+	for j := 0; j < cluster.NumasPerPM; j++ {
+		if v.Numas == 1 && numa != j {
+			continue
+		}
+		n := &p.Numas[j]
+		for _, t := range o.Terms {
+			before := termFrag(t, n.FreeCPU(), n.FreeMem())
+			after := termFrag(t, n.FreeCPU()-v.CPUPerNuma(), n.FreeMem()-v.MemPerNuma())
+			gain += before - after
+		}
+	}
+	return gain, true
+}
+
+// MoveGain returns the Eq. 9 reward of migrating vm to pm without mutating
+// the cluster: RemovalGain on the source plus InsertGain on the destination.
+// ok is false when the move is illegal.
+func MoveGain(c *cluster.Cluster, o Objective, vm, pm int) (float64, bool) {
+	rg, ok := RemovalGain(c, o, vm)
+	if !ok {
+		return 0, false
+	}
+	ig, ok := InsertGain(c, o, vm, pm)
+	if !ok {
+		return 0, false
+	}
+	return rg + ig, true
+}
+
+// Action is a candidate (VM, PM) migration with its immediate gain.
+type Action struct {
+	VM   int
+	PM   int
+	Gain float64
+}
+
+// TopActions enumerates legal migrations sorted by descending immediate
+// gain, keeping at most k (k <= 0 means all). This is the candidate pruning
+// shared by the heuristic, search, and exact solvers.
+func TopActions(c *cluster.Cluster, o Objective, k int) []Action {
+	var acts []Action
+	for vm := range c.VMs {
+		rg, ok := RemovalGain(c, o, vm)
+		if !ok {
+			continue
+		}
+		for pm := range c.PMs {
+			ig, ok := InsertGain(c, o, vm, pm)
+			if !ok {
+				continue
+			}
+			acts = append(acts, Action{VM: vm, PM: pm, Gain: rg + ig})
+		}
+	}
+	sortActions(acts)
+	if k > 0 && len(acts) > k {
+		acts = acts[:k]
+	}
+	return acts
+}
+
+// sortActions sorts by descending gain with (VM, PM) tie-breaks so solver
+// behaviour is deterministic across runs.
+func sortActions(acts []Action) {
+	// Small-n insertion-friendly sort via stdlib.
+	sortSlice(acts, func(a, b Action) bool {
+		if a.Gain != b.Gain {
+			return a.Gain > b.Gain
+		}
+		if a.VM != b.VM {
+			return a.VM < b.VM
+		}
+		return a.PM < b.PM
+	})
+}
+
+// sortSlice is sort.Slice specialized to Action to keep call sites tidy.
+func sortSlice(acts []Action, less func(a, b Action) bool) {
+	sort.Slice(acts, func(i, j int) bool { return less(acts[i], acts[j]) })
+}

@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestMoveGainMatchesStepReward: the analytic gain used by every heuristic
+// and search solver must agree exactly with the simulator's reward.
+func TestMoveGainMatchesStepReward(t *testing.T) {
+	objectives := map[string]Objective{
+		"fr16":       FR16(),
+		"mixed-vm":   MixedVMType(0.4),
+		"mixed-mem":  MixedResource(0.6),
+		"pure-fr64":  MixedVMType(1),
+		"pure-mem64": MixedResource(1),
+	}
+	for name, obj := range objectives {
+		obj := obj
+		f := func(seed int64) bool {
+			c := tinyMapping(seed)
+			e := New(c, Config{MNL: 50, Obj: obj})
+			rng := rand.New(rand.NewSource(seed ^ 0x5a5a))
+			for step := 0; step < 8 && !e.Done(); step++ {
+				acts := TopActions(e.Cluster(), obj, 0)
+				if len(acts) == 0 {
+					break
+				}
+				a := acts[rng.Intn(len(acts))]
+				want := a.Gain
+				got, _, err := e.Step(a.VM, a.PM)
+				if err != nil {
+					t.Logf("%s: step failed: %v", name, err)
+					return false
+				}
+				if math.Abs(got-want) > 1e-9 {
+					t.Logf("%s: reward %v != analytic gain %v (vm %d pm %d)", name, got, want, a.VM, a.PM)
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestTopActionsSortedAndLegal(t *testing.T) {
+	c := tinyMapping(21)
+	obj := FR16()
+	acts := TopActions(c, obj, 0)
+	for i, a := range acts {
+		if !c.CanHost(a.VM, a.PM) {
+			t.Fatalf("illegal action in TopActions: %+v", a)
+		}
+		if i > 0 && acts[i-1].Gain < a.Gain {
+			t.Fatal("actions not sorted by gain")
+		}
+	}
+	k := 5
+	top := TopActions(c, obj, k)
+	if len(acts) >= k && len(top) != k {
+		t.Fatalf("k-limit ignored: %d", len(top))
+	}
+	if len(top) > 0 && len(acts) > 0 && top[0] != acts[0] {
+		t.Fatal("top-k disagrees with full enumeration")
+	}
+}
+
+func TestRemovalInsertGainIllegalCases(t *testing.T) {
+	c := tinyMapping(22)
+	obj := FR16()
+	if _, ok := RemovalGain(c, obj, -1); ok {
+		t.Error("negative vm accepted")
+	}
+	if _, ok := RemovalGain(c, obj, len(c.VMs)); ok {
+		t.Error("out-of-range vm accepted")
+	}
+	// Insert onto the VM's own PM is illegal.
+	if _, ok := InsertGain(c, obj, 0, c.VMs[0].PM); ok {
+		t.Error("insert onto own PM accepted")
+	}
+	if _, ok := MoveGain(c, obj, 0, c.VMs[0].PM); ok {
+		t.Error("move onto own PM accepted")
+	}
+}

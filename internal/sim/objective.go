@@ -1,0 +1,87 @@
+// Package sim provides the Gym-style VM rescheduling environment of VMR2L:
+// an episode is one VMR request of MNL migration steps; actions are (VM, PM)
+// tuples; rewards are the dense fragment deltas of paper Eq. 8-9, with
+// variants for the FR-goal objective (Eq. 10-11) and the mixed objectives of
+// Eq. 12. The environment is deterministic: given a state and an action the
+// next state is exact, which is what enables offline training and the
+// risk-seeking evaluation pipeline.
+package sim
+
+import "vmr2l/internal/cluster"
+
+// Resource selects which resource a fragment term measures.
+type Resource int
+
+// Resources understood by objective terms.
+const (
+	CPU Resource = iota
+	Mem
+)
+
+// Term is one weighted fragment-rate component of an objective.
+type Term struct {
+	Res    Resource
+	Chunk  int // fragment granularity: X cores or X GB
+	Weight float64
+}
+
+// Objective is a convex combination of fragment rates (paper Eq. 12).
+// The default, FR16, is the single-term 16-core CPU fragment rate.
+type Objective struct {
+	Terms []Term
+}
+
+// FR16 returns the paper's primary objective: 16-core CPU fragment rate.
+func FR16() Objective {
+	return Objective{Terms: []Term{{Res: CPU, Chunk: cluster.DefaultFragCores, Weight: 1}}}
+}
+
+// MixedVMType returns Obj_λ = λ·FR64 + (1-λ)·FR16 (paper section 5.5.2,
+// Table 3): optimizing for 16xlarge VMs in addition to 4xlarge.
+func MixedVMType(lambda float64) Objective {
+	return Objective{Terms: []Term{
+		{Res: CPU, Chunk: 16, Weight: 1 - lambda},
+		{Res: CPU, Chunk: 64, Weight: lambda},
+	}}
+}
+
+// MixedResource returns Obj_λ = λ·Mem64 + (1-λ)·FR16 (paper section 5.5.3,
+// Table 4): a multi-resource objective over CPU and memory fragments.
+func MixedResource(lambda float64) Objective {
+	return Objective{Terms: []Term{
+		{Res: CPU, Chunk: 16, Weight: 1 - lambda},
+		{Res: Mem, Chunk: 64, Weight: lambda},
+	}}
+}
+
+// Value returns the objective for a cluster: Σ w_i · FR_i (lower is better).
+func (o Objective) Value(c *cluster.Cluster) float64 {
+	total := 0.0
+	for _, t := range o.Terms {
+		switch t.Res {
+		case CPU:
+			total += t.Weight * c.FragRate(t.Chunk)
+		case Mem:
+			total += t.Weight * c.MemFragRate(t.Chunk)
+		}
+	}
+	return total
+}
+
+// pmScore returns the weighted, rescaled fragment size of one PM under the
+// objective — the S_i of paper Eq. 8. Each term is normalized by
+// c = 4 × chunk so a single migration's reward stays within roughly [-1, 1]
+// (the paper's constant c = 64 for the 16-core objective).
+func (o Objective) pmScore(p *cluster.PM) float64 {
+	total := 0.0
+	for _, t := range o.Terms {
+		c := float64(4 * t.Chunk)
+		switch t.Res {
+		case CPU:
+			total += t.Weight * float64(p.Fragment(t.Chunk)) / c
+		case Mem:
+			total += t.Weight * float64(p.MemFragment(t.Chunk)) / c
+		}
+	}
+	return total
+}

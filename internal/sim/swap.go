@@ -1,0 +1,146 @@
+package sim
+
+import (
+	"fmt"
+
+	"vmr2l/internal/cluster"
+)
+
+// Swap support implements the paper's future-work extension (section 8):
+// "Permitting the agent to swap multiple VMs simultaneously could simplify
+// the identification of a feasible migration path." An atomic swap exchanges
+// two VMs between their PMs even when neither single migration fits on its
+// own, because both VMs are detached before either is re-placed. A swap
+// consumes two migrations of the MNL budget (it deploys as two live
+// migrations executed back-to-back).
+
+// CanSwap reports whether vms a and b, hosted on different PMs, can be
+// atomically exchanged under capacity and anti-affinity constraints.
+func (e *Env) CanSwap(a, b int) bool {
+	c := e.c
+	if a == b || a < 0 || b < 0 || a >= len(c.VMs) || b >= len(c.VMs) {
+		return false
+	}
+	va, vb := &c.VMs[a], &c.VMs[b]
+	if !va.Placed() || !vb.Placed() || va.PM == vb.PM {
+		return false
+	}
+	if e.cfg.MNL-e.step < 2 {
+		return false
+	}
+	ok, undo := e.trySwap(a, b)
+	if ok {
+		undo()
+	}
+	return ok
+}
+
+// trySwap performs the swap on the live cluster, returning whether it
+// succeeded and an undo function restoring the pre-swap placement. On
+// failure the cluster is already restored.
+func (e *Env) trySwap(a, b int) (bool, func()) {
+	c := e.c
+	va, vb := &c.VMs[a], &c.VMs[b]
+	pmA, numaA := va.PM, va.Numa
+	pmB, numaB := vb.PM, vb.Numa
+	restore := func(placed ...int) {
+		for _, vm := range placed {
+			_ = c.Remove(vm)
+		}
+		if !c.VMs[a].Placed() {
+			if err := c.Place(a, pmA, numaA); err != nil {
+				panic(fmt.Sprintf("sim: swap rollback: %v", err))
+			}
+		}
+		if !c.VMs[b].Placed() {
+			if err := c.Place(b, pmB, numaB); err != nil {
+				panic(fmt.Sprintf("sim: swap rollback: %v", err))
+			}
+		}
+	}
+	if err := c.Remove(a); err != nil {
+		return false, nil
+	}
+	if err := c.Remove(b); err != nil {
+		restore()
+		return false, nil
+	}
+	na := c.BestNuma(a, pmB, cluster.DefaultFragCores)
+	if na < 0 {
+		restore()
+		return false, nil
+	}
+	if err := c.Place(a, pmB, na); err != nil {
+		restore()
+		return false, nil
+	}
+	nb := c.BestNuma(b, pmA, cluster.DefaultFragCores)
+	if nb < 0 {
+		restore(a)
+		return false, nil
+	}
+	if err := c.Place(b, pmA, nb); err != nil {
+		restore(a)
+		return false, nil
+	}
+	return true, func() { restore(a, b) }
+}
+
+// SwapGain returns the Eq. 9-style reward of swapping a and b without
+// mutating observable state; ok is false when the swap is illegal.
+func (e *Env) SwapGain(a, b int) (float64, bool) {
+	if !e.CanSwap(a, b) {
+		return 0, false
+	}
+	pmA, pmB := e.c.VMs[a].PM, e.c.VMs[b].PM
+	before := e.cfg.Obj.pmScore(&e.c.PMs[pmA]) + e.cfg.Obj.pmScore(&e.c.PMs[pmB])
+	ok, undo := e.trySwap(a, b)
+	if !ok {
+		return 0, false
+	}
+	after := e.cfg.Obj.pmScore(&e.c.PMs[pmA]) + e.cfg.Obj.pmScore(&e.c.PMs[pmB])
+	undo()
+	return before - after, true
+}
+
+// SwapStep atomically exchanges vms a and b, consuming two migration steps
+// and returning the combined dense reward. Illegal swaps return ErrIllegal
+// without mutating state.
+func (e *Env) SwapStep(a, b int) (reward float64, done bool, err error) {
+	if e.done {
+		return 0, true, ErrDone
+	}
+	if a < 0 || b < 0 || a >= len(e.c.VMs) || b >= len(e.c.VMs) || a == b {
+		return 0, false, fmt.Errorf("%w: swap (%d,%d)", ErrIllegal, a, b)
+	}
+	va, vb := &e.c.VMs[a], &e.c.VMs[b]
+	if !va.Placed() || !vb.Placed() || va.PM == vb.PM || e.cfg.MNL-e.step < 2 {
+		return 0, false, fmt.Errorf("%w: swap (%d,%d)", ErrIllegal, a, b)
+	}
+	pmA, numaA := va.PM, va.Numa
+	pmB, numaB := vb.PM, vb.Numa
+	before := e.cfg.Obj.pmScore(&e.c.PMs[pmA]) + e.cfg.Obj.pmScore(&e.c.PMs[pmB])
+	ok, _ := e.trySwap(a, b)
+	if !ok {
+		return 0, false, fmt.Errorf("%w: swap (%d,%d) infeasible", ErrIllegal, a, b)
+	}
+	after := e.cfg.Obj.pmScore(&e.c.PMs[pmA]) + e.cfg.Obj.pmScore(&e.c.PMs[pmB])
+	reward = before - after
+	e.plan = append(e.plan,
+		Migration{VM: a, FromPM: pmA, FromNuma: numaA, ToPM: pmB, ToNuma: e.c.VMs[a].Numa, Swap: true},
+		Migration{VM: b, FromPM: pmB, FromNuma: numaB, ToPM: pmA, ToNuma: e.c.VMs[b].Numa, Swap: true},
+	)
+	e.step += 2
+	if e.cfg.UseFRGoal {
+		if e.goalReached() {
+			reward += 10
+			e.done = true
+		} else {
+			reward -= 1
+		}
+	}
+	if e.step >= e.cfg.MNL {
+		e.done = true
+	}
+	return reward, e.done, nil
+}

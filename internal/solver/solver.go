@@ -1,0 +1,72 @@
+// Package solver defines the common interface every rescheduling algorithm
+// implements (heuristics, exact search, MCTS, learned policies) and a
+// harness for timing them against the paper's five-second latency budget.
+package solver
+
+import (
+	"time"
+
+	"vmr2l/internal/cluster"
+	"vmr2l/internal/sim"
+)
+
+// Solver computes and executes a rescheduling plan on an environment. Run
+// must leave env either done or with no further profitable action; it must
+// only mutate env through Step so the migration plan is recorded.
+type Solver interface {
+	Name() string
+	Run(env *sim.Env) error
+}
+
+// FiveSecondLimit is the paper's hard latency budget for VMR inference: a
+// solution older than this is stale enough that dynamic VM churn erodes it
+// (paper Fig. 5).
+const FiveSecondLimit = 5 * time.Second
+
+// Result summarizes one solver run on one mapping.
+type Result struct {
+	Solver    string
+	InitialFR float64
+	FinalFR   float64
+	// Value is the configured objective (equals FR for FR16).
+	InitialValue float64
+	FinalValue   float64
+	Steps        int
+	Elapsed      time.Duration
+	Plan         []sim.Migration
+}
+
+// Evaluate runs the solver on a fresh environment over init and reports the
+// outcome. The environment is discarded; the plan is retained.
+func Evaluate(s Solver, init *cluster.Cluster, cfg sim.Config) (Result, error) {
+	env := sim.New(init, cfg)
+	res := Result{
+		Solver:       s.Name(),
+		InitialFR:    env.FragRate(),
+		InitialValue: env.Value(),
+	}
+	start := time.Now()
+	err := s.Run(env)
+	res.Elapsed = time.Since(start)
+	res.FinalFR = env.FragRate()
+	res.FinalValue = env.Value()
+	res.Steps = env.StepsTaken()
+	res.Plan = append([]sim.Migration(nil), env.Plan()...)
+	return res, err
+}
+
+// Mean averages final FRs of a result slice (helper for benchmark tables).
+func Mean(rs []Result) (fr float64, value float64, steps float64, elapsed time.Duration) {
+	if len(rs) == 0 {
+		return 0, 0, 0, 0
+	}
+	var t time.Duration
+	for _, r := range rs {
+		fr += r.FinalFR
+		value += r.FinalValue
+		steps += float64(r.Steps)
+		t += r.Elapsed
+	}
+	n := float64(len(rs))
+	return fr / n, value / n, steps / n, t / time.Duration(len(rs))
+}

@@ -1,0 +1,64 @@
+package solver
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"vmr2l/internal/sim"
+	"vmr2l/internal/trace"
+)
+
+// fakeSolver performs the first legal action it finds, once.
+type fakeSolver struct{}
+
+func (fakeSolver) Name() string { return "fake" }
+
+func (fakeSolver) Run(env *sim.Env) error {
+	acts := sim.TopActions(env.Cluster(), env.Objective(), 1)
+	if len(acts) == 0 {
+		return nil
+	}
+	_, _, err := env.Step(acts[0].VM, acts[0].PM)
+	return err
+}
+
+func TestEvaluatePopulatesResult(t *testing.T) {
+	c := trace.MustProfile("tiny").GenerateMapping(rand.New(rand.NewSource(1)))
+	res, err := Evaluate(fakeSolver{}, c, sim.DefaultConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Solver != "fake" {
+		t.Errorf("solver name %q", res.Solver)
+	}
+	if res.Steps != 1 || len(res.Plan) != 1 {
+		t.Errorf("steps=%d plan=%d, want 1", res.Steps, len(res.Plan))
+	}
+	if res.InitialFR == 0 && res.FinalFR == 0 {
+		t.Error("FRs not recorded")
+	}
+	if res.Elapsed <= 0 {
+		t.Error("elapsed not recorded")
+	}
+	// Evaluate must not mutate the input mapping.
+	if got := c.FragRate(16); got != res.InitialFR {
+		t.Error("input mapping mutated")
+	}
+}
+
+func TestMean(t *testing.T) {
+	rs := []Result{
+		{FinalFR: 0.2, FinalValue: 0.2, Steps: 2, Elapsed: time.Second},
+		{FinalFR: 0.4, FinalValue: 0.4, Steps: 4, Elapsed: 3 * time.Second},
+	}
+	fr, val, steps, el := Mean(rs)
+	if math.Abs(fr-0.3) > 1e-12 || math.Abs(val-0.3) > 1e-12 || steps != 3 || el != 2*time.Second {
+		t.Errorf("Mean = %v %v %v %v", fr, val, steps, el)
+	}
+	fr, _, _, _ = Mean(nil)
+	if fr != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+}

@@ -1,0 +1,53 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkMatMul64(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := Randn(rng, 64, 64, 1)
+	y := Randn(rng, 64, 64, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = MatMul(x, y)
+	}
+}
+
+func BenchmarkMatMulBackward(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		x := Randn(rng, 64, 64, 1).Param()
+		y := Randn(rng, 64, 64, 1).Param()
+		b.StartTimer()
+		Mean(MatMul(x, y)).Backward()
+	}
+}
+
+func BenchmarkSoftmaxForwardBackward(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		x := Randn(rng, 32, 256, 1).Param()
+		b.StartTimer()
+		Mean(Softmax(x)).Backward()
+	}
+}
+
+func BenchmarkLayerNorm(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	x := Randn(rng, 128, 64, 1)
+	gamma := New(1, 64)
+	for i := range gamma.Data {
+		gamma.Data[i] = 1
+	}
+	beta := New(1, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = LayerNorm(x, gamma, beta, 1e-5)
+	}
+}

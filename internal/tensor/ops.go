@@ -1,0 +1,764 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+func sameShape(a, b *Tensor, op string) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %dx%d vs %dx%d", op, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}
+
+// Add returns a + b (elementwise).
+func Add(a, b *Tensor) *Tensor {
+	sameShape(a, b, "Add")
+	out := child(a.Rows, a.Cols, a, b)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] + b.Data[i]
+	}
+	if out.requiresGrad {
+		out.backward = func() {
+			if a.requiresGrad {
+				a.ensureGrad()
+				for i := range out.Grad {
+					a.Grad[i] += out.Grad[i]
+				}
+			}
+			if b.requiresGrad {
+				b.ensureGrad()
+				for i := range out.Grad {
+					b.Grad[i] += out.Grad[i]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Sub returns a - b (elementwise).
+func Sub(a, b *Tensor) *Tensor {
+	sameShape(a, b, "Sub")
+	out := child(a.Rows, a.Cols, a, b)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] - b.Data[i]
+	}
+	if out.requiresGrad {
+		out.backward = func() {
+			if a.requiresGrad {
+				a.ensureGrad()
+				for i := range out.Grad {
+					a.Grad[i] += out.Grad[i]
+				}
+			}
+			if b.requiresGrad {
+				b.ensureGrad()
+				for i := range out.Grad {
+					b.Grad[i] -= out.Grad[i]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Mul returns a ⊙ b (elementwise).
+func Mul(a, b *Tensor) *Tensor {
+	sameShape(a, b, "Mul")
+	out := child(a.Rows, a.Cols, a, b)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] * b.Data[i]
+	}
+	if out.requiresGrad {
+		out.backward = func() {
+			if a.requiresGrad {
+				a.ensureGrad()
+				for i := range out.Grad {
+					a.Grad[i] += out.Grad[i] * b.Data[i]
+				}
+			}
+			if b.requiresGrad {
+				b.ensureGrad()
+				for i := range out.Grad {
+					b.Grad[i] += out.Grad[i] * a.Data[i]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Scale returns c·a.
+func Scale(a *Tensor, c float64) *Tensor {
+	out := child(a.Rows, a.Cols, a)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] * c
+	}
+	if out.requiresGrad {
+		out.backward = func() {
+			a.ensureGrad()
+			for i := range out.Grad {
+				a.Grad[i] += out.Grad[i] * c
+			}
+		}
+	}
+	return out
+}
+
+// AddScalar returns a + c.
+func AddScalar(a *Tensor, c float64) *Tensor {
+	out := child(a.Rows, a.Cols, a)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] + c
+	}
+	if out.requiresGrad {
+		out.backward = func() {
+			a.ensureGrad()
+			for i := range out.Grad {
+				a.Grad[i] += out.Grad[i]
+			}
+		}
+	}
+	return out
+}
+
+// MatMul returns a·b for a (m×k) and b (k×n).
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMul %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := child(a.Rows, b.Cols, a, b)
+	for i := 0; i < a.Rows; i++ {
+		ar := a.Data[i*a.Cols : (i+1)*a.Cols]
+		or := out.Data[i*out.Cols : (i+1)*out.Cols]
+		for k, av := range ar {
+			if av == 0 {
+				continue
+			}
+			br := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bv := range br {
+				or[j] += av * bv
+			}
+		}
+	}
+	if out.requiresGrad {
+		out.backward = func() {
+			if a.requiresGrad {
+				a.ensureGrad()
+				// dA = dOut · Bᵀ
+				for i := 0; i < a.Rows; i++ {
+					gr := out.Grad[i*out.Cols : (i+1)*out.Cols]
+					agr := a.Grad[i*a.Cols : (i+1)*a.Cols]
+					for k := 0; k < a.Cols; k++ {
+						br := b.Data[k*b.Cols : (k+1)*b.Cols]
+						s := 0.0
+						for j, g := range gr {
+							s += g * br[j]
+						}
+						agr[k] += s
+					}
+				}
+			}
+			if b.requiresGrad {
+				b.ensureGrad()
+				// dB = Aᵀ · dOut
+				for k := 0; k < b.Rows; k++ {
+					bgr := b.Grad[k*b.Cols : (k+1)*b.Cols]
+					for i := 0; i < a.Rows; i++ {
+						av := a.Data[i*a.Cols+k]
+						if av == 0 {
+							continue
+						}
+						gr := out.Grad[i*out.Cols : (i+1)*out.Cols]
+						for j, g := range gr {
+							bgr[j] += av * g
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MatMulT returns a·bᵀ for a (m×k) and b (n×k).
+func MatMulT(a, b *Tensor) *Tensor {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulT %dx%d · (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := child(a.Rows, b.Rows, a, b)
+	for i := 0; i < a.Rows; i++ {
+		ar := a.Data[i*a.Cols : (i+1)*a.Cols]
+		for j := 0; j < b.Rows; j++ {
+			br := b.Data[j*b.Cols : (j+1)*b.Cols]
+			s := 0.0
+			for k, av := range ar {
+				s += av * br[k]
+			}
+			out.Data[i*out.Cols+j] = s
+		}
+	}
+	if out.requiresGrad {
+		out.backward = func() {
+			if a.requiresGrad {
+				a.ensureGrad()
+				for i := 0; i < a.Rows; i++ {
+					gr := out.Grad[i*out.Cols : (i+1)*out.Cols]
+					agr := a.Grad[i*a.Cols : (i+1)*a.Cols]
+					for j, g := range gr {
+						if g == 0 {
+							continue
+						}
+						br := b.Data[j*b.Cols : (j+1)*b.Cols]
+						for k, bv := range br {
+							agr[k] += g * bv
+						}
+					}
+				}
+			}
+			if b.requiresGrad {
+				b.ensureGrad()
+				for j := 0; j < b.Rows; j++ {
+					bgr := b.Grad[j*b.Cols : (j+1)*b.Cols]
+					for i := 0; i < a.Rows; i++ {
+						g := out.Grad[i*out.Cols+j]
+						if g == 0 {
+							continue
+						}
+						ar := a.Data[i*a.Cols : (i+1)*a.Cols]
+						for k, av := range ar {
+							bgr[k] += g * av
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// AddRow broadcasts a 1×n row vector onto every row of a (m×n).
+func AddRow(a, row *Tensor) *Tensor {
+	if row.Rows != 1 || row.Cols != a.Cols {
+		panic(fmt.Sprintf("tensor: AddRow %dx%d + %dx%d", a.Rows, a.Cols, row.Rows, row.Cols))
+	}
+	out := child(a.Rows, a.Cols, a, row)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			out.Data[i*a.Cols+j] = a.Data[i*a.Cols+j] + row.Data[j]
+		}
+	}
+	if out.requiresGrad {
+		out.backward = func() {
+			if a.requiresGrad {
+				a.ensureGrad()
+				for i := range out.Grad {
+					a.Grad[i] += out.Grad[i]
+				}
+			}
+			if row.requiresGrad {
+				row.ensureGrad()
+				for i := 0; i < a.Rows; i++ {
+					for j := 0; j < a.Cols; j++ {
+						row.Grad[j] += out.Grad[i*a.Cols+j]
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ReLU returns max(a, 0).
+func ReLU(a *Tensor) *Tensor {
+	out := child(a.Rows, a.Cols, a)
+	for i, v := range a.Data {
+		if v > 0 {
+			out.Data[i] = v
+		}
+	}
+	if out.requiresGrad {
+		out.backward = func() {
+			a.ensureGrad()
+			for i, v := range a.Data {
+				if v > 0 {
+					a.Grad[i] += out.Grad[i]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Tanh returns tanh(a).
+func Tanh(a *Tensor) *Tensor {
+	out := child(a.Rows, a.Cols, a)
+	for i, v := range a.Data {
+		out.Data[i] = math.Tanh(v)
+	}
+	if out.requiresGrad {
+		out.backward = func() {
+			a.ensureGrad()
+			for i := range out.Data {
+				a.Grad[i] += out.Grad[i] * (1 - out.Data[i]*out.Data[i])
+			}
+		}
+	}
+	return out
+}
+
+// Exp returns e^a.
+func Exp(a *Tensor) *Tensor {
+	out := child(a.Rows, a.Cols, a)
+	for i, v := range a.Data {
+		out.Data[i] = math.Exp(v)
+	}
+	if out.requiresGrad {
+		out.backward = func() {
+			a.ensureGrad()
+			for i := range out.Data {
+				a.Grad[i] += out.Grad[i] * out.Data[i]
+			}
+		}
+	}
+	return out
+}
+
+// Clamp limits values to [lo, hi]; gradients pass through only inside the
+// range (straight-through at the boundary is zeroed, as in PPO clipping).
+func Clamp(a *Tensor, lo, hi float64) *Tensor {
+	out := child(a.Rows, a.Cols, a)
+	for i, v := range a.Data {
+		out.Data[i] = math.Min(math.Max(v, lo), hi)
+	}
+	if out.requiresGrad {
+		out.backward = func() {
+			a.ensureGrad()
+			for i, v := range a.Data {
+				if v > lo && v < hi {
+					a.Grad[i] += out.Grad[i]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Min returns elementwise min(a, b); the gradient flows to the smaller input
+// (ties: a).
+func Min(a, b *Tensor) *Tensor {
+	sameShape(a, b, "Min")
+	out := child(a.Rows, a.Cols, a, b)
+	for i := range out.Data {
+		out.Data[i] = math.Min(a.Data[i], b.Data[i])
+	}
+	if out.requiresGrad {
+		out.backward = func() {
+			for i := range out.Grad {
+				if a.Data[i] <= b.Data[i] {
+					if a.requiresGrad {
+						a.ensureGrad()
+						a.Grad[i] += out.Grad[i]
+					}
+				} else if b.requiresGrad {
+					b.ensureGrad()
+					b.Grad[i] += out.Grad[i]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// rowSoftmaxInto computes a numerically stable softmax of src row into dst.
+func rowSoftmaxInto(src, dst []float64) {
+	maxv := math.Inf(-1)
+	for _, v := range src {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	sum := 0.0
+	for i, v := range src {
+		e := math.Exp(v - maxv)
+		dst[i] = e
+		sum += e
+	}
+	if sum == 0 {
+		for i := range dst {
+			dst[i] = 1 / float64(len(dst))
+		}
+		return
+	}
+	for i := range dst {
+		dst[i] /= sum
+	}
+}
+
+// Softmax applies a row-wise softmax.
+func Softmax(a *Tensor) *Tensor {
+	out := child(a.Rows, a.Cols, a)
+	for i := 0; i < a.Rows; i++ {
+		rowSoftmaxInto(a.Data[i*a.Cols:(i+1)*a.Cols], out.Data[i*a.Cols:(i+1)*a.Cols])
+	}
+	if out.requiresGrad {
+		out.backward = func() {
+			a.ensureGrad()
+			for i := 0; i < a.Rows; i++ {
+				o := out.Data[i*a.Cols : (i+1)*a.Cols]
+				g := out.Grad[i*a.Cols : (i+1)*a.Cols]
+				dot := 0.0
+				for j := range o {
+					dot += o[j] * g[j]
+				}
+				ag := a.Grad[i*a.Cols : (i+1)*a.Cols]
+				for j := range o {
+					ag[j] += o[j] * (g[j] - dot)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// LogSoftmax applies a row-wise log-softmax.
+func LogSoftmax(a *Tensor) *Tensor {
+	out := child(a.Rows, a.Cols, a)
+	soft := make([]float64, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		src := a.Data[i*a.Cols : (i+1)*a.Cols]
+		rowSoftmaxInto(src, soft)
+		dst := out.Data[i*a.Cols : (i+1)*a.Cols]
+		for j := range soft {
+			dst[j] = math.Log(soft[j] + 1e-300)
+		}
+	}
+	if out.requiresGrad {
+		out.backward = func() {
+			a.ensureGrad()
+			for i := 0; i < a.Rows; i++ {
+				o := out.Data[i*a.Cols : (i+1)*a.Cols]
+				g := out.Grad[i*a.Cols : (i+1)*a.Cols]
+				sumG := 0.0
+				for j := range g {
+					sumG += g[j]
+				}
+				ag := a.Grad[i*a.Cols : (i+1)*a.Cols]
+				for j := range g {
+					ag[j] += g[j] - math.Exp(o[j])*sumG
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MaskedFill writes fill into positions where mask is false (mask is data,
+// not differentiated) — used to hide illegal actions and non-tree attention
+// pairs. mask is row-major with the same shape as a.
+func MaskedFill(a *Tensor, mask []bool, fill float64) *Tensor {
+	if len(mask) != len(a.Data) {
+		panic(fmt.Sprintf("tensor: MaskedFill mask %d vs data %d", len(mask), len(a.Data)))
+	}
+	out := child(a.Rows, a.Cols, a)
+	for i, v := range a.Data {
+		if mask[i] {
+			out.Data[i] = v
+		} else {
+			out.Data[i] = fill
+		}
+	}
+	if out.requiresGrad {
+		out.backward = func() {
+			a.ensureGrad()
+			for i := range out.Grad {
+				if mask[i] {
+					a.Grad[i] += out.Grad[i]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// LayerNorm normalizes each row to zero mean and unit variance, then applies
+// the affine parameters gamma and beta (1×n each).
+func LayerNorm(a, gamma, beta *Tensor, eps float64) *Tensor {
+	if gamma.Cols != a.Cols || beta.Cols != a.Cols || gamma.Rows != 1 || beta.Rows != 1 {
+		panic("tensor: LayerNorm parameter shape")
+	}
+	out := child(a.Rows, a.Cols, a, gamma, beta)
+	n := float64(a.Cols)
+	means := make([]float64, a.Rows)
+	invstd := make([]float64, a.Rows)
+	xhat := make([]float64, len(a.Data))
+	for i := 0; i < a.Rows; i++ {
+		row := a.Data[i*a.Cols : (i+1)*a.Cols]
+		m := 0.0
+		for _, v := range row {
+			m += v
+		}
+		m /= n
+		va := 0.0
+		for _, v := range row {
+			va += (v - m) * (v - m)
+		}
+		va /= n
+		is := 1 / math.Sqrt(va+eps)
+		means[i], invstd[i] = m, is
+		for j, v := range row {
+			x := (v - m) * is
+			xhat[i*a.Cols+j] = x
+			out.Data[i*a.Cols+j] = x*gamma.Data[j] + beta.Data[j]
+		}
+	}
+	if out.requiresGrad {
+		out.backward = func() {
+			for i := 0; i < a.Rows; i++ {
+				g := out.Grad[i*a.Cols : (i+1)*a.Cols]
+				xh := xhat[i*a.Cols : (i+1)*a.Cols]
+				if gamma.requiresGrad {
+					gamma.ensureGrad()
+					for j := range g {
+						gamma.Grad[j] += g[j] * xh[j]
+					}
+				}
+				if beta.requiresGrad {
+					beta.ensureGrad()
+					for j := range g {
+						beta.Grad[j] += g[j]
+					}
+				}
+				if a.requiresGrad {
+					a.ensureGrad()
+					// dL/dx = (gamma*invstd/n) * (n*g' - sum(g') - xhat*sum(g'*xhat))
+					sumG, sumGX := 0.0, 0.0
+					gp := make([]float64, len(g))
+					for j := range g {
+						gp[j] = g[j] * gamma.Data[j]
+						sumG += gp[j]
+						sumGX += gp[j] * xh[j]
+					}
+					ag := a.Grad[i*a.Cols : (i+1)*a.Cols]
+					for j := range g {
+						ag[j] += invstd[i] / n * (n*gp[j] - sumG - xh[j]*sumGX)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Mean reduces to a 1×1 tensor.
+func Mean(a *Tensor) *Tensor {
+	out := child(1, 1, a)
+	s := 0.0
+	for _, v := range a.Data {
+		s += v
+	}
+	n := float64(len(a.Data))
+	if n == 0 {
+		n = 1
+	}
+	out.Data[0] = s / n
+	if out.requiresGrad {
+		out.backward = func() {
+			a.ensureGrad()
+			g := out.Grad[0] / n
+			for i := range a.Grad {
+				a.Grad[i] += g
+			}
+		}
+	}
+	return out
+}
+
+// Sum reduces to a 1×1 tensor.
+func Sum(a *Tensor) *Tensor {
+	out := child(1, 1, a)
+	for _, v := range a.Data {
+		out.Data[0] += v
+	}
+	if out.requiresGrad {
+		out.backward = func() {
+			a.ensureGrad()
+			for i := range a.Grad {
+				a.Grad[i] += out.Grad[0]
+			}
+		}
+	}
+	return out
+}
+
+// MeanRows reduces a (m×n) to its column-mean (1×n).
+func MeanRows(a *Tensor) *Tensor {
+	out := child(1, a.Cols, a)
+	m := float64(a.Rows)
+	if m == 0 {
+		m = 1
+	}
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			out.Data[j] += a.Data[i*a.Cols+j] / m
+		}
+	}
+	if out.requiresGrad {
+		out.backward = func() {
+			a.ensureGrad()
+			for i := 0; i < a.Rows; i++ {
+				for j := 0; j < a.Cols; j++ {
+					a.Grad[i*a.Cols+j] += out.Grad[j] / m
+				}
+			}
+		}
+	}
+	return out
+}
+
+// GatherRows selects rows by index into a new (len(idx)×n) tensor.
+func GatherRows(a *Tensor, idx []int) *Tensor {
+	out := child(len(idx), a.Cols, a)
+	for r, i := range idx {
+		if i < 0 || i >= a.Rows {
+			panic(fmt.Sprintf("tensor: GatherRows index %d of %d", i, a.Rows))
+		}
+		copy(out.Data[r*a.Cols:(r+1)*a.Cols], a.Data[i*a.Cols:(i+1)*a.Cols])
+	}
+	if out.requiresGrad {
+		out.backward = func() {
+			a.ensureGrad()
+			for r, i := range idx {
+				for j := 0; j < a.Cols; j++ {
+					a.Grad[i*a.Cols+j] += out.Grad[r*a.Cols+j]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// PickPerRow selects one column per row, producing (m×1): out[i] = a[i, idx[i]].
+func PickPerRow(a *Tensor, idx []int) *Tensor {
+	if len(idx) != a.Rows {
+		panic("tensor: PickPerRow needs one index per row")
+	}
+	out := child(a.Rows, 1, a)
+	for i, j := range idx {
+		if j < 0 || j >= a.Cols {
+			panic(fmt.Sprintf("tensor: PickPerRow index %d of %d", j, a.Cols))
+		}
+		out.Data[i] = a.Data[i*a.Cols+j]
+	}
+	if out.requiresGrad {
+		out.backward = func() {
+			a.ensureGrad()
+			for i, j := range idx {
+				a.Grad[i*a.Cols+j] += out.Grad[i]
+			}
+		}
+	}
+	return out
+}
+
+// ConcatCols concatenates a (m×p) and b (m×q) into (m×(p+q)).
+func ConcatCols(a, b *Tensor) *Tensor {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: ConcatCols rows %d vs %d", a.Rows, b.Rows))
+	}
+	out := child(a.Rows, a.Cols+b.Cols, a, b)
+	for i := 0; i < a.Rows; i++ {
+		copy(out.Data[i*out.Cols:], a.Data[i*a.Cols:(i+1)*a.Cols])
+		copy(out.Data[i*out.Cols+a.Cols:], b.Data[i*b.Cols:(i+1)*b.Cols])
+	}
+	if out.requiresGrad {
+		out.backward = func() {
+			if a.requiresGrad {
+				a.ensureGrad()
+				for i := 0; i < a.Rows; i++ {
+					for j := 0; j < a.Cols; j++ {
+						a.Grad[i*a.Cols+j] += out.Grad[i*out.Cols+j]
+					}
+				}
+			}
+			if b.requiresGrad {
+				b.ensureGrad()
+				for i := 0; i < b.Rows; i++ {
+					for j := 0; j < b.Cols; j++ {
+						b.Grad[i*b.Cols+j] += out.Grad[i*out.Cols+a.Cols+j]
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ConcatRows stacks a (p×n) over b (q×n) into ((p+q)×n).
+func ConcatRows(a, b *Tensor) *Tensor {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: ConcatRows cols %d vs %d", a.Cols, b.Cols))
+	}
+	out := child(a.Rows+b.Rows, a.Cols, a, b)
+	copy(out.Data, a.Data)
+	copy(out.Data[len(a.Data):], b.Data)
+	if out.requiresGrad {
+		out.backward = func() {
+			if a.requiresGrad {
+				a.ensureGrad()
+				for i := range a.Data {
+					a.Grad[i] += out.Grad[i]
+				}
+			}
+			if b.requiresGrad {
+				b.ensureGrad()
+				off := len(a.Data)
+				for i := range b.Data {
+					b.Grad[i] += out.Grad[off+i]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Transpose returns aᵀ.
+func Transpose(a *Tensor) *Tensor {
+	out := child(a.Cols, a.Rows, a)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			out.Data[j*a.Rows+i] = a.Data[i*a.Cols+j]
+		}
+	}
+	if out.requiresGrad {
+		out.backward = func() {
+			a.ensureGrad()
+			for i := 0; i < a.Rows; i++ {
+				for j := 0; j < a.Cols; j++ {
+					a.Grad[i*a.Cols+j] += out.Grad[j*a.Rows+i]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Reshape reinterprets a as rows×cols (same element count), preserving
+// gradients. Data is copied so the graph stays append-only.
+func Reshape(a *Tensor, rows, cols int) *Tensor {
+	if rows*cols != a.Rows*a.Cols {
+		panic(fmt.Sprintf("tensor: Reshape %dx%d -> %dx%d", a.Rows, a.Cols, rows, cols))
+	}
+	out := child(rows, cols, a)
+	copy(out.Data, a.Data)
+	if out.requiresGrad {
+		out.backward = func() {
+			a.ensureGrad()
+			for i := range out.Grad {
+				a.Grad[i] += out.Grad[i]
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,33 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// FuzzReadMapping hardens the dataset parser: arbitrary input must either
+// parse into a valid cluster or return an error — never panic and never
+// yield an inconsistent state.
+func FuzzReadMapping(f *testing.F) {
+	// Seed corpus: a real mapping, an empty object, and malformed variants.
+	var buf bytes.Buffer
+	c := MustProfile("tiny").GenerateMapping(rand.New(rand.NewSource(1)))
+	if err := WriteMapping(&buf, c); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"pms":[],"vms":[]}`))
+	f.Add([]byte(`{"pms":[{"numas":[{"cpu_cap":-5},{"cpu_cap":1}]}],"vms":[]}`))
+	f.Add([]byte(`{"pms":[],"vms":[{"cpu":2,"mem":4,"numas":1,"pm":0,"numa":0,"service":-1}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := ReadMapping(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if verr := c.Validate(); verr != nil {
+			t.Fatalf("ReadMapping accepted invalid cluster: %v", verr)
+		}
+	})
+}

@@ -1,0 +1,153 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"vmr2l/internal/cluster"
+)
+
+// The on-disk JSON schema. One file per mapping keeps datasets streamable
+// and diff-friendly, mirroring the released VMR2L dataset layout.
+
+type numaJSON struct {
+	CPUCap  int `json:"cpu_cap"`
+	MemCap  int `json:"mem_cap"`
+	CPUUsed int `json:"cpu_used"`
+	MemUsed int `json:"mem_used"`
+}
+
+type pmJSON struct {
+	Numas [cluster.NumasPerPM]numaJSON `json:"numas"`
+}
+
+type vmJSON struct {
+	CPU     int `json:"cpu"`
+	Mem     int `json:"mem"`
+	Numas   int `json:"numas"`
+	PM      int `json:"pm"`
+	Numa    int `json:"numa"`
+	Service int `json:"service"`
+}
+
+type mappingJSON struct {
+	AntiAffinity bool     `json:"anti_affinity,omitempty"`
+	PMs          []pmJSON `json:"pms"`
+	VMs          []vmJSON `json:"vms"`
+}
+
+// WriteMapping serializes one mapping as JSON.
+func WriteMapping(w io.Writer, c *cluster.Cluster) error {
+	m := mappingJSON{AntiAffinity: c.AntiAffinity, PMs: make([]pmJSON, len(c.PMs)), VMs: make([]vmJSON, len(c.VMs))}
+	for i := range c.PMs {
+		for j := range c.PMs[i].Numas {
+			n := c.PMs[i].Numas[j]
+			m.PMs[i].Numas[j] = numaJSON{CPUCap: n.CPUCap, MemCap: n.MemCap, CPUUsed: n.CPUUsed, MemUsed: n.MemUsed}
+		}
+	}
+	for i := range c.VMs {
+		v := c.VMs[i]
+		m.VMs[i] = vmJSON{CPU: v.CPU, Mem: v.Mem, Numas: v.Numas, PM: v.PM, Numa: v.Numa, Service: v.Service}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(m)
+}
+
+// ReadMapping deserializes a mapping and validates it.
+func ReadMapping(r io.Reader) (*cluster.Cluster, error) {
+	var m mappingJSON
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return nil, fmt.Errorf("trace: decode mapping: %w", err)
+	}
+	c := &cluster.Cluster{PMs: make([]cluster.PM, len(m.PMs)), VMs: make([]cluster.VM, len(m.VMs))}
+	for i := range m.PMs {
+		c.PMs[i].ID = i
+		for j := range m.PMs[i].Numas {
+			n := m.PMs[i].Numas[j]
+			c.PMs[i].Numas[j] = cluster.Numa{CPUCap: n.CPUCap, MemCap: n.MemCap, CPUUsed: n.CPUUsed, MemUsed: n.MemUsed}
+		}
+	}
+	for i := range m.VMs {
+		v := m.VMs[i]
+		c.VMs[i] = cluster.VM{ID: i, CPU: v.CPU, Mem: v.Mem, Numas: v.Numas, PM: v.PM, Numa: v.Numa, Service: v.Service}
+		if v.PM >= 0 {
+			if v.PM >= len(c.PMs) {
+				return nil, fmt.Errorf("trace: vm %d references pm %d of %d", i, v.PM, len(c.PMs))
+			}
+			c.PMs[v.PM].VMs = append(c.PMs[v.PM].VMs, i)
+		}
+	}
+	if m.AntiAffinity {
+		c.EnableAntiAffinity()
+	}
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("trace: invalid mapping: %w", err)
+	}
+	return c, nil
+}
+
+// SaveDataset writes a dataset under dir as
+// dir/<profile>/{train,val,test}/NNNN.json.
+func SaveDataset(dir string, d *Dataset) error {
+	splits := map[string][]*cluster.Cluster{"train": d.Train, "val": d.Val, "test": d.Test}
+	for split, maps := range splits {
+		base := filepath.Join(dir, d.Profile, split)
+		if err := os.MkdirAll(base, 0o755); err != nil {
+			return err
+		}
+		for i, c := range maps {
+			f, err := os.Create(filepath.Join(base, fmt.Sprintf("%04d.json", i)))
+			if err != nil {
+				return err
+			}
+			if err := WriteMapping(f, c); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// LoadDataset reads a dataset previously written by SaveDataset.
+func LoadDataset(dir, profile string) (*Dataset, error) {
+	d := &Dataset{Profile: profile}
+	for _, split := range []string{"train", "val", "test"} {
+		base := filepath.Join(dir, profile, split)
+		entries, err := os.ReadDir(base)
+		if err != nil {
+			return nil, err
+		}
+		var maps []*cluster.Cluster
+		for _, e := range entries {
+			if e.IsDir() || filepath.Ext(e.Name()) != ".json" {
+				continue
+			}
+			f, err := os.Open(filepath.Join(base, e.Name()))
+			if err != nil {
+				return nil, err
+			}
+			c, err := ReadMapping(f)
+			f.Close()
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", split, e.Name(), err)
+			}
+			maps = append(maps, c)
+		}
+		switch split {
+		case "train":
+			d.Train = maps
+		case "val":
+			d.Val = maps
+		case "test":
+			d.Test = maps
+		}
+	}
+	return d, nil
+}
