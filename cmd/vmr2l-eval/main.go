@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -49,6 +50,9 @@ func main() {
 	}
 	rng := rand.New(rand.NewSource(*seed))
 	envCfg := sim.DefaultConfig(*mnl)
+	// Every baseline solve runs under the paper's five-second budget; an
+	// engine that overruns contributes its anytime best-so-far plan.
+	ctx := context.Background()
 
 	var initFR, haFR, greedyFR, riskFR, thrFR float64
 	val := p.GenerateMapping(rng) // one validation mapping for thresholds
@@ -56,7 +60,9 @@ func main() {
 	for i := 0; i < *nMaps; i++ {
 		c := p.GenerateMapping(rng)
 		initFR += c.FragRate(16)
-		h, err := solver.Evaluate(heuristics.HA{}, c, envCfg)
+		hctx, cancel := context.WithTimeout(ctx, solver.FiveSecondLimit)
+		h, err := solver.Evaluate(hctx, heuristics.HA{}, c, envCfg)
+		cancel()
 		if err != nil {
 			log.Fatal(err)
 		}

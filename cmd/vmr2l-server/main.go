@@ -1,26 +1,37 @@
 // Command vmr2l-server runs the rescheduling service: an HTTP API where
-// clients POST a VM-PM mapping and receive a migration plan, the way the
-// paper's central server answers VMR requests (section 1).
+// clients submit a VM-PM mapping and receive a migration plan, the way the
+// paper's central server answers VMR requests (section 1). API v2 is
+// asynchronous-first — solves run on a bounded worker pool under the
+// five-second latency budget, so every engine returns an anytime plan.
 //
-//	vmr2l-server -addr :8080 -ckpt vmr2l.gob
+//	vmr2l-server -addr :8080 -workers 4 -queue 64 -timeout 5s -ckpt vmr2l.gob
 //
-//	curl -s localhost:8080/v1/solvers
-//	curl -s -X POST localhost:8080/v1/reschedule \
-//	     -d '{"mnl":10,"solver":"vmr2l","mapping":{...}}'
+//	curl -s localhost:8080/v2/solvers
+//	curl -s -X POST localhost:8080/v2/jobs \
+//	     -d '{"mnl":10,"solver":"vmr2l","mapping":{...}}'   # -> {"id":"job-1",...}
+//	curl -s localhost:8080/v2/jobs/job-1
+//	curl -s -X POST localhost:8080/v2/reschedule -d '{"mnl":10,"mapping":{...}}'
+//	curl -s -X POST localhost:8080/v1/reschedule -d '{"mnl":10,"mapping":{...}}'  # compat shim
 //
-// Registered engines: ha, swap-ha, vbpp, bnb, pop, and (with -ckpt) the
-// trained VMR2L agent. The default engine is HA — always within the
-// five-second budget.
+// Registered engines: ha, swap-ha, vbpp, bnb, pop, mcts, and (with -ckpt)
+// the trained VMR2L agent. The default engine is HA — always within the
+// five-second budget. SIGINT/SIGTERM drain in-flight solves before exit.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"vmr2l/internal/exact"
 	"vmr2l/internal/heuristics"
+	"vmr2l/internal/mcts"
 	"vmr2l/internal/policy"
 	"vmr2l/internal/service"
 )
@@ -29,19 +40,27 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("vmr2l-server: ")
 	var (
-		addr   = flag.String("addr", ":8080", "listen address")
-		ckpt   = flag.String("ckpt", "", "VMR2L checkpoint to serve (optional)")
-		dModel = flag.Int("dmodel", 32, "embedding width (must match training)")
-		blocks = flag.Int("blocks", 2, "attention blocks (must match training)")
+		addr    = flag.String("addr", ":8080", "listen address")
+		ckpt    = flag.String("ckpt", "", "VMR2L checkpoint to serve (optional)")
+		dModel  = flag.Int("dmodel", 32, "embedding width (must match training)")
+		blocks  = flag.Int("blocks", 2, "attention blocks (must match training)")
+		workers = flag.Int("workers", 4, "async solve workers")
+		queue   = flag.Int("queue", 64, "async job queue depth")
+		timeout = flag.Duration("timeout", 0, "per-solve budget (0 = paper's 5s limit)")
 	)
 	flag.Parse()
 
-	s := service.New()
+	s := service.New(
+		service.WithWorkers(*workers),
+		service.WithQueueDepth(*queue),
+		service.WithTimeout(*timeout),
+	)
 	s.Register("ha", heuristics.HA{})
 	s.Register("swap-ha", heuristics.SwapHA{})
 	s.Register("vbpp", heuristics.VBPP{})
-	s.Register("bnb", &exact.Solver{Beam: 6, AllowLoss: true, MaxNodes: 200000})
-	s.Register("pop", exact.POP{Parts: 4, Inner: exact.Solver{Beam: 4, AllowLoss: true, MaxNodes: 100000}})
+	s.Register("bnb", &exact.Solver{Beam: 6, AllowLoss: true})
+	s.Register("pop", exact.POP{Parts: 4, Inner: exact.Solver{Beam: 4, AllowLoss: true}})
+	s.Register("mcts", &mcts.Solver{Iterations: 64, Width: 6})
 	if *ckpt != "" {
 		m := policy.New(policy.Config{
 			DModel: *dModel, Hidden: 2 * *dModel, Blocks: *blocks,
@@ -53,6 +72,24 @@ func main() {
 		s.Register("vmr2l", &policy.Agent{Model: m, Opts: policy.SampleOpts{Greedy: true}})
 		fmt.Printf("serving VMR2L checkpoint %s\n", *ckpt)
 	}
-	fmt.Printf("listening on %s\n", *addr)
-	log.Fatal(http.ListenAndServe(*addr, s))
+
+	srv := &http.Server{Addr: *addr, Handler: s}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Printf("listening on %s (%d workers, queue %d)\n", *addr, *workers, *queue)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	fmt.Println("shutting down...")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("shutdown: %v", err)
+	}
+	s.Close() // drain the worker pool after the listener stops
 }

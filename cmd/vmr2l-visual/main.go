@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -61,8 +62,11 @@ func main() {
 	}
 	env := sim.New(c, sim.DefaultConfig(*mnl))
 	fmt.Printf("initial FR %.4f over %d PMs / %d VMs\n\n", env.FragRate(), len(c.PMs), len(c.VMs))
-	// Step the solver one action at a time by replaying its full plan.
-	if err := s.Run(env); err != nil {
+	// Step the solver one action at a time by replaying its full plan; the
+	// five-second budget keeps even the exact engine interactive.
+	ctx, cancel := context.WithTimeout(context.Background(), solver.FiveSecondLimit)
+	defer cancel()
+	if err := s.Solve(ctx, env); err != nil {
 		log.Fatal(err)
 	}
 	replay := sim.New(c, sim.DefaultConfig(*mnl))
@@ -80,5 +84,5 @@ func main() {
 			bench.NumaBar(cc, m.ToPM, 0, *width), bench.NumaBar(cc, m.ToPM, 1, *width))
 	}
 	fmt.Printf("\nfinal FR %.4f (%d migrations, objective %s)\n",
-		replay.FragRate(), replay.StepsTaken(), s.Name())
+		replay.FragRate(), replay.StepsTaken(), s.Meta().Name)
 }

@@ -6,7 +6,7 @@
 // families from the paper's evaluation, and a benchmark harness that
 // regenerates every table and figure.
 //
-// Start with README.md, DESIGN.md (architecture and experiment index) and
-// EXPERIMENTS.md (paper-vs-measured results). The public entry points live
-// under cmd/ and examples/; the library packages are in internal/.
+// Start with README.md (layout, the context-aware solver contract, and the
+// v2 HTTP API with its Go client). The public entry points live under cmd/
+// and examples/; the library packages are in internal/.
 package vmr2l

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -25,6 +26,7 @@ func main() {
 	log.SetFlags(0)
 	rng := rand.New(rand.NewSource(11))
 	profile := trace.MustProfile("tiny")
+	ctx := context.Background()
 
 	for _, level := range []int{0, 2, 8} {
 		mapping := profile.GenerateFragmented(rng, 0.15, 20)
@@ -34,7 +36,7 @@ func main() {
 
 		envCfg := sim.DefaultConfig(6)
 		// HA respects the constraint through the shared legality checks.
-		haRes, err := solver.Evaluate(heuristics.HA{}, mapping, envCfg)
+		haRes, err := solver.Evaluate(ctx, heuristics.HA{}, mapping, envCfg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -56,7 +58,7 @@ func main() {
 			log.Fatal(err)
 		}
 		agent := &policy.Agent{Model: model, Opts: policy.SampleOpts{Greedy: true}}
-		rlRes, err := solver.Evaluate(agent, mapping, envCfg)
+		rlRes, err := solver.Evaluate(ctx, agent, mapping, envCfg)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -18,6 +19,7 @@ import (
 	"vmr2l/internal/migrate"
 	"vmr2l/internal/sched"
 	"vmr2l/internal/sim"
+	"vmr2l/internal/solver"
 	"vmr2l/internal/trace"
 )
 
@@ -29,10 +31,13 @@ func main() {
 	fmt.Printf("snapshot: %d PMs, %d VMs, FR %.4f\n",
 		len(snapshot.PMs), len(snapshot.VMs), snapshot.FragRate(16))
 
-	// Compute a near-optimal plan from the snapshot (the "MIP" role).
+	// Compute a near-optimal plan from the snapshot (the "MIP" role),
+	// bounded by the five-second budget the rest of the example motivates.
 	s := &exact.Solver{Beam: 6, AllowLoss: true, MaxNodes: 60000}
 	env := sim.New(snapshot, sim.DefaultConfig(6))
-	if err := s.Run(env); err != nil {
+	ctx, cancel := context.WithTimeout(context.Background(), solver.FiveSecondLimit)
+	defer cancel()
+	if err := s.Solve(ctx, env); err != nil {
 		log.Fatal(err)
 	}
 	plan := env.Plan()

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -20,6 +21,7 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	ctx := context.Background()
 	rng := rand.New(rand.NewSource(3))
 	// The Multi-Resource profile has two PM flavors and CPU:Mem ratios up
 	// to 1:8 — the setting where multi-dimensional objectives matter.
@@ -34,7 +36,7 @@ func main() {
 		for _, lambda := range []float64{0, 0.5, 1} {
 			obj := mk(lambda)
 			cfg := sim.Config{MNL: 8, Obj: obj}
-			res, err := solver.Evaluate(heuristics.HA{}, mapping, cfg)
+			res, err := solver.Evaluate(ctx, heuristics.HA{}, mapping, cfg)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -56,7 +58,7 @@ func main() {
 	// target FR instead of minimizing FR under a migration budget.
 	goal := mapping.FragRate(16) * 0.8
 	cfg := sim.Config{MNL: 12, Obj: sim.FR16(), UseFRGoal: true, FRGoal: goal}
-	res, err := solver.Evaluate(heuristics.HA{}, mapping, cfg)
+	res, err := solver.Evaluate(ctx, heuristics.HA{}, mapping, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

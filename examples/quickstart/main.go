@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -31,11 +32,18 @@ func main() {
 		len(mapping.PMs), len(mapping.VMs), mapping.FragRate(cluster.DefaultFragCores))
 
 	// 2. The rescheduling environment: an episode is MNL migration steps.
+	// Each solve runs under its own context carrying the paper's five-second
+	// latency budget.
 	const mnl = 6
 	envCfg := sim.DefaultConfig(mnl)
+	budget := func() (context.Context, context.CancelFunc) {
+		return context.WithTimeout(context.Background(), solver.FiveSecondLimit)
+	}
 
 	// 3. Baseline: the filtering+scoring heuristic used in production.
-	haRes, err := solver.Evaluate(heuristics.HA{}, mapping, envCfg)
+	haCtx, haCancel := budget()
+	haRes, err := solver.Evaluate(haCtx, heuristics.HA{}, mapping, envCfg)
+	haCancel()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -60,9 +68,12 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// 5. Deploy greedily on the held-out mapping.
+	// 5. Deploy greedily on the held-out mapping (a fresh budget: training
+	//    time must not eat into inference time).
 	agent := &policy.Agent{Model: model, Opts: policy.SampleOpts{Greedy: true}, EarlyStop: true}
-	rlRes, err := solver.Evaluate(agent, mapping, envCfg)
+	rlCtx, rlCancel := budget()
+	rlRes, err := solver.Evaluate(rlCtx, agent, mapping, envCfg)
+	rlCancel()
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -69,14 +70,18 @@ func main() {
 	for _, s := range solvers {
 		var rs []solver.Result
 		for _, c := range test {
-			r, err := solver.Evaluate(s, c, envCfg)
+			// Each solve gets the paper's five-second budget; slower engines
+			// return their anytime best-so-far plan at the deadline.
+			ctx, cancel := context.WithTimeout(context.Background(), solver.FiveSecondLimit)
+			r, err := solver.Evaluate(ctx, s, c, envCfg)
+			cancel()
 			if err != nil {
 				log.Fatal(err)
 			}
 			rs = append(rs, r)
 		}
 		fr, _, _, elapsed := solver.Mean(rs)
-		fmt.Printf("%-22s %8.4f %12s\n", s.Name(), fr, elapsed.Round(time.Microsecond))
+		fmt.Printf("%-22s %8.4f %12s\n", s.Meta().Name, fr, elapsed.Round(time.Microsecond))
 	}
 
 	// Risk-seeking evaluation: sample 8 trajectories, deploy the best.

@@ -1,0 +1,3 @@
+module vmr2l
+
+go 1.24

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -56,7 +57,7 @@ func Table2(o Options) (*Report, error) {
 			ratio += cw.ratio
 			env := sim.New(cw.c, envCfg)
 			ag := policy.Agent{Model: m, Opts: policy.SampleOpts{Greedy: true}, Seed: o.Seed + int64(i)}
-			if err := ag.Run(env); err != nil {
+			if err := ag.Solve(context.Background(), env); err != nil {
 				return nil, err
 			}
 			if verr := env.Cluster().Validate(); verr != nil {
@@ -67,7 +68,7 @@ func Table2(o Options) (*Report, error) {
 			// the budget mimics the paper's OOT by shrinking the search.
 			s := &exact.Solver{Beam: 6, AllowLoss: true, MaxNodes: 20000}
 			envM := sim.New(cw.c, envCfg)
-			if err := s.Run(envM); err != nil {
+			if err := s.Solve(context.Background(), envM); err != nil {
 				return nil, err
 			}
 			mipFR += envM.FragRate()

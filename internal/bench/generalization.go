@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -75,7 +76,7 @@ func Table5(o Options) (*Report, error) {
 		return out, nil
 	}
 	haRes, err := evalOn(func(c *cluster.Cluster, cfg sim.Config) (float64, error) {
-		r, err := solver.Evaluate(heuristics.HA{}, c, cfg)
+		r, err := solver.Evaluate(context.Background(), heuristics.HA{}, c, cfg)
 		return r.FinalFR, err
 	})
 	if err != nil {
@@ -87,7 +88,7 @@ func Table5(o Options) (*Report, error) {
 		res, err := evalOn(func(c *cluster.Cluster, cfg sim.Config) (float64, error) {
 			env := sim.New(c, cfg)
 			a := policy.Agent{Model: model, Opts: policy.SampleOpts{Greedy: true}}
-			if err := a.Run(env); err != nil {
+			if err := a.Solve(context.Background(), env); err != nil {
 				return 0, err
 			}
 			return env.FragRate(), nil
@@ -99,7 +100,7 @@ func Table5(o Options) (*Report, error) {
 	}
 	popRes, err := evalOn(func(c *cluster.Cluster, cfg sim.Config) (float64, error) {
 		p := exact.POP{Parts: 3, Seed: o.Seed, Inner: exact.Solver{Beam: 4, AllowLoss: true, MaxNodes: 20000}}
-		r, err := solver.Evaluate(p, c, cfg)
+		r, err := solver.Evaluate(context.Background(), p, c, cfg)
 		return r.FinalFR, err
 	})
 	if err != nil {
@@ -226,13 +227,13 @@ func Fig17(o Options) (*Report, error) {
 			initFR += c.FragRate(cluster.DefaultFragCores)
 			env := sim.New(c, envCfg)
 			ag := policy.Agent{Model: m, Opts: policy.SampleOpts{Greedy: true}, Seed: o.Seed + int64(i)}
-			if err := ag.Run(env); err != nil {
+			if err := ag.Solve(context.Background(), env); err != nil {
 				return nil, err
 			}
 			rlFR += env.FragRate()
 			s := &exact.Solver{Beam: 6, AllowLoss: true, MaxNodes: 30000}
 			envM := sim.New(c, envCfg)
-			if err := s.Run(envM); err != nil {
+			if err := s.Solve(context.Background(), envM); err != nil {
 				return nil, err
 			}
 			mipFR += envM.FragRate()

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -88,12 +89,12 @@ func Fig4(o Options) (*Report, error) {
 		cfg := sim.DefaultConfig(mnl)
 		var haFRs, mipFRs []solver.Result
 		for _, c := range maps {
-			h, err := solver.Evaluate(heuristics.HA{}, c, cfg)
+			h, err := solver.Evaluate(context.Background(), heuristics.HA{}, c, cfg)
 			if err != nil {
 				return nil, err
 			}
 			mip := &exact.Solver{Beam: 6, AllowLoss: true, MaxNodes: fig4Budget(o) * mnl / mnls[0]}
-			mres, err := solver.Evaluate(mip, c, cfg)
+			mres, err := solver.Evaluate(context.Background(), mip, c, cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -151,7 +152,7 @@ func Fig5(o Options) (*Report, error) {
 		// Near-optimal plan from the initial snapshot.
 		s := &exact.Solver{Beam: 6, AllowLoss: true, MaxNodes: 60000}
 		env := sim.New(c, sim.DefaultConfig(mnl))
-		if err := s.Run(env); err != nil {
+		if err := s.Solve(context.Background(), env); err != nil {
 			return nil, err
 		}
 		plan := env.Plan()

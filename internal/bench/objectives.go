@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"vmr2l/internal/cluster"
@@ -44,7 +45,7 @@ func Fig14(o Options) (*Report, error) {
 			// HA: run under the goal config; count steps until goal/stop.
 			cfg := sim.Config{MNL: maxMNL, Obj: sim.FR16(), UseFRGoal: true, FRGoal: goal}
 			envHA := sim.New(c, cfg)
-			if err := (heuristics.HA{}).Run(envHA); err != nil {
+			if err := (heuristics.HA{}).Solve(context.Background(), envHA); err != nil {
 				return nil, err
 			}
 			haM += float64(envHA.StepsTaken())
@@ -52,14 +53,14 @@ func Fig14(o Options) (*Report, error) {
 			// VMR2L.
 			envRL := sim.New(c, cfg)
 			ag := policy.Agent{Model: m, Opts: policy.SampleOpts{Greedy: true}, Seed: o.Seed + int64(i)}
-			if err := ag.Run(envRL); err != nil {
+			if err := ag.Solve(context.Background(), envRL); err != nil {
 				return nil, err
 			}
 			rlM += float64(envRL.StepsTaken())
 			rlF += envRL.FragRate()
 			// Exact shortest plan.
 			s := &exact.Solver{Beam: 4, AllowLoss: true, MaxNodes: 20000}
-			plan := s.SearchGoal(c, sim.FR16(), goal, maxMNL)
+			plan := s.SearchGoal(context.Background(), c, sim.FR16(), goal, maxMNL)
 			cp := c.Clone()
 			for _, a := range plan {
 				if err := cp.Migrate(a.VM, a.PM, cluster.DefaultFragCores); err != nil {
@@ -115,7 +116,7 @@ func mixedObjectiveReport(o Options, id, title string, mkObj func(lambda float64
 		for i, c := range test {
 			envRL := sim.New(c, envCfg)
 			ag := policy.Agent{Model: m, Opts: policy.SampleOpts{Greedy: true}, Seed: o.Seed + int64(i)}
-			if err := ag.Run(envRL); err != nil {
+			if err := ag.Solve(context.Background(), envRL); err != nil {
 				return nil, err
 			}
 			rl16 += envRL.Cluster().FragRate(cluster.DefaultFragCores)
@@ -123,7 +124,7 @@ func mixedObjectiveReport(o Options, id, title string, mkObj func(lambda float64
 			rlObj += envRL.Value()
 			envPOP := sim.New(c, envCfg)
 			pop := exact.POP{Parts: 3, Seed: o.Seed, Inner: exact.Solver{Beam: 4, AllowLoss: true, MaxNodes: nodeBudget}}
-			if err := pop.Run(envPOP); err != nil {
+			if err := pop.Solve(context.Background(), envPOP); err != nil {
 				return nil, err
 			}
 			pop16 += envPOP.Cluster().FragRate(cluster.DefaultFragCores)

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -71,15 +72,15 @@ func overallTable(ms *methodSet, maps []*cluster.Cluster, mnls []int, obj sim.Ob
 	}
 	fr.Rows = append(fr.Rows, initRow)
 	for _, s := range ms.solvers {
-		frRow := []string{s.Name()}
-		tmRow := []string{s.Name()}
+		frRow := []string{s.Meta().Name}
+		tmRow := []string{s.Meta().Name}
 		for _, mnl := range mnls {
 			cfg := sim.Config{MNL: mnl, Obj: obj}
 			var rs []solver.Result
 			for _, c := range maps {
-				r, err := solver.Evaluate(s, c, cfg)
+				r, err := solver.Evaluate(context.Background(), s, c, cfg)
 				if err != nil {
-					return fr, tm, fmt.Errorf("%s: %w", s.Name(), err)
+					return fr, tm, fmt.Errorf("%s: %w", s.Meta().Name, err)
 				}
 				rs = append(rs, r)
 			}

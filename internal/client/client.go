@@ -1,0 +1,202 @@
+// Package client is the Go client for the rescheduling service's v2 HTTP
+// API (internal/service): synchronous solves, async job submission with
+// polling, and solver discovery. All calls take a context, and Submit and
+// Reschedule forward the context deadline to the server as the solve
+// budget (unless the request sets TimeoutMS itself) — so a caller that can
+// only afford 50 ms asks for, and gets, the best plan computable in 50 ms.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"vmr2l/internal/service"
+)
+
+// Client talks to one rescheduling server.
+type Client struct {
+	baseURL string
+	http    *http.Client
+	poll    time.Duration
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient replaces the default http.Client (e.g. to set transport
+// timeouts or test doubles).
+func WithHTTPClient(h *http.Client) Option {
+	return func(c *Client) { c.http = h }
+}
+
+// WithPollInterval sets the status-poll cadence used by Wait (default
+// 50 ms).
+func WithPollInterval(d time.Duration) Option {
+	return func(c *Client) { c.poll = d }
+}
+
+// New builds a client for the server at baseURL (e.g. "http://localhost:8080").
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{
+		baseURL: strings.TrimRight(baseURL, "/"),
+		http:    http.DefaultClient,
+		poll:    50 * time.Millisecond,
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// apiError is the JSON error envelope every non-2xx response carries.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// StatusError is returned for non-2xx responses, preserving the HTTP code
+// so callers can distinguish backpressure (503) from bad requests (400).
+type StatusError struct {
+	Code    int
+	Message string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("server returned %d: %s", e.Code, e.Message)
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("client: encode request: %w", err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.baseURL+path, rd)
+	if err != nil {
+		return fmt.Errorf("client: build request: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var ae apiError
+		_ = json.NewDecoder(resp.Body).Decode(&ae)
+		return &StatusError{Code: resp.StatusCode, Message: ae.Error}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decode %s response: %w", path, err)
+	}
+	return nil
+}
+
+// Solvers lists the registered engines with their metadata.
+func (c *Client) Solvers(ctx context.Context) ([]service.SolverInfo, error) {
+	var out struct {
+		Solvers []service.SolverInfo `json:"solvers"`
+	}
+	if err := c.do(ctx, http.MethodGet, "/v2/solvers", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Solvers, nil
+}
+
+// withCtxBudget copies the context deadline into TimeoutMS when the caller
+// didn't set one, leaving headroom for the HTTP round-trip and (for async
+// jobs) the status polls that follow the solve.
+func withCtxBudget(ctx context.Context, req service.PlanRequest) service.PlanRequest {
+	if req.TimeoutMS > 0 {
+		return req
+	}
+	if deadline, ok := ctx.Deadline(); ok {
+		if ms := int(time.Until(deadline).Milliseconds() * 9 / 10); ms > 0 {
+			req.TimeoutMS = ms
+		}
+	}
+	return req
+}
+
+// Reschedule runs one synchronous solve via POST /v2/reschedule. A context
+// deadline becomes the server-side solve budget when TimeoutMS is unset.
+func (c *Client) Reschedule(ctx context.Context, req service.PlanRequest) (*service.PlanResponse, error) {
+	var out service.PlanResponse
+	if err := c.do(ctx, http.MethodPost, "/v2/reschedule", withCtxBudget(ctx, req), &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Submit enqueues an async solve via POST /v2/jobs and returns the job id.
+// A context deadline becomes the server-side solve budget when TimeoutMS is
+// unset. A *StatusError with Code 503 means the server's queue is full;
+// retry after a backoff.
+func (c *Client) Submit(ctx context.Context, req service.PlanRequest) (string, error) {
+	var out service.JobStatus
+	if err := c.do(ctx, http.MethodPost, "/v2/jobs", withCtxBudget(ctx, req), &out); err != nil {
+		return "", err
+	}
+	return out.ID, nil
+}
+
+// Job fetches the current status of a submitted job.
+func (c *Client) Job(ctx context.Context, id string) (*service.JobStatus, error) {
+	var out service.JobStatus
+	if err := c.do(ctx, http.MethodGet, "/v2/jobs/"+id, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Wait polls a job until it reaches a terminal state or ctx expires. A
+// failed job is returned with a non-nil error wrapping the server-side
+// message; the status is still returned for inspection.
+func (c *Client) Wait(ctx context.Context, id string) (*service.JobStatus, error) {
+	t := time.NewTicker(c.poll)
+	defer t.Stop()
+	for {
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		switch st.State {
+		case service.JobSucceeded:
+			return st, nil
+		case service.JobFailed:
+			return st, fmt.Errorf("client: job %s failed: %s", id, st.Error)
+		}
+		select {
+		case <-ctx.Done():
+			return st, fmt.Errorf("client: waiting for job %s: %w", id, ctx.Err())
+		case <-t.C:
+		}
+	}
+}
+
+// Run is the convenience round-trip: submit, then wait. It is what most
+// callers want instead of managing job ids themselves.
+func (c *Client) Run(ctx context.Context, req service.PlanRequest) (*service.PlanResponse, error) {
+	id, err := c.Submit(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	st, err := c.Wait(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	return st.Result, nil
+}

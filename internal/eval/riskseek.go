@@ -6,6 +6,7 @@
 package eval
 
 import (
+	"context"
 	"math/rand"
 
 	"vmr2l/internal/cluster"
@@ -38,6 +39,14 @@ type Outcome struct {
 // The first trajectory is greedy (the deployment fallback); the rest sample
 // from π(·|s), optionally thresholded.
 func Run(m *policy.Model, init *cluster.Cluster, cfg sim.Config, opts Options) Outcome {
+	return RunContext(context.Background(), m, init, cfg, opts)
+}
+
+// RunContext is Run under a context: rollouts still in flight when ctx
+// expires stop early, and the best among what completed (even partially)
+// wins. This is the deadline-aware entry the service's risk-seeking mode
+// would use.
+func RunContext(ctx context.Context, m *policy.Model, init *cluster.Cluster, cfg sim.Config, opts Options) Outcome {
 	k := opts.Trajectories
 	if k < 1 {
 		k = 1
@@ -55,7 +64,7 @@ func Run(m *policy.Model, init *cluster.Cluster, cfg sim.Config, opts Options) O
 			PMQuantile: opts.PMQuantile,
 		}
 		ag := policy.Agent{Model: m, Opts: sampleOpts, Seed: opts.Seed + int64(i)*9973}
-		_ = ag.Run(env)
+		_ = ag.Solve(ctx, env)
 		results[i] = result{value: env.Value(), plan: append([]sim.Migration(nil), env.Plan()...)}
 	}
 	if opts.Parallel {

@@ -10,11 +10,13 @@
 package exact
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"vmr2l/internal/cluster"
 	"vmr2l/internal/sim"
+	"vmr2l/internal/solver"
 )
 
 // Solver is a branch-and-bound rescheduler.
@@ -35,15 +37,22 @@ type Solver struct {
 	AllowLoss bool
 }
 
-// Name implements solver.Solver.
-func (s *Solver) Name() string {
-	if s.Beam == 0 {
-		return "MIP(B&B)"
+// Meta implements solver.Solver.
+func (s *Solver) Meta() solver.Meta {
+	name := "MIP(B&B)"
+	if s.Beam != 0 {
+		name = fmt.Sprintf("MIP(B&B,beam=%d)", s.Beam)
 	}
-	return fmt.Sprintf("MIP(B&B,beam=%d)", s.Beam)
+	return solver.Meta{
+		Name:          name,
+		Description:   "anytime depth-first branch-and-bound over migration sequences (the paper's MIP role)",
+		Anytime:       true,
+		Deterministic: true,
+	}
 }
 
 type searchState struct {
+	ctx      context.Context
 	c        *cluster.Cluster
 	obj      sim.Objective
 	beam     int
@@ -88,6 +97,9 @@ func perMoveBound(obj sim.Objective) float64 {
 
 func (st *searchState) expired() bool {
 	if st.maxNodes > 0 && st.nodes >= st.maxNodes {
+		return true
+	}
+	if st.ctx.Err() != nil {
 		return true
 	}
 	return st.hasDL && time.Now().After(st.deadline)
@@ -153,16 +165,17 @@ func (st *searchState) dfs(score float64, depth int) {
 }
 
 // Search returns the best migration sequence of length <= depth found under
-// the solver's budgets, without mutating init.
-func (s *Solver) Search(init *cluster.Cluster, obj sim.Objective, depth int) []sim.Action {
-	return s.searchFiltered(init, obj, depth, nil)
+// ctx and the solver's budgets, without mutating init.
+func (s *Solver) Search(ctx context.Context, init *cluster.Cluster, obj sim.Objective, depth int) []sim.Action {
+	return s.searchFiltered(ctx, init, obj, depth, nil)
 }
 
-func (s *Solver) searchFiltered(init *cluster.Cluster, obj sim.Objective, depth int, filter func(sim.Action) bool) []sim.Action {
+func (s *Solver) searchFiltered(ctx context.Context, init *cluster.Cluster, obj sim.Objective, depth int, filter func(sim.Action) bool) []sim.Action {
 	if len(obj.Terms) == 0 {
 		obj = sim.FR16()
 	}
 	st := &searchState{
+		ctx:      ctx,
 		c:        init.Clone(),
 		obj:      obj,
 		beam:     s.Beam,
@@ -180,9 +193,12 @@ func (s *Solver) searchFiltered(init *cluster.Cluster, obj sim.Objective, depth 
 	return append([]sim.Action(nil), st.bestPlan...)
 }
 
-// Run implements solver.Solver: plan with branch-and-bound, then execute.
-func (s *Solver) Run(env *sim.Env) error {
-	plan := s.Search(env.Cluster(), env.Objective(), env.MNL()-env.StepsTaken())
+// Solve implements solver.Solver: plan with branch-and-bound under ctx,
+// then execute. When ctx expires mid-search, the incumbent (best-so-far)
+// plan is executed — the anytime behaviour that keeps an exact engine
+// usable inside the five-second budget.
+func (s *Solver) Solve(ctx context.Context, env *sim.Env) error {
+	plan := s.Search(ctx, env.Cluster(), env.Objective(), env.MNL()-env.StepsTaken())
 	for _, a := range plan {
 		if env.Done() {
 			break
@@ -199,12 +215,12 @@ func (s *Solver) Run(env *sim.Env) error {
 // It returns nil when the goal is unreachable within the budget. This is the
 // exact solver for the paper's "minimize MNL given FR goal" objective
 // (section 5.5.1, Fig. 14).
-func (s *Solver) SearchGoal(init *cluster.Cluster, obj sim.Objective, goal float64, maxDepth int) []sim.Action {
+func (s *Solver) SearchGoal(ctx context.Context, init *cluster.Cluster, obj sim.Objective, goal float64, maxDepth int) []sim.Action {
 	if init.FragRate(cluster.DefaultFragCores) <= goal {
 		return []sim.Action{}
 	}
-	for depth := 1; depth <= maxDepth; depth++ {
-		plan := s.Search(init, obj, depth)
+	for depth := 1; depth <= maxDepth && ctx.Err() == nil; depth++ {
+		plan := s.Search(ctx, init, obj, depth)
 		c := init.Clone()
 		ok := true
 		var used []sim.Action

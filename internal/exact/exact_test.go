@@ -1,6 +1,7 @@
 package exact
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -64,7 +65,7 @@ func TestBranchAndBoundMatchesBruteForce(t *testing.T) {
 		const depth = 2
 		want := bruteForceBest(c, depth)
 		s := &Solver{AllowLoss: true} // exhaustive
-		plan := s.Search(c, sim.FR16(), depth)
+		plan := s.Search(context.Background(), c, sim.FR16(), depth)
 		cp := c.Clone()
 		for _, a := range plan {
 			if err := cp.Migrate(a.VM, a.PM, 16); err != nil {
@@ -87,7 +88,7 @@ func TestSearchDoesNotMutateInput(t *testing.T) {
 	c := microMapping(1)
 	before := c.Fragment(16)
 	s := &Solver{AllowLoss: true}
-	s.Search(c, sim.FR16(), 2)
+	s.Search(context.Background(), c, sim.FR16(), 2)
 	if c.Fragment(16) != before {
 		t.Fatal("Search mutated input cluster")
 	}
@@ -100,7 +101,7 @@ func TestRunRespectsMNL(t *testing.T) {
 	c := trace.MustProfile("tiny").GenerateMapping(rand.New(rand.NewSource(2)))
 	env := sim.New(c, sim.DefaultConfig(3))
 	s := &Solver{Beam: 4, AllowLoss: true, MaxNodes: 3000}
-	if err := s.Run(env); err != nil {
+	if err := s.Solve(context.Background(), env); err != nil {
 		t.Fatal(err)
 	}
 	if env.StepsTaken() > 3 {
@@ -119,10 +120,10 @@ func TestBeamAnytimeNeverWorseThanGreedyOne(t *testing.T) {
 	wide := &Solver{Beam: 6, AllowLoss: true, MaxNodes: 20000}
 	envG := sim.New(c, sim.DefaultConfig(4))
 	envW := sim.New(c, sim.DefaultConfig(4))
-	if err := greedy.Run(envG); err != nil {
+	if err := greedy.Solve(context.Background(), envG); err != nil {
 		t.Fatal(err)
 	}
-	if err := wide.Run(envW); err != nil {
+	if err := wide.Solve(context.Background(), envW); err != nil {
 		t.Fatal(err)
 	}
 	if envW.FragRate() > envG.FragRate()+1e-9 {
@@ -134,7 +135,7 @@ func TestSearchGoal(t *testing.T) {
 	c := microMapping(5)
 	s := &Solver{AllowLoss: true}
 	// Find the best reachable FR in 3 moves, then ask SearchGoal for it.
-	plan := s.Search(c, sim.FR16(), 3)
+	plan := s.Search(context.Background(), c, sim.FR16(), 3)
 	cp := c.Clone()
 	for _, a := range plan {
 		if err := cp.Migrate(a.VM, a.PM, 16); err != nil {
@@ -142,7 +143,7 @@ func TestSearchGoal(t *testing.T) {
 		}
 	}
 	goal := cp.FragRate(16)
-	got := s.SearchGoal(c, sim.FR16(), goal, 3)
+	got := s.SearchGoal(context.Background(), c, sim.FR16(), goal, 3)
 	if got == nil {
 		t.Fatal("SearchGoal found no plan for a reachable goal")
 	}
@@ -150,11 +151,11 @@ func TestSearchGoal(t *testing.T) {
 		t.Errorf("goal plan length %d > search plan %d", len(got), len(plan))
 	}
 	// Already-satisfied goal needs zero moves.
-	if g := s.SearchGoal(c, sim.FR16(), 1.0, 3); g == nil || len(g) != 0 {
+	if g := s.SearchGoal(context.Background(), c, sim.FR16(), 1.0, 3); g == nil || len(g) != 0 {
 		t.Errorf("trivial goal should return empty plan, got %v", g)
 	}
 	// Impossible goal yields nil.
-	if g := s.SearchGoal(c, sim.FR16(), -0.5, 2); g != nil {
+	if g := s.SearchGoal(context.Background(), c, sim.FR16(), -0.5, 2); g != nil {
 		t.Errorf("impossible goal returned %v", g)
 	}
 }
@@ -162,7 +163,7 @@ func TestSearchGoal(t *testing.T) {
 func TestMaxNodesBudget(t *testing.T) {
 	c := trace.MustProfile("tiny").GenerateMapping(rand.New(rand.NewSource(7)))
 	s := &Solver{AllowLoss: true, MaxNodes: 50}
-	plan := s.Search(c, sim.FR16(), 10)
+	plan := s.Search(context.Background(), c, sim.FR16(), 10)
 	// With a tiny budget the search still returns a (possibly empty) valid plan.
 	cp := c.Clone()
 	for _, a := range plan {
@@ -179,7 +180,7 @@ func TestPOPStaysWithinPartitions(t *testing.T) {
 	c := trace.MustProfile("medium-small").GenerateMapping(rand.New(rand.NewSource(8)))
 	env := sim.New(c, sim.DefaultConfig(8))
 	p := POP{Parts: 4, Seed: 42, Inner: Solver{Beam: 3, MaxNodes: 8000, AllowLoss: true}}
-	if err := p.Run(env); err != nil {
+	if err := p.Solve(context.Background(), env); err != nil {
 		t.Fatal(err)
 	}
 	// Reconstruct the partition and check every migration stayed inside.
@@ -210,10 +211,10 @@ func TestPOPSuboptimalVsFullSolver(t *testing.T) {
 		envF := sim.New(c, sim.DefaultConfig(6))
 		p := POP{Parts: 3, Seed: int64(i), Inner: Solver{Beam: 4, MaxNodes: 12000, AllowLoss: true}}
 		full := &Solver{Beam: 4, MaxNodes: 12000, AllowLoss: true}
-		if err := p.Run(envP); err != nil {
+		if err := p.Solve(context.Background(), envP); err != nil {
 			t.Fatal(err)
 		}
-		if err := full.Run(envF); err != nil {
+		if err := full.Solve(context.Background(), envF); err != nil {
 			t.Fatal(err)
 		}
 		popFR += envP.FragRate()

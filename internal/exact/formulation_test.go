@@ -1,6 +1,7 @@
 package exact
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -45,19 +46,19 @@ func TestSolversSatisfyFormulation(t *testing.T) {
 	}
 	for _, s := range solvers {
 		env := sim.New(c, sim.DefaultConfig(mnl))
-		if err := s.Run(env); err != nil {
-			t.Fatalf("%s: %v", s.Name(), err)
+		if err := s.Solve(context.Background(), env); err != nil {
+			t.Fatalf("%s: %v", s.Meta().Name, err)
 		}
 		a := AssignmentOf(env.Cluster())
 		if err := f.Check(a); err != nil {
-			t.Fatalf("%s produced infeasible assignment: %v", s.Name(), err)
+			t.Fatalf("%s produced infeasible assignment: %v", s.Meta().Name, err)
 		}
 		obj, err := f.Objective(a)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if want := env.Cluster().Fragment(16); obj != want {
-			t.Fatalf("%s: objective %d != simulator fragment %d", s.Name(), obj, want)
+			t.Fatalf("%s: objective %d != simulator fragment %d", s.Meta().Name, obj, want)
 		}
 	}
 }

@@ -1,11 +1,13 @@
 package exact
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
 
 	"vmr2l/internal/sim"
+	"vmr2l/internal/solver"
 )
 
 // POP is the Partitioned Optimization Problems baseline (Narayanan et al.,
@@ -26,8 +28,15 @@ type POP struct {
 	Seed int64
 }
 
-// Name implements solver.Solver.
-func (p POP) Name() string { return fmt.Sprintf("POP(%d)", p.parts()) }
+// Meta implements solver.Solver.
+func (p POP) Meta() solver.Meta {
+	return solver.Meta{
+		Name:          fmt.Sprintf("POP(%d)", p.parts()),
+		Description:   "random-partition wrapper around branch-and-bound (Narayanan et al., SOSP'21)",
+		Anytime:       true,
+		Deterministic: true,
+	}
+}
 
 func (p POP) parts() int {
 	if p.Parts < 1 {
@@ -36,9 +45,10 @@ func (p POP) parts() int {
 	return p.Parts
 }
 
-// Run partitions PMs uniformly at random, then plans and executes each
-// subproblem sequentially with a proportional share of the MNL.
-func (p POP) Run(env *sim.Env) error {
+// Solve partitions PMs uniformly at random, then plans and executes each
+// subproblem sequentially with a proportional share of the MNL. ctx bounds
+// the whole run; partitions solved before expiry keep their migrations.
+func (p POP) Solve(ctx context.Context, env *sim.Env) error {
 	k := p.parts()
 	rng := rand.New(rand.NewSource(p.Seed))
 	c := env.Cluster()
@@ -58,7 +68,7 @@ func (p POP) Run(env *sim.Env) error {
 	if per < 1 {
 		per = 1
 	}
-	for g := 0; g < k && !env.Done(); g++ {
+	for g := 0; g < k && !env.Done() && ctx.Err() == nil; g++ {
 		g := g
 		filter := func(a sim.Action) bool {
 			cur := env.Cluster()
@@ -68,7 +78,7 @@ func (p POP) Run(env *sim.Env) error {
 		if left := env.MNL() - env.StepsTaken(); budget > left {
 			budget = left
 		}
-		plan := inner.searchFiltered(env.Cluster(), env.Objective(), budget, filter)
+		plan := inner.searchFiltered(ctx, env.Cluster(), env.Objective(), budget, filter)
 		for _, a := range plan {
 			if env.Done() {
 				break

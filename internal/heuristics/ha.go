@@ -4,10 +4,12 @@
 package heuristics
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"vmr2l/internal/sim"
+	"vmr2l/internal/solver"
 )
 
 // HA is the filtering-and-scoring heuristic used in industry data centers
@@ -20,14 +22,25 @@ import (
 // paper observes at MNL ≈ 25 on the Medium dataset.
 type HA struct{}
 
-// Name implements solver.Solver.
-func (HA) Name() string { return "HA" }
+// Meta implements solver.Solver.
+func (HA) Meta() solver.Meta {
+	return solver.Meta{
+		Name:          "HA",
+		Description:   "production filtering-and-scoring heuristic (paper section 2.1)",
+		Anytime:       true,
+		Deterministic: true,
+	}
+}
 
-// Run executes the heuristic until the episode ends or no improving
-// migration exists.
-func (HA) Run(env *sim.Env) error {
+// Solve executes the heuristic until the episode ends, no improving
+// migration exists, or ctx expires (the migrations taken so far form the
+// anytime plan).
+func (HA) Solve(ctx context.Context, env *sim.Env) error {
 	obj := env.Objective()
 	for !env.Done() {
+		if ctx.Err() != nil {
+			return nil // budget spent: best-so-far plan is already in env
+		}
 		c := env.Cluster()
 		// Filtering stage: VMs by descending removal gain.
 		type cand struct {

@@ -1,6 +1,7 @@
 package heuristics
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -15,7 +16,7 @@ var _ solver.Solver = VBPP{}
 
 func TestHAImprovesAndStopsAtLocalOptimum(t *testing.T) {
 	c := trace.MustProfile("medium-small").GenerateMapping(rand.New(rand.NewSource(1)))
-	res, err := solver.Evaluate(HA{}, c, sim.DefaultConfig(30))
+	res, err := solver.Evaluate(context.Background(), HA{}, c, sim.DefaultConfig(30))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,7 +32,7 @@ func TestHAImprovesAndStopsAtLocalOptimum(t *testing.T) {
 	if _, skipped := sim.ApplyPlan(final, res.Plan); skipped != 0 {
 		t.Fatalf("plan replay skipped %d", skipped)
 	}
-	res2, err := solver.Evaluate(HA{}, final, sim.DefaultConfig(30))
+	res2, err := solver.Evaluate(context.Background(), HA{}, final, sim.DefaultConfig(30))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +47,7 @@ func TestHAEveryStepImproves(t *testing.T) {
 		c := trace.MustProfile("tiny").GenerateMapping(rand.New(rand.NewSource(seed)))
 		env := sim.New(c, sim.DefaultConfig(10))
 		prev := env.Value()
-		if err := (HA{}).Run(env); err != nil {
+		if err := (HA{}).Solve(context.Background(), env); err != nil {
 			return false
 		}
 		// Replay and check monotonicity.
@@ -71,7 +72,7 @@ func TestHAEveryStepImproves(t *testing.T) {
 
 func TestVBPPImproves(t *testing.T) {
 	c := trace.MustProfile("medium-small").GenerateMapping(rand.New(rand.NewSource(2)))
-	res, err := solver.Evaluate(VBPP{Alpha: 5}, c, sim.DefaultConfig(30))
+	res, err := solver.Evaluate(context.Background(), VBPP{Alpha: 5}, c, sim.DefaultConfig(30))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,18 +88,18 @@ func TestVBPPDefaultsAndName(t *testing.T) {
 	if got := (VBPP{}).alpha(); got != 10 {
 		t.Errorf("default alpha = %d, want 10", got)
 	}
-	if got := (VBPP{Alpha: 3}).Name(); got != "a-VBPP(3)" {
+	if got := (VBPP{Alpha: 3}).Meta().Name; got != "a-VBPP(3)" {
 		t.Errorf("name = %q", got)
 	}
-	if got := (HA{}).Name(); got != "HA" {
-		t.Errorf("name = %q", got)
+	if got := (HA{}).Meta(); got.Name != "HA" || !got.Anytime || !got.Deterministic {
+		t.Errorf("meta = %+v", got)
 	}
 }
 
 func TestHAWithMixedObjective(t *testing.T) {
 	c := trace.MustProfile("multi-resource-small").GenerateMapping(rand.New(rand.NewSource(3)))
 	cfg := sim.Config{MNL: 15, Obj: sim.MixedResource(0.5)}
-	res, err := solver.Evaluate(HA{}, c, cfg)
+	res, err := solver.Evaluate(context.Background(), HA{}, c, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,11 +112,11 @@ func TestSolversNoOpAtZeroMNL(t *testing.T) {
 	c := trace.MustProfile("tiny").GenerateMapping(rand.New(rand.NewSource(4)))
 	for _, s := range []solver.Solver{HA{}, VBPP{Alpha: 4}} {
 		env := sim.New(c, sim.DefaultConfig(0))
-		if err := s.Run(env); err != nil {
-			t.Fatalf("%s: %v", s.Name(), err)
+		if err := s.Solve(context.Background(), env); err != nil {
+			t.Fatalf("%s: %v", s.Meta().Name, err)
 		}
 		if env.StepsTaken() != 0 {
-			t.Errorf("%s moved with MNL=0", s.Name())
+			t.Errorf("%s moved with MNL=0", s.Meta().Name)
 		}
 	}
 }

@@ -1,10 +1,12 @@
 package heuristics
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"vmr2l/internal/sim"
+	"vmr2l/internal/solver"
 )
 
 // SwapHA extends HA with the atomic two-VM swaps of the paper's future-work
@@ -18,8 +20,15 @@ type SwapHA struct {
 	TopK int
 }
 
-// Name implements solver.Solver.
-func (s SwapHA) Name() string { return fmt.Sprintf("SwapHA(%d)", s.topK()) }
+// Meta implements solver.Solver.
+func (s SwapHA) Meta() solver.Meta {
+	return solver.Meta{
+		Name:          fmt.Sprintf("SwapHA(%d)", s.topK()),
+		Description:   "HA extended with atomic two-VM swaps for deadlocked pairs (paper section 8)",
+		Anytime:       true,
+		Deterministic: true,
+	}
+}
 
 func (s SwapHA) topK() int {
 	if s.TopK < 2 {
@@ -28,11 +37,14 @@ func (s SwapHA) topK() int {
 	return s.TopK
 }
 
-// Run executes moves and swaps until the episode ends or no action improves
-// the objective.
-func (s SwapHA) Run(env *sim.Env) error {
+// Solve executes moves and swaps until the episode ends, no action improves
+// the objective, or ctx expires.
+func (s SwapHA) Solve(ctx context.Context, env *sim.Env) error {
 	obj := env.Objective()
 	for !env.Done() {
+		if ctx.Err() != nil {
+			return nil // budget spent: best-so-far plan is already in env
+		}
 		c := env.Cluster()
 		// Best single move.
 		var bestMove sim.Action

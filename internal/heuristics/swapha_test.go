@@ -1,6 +1,7 @@
 package heuristics
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -35,7 +36,7 @@ func swapDeadlock(t *testing.T) *cluster.Cluster {
 func TestSwapHABreaksDeadlock(t *testing.T) {
 	c := swapDeadlock(t)
 	// Plain HA is stuck: no single migration is feasible at all.
-	haRes, err := solver.Evaluate(HA{}, c, sim.DefaultConfig(4))
+	haRes, err := solver.Evaluate(context.Background(), HA{}, c, sim.DefaultConfig(4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +47,7 @@ func TestSwapHABreaksDeadlock(t *testing.T) {
 	// The swap is feasible; whether it improves depends on sizes, so check
 	// the solver at least acts and leaves a valid cluster.
 	env := sim.New(c, sim.DefaultConfig(4))
-	if err := (SwapHA{TopK: 8}).Run(env); err != nil {
+	if err := (SwapHA{TopK: 8}).Solve(context.Background(), env); err != nil {
 		t.Fatal(err)
 	}
 	if err := env.Cluster().Validate(); err != nil {
@@ -61,11 +62,11 @@ func TestSwapHANeverWorseThanHA(t *testing.T) {
 	var haSum, swapSum float64
 	for seed := int64(0); seed < 4; seed++ {
 		c := trace.MustProfile("tiny").GenerateFragmented(rand.New(rand.NewSource(seed)), 0.12, 10)
-		h, err := solver.Evaluate(HA{}, c, sim.DefaultConfig(8))
+		h, err := solver.Evaluate(context.Background(), HA{}, c, sim.DefaultConfig(8))
 		if err != nil {
 			t.Fatal(err)
 		}
-		s, err := solver.Evaluate(SwapHA{TopK: 8}, c, sim.DefaultConfig(8))
+		s, err := solver.Evaluate(context.Background(), SwapHA{TopK: 8}, c, sim.DefaultConfig(8))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -81,7 +82,7 @@ func TestSwapHANeverWorseThanHA(t *testing.T) {
 
 func TestSwapHAPlanReplay(t *testing.T) {
 	c := trace.MustProfile("tiny").GenerateFragmented(rand.New(rand.NewSource(5)), 0.12, 10)
-	res, err := solver.Evaluate(SwapHA{TopK: 6}, c, sim.DefaultConfig(8))
+	res, err := solver.Evaluate(context.Background(), SwapHA{TopK: 6}, c, sim.DefaultConfig(8))
 	if err != nil {
 		t.Fatal(err)
 	}

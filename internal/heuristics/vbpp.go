@@ -1,10 +1,12 @@
 package heuristics
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"vmr2l/internal/sim"
+	"vmr2l/internal/solver"
 )
 
 // VBPP generalizes the vector-bin-packing heuristic to rescheduling (paper
@@ -18,8 +20,15 @@ type VBPP struct {
 	Alpha int
 }
 
-// Name implements solver.Solver.
-func (v VBPP) Name() string { return fmt.Sprintf("a-VBPP(%d)", v.alpha()) }
+// Meta implements solver.Solver.
+func (v VBPP) Meta() solver.Meta {
+	return solver.Meta{
+		Name:          fmt.Sprintf("a-VBPP(%d)", v.alpha()),
+		Description:   "staged vector-bin-packing rescheduler, α VMs re-packed per stage (paper section 5.1)",
+		Anytime:       true,
+		Deterministic: true,
+	}
+}
 
 func (v VBPP) alpha() int {
 	if v.Alpha < 1 {
@@ -28,10 +37,14 @@ func (v VBPP) alpha() int {
 	return v.Alpha
 }
 
-// Run executes stages until the episode ends or a stage makes no progress.
-func (v VBPP) Run(env *sim.Env) error {
+// Solve executes stages until the episode ends, a stage makes no progress,
+// or ctx expires.
+func (v VBPP) Solve(ctx context.Context, env *sim.Env) error {
 	obj := env.Objective()
 	for !env.Done() {
+		if ctx.Err() != nil {
+			return nil // budget spent: best-so-far plan is already in env
+		}
 		c := env.Cluster()
 		// Stage selection: α VMs with the highest removal gain.
 		type cand struct {
@@ -70,7 +83,7 @@ func (v VBPP) Run(env *sim.Env) error {
 		})
 		progressed := false
 		for _, cd := range cands {
-			if env.Done() {
+			if env.Done() || ctx.Err() != nil {
 				break
 			}
 			cur := env.Cluster()

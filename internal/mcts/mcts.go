@@ -6,6 +6,7 @@
 package mcts
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -13,6 +14,7 @@ import (
 
 	"vmr2l/internal/cluster"
 	"vmr2l/internal/sim"
+	"vmr2l/internal/solver"
 )
 
 // Solver is a receding-horizon UCT searcher: at every environment step it
@@ -35,8 +37,15 @@ type Solver struct {
 	Deadline time.Duration
 }
 
-// Name implements solver.Solver.
-func (s *Solver) Name() string { return fmt.Sprintf("MCTS(%d)", s.iterations()) }
+// Meta implements solver.Solver.
+func (s *Solver) Meta() solver.Meta {
+	return solver.Meta{
+		Name:          fmt.Sprintf("MCTS(%d)", s.iterations()),
+		Description:   "receding-horizon UCT search with gain-ranked candidate pruning (DDTS-style)",
+		Anytime:       true,
+		Deterministic: false,
+	}
+}
 
 func (s *Solver) iterations() int {
 	if s.Iterations < 1 {
@@ -135,17 +144,25 @@ func (s *Solver) simulate(root *node, state *cluster.Cluster, obj sim.Objective,
 	return ret
 }
 
-// Run implements solver.Solver.
-func (s *Solver) Run(env *sim.Env) error {
+// Solve implements solver.Solver: UCT iterations stop as soon as ctx (or the
+// legacy Deadline field) expires; the most-visited action found so far at the
+// current root is still executed, so every completed environment step stays.
+func (s *Solver) Solve(ctx context.Context, env *sim.Env) error {
 	rng := rand.New(rand.NewSource(s.Seed))
 	var deadline time.Time
 	if s.Deadline > 0 {
 		deadline = time.Now().Add(s.Deadline)
 	}
 	for !env.Done() {
+		if ctx.Err() != nil {
+			return nil // budget spent: best-so-far plan is already in env
+		}
 		remaining := env.MNL() - env.StepsTaken()
 		root := &node{}
 		for it := 0; it < s.iterations(); it++ {
+			if ctx.Err() != nil {
+				break
+			}
 			if !deadline.IsZero() && time.Now().After(deadline) {
 				break
 			}

@@ -1,6 +1,7 @@
 package mcts
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"time"
@@ -15,7 +16,7 @@ var _ solver.Solver = (*Solver)(nil)
 
 func TestMCTSImprovesWithinMNL(t *testing.T) {
 	c := trace.MustProfile("tiny").GenerateMapping(rand.New(rand.NewSource(1)))
-	res, err := solver.Evaluate(&Solver{Iterations: 48, Width: 6, Seed: 1}, c, sim.DefaultConfig(8))
+	res, err := solver.Evaluate(context.Background(), &Solver{Iterations: 48, Width: 6, Seed: 1}, c, sim.DefaultConfig(8))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,11 +35,11 @@ func TestMCTSAtLeastMatchesGreedyOnSmallMNL(t *testing.T) {
 	const n = 3
 	for i := int64(0); i < n; i++ {
 		c := trace.MustProfile("tiny").GenerateMapping(rand.New(rand.NewSource(10 + i)))
-		h, err := solver.Evaluate(heuristics.HA{}, c, sim.DefaultConfig(5))
+		h, err := solver.Evaluate(context.Background(), heuristics.HA{}, c, sim.DefaultConfig(5))
 		if err != nil {
 			t.Fatal(err)
 		}
-		m, err := solver.Evaluate(&Solver{Iterations: 80, Width: 8, Seed: i}, c, sim.DefaultConfig(5))
+		m, err := solver.Evaluate(context.Background(), &Solver{Iterations: 80, Width: 8, Seed: i}, c, sim.DefaultConfig(5))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -55,7 +56,7 @@ func TestMCTSDeadline(t *testing.T) {
 	s := &Solver{Iterations: 1 << 20, Width: 8, Seed: 2, Deadline: 50 * time.Millisecond}
 	start := time.Now()
 	env := sim.New(c, sim.DefaultConfig(20))
-	if err := s.Run(env); err != nil {
+	if err := s.Solve(context.Background(), env); err != nil {
 		t.Fatal(err)
 	}
 	if time.Since(start) > 3*time.Second {
@@ -68,7 +69,7 @@ func TestMCTSDefaults(t *testing.T) {
 	if s.iterations() != 64 || s.width() != 8 || s.c() != 0.7 {
 		t.Errorf("defaults wrong: %d %d %v", s.iterations(), s.width(), s.c())
 	}
-	if s.Name() != "MCTS(64)" {
-		t.Errorf("name = %q", s.Name())
+	if s.Meta().Name != "MCTS(64)" {
+		t.Errorf("name = %q", s.Meta().Name)
 	}
 }

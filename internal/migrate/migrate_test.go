@@ -1,6 +1,7 @@
 package migrate
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"time"
@@ -72,7 +73,7 @@ func TestEstimateEdgeCases(t *testing.T) {
 
 func TestPlanCostAccumulates(t *testing.T) {
 	c := trace.MustProfile("tiny").GenerateFragmented(rand.New(rand.NewSource(1)), 0.1, 10)
-	res, err := solver.Evaluate(heuristics.HA{}, c, sim.DefaultConfig(6))
+	res, err := solver.Evaluate(context.Background(), heuristics.HA{}, c, sim.DefaultConfig(6))
 	if err != nil {
 		t.Fatal(err)
 	}

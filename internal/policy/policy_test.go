@@ -2,6 +2,7 @@ package policy
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -120,10 +121,10 @@ func TestGreedyIsDeterministic(t *testing.T) {
 	env2 := tinyEnv(17, 5)
 	a1 := Agent{Model: m, Opts: SampleOpts{Greedy: true}, Seed: 1}
 	a2 := Agent{Model: m, Opts: SampleOpts{Greedy: true}, Seed: 99} // seed must not matter
-	if err := a1.Run(env1); err != nil {
+	if err := a1.Solve(context.Background(), env1); err != nil {
 		t.Fatal(err)
 	}
-	if err := a2.Run(env2); err != nil {
+	if err := a2.Solve(context.Background(), env2); err != nil {
 		t.Fatal(err)
 	}
 	p1, p2 := env1.Plan(), env2.Plan()
@@ -241,7 +242,7 @@ func TestNeuPlanRunsAndImproves(t *testing.T) {
 	np.Inner.MaxNodes = 4000
 	np.Inner.AllowLoss = true
 	before := env.FragRate()
-	if err := np.Run(env); err != nil {
+	if err := np.Solve(context.Background(), env); err != nil {
 		t.Fatal(err)
 	}
 	if env.StepsTaken() > 6 {
@@ -266,10 +267,10 @@ func TestModelCheckpointRoundTripPreservesPolicy(t *testing.T) {
 	}
 	env1 := tinyEnv(31, 4)
 	env2 := tinyEnv(31, 4)
-	if err := (&Agent{Model: m1, Opts: SampleOpts{Greedy: true}}).Run(env1); err != nil {
+	if err := (&Agent{Model: m1, Opts: SampleOpts{Greedy: true}}).Solve(context.Background(), env1); err != nil {
 		t.Fatal(err)
 	}
-	if err := (&Agent{Model: m2, Opts: SampleOpts{Greedy: true}}).Run(env2); err != nil {
+	if err := (&Agent{Model: m2, Opts: SampleOpts{Greedy: true}}).Solve(context.Background(), env2); err != nil {
 		t.Fatal(err)
 	}
 	if env1.FragRate() != env2.FragRate() {
@@ -283,7 +284,7 @@ func TestAgentWithAffinityConstraints(t *testing.T) {
 	trace.AttachAffinity(c, 4, rng)
 	m := New(testConfig(SparseAttention, TwoStage))
 	env := sim.New(c, sim.DefaultConfig(5))
-	if err := (&Agent{Model: m, Seed: 5}).Run(env); err != nil {
+	if err := (&Agent{Model: m, Seed: 5}).Solve(context.Background(), env); err != nil {
 		t.Fatal(err)
 	}
 	if err := env.Cluster().Validate(); err != nil {
@@ -297,7 +298,7 @@ func TestAgentEarlyStop(t *testing.T) {
 	m := New(testConfig(SparseAttention, TwoStage))
 	env := tinyEnv(41, 6)
 	ag := Agent{Model: m, Opts: SampleOpts{Greedy: true}, EarlyStop: true}
-	if err := ag.Run(env); err != nil {
+	if err := ag.Solve(context.Background(), env); err != nil {
 		t.Fatal(err)
 	}
 	// With early stop, an untrained greedy agent never executes a

@@ -1,11 +1,13 @@
 package policy
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"vmr2l/internal/exact"
 	"vmr2l/internal/sim"
+	"vmr2l/internal/solver"
 )
 
 // Agent wraps a trained model as a solver.Solver that rolls the policy out
@@ -24,18 +26,28 @@ type Agent struct {
 	EarlyStop bool
 }
 
-// Name implements solver.Solver.
-func (a *Agent) Name() string {
+// Meta implements solver.Solver.
+func (a *Agent) Meta() solver.Meta {
+	name := "VMR2L"
 	if a.Label != "" {
-		return a.Label
+		name = a.Label
 	}
-	return "VMR2L"
+	return solver.Meta{
+		Name:          name,
+		Description:   "learned two-stage policy rollout (sparse tree-local attention, greedy or sampled)",
+		Anytime:       true,
+		Deterministic: a.Opts.Greedy,
+	}
 }
 
-// Run implements solver.Solver.
-func (a *Agent) Run(env *sim.Env) error {
+// Solve implements solver.Solver: one policy rollout, stopping at episode
+// end, when no migratable VM remains, or when ctx expires.
+func (a *Agent) Solve(ctx context.Context, env *sim.Env) error {
 	rng := rand.New(rand.NewSource(a.Seed))
 	for !env.Done() {
+		if ctx.Err() != nil {
+			return nil // budget spent: best-so-far plan is already in env
+		}
 		dec, err := a.Model.Act(env, rng, a.Opts)
 		if err != nil {
 			return nil // no migratable VM left: episode effectively over
@@ -69,14 +81,21 @@ type NeuPlan struct {
 	Seed  int64
 }
 
-// Name implements solver.Solver.
-func (n *NeuPlan) Name() string { return fmt.Sprintf("NeuPlan(b=%d)", n.Beta) }
+// Meta implements solver.Solver.
+func (n *NeuPlan) Meta() solver.Meta {
+	return solver.Meta{
+		Name:          fmt.Sprintf("NeuPlan(b=%d)", n.Beta),
+		Description:   "hybrid: RL policy prunes the prefix, exact search finishes the last β migrations",
+		Anytime:       true,
+		Deterministic: true,
+	}
+}
 
-// Run implements solver.Solver.
-func (n *NeuPlan) Run(env *sim.Env) error {
+// Solve implements solver.Solver.
+func (n *NeuPlan) Solve(ctx context.Context, env *sim.Env) error {
 	rng := rand.New(rand.NewSource(n.Seed))
 	rlSteps := env.MNL() - n.Beta
-	for env.StepsTaken() < rlSteps && !env.Done() {
+	for env.StepsTaken() < rlSteps && !env.Done() && ctx.Err() == nil {
 		dec, err := n.Model.Act(env, rng, SampleOpts{Greedy: true})
 		if err != nil {
 			break
@@ -85,10 +104,10 @@ func (n *NeuPlan) Run(env *sim.Env) error {
 			return fmt.Errorf("policy: neuplan rl step: %w", err)
 		}
 	}
-	if env.Done() {
+	if env.Done() || ctx.Err() != nil {
 		return nil
 	}
-	plan := n.Inner.Search(env.Cluster(), env.Objective(), env.MNL()-env.StepsTaken())
+	plan := n.Inner.Search(ctx, env.Cluster(), env.Objective(), env.MNL()-env.StepsTaken())
 	for _, a := range plan {
 		if env.Done() {
 			break

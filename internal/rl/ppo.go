@@ -5,6 +5,7 @@
 package rl
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -367,7 +368,7 @@ func EvalFR(m *policy.Model, maps []*cluster.Cluster, envCfg sim.Config) float64
 	for i, init := range maps {
 		env := sim.New(init, envCfg)
 		ag := policy.Agent{Model: m, Opts: policy.SampleOpts{Greedy: true}, Seed: int64(i)}
-		if err := ag.Run(env); err != nil {
+		if err := ag.Solve(context.Background(), env); err != nil {
 			// An agent error leaves the episode short; count current value.
 			_ = err
 		}

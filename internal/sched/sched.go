@@ -62,16 +62,16 @@ func canHostUnplaced(c *cluster.Cluster, id, pm int) bool {
 	return true
 }
 
-// Event is one VM arrival or exit in a replayed stream.
+// Event is one VM arrival or exit in a replayed stream. An exit does not
+// name a VM: the stream is generated independently of any cluster, so Replay
+// resolves each exit against the VMs actually placed at replay time by
+// sampling uniformly from them.
 type Event struct {
 	Minute int
 	// Arrive is true for a new VM request, false for an exit.
 	Arrive bool
 	// Type is the flavor of an arriving VM.
 	Type cluster.VMType
-	// VM is the exiting VM id (index into the cluster's VM slice); only
-	// meaningful for exits and resolved against live VMs at replay time.
-	VM int
 }
 
 // DiurnalRate returns the expected VM changes per minute at the given minute
@@ -96,7 +96,7 @@ func Stream(rng *rand.Rand, minutes int, peak float64, mix []cluster.VMType) []E
 			if rng.Float64() < 0.5 {
 				events = append(events, Event{Minute: m, Arrive: true, Type: mix[rng.Intn(len(mix))]})
 			} else {
-				events = append(events, Event{Minute: m, Arrive: false, VM: rng.Int()})
+				events = append(events, Event{Minute: m, Arrive: false})
 			}
 		}
 	}

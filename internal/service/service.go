@@ -3,23 +3,36 @@
 // current VM-PM mapping and receive a migration plan within the latency
 // budget. Solvers are pluggable so the same endpoint can serve the
 // heuristic, the exact solver, or a trained VMR2L checkpoint.
+//
+// API v2 is asynchronous-first: POST /v2/jobs enqueues a solve onto a
+// bounded worker pool and returns a job id; GET /v2/jobs/{id} reports
+// status and, once finished, the plan. POST /v2/reschedule is the
+// synchronous variant, and /v1/reschedule is a compatibility shim that
+// delegates to the same engine. Every solve runs under a context deadline,
+// so even the exact solver returns a best-so-far anytime plan inside the
+// paper's five-second budget instead of a stale optimal one.
 package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
+	"strings"
+	"sync"
 	"time"
 
+	"vmr2l/internal/cluster"
 	"vmr2l/internal/sim"
 	"vmr2l/internal/solver"
 	"vmr2l/internal/trace"
 )
 
-// PlanRequest is the body of POST /v1/reschedule. The mapping uses the
-// dataset JSON schema of internal/trace.
+// PlanRequest is the body of POST /v1/reschedule, /v2/reschedule and
+// /v2/jobs. The mapping uses the dataset JSON schema of internal/trace.
 type PlanRequest struct {
 	// MNL is the migration number limit; required, > 0.
 	MNL int `json:"mnl"`
@@ -27,6 +40,11 @@ type PlanRequest struct {
 	Solver string `json:"solver,omitempty"`
 	// Objective: "fr16" (default), "mixed-vm:<lambda>", "mixed-mem:<lambda>".
 	Objective string `json:"objective,omitempty"`
+	// TimeoutMS shrinks the server's solve budget for this request; values
+	// above the engine's configured budget are capped to it (a client can
+	// never extend the budget). Honored on every endpoint, including the
+	// /v1 shim, where pre-v2 clients simply never set it.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
 	// Mapping is the cluster snapshot (trace JSON schema).
 	Mapping json.RawMessage `json:"mapping"`
 }
@@ -39,7 +57,8 @@ type PlanMigration struct {
 	Swap   bool `json:"swap,omitempty"`
 }
 
-// PlanResponse is the body returned by POST /v1/reschedule.
+// PlanResponse is the body returned by the reschedule endpoints. Its shape
+// is frozen: /v1/reschedule clients from before API v2 depend on it.
 type PlanResponse struct {
 	Solver    string          `json:"solver"`
 	InitialFR float64         `json:"initial_fr"`
@@ -49,33 +68,249 @@ type PlanResponse struct {
 	Plan      []PlanMigration `json:"plan"`
 }
 
-// Server routes rescheduling requests to registered solvers.
-type Server struct {
-	mux      *http.ServeMux
-	solvers  map[string]solver.Solver
-	fallback string
-	// Timeout bounds one solve; zero means the paper's five-second limit.
-	Timeout time.Duration
+// JobState enumerates the lifecycle of an async solve.
+type JobState string
+
+// Job lifecycle: queued (accepted, waiting for a worker), running,
+// then exactly one of succeeded or failed.
+const (
+	JobQueued    JobState = "queued"
+	JobRunning   JobState = "running"
+	JobSucceeded JobState = "succeeded"
+	JobFailed    JobState = "failed"
+)
+
+// JobStatus is the body returned by GET /v2/jobs/{id} (and, with only ID and
+// State set, by POST /v2/jobs).
+type JobStatus struct {
+	ID    string   `json:"id"`
+	State JobState `json:"state"`
+	// Solver is the registry name the job runs on.
+	Solver string `json:"solver"`
+	// TimedOut reports the solve hit its deadline and the plan is the
+	// anytime best-so-far (still valid, possibly shorter than MNL).
+	TimedOut bool `json:"timed_out,omitempty"`
+	// Result is set once State is succeeded.
+	Result *PlanResponse `json:"result,omitempty"`
+	// Error is set once State is failed.
+	Error string `json:"error,omitempty"`
 }
 
-// New builds a server. The first registered solver is the default engine.
-func New() *Server {
-	s := &Server{mux: http.NewServeMux(), solvers: map[string]solver.Solver{}}
-	s.mux.HandleFunc("/v1/reschedule", s.handleReschedule)
-	s.mux.HandleFunc("/v1/solvers", s.handleSolvers)
+// SolverInfo is one entry of GET /v2/solvers.
+type SolverInfo struct {
+	// ID is the registry name used in PlanRequest.Solver.
+	ID string `json:"id"`
+	solver.Meta
+	// Default marks the engine used when PlanRequest.Solver is empty.
+	Default bool `json:"default,omitempty"`
+	// TimeoutMS is the engine's solve budget in milliseconds.
+	TimeoutMS int64 `json:"timeout_ms"`
+}
+
+// job is the internal unit of work flowing through the worker pool.
+type job struct {
+	id      string
+	name    string // registry name of the engine
+	sv      solver.Solver
+	mapping *cluster.Cluster
+	cfg     sim.Config
+	timeout time.Duration
+
+	mu       sync.Mutex
+	state    JobState
+	timedOut bool
+	result   *PlanResponse
+	err      string
+}
+
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobStatus{
+		ID: j.id, State: j.state, Solver: j.name,
+		TimedOut: j.timedOut, Result: j.result, Error: j.err,
+	}
+}
+
+// Server routes rescheduling requests to registered solvers and owns the
+// async job queue. Create it with New, register engines, and Close it when
+// done to drain the worker pool.
+type Server struct {
+	mux *http.ServeMux
+
+	mu        sync.RWMutex
+	solvers   map[string]solver.Solver
+	timeouts  map[string]time.Duration
+	fallback  string
+	pinnedDef bool // fallback was set by WithDefaultEngine, not first-registration
+
+	timeout    time.Duration
+	workers    int
+	queueDepth int
+
+	jobsMu   sync.RWMutex
+	jobs     map[string]*job
+	jobOrder []string // submission order, for finished-job eviction
+	jobSeq   uint64
+
+	queue chan *job
+	wg    sync.WaitGroup
+	// closeMu serializes enqueues against Close: a send on s.queue only
+	// happens under the read lock with closed false, so close(s.queue)
+	// (under the write lock) can never race a send.
+	closeMu  sync.RWMutex
+	closed   bool
+	baseCtx  context.Context
+	cancel   context.CancelFunc
+	stopOnce sync.Once
+}
+
+// Option configures a Server at construction time.
+type Option func(*Server)
+
+// WithDefaultEngine pins the default engine name instead of the
+// first-registered one. The name must eventually be registered.
+func WithDefaultEngine(name string) Option {
+	return func(s *Server) { s.fallback, s.pinnedDef = name, true }
+}
+
+// WithTimeout sets the default per-solve budget. Zero (the default) means
+// the paper's five-second limit.
+func WithTimeout(d time.Duration) Option {
+	return func(s *Server) { s.timeout = d }
+}
+
+// WithSolverTimeout overrides the solve budget for one engine name — e.g. a
+// tighter budget for the exact solver than for the O(ms) heuristics.
+func WithSolverTimeout(name string, d time.Duration) Option {
+	return func(s *Server) { s.timeouts[name] = d }
+}
+
+// WithWorkers sets the worker-pool size (default 4, minimum 1).
+func WithWorkers(n int) Option {
+	return func(s *Server) { s.workers = n }
+}
+
+// WithQueueDepth bounds the number of queued-but-not-running jobs (default
+// 64, minimum 1). A full queue makes POST /v2/jobs return 503, which is the
+// server's backpressure signal.
+func WithQueueDepth(n int) Option {
+	return func(s *Server) { s.queueDepth = n }
+}
+
+// New builds a server and starts its worker pool. Unless WithDefaultEngine
+// is given, the first registered solver is the default engine.
+func New(opts ...Option) *Server {
+	s := &Server{
+		mux:        http.NewServeMux(),
+		solvers:    map[string]solver.Solver{},
+		timeouts:   map[string]time.Duration{},
+		jobs:       map[string]*job{},
+		workers:    4,
+		queueDepth: 64,
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	if s.workers < 1 {
+		s.workers = 1
+	}
+	if s.queueDepth < 1 {
+		s.queueDepth = 1
+	}
+	s.queue = make(chan *job, s.queueDepth)
+	s.baseCtx, s.cancel = context.WithCancel(context.Background())
+	for i := 0; i < s.workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+
+	s.mux.HandleFunc("POST /v2/jobs", s.handleSubmitJob)
+	s.mux.HandleFunc("GET /v2/jobs/{id}", s.handleJobStatus)
+	s.mux.HandleFunc("GET /v2/solvers", s.handleSolversV2)
+	s.mux.HandleFunc("POST /v2/reschedule", s.handleRescheduleV2)
+	// v1 compatibility shims: same engines, same response bytes as before v2.
+	s.mux.HandleFunc("/v1/reschedule", s.handleRescheduleV1)
+	s.mux.HandleFunc("/v1/solvers", s.handleSolversV1)
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
 	return s
 }
 
-// Register adds a solver under name; the first registration becomes the
-// default engine.
+// Close stops accepting new work and shuts the pool down promptly: solves
+// already running have their contexts cancelled and finish with their
+// anytime best-so-far plans; jobs still queued are failed as cancelled.
+// Safe to call more than once and concurrently with in-flight submissions
+// (which are refused with 503).
+func (s *Server) Close() {
+	s.stopOnce.Do(func() {
+		s.cancel()
+		s.closeMu.Lock()
+		s.closed = true
+		close(s.queue)
+		s.closeMu.Unlock()
+	})
+	s.wg.Wait()
+}
+
+// enqueue hands a job to the worker pool without blocking. It reports
+// false when the bounded queue is full or the server is closing.
+func (s *Server) enqueue(j *job) bool {
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed {
+		return false
+	}
+	select {
+	case s.queue <- j:
+		return true
+	default:
+		return false
+	}
+}
+
+// Register adds a solver under name; without WithDefaultEngine the first
+// registration becomes the default engine. Safe for concurrent use.
 func (s *Server) Register(name string, sv solver.Solver) {
-	if s.fallback == "" {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fallback == "" && !s.pinnedDef {
 		s.fallback = name
 	}
 	s.solvers[name] = sv
+}
+
+// lookup resolves a request's engine name under the read lock.
+func (s *Server) lookup(name string) (string, solver.Solver, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if name == "" {
+		name = s.fallback
+	}
+	sv, ok := s.solvers[name]
+	return name, sv, ok
+}
+
+// budgetFor returns the solve budget for one engine: the per-solver
+// override, else the server default, else the paper's five-second limit;
+// reqMS (from the request body) can only shrink it.
+func (s *Server) budgetFor(name string, reqMS int) time.Duration {
+	s.mu.RLock()
+	budget, ok := s.timeouts[name]
+	s.mu.RUnlock()
+	if !ok {
+		budget = s.timeout
+	}
+	if budget == 0 {
+		budget = solver.FiveSecondLimit
+	}
+	if reqMS > 0 {
+		if req := time.Duration(reqMS) * time.Millisecond; req < budget {
+			budget = req
+		}
+	}
+	return budget
 }
 
 // ServeHTTP implements http.Handler.
@@ -87,83 +322,68 @@ func httpError(w http.ResponseWriter, code int, format string, args ...any) {
 	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
-func (s *Server) handleSolvers(w http.ResponseWriter, r *http.Request) {
-	names := make([]string, 0, len(s.solvers))
-	for n := range s.solvers {
-		names = append(names, n)
-	}
-	sort.Strings(names)
+func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(map[string]any{"solvers": names, "default": s.fallback})
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
 }
 
-// parseObjective understands "fr16", "mixed-vm:<l>", "mixed-mem:<l>".
+// parseObjective understands "fr16", "mixed-vm:<l>", "mixed-mem:<l>" with
+// lambda in [0, 1].
 func parseObjective(spec string) (sim.Objective, error) {
 	if spec == "" || spec == "fr16" {
 		return sim.FR16(), nil
 	}
-	var lambda float64
-	switch {
-	case len(spec) > 9 && spec[:9] == "mixed-vm:":
-		if _, err := fmt.Sscanf(spec[9:], "%f", &lambda); err == nil && lambda >= 0 && lambda <= 1 {
+	if rest, ok := strings.CutPrefix(spec, "mixed-vm:"); ok {
+		if lambda, err := strconv.ParseFloat(rest, 64); err == nil && lambda >= 0 && lambda <= 1 {
 			return sim.MixedVMType(lambda), nil
 		}
-	case len(spec) > 10 && spec[:10] == "mixed-mem:":
-		if _, err := fmt.Sscanf(spec[10:], "%f", &lambda); err == nil && lambda >= 0 && lambda <= 1 {
+	} else if rest, ok := strings.CutPrefix(spec, "mixed-mem:"); ok {
+		if lambda, err := strconv.ParseFloat(rest, 64); err == nil && lambda >= 0 && lambda <= 1 {
 			return sim.MixedResource(lambda), nil
 		}
 	}
 	return sim.Objective{}, fmt.Errorf("unknown objective %q", spec)
 }
 
-func (s *Server) handleReschedule(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST required")
-		return
-	}
-	var req PlanRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "decode request: %v", err)
-		return
-	}
+// parseRequest validates a PlanRequest into a runnable job (not yet queued).
+// The returned error text is client-facing (400).
+func (s *Server) parseRequest(req PlanRequest) (*job, error) {
 	if req.MNL <= 0 {
-		httpError(w, http.StatusBadRequest, "mnl must be positive")
-		return
+		return nil, fmt.Errorf("mnl must be positive")
 	}
-	name := req.Solver
-	if name == "" {
-		name = s.fallback
-	}
-	sv, ok := s.solvers[name]
+	name, sv, ok := s.lookup(req.Solver)
 	if !ok {
-		httpError(w, http.StatusBadRequest, "unknown solver %q", name)
-		return
+		// Report the resolved name so a missing *default* engine is named.
+		return nil, fmt.Errorf("unknown solver %q", name)
 	}
 	obj, err := parseObjective(req.Objective)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
-		return
+		return nil, err
 	}
-	c, err := trace.ReadMapping(newBytesReader(req.Mapping))
+	c, err := trace.ReadMapping(bytes.NewReader(req.Mapping))
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "invalid mapping: %v", err)
-		return
+		return nil, fmt.Errorf("invalid mapping: %v", err)
 	}
-	res, err := solver.Evaluate(sv, c, sim.Config{MNL: req.MNL, Obj: obj})
+	return &job{
+		name:    name,
+		sv:      sv,
+		mapping: c,
+		cfg:     sim.Config{MNL: req.MNL, Obj: obj},
+		timeout: s.budgetFor(name, req.TimeoutMS),
+		state:   JobQueued,
+	}, nil
+}
+
+// solve runs one job's engine under its deadline and converts the outcome.
+func solve(ctx context.Context, j *job) (*PlanResponse, bool, error) {
+	ctx, cancel := context.WithTimeout(ctx, j.timeout)
+	defer cancel()
+	res, err := solver.Evaluate(ctx, j.sv, j.mapping, j.cfg)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, "solver failed: %v", err)
-		return
+		return nil, res.TimedOut, err
 	}
-	timeout := s.Timeout
-	if timeout == 0 {
-		timeout = solver.FiveSecondLimit
-	}
-	if res.Elapsed > timeout {
-		// The plan is stale by the paper's own latency argument; report it
-		// but flag the overrun so operators can pick a faster engine.
-		w.Header().Set("X-Latency-Budget-Exceeded", res.Elapsed.String())
-	}
-	resp := PlanResponse{
+	resp := &PlanResponse{
 		Solver:    res.Solver,
 		InitialFR: res.InitialFR,
 		FinalFR:   res.FinalFR,
@@ -173,9 +393,168 @@ func (s *Server) handleReschedule(w http.ResponseWriter, r *http.Request) {
 	for _, m := range res.Plan {
 		resp.Plan = append(resp.Plan, PlanMigration{VM: m.VM, FromPM: m.FromPM, ToPM: m.ToPM, Swap: m.Swap})
 	}
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(resp)
+	return resp, res.TimedOut, nil
 }
 
-// newBytesReader adapts raw JSON to the io.Reader ReadMapping expects.
-func newBytesReader(b []byte) *bytes.Reader { return bytes.NewReader(b) }
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		if s.baseCtx.Err() != nil {
+			// Server closing before this job ever ran: fail it honestly
+			// rather than reporting a zero-step solve as a success.
+			j.mu.Lock()
+			j.state, j.err = JobFailed, "canceled: server shut down before the solve started"
+			j.mu.Unlock()
+			continue
+		}
+		j.mu.Lock()
+		j.state = JobRunning
+		j.mu.Unlock()
+		resp, timedOut, err := solve(s.baseCtx, j)
+		j.mu.Lock()
+		j.timedOut = timedOut
+		if err != nil {
+			j.state, j.err = JobFailed, err.Error()
+		} else {
+			j.state, j.result = JobSucceeded, resp
+		}
+		j.mu.Unlock()
+	}
+}
+
+func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	var req PlanRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	j, err := s.parseRequest(req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.jobsMu.Lock()
+	s.jobSeq++
+	j.id = fmt.Sprintf("job-%d", s.jobSeq)
+	s.jobsMu.Unlock()
+	if !s.enqueue(j) {
+		// Bounded queue full (or closing): shed load instead of holding the
+		// request open. The job was never recorded, so nothing leaks.
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, "job queue full (%d pending)", s.queueDepth)
+		return
+	}
+	// Record after the enqueue succeeded; the id only reaches the client in
+	// the 202 below, so no one can poll before this insert.
+	s.jobsMu.Lock()
+	s.jobs[j.id] = j
+	s.jobOrder = append(s.jobOrder, j.id)
+	s.evictFinishedLocked()
+	s.jobsMu.Unlock()
+	writeJSON(w, http.StatusAccepted, JobStatus{ID: j.id, State: JobQueued, Solver: j.name})
+}
+
+// maxRetainedJobs bounds the job store: beyond it, the oldest *finished*
+// jobs are forgotten (their results have been pollable since completion).
+// Queued and running jobs are never evicted.
+const maxRetainedJobs = 4096
+
+func (s *Server) evictFinishedLocked() {
+	if len(s.jobs) <= maxRetainedJobs {
+		return
+	}
+	kept := s.jobOrder[:0]
+	for _, id := range s.jobOrder {
+		j, ok := s.jobs[id]
+		if !ok {
+			continue // evicted in an earlier pass
+		}
+		st := j.status().State
+		if len(s.jobs) > maxRetainedJobs && (st == JobSucceeded || st == JobFailed) {
+			delete(s.jobs, id)
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.jobOrder = kept
+}
+
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	s.jobsMu.RLock()
+	j, ok := s.jobs[r.PathValue("id")]
+	s.jobsMu.RUnlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Server) handleSolversV2(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	infos := make([]SolverInfo, 0, len(s.solvers))
+	for id, sv := range s.solvers {
+		infos = append(infos, SolverInfo{ID: id, Meta: sv.Meta(), Default: id == s.fallback})
+	}
+	s.mu.RUnlock()
+	for i := range infos {
+		infos[i].TimeoutMS = s.budgetFor(infos[i].ID, 0).Milliseconds()
+	}
+	sort.Slice(infos, func(i, k int) bool { return infos[i].ID < infos[k].ID })
+	writeJSON(w, http.StatusOK, map[string]any{"solvers": infos})
+}
+
+func (s *Server) handleSolversV1(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	names := make([]string, 0, len(s.solvers))
+	for n := range s.solvers {
+		names = append(names, n)
+	}
+	fallback := s.fallback
+	s.mu.RUnlock()
+	sort.Strings(names)
+	writeJSON(w, http.StatusOK, map[string]any{"solvers": names, "default": fallback})
+}
+
+// handleRescheduleSync is the shared synchronous solve path behind both
+// /v2/reschedule and the /v1/reschedule shim.
+func (s *Server) handleRescheduleSync(w http.ResponseWriter, r *http.Request) {
+	var req PlanRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	j, err := s.parseRequest(req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp, timedOut, err := solve(r.Context(), j)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "solver failed: %v", err)
+		return
+	}
+	if timedOut {
+		// The engine hit its budget; the plan is the anytime best-so-far.
+		// Flag it so operators can pick a faster engine. As in v1, the value
+		// is the observed solve time, not the configured budget.
+		elapsed := time.Duration(resp.ElapsedMS * float64(time.Millisecond)).Round(time.Microsecond)
+		w.Header().Set("X-Latency-Budget-Exceeded", elapsed.String())
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleRescheduleV2(w http.ResponseWriter, r *http.Request) {
+	s.handleRescheduleSync(w, r)
+}
+
+// handleRescheduleV1 is the pre-v2 endpoint. It delegates to the v2
+// synchronous path; the response body is byte-identical to the original v1
+// server for the same plan.
+func (s *Server) handleRescheduleV1(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	s.handleRescheduleSync(w, r)
+}

@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -13,9 +14,12 @@ import (
 // fakeSolver performs the first legal action it finds, once.
 type fakeSolver struct{}
 
-func (fakeSolver) Name() string { return "fake" }
+func (fakeSolver) Meta() Meta { return Meta{Name: "fake", Anytime: true, Deterministic: true} }
 
-func (fakeSolver) Run(env *sim.Env) error {
+func (fakeSolver) Solve(ctx context.Context, env *sim.Env) error {
+	if ctx.Err() != nil {
+		return nil
+	}
 	acts := sim.TopActions(env.Cluster(), env.Objective(), 1)
 	if len(acts) == 0 {
 		return nil
@@ -26,7 +30,7 @@ func (fakeSolver) Run(env *sim.Env) error {
 
 func TestEvaluatePopulatesResult(t *testing.T) {
 	c := trace.MustProfile("tiny").GenerateMapping(rand.New(rand.NewSource(1)))
-	res, err := Evaluate(fakeSolver{}, c, sim.DefaultConfig(5))
+	res, err := Evaluate(context.Background(), fakeSolver{}, c, sim.DefaultConfig(5))
 	if err != nil {
 		t.Fatal(err)
 	}
