@@ -29,6 +29,15 @@ func runExperiment(b *testing.B, id string) {
 	}
 }
 
+// BenchmarkHotpath runs the hot-path microbenchmark suite (Step, Extract,
+// Clone/Fork, policy forward, fig9 quick end-to-end) as sub-benchmarks; the
+// same measurements back BENCH_hotpath.json via vmr2l-bench -hotpath.
+func BenchmarkHotpath(b *testing.B) {
+	for _, nb := range bench.HotpathBenchmarks() {
+		b.Run(nb.Name, nb.F)
+	}
+}
+
 func BenchmarkFig1ArrivalStream(b *testing.B)          { runExperiment(b, "fig1") }
 func BenchmarkFig4MIPvsHA(b *testing.B)                { runExperiment(b, "fig4") }
 func BenchmarkFig5InferenceTimeEffect(b *testing.B)    { runExperiment(b, "fig5") }

@@ -4,9 +4,13 @@
 //	vmr2l-bench -exp all           # everything, in paper order
 //	vmr2l-bench -exp fig9 -full    # larger datasets/budgets (slow)
 //	vmr2l-bench -list              # available experiment ids
+//	vmr2l-bench -hotpath           # hot-path microbenchmarks -> BENCH_hotpath.json
 //
 // Reports are printed as aligned text tables; EXPERIMENTS.md interprets them
-// against the paper's numbers.
+// against the paper's numbers. The -hotpath suite measures the serving hot
+// path (Step, Extract, Clone/Fork, policy forward, one end-to-end fig9 quick
+// run) and updates BENCH_hotpath.json: the baseline section is pinned on
+// first write, the current section tracks every run since.
 package main
 
 import (
@@ -23,16 +27,28 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("vmr2l-bench: ")
 	var (
-		exp  = flag.String("exp", "all", "experiment id (fig1..fig21, tab2..tab5) or 'all'")
-		full = flag.Bool("full", false, "use the larger (slow) experiment scale")
-		seed = flag.Int64("seed", 1, "random seed")
-		list = flag.Bool("list", false, "list experiment ids and exit")
+		exp     = flag.String("exp", "all", "experiment id (fig1..fig21, tab2..tab5) or 'all'")
+		full    = flag.Bool("full", false, "use the larger (slow) experiment scale")
+		seed    = flag.Int64("seed", 1, "random seed")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		hotpath = flag.Bool("hotpath", false, "run the hot-path microbenchmark suite and update -hotpath-out")
+		hotOut  = flag.String("hotpath-out", "BENCH_hotpath.json", "artifact path for -hotpath")
 	)
 	flag.Parse()
 	if *list {
 		for _, e := range bench.Registry() {
 			fmt.Printf("%-6s %s\n", e.ID, e.Title)
 		}
+		return
+	}
+	if *hotpath {
+		rep := bench.RunHotpath(func(name string) { log.Printf("hotpath: %s", name) })
+		art, err := bench.UpdateHotpathArtifact(*hotOut, rep)
+		if err != nil {
+			log.Fatalf("hotpath: %v", err)
+		}
+		art.Fprint(os.Stdout)
+		fmt.Printf("wrote %s\n", *hotOut)
 		return
 	}
 	opts := bench.Options{Seed: *seed, Full: *full}

@@ -9,4 +9,18 @@
 // Start with README.md (layout, the context-aware solver contract, and the
 // v2 HTTP API with its Go client). The public entry points live under cmd/
 // and examples/; the library packages are in internal/.
+//
+// # Performance
+//
+// The serving hot path is allocation-free in steady state: the cluster
+// keeps incremental fragment/free-resource aggregates (O(1) FragRate),
+// episode resets and forks restore state in place via cluster.CopyFrom,
+// sim.ExtractInto refills flat feature buffers, and policy.Model.Infer
+// runs the forward pass on a tensor.Arena that skips autograd entirely,
+// with sparse tree attention computed block-diagonally per PM tree.
+// Training shares the same cache/register-blocked matmul kernels and
+// recycles minibatch graph storage (tensor.GraphPool). The microbenchmark
+// suite behind BENCH_hotpath.json lives in internal/bench (run
+// "vmr2l-bench -hotpath" or "go test -bench=Hotpath ."); see README.md's
+// Performance section for how to read the artifact.
 package vmr2l

@@ -1,0 +1,331 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"vmr2l/internal/cluster"
+	"vmr2l/internal/policy"
+	"vmr2l/internal/sim"
+)
+
+// The hot-path microbenchmark suite measures the per-operation cost of the
+// serving pipeline (paper section 2.2: a VMR solution is stale after ~5
+// seconds): environment stepping, feature extraction, state copying, and
+// policy forwarding, plus one end-to-end fig9 quick-mode run. Results are
+// written to BENCH_hotpath.json so the performance trajectory is tracked
+// across PRs. Run via
+//
+//	vmr2l-bench -hotpath            # JSON report
+//	go test -bench=Hot -benchmem .  # individual benchmarks
+//
+// HotpathResult is one measured operation.
+type HotpathResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// HotpathReport is the JSON artifact of one suite run.
+type HotpathReport struct {
+	GoVersion  string          `json:"go_version"`
+	GoMaxProcs int             `json:"gomaxprocs"`
+	Timestamp  string          `json:"timestamp"`
+	Results    []HotpathResult `json:"results"`
+}
+
+// NamedBench pairs a benchmark with its artifact name.
+type NamedBench struct {
+	Name string
+	F    func(b *testing.B)
+}
+
+// hotFixture builds the shared benchmark state: one fragmented tiny-profile
+// mapping, an environment over it, and a small untrained policy model (the
+// forward cost does not depend on the weights' values).
+type hotFixture struct {
+	c     *cluster.Cluster
+	env   *sim.Env
+	model *policy.Model
+	// vm bounces between pmA and pmB in the step benchmark.
+	vm, pmA, pmB int
+}
+
+func newHotFixture() *hotFixture {
+	maps := genMaps("tiny", 1, 7)
+	c := maps[0]
+	// A practically unbounded episode so Step never hits MNL during b.N.
+	env := sim.New(c, sim.Config{MNL: 1 << 30, Obj: sim.FR16()})
+	fx := &hotFixture{c: c, env: env, model: policy.New(agentSpec(policy.TwoStage, policy.SparseAttention, 7))}
+	// Find a VM that can legally bounce between two PMs.
+	for vm := range c.VMs {
+		if !c.VMs[vm].Placed() {
+			continue
+		}
+		src := c.VMs[vm].PM
+		for pm := range c.PMs {
+			if c.CanHost(vm, pm) {
+				cp := c.Clone()
+				if err := cp.Migrate(vm, pm, cluster.DefaultFragCores); err != nil {
+					continue
+				}
+				if cp.CanHost(vm, src) {
+					fx.vm, fx.pmA, fx.pmB = vm, src, pm
+					return fx
+				}
+			}
+		}
+	}
+	panic("bench: hot fixture has no bounceable VM")
+}
+
+// HotpathBenchmarks returns the suite in artifact order.
+func HotpathBenchmarks() []NamedBench {
+	return []NamedBench{
+		{"step", benchStep},
+		{"extract", benchExtract},
+		{"extract_into", benchExtractInto},
+		{"clone", benchClone},
+		{"copy_from", benchCopyFrom},
+		{"fork", benchFork},
+		{"fork_release", benchForkRelease},
+		{"reset", benchReset},
+		{"forward_act", benchAct},
+		{"forward_infer", benchInfer},
+		{"e2e_fig9_quick", benchFig9Quick},
+	}
+}
+
+func benchStep(b *testing.B) {
+	fx := newHotFixture()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		to := fx.pmB
+		if fx.env.Cluster().VMs[fx.vm].PM == fx.pmB {
+			to = fx.pmA
+		}
+		if _, _, err := fx.env.Step(fx.vm, to); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchExtract(b *testing.B) {
+	fx := newHotFixture()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sim.Extract(fx.c)
+	}
+}
+
+func benchExtractInto(b *testing.B) {
+	fx := newHotFixture()
+	var f sim.Features
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.ExtractInto(&f, fx.c)
+	}
+}
+
+func benchClone(b *testing.B) {
+	fx := newHotFixture()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = fx.c.Clone()
+	}
+}
+
+func benchCopyFrom(b *testing.B) {
+	fx := newHotFixture()
+	dst := fx.c.Clone()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst.CopyFrom(fx.c)
+	}
+}
+
+func benchFork(b *testing.B) {
+	fx := newHotFixture()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = fx.env.Fork()
+	}
+}
+
+func benchForkRelease(b *testing.B) {
+	fx := newHotFixture()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fx.env.Fork().Release()
+	}
+}
+
+func benchReset(b *testing.B) {
+	fx := newHotFixture()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fx.env.Reset()
+	}
+}
+
+func benchAct(b *testing.B) {
+	fx := newHotFixture()
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fx.model.Act(fx.env, rng, policy.SampleOpts{Greedy: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchInfer(b *testing.B) {
+	fx := newHotFixture()
+	rng := rand.New(rand.NewSource(1))
+	ic := policy.NewInferCtx()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := fx.model.Infer(ic, fx.env, rng, policy.SampleOpts{Greedy: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchFig9Quick(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := Fig9(Options{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep.Fprint(io.Discard)
+	}
+}
+
+// RunHotpath executes the suite via testing.Benchmark and returns the report.
+// progress (may be nil) is called before each benchmark with its name.
+func RunHotpath(progress func(name string)) HotpathReport {
+	rep := HotpathReport{
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+	}
+	for _, nb := range HotpathBenchmarks() {
+		if progress != nil {
+			progress(nb.Name)
+		}
+		r := testing.Benchmark(nb.F)
+		rep.Results = append(rep.Results, HotpathResult{
+			Name:        nb.Name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Iterations:  r.N,
+		})
+	}
+	return rep
+}
+
+// HotpathArtifact is the on-disk BENCH_hotpath.json: the pinned pre-PR
+// baseline and the latest measurement, so the perf trajectory of the hot
+// path is tracked across PRs.
+type HotpathArtifact struct {
+	Baseline *HotpathReport `json:"baseline,omitempty"`
+	Current  *HotpathReport `json:"current,omitempty"`
+}
+
+// UpdateHotpathArtifact merges a fresh report into the artifact at path: the
+// baseline is pinned on first write (from the pre-existing current section
+// when present, else from this report) and preserved afterwards; the current
+// section is always replaced. Returns the merged artifact.
+func UpdateHotpathArtifact(path string, rep HotpathReport) (HotpathArtifact, error) {
+	var art HotpathArtifact
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &art); err != nil {
+			return art, fmt.Errorf("bench: parse %s: %w", path, err)
+		}
+	}
+	if art.Baseline == nil {
+		if art.Current != nil {
+			art.Baseline = art.Current
+		} else {
+			art.Baseline = &rep
+		}
+	}
+	art.Current = &rep
+	f, err := os.Create(path)
+	if err != nil {
+		return art, err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(art); err != nil {
+		f.Close()
+		return art, err
+	}
+	// A close-time flush failure (ENOSPC, quota) means the artifact is
+	// truncated — report it rather than claiming success.
+	if err := f.Close(); err != nil {
+		return art, err
+	}
+	return art, nil
+}
+
+// Fprint renders baseline vs current with speedup and allocation ratios.
+func (a HotpathArtifact) Fprint(w io.Writer) {
+	if a.Current == nil {
+		fmt.Fprintln(w, "hot-path artifact: no current measurement")
+		return
+	}
+	base := map[string]HotpathResult{}
+	if a.Baseline != nil {
+		for _, r := range a.Baseline.Results {
+			base[r.Name] = r
+		}
+	}
+	fmt.Fprintf(w, "hot-path trajectory (%s, GOMAXPROCS=%d)\n", a.Current.GoVersion, a.Current.GoMaxProcs)
+	fmt.Fprintf(w, "%-16s %14s %12s %10s %14s\n", "op", "ns/op", "allocs/op", "speedup", "allocs ratio")
+	for _, r := range a.Current.Results {
+		speed, alloc := "-", "-"
+		if b, ok := base[r.Name]; ok && r.NsPerOp > 0 {
+			speed = fmt.Sprintf("%.2fx", b.NsPerOp/r.NsPerOp)
+			if r.AllocsPerOp == 0 {
+				if b.AllocsPerOp == 0 {
+					alloc = "0→0"
+				} else {
+					alloc = fmt.Sprintf("%d→0", b.AllocsPerOp)
+				}
+			} else {
+				alloc = fmt.Sprintf("%.1fx", float64(b.AllocsPerOp)/float64(r.AllocsPerOp))
+			}
+		}
+		fmt.Fprintf(w, "%-16s %14.1f %12d %10s %14s\n", r.Name, r.NsPerOp, r.AllocsPerOp, speed, alloc)
+	}
+}
+
+// Fprint renders the report as an aligned table for terminals.
+func (r HotpathReport) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "hot-path microbenchmarks (%s, GOMAXPROCS=%d)\n", r.GoVersion, r.GoMaxProcs)
+	fmt.Fprintf(w, "%-16s %14s %12s %12s\n", "op", "ns/op", "B/op", "allocs/op")
+	for _, res := range r.Results {
+		fmt.Fprintf(w, "%-16s %14.1f %12d %12d\n", res.Name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+	}
+}

@@ -1,0 +1,279 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bruteForce recomputes every aggregate the incremental path maintains by
+// scanning all PMs — the reference the property tests compare against.
+type bruteForce struct {
+	freeCPU, freeMem int
+	frag             map[int]int // chunk -> CPU fragment
+	memFrag          map[int]int // chunk -> Mem fragment
+}
+
+func bruteForceAggs(c *Cluster, cpuChunks, memChunks []int) bruteForce {
+	bf := bruteForce{frag: map[int]int{}, memFrag: map[int]int{}}
+	for i := range c.PMs {
+		bf.freeCPU += c.PMs[i].FreeCPU()
+		bf.freeMem += c.PMs[i].FreeMem()
+		for _, x := range cpuChunks {
+			bf.frag[x] += c.PMs[i].Fragment(x)
+		}
+		for _, x := range memChunks {
+			bf.memFrag[x] += c.PMs[i].MemFragment(x)
+		}
+	}
+	return bf
+}
+
+// randomCluster builds a cluster with random placements, optionally with
+// anti-affinity services attached.
+func randomAggCluster(rng *rand.Rand, affinity bool) *Cluster {
+	pmType := PMSmall
+	if rng.Intn(2) == 0 {
+		pmType = PMBig
+	}
+	c := New(4+rng.Intn(8), pmType)
+	nVM := 10 + rng.Intn(40)
+	for i := 0; i < nVM; i++ {
+		t := StandardTypes[rng.Intn(len(StandardTypes))]
+		id := c.AddVM(t)
+		if affinity && rng.Intn(3) > 0 {
+			c.VMs[id].Service = rng.Intn(6)
+		}
+	}
+	if affinity {
+		c.EnableAntiAffinity()
+	}
+	// Random initial placement: try a few PMs per VM.
+	for vm := range c.VMs {
+		for try := 0; try < 4; try++ {
+			pm := rng.Intn(len(c.PMs))
+			numa := rng.Intn(NumasPerPM)
+			if c.VMs[vm].Numas == 2 {
+				numa = 0
+			}
+			if c.Place(vm, pm, numa) == nil {
+				break
+			}
+		}
+	}
+	return c
+}
+
+// mutate performs one random legal-ish operation on the cluster: a
+// migration, a remove+place swap pair, or a plain remove/place. Errors are
+// fine — they must leave the aggregates untouched.
+func mutate(c *Cluster, rng *rand.Rand) {
+	if len(c.VMs) == 0 {
+		return
+	}
+	vm := rng.Intn(len(c.VMs))
+	pm := rng.Intn(len(c.PMs))
+	switch rng.Intn(4) {
+	case 0: // migrate
+		_ = c.Migrate(vm, pm, DefaultFragCores)
+	case 1: // remove + re-place elsewhere (may fail halfway; re-place home)
+		v := &c.VMs[vm]
+		if !v.Placed() {
+			return
+		}
+		srcPM, srcNuma := v.PM, v.Numa
+		_ = c.Remove(vm)
+		numa := c.BestNuma(vm, pm, DefaultFragCores)
+		if numa < 0 || c.Place(vm, pm, numa) != nil {
+			if err := c.Place(vm, srcPM, srcNuma); err != nil {
+				panic(err)
+			}
+		}
+	case 2: // swap two VMs between their PMs (paper's future-work action)
+		other := rng.Intn(len(c.VMs))
+		a, b := &c.VMs[vm], &c.VMs[other]
+		if vm == other || !a.Placed() || !b.Placed() || a.PM == b.PM {
+			return
+		}
+		aPM, aNuma, bPM, bNuma := a.PM, a.Numa, b.PM, b.Numa
+		_ = c.Remove(vm)
+		_ = c.Remove(other)
+		na := c.BestNuma(vm, bPM, DefaultFragCores)
+		nb := c.BestNuma(other, aPM, DefaultFragCores)
+		ok := na >= 0 && nb >= 0 && c.Place(vm, bPM, na) == nil
+		if ok && c.Place(other, aPM, nb) != nil {
+			_ = c.Remove(vm)
+			ok = false
+		}
+		if !ok {
+			// restore
+			if !c.VMs[vm].Placed() {
+				if err := c.Place(vm, aPM, aNuma); err != nil {
+					panic(err)
+				}
+			}
+			if !c.VMs[other].Placed() {
+				if err := c.Place(other, bPM, bNuma); err != nil {
+					panic(err)
+				}
+			}
+		}
+	case 3: // unplace entirely, sometimes place back
+		if !c.VMs[vm].Placed() {
+			numa := rng.Intn(NumasPerPM)
+			if c.VMs[vm].Numas == 2 {
+				numa = 0
+			}
+			_ = c.Place(vm, pm, numa)
+			return
+		}
+		_ = c.Remove(vm)
+	}
+}
+
+// TestIncrementalAggregatesMatchBruteForce is the property test of the
+// incremental fragment accounting: after arbitrary random
+// migration/swap/remove/place sequences — including anti-affinity clusters —
+// every tracked aggregate is bit-identical to a full recomputation.
+func TestIncrementalAggregatesMatchBruteForce(t *testing.T) {
+	cpuChunks := []int{16, 64, 7} // the paper's chunks plus an odd one
+	memChunks := []int{64, 13}
+	for seed := int64(0); seed < 12; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomAggCluster(rng, seed%2 == 1)
+		// Touch every aggregate so the incremental path is active (not
+		// lazily bypassed) for the whole sequence.
+		query := func() {
+			for _, x := range cpuChunks {
+				_ = c.Fragment(x)
+			}
+			for _, x := range memChunks {
+				_ = c.MemFragment(x)
+			}
+			_ = c.FreeCPU()
+			_ = c.FreeMem()
+		}
+		query()
+		for op := 0; op < 400; op++ {
+			mutate(c, rng)
+			bf := bruteForceAggs(c, cpuChunks, memChunks)
+			if got := c.FreeCPU(); got != bf.freeCPU {
+				t.Fatalf("seed %d op %d: FreeCPU %d != brute %d", seed, op, got, bf.freeCPU)
+			}
+			if got := c.FreeMem(); got != bf.freeMem {
+				t.Fatalf("seed %d op %d: FreeMem %d != brute %d", seed, op, got, bf.freeMem)
+			}
+			for _, x := range cpuChunks {
+				if got := c.Fragment(x); got != bf.frag[x] {
+					t.Fatalf("seed %d op %d: Fragment(%d) %d != brute %d", seed, op, x, got, bf.frag[x])
+				}
+				if got, want := c.FragRate(x), rate(bf.frag[x], bf.freeCPU); got != want {
+					t.Fatalf("seed %d op %d: FragRate(%d) %v != brute %v", seed, op, x, got, want)
+				}
+			}
+			for _, x := range memChunks {
+				if got := c.MemFragment(x); got != bf.memFrag[x] {
+					t.Fatalf("seed %d op %d: MemFragment(%d) %d != brute %d", seed, op, x, got, bf.memFrag[x])
+				}
+			}
+			if err := c.Validate(); err != nil {
+				t.Fatalf("seed %d op %d: %v", seed, op, err)
+			}
+		}
+		// Clone and CopyFrom must carry the aggregates over exactly.
+		cp := c.Clone()
+		if err := cp.Validate(); err != nil {
+			t.Fatalf("seed %d: clone: %v", seed, err)
+		}
+		var fresh Cluster
+		fresh.CopyFrom(c)
+		if err := fresh.Validate(); err != nil {
+			t.Fatalf("seed %d: copyfrom into zero value: %v", seed, err)
+		}
+		mutate(cp, rng)
+		cp.CopyFrom(c)
+		if err := cp.Validate(); err != nil {
+			t.Fatalf("seed %d: copyfrom after mutation: %v", seed, err)
+		}
+	}
+}
+
+// FuzzIncrementalAggregates drives the same property from fuzzed operation
+// streams: each byte pair selects an operation and its arguments.
+func FuzzIncrementalAggregates(f *testing.F) {
+	f.Add(int64(1), []byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add(int64(2), []byte{255, 254, 9, 33, 17, 0, 0, 128})
+	f.Fuzz(func(t *testing.T, seed int64, ops []byte) {
+		if len(ops) > 256 {
+			ops = ops[:256]
+		}
+		rng := rand.New(rand.NewSource(seed))
+		c := randomAggCluster(rng, seed%2 == 0)
+		_ = c.Fragment(16)
+		_ = c.MemFragment(64)
+		for _, b := range ops {
+			mutate(c, rand.New(rand.NewSource(int64(b)+seed)))
+		}
+		bf := bruteForceAggs(c, []int{16}, []int{64})
+		if c.FreeCPU() != bf.freeCPU || c.FreeMem() != bf.freeMem ||
+			c.Fragment(16) != bf.frag[16] || c.MemFragment(64) != bf.memFrag[64] {
+			t.Fatalf("aggregates diverged from brute force: %+v", bf)
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestFragRateZeroFreeResources pins the shared rate helper's edge cases:
+// an exactly full cluster (zero free CPU / zero free memory) has fragment
+// rate 0 for both resources, not NaN or Inf.
+func TestFragRateZeroFreeResources(t *testing.T) {
+	// One PM, one VM that consumes the entire machine.
+	c := New(1, PMType{Name: "exact-fit", CPUPerNuma: 16, MemPerNuma: 32})
+	vm := c.AddVM(VMType{Name: "whole-pm", CPU: 32, Mem: 64, Numas: 2})
+	if err := c.Place(vm, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.FreeCPU(); got != 0 {
+		t.Fatalf("FreeCPU = %d, want 0", got)
+	}
+	if got := c.FragRate(16); got != 0 {
+		t.Fatalf("FragRate with zero free CPU = %v, want 0", got)
+	}
+	if got := c.FreeMem(); got != 0 {
+		t.Fatalf("FreeMem = %d, want 0", got)
+	}
+	if got := c.MemFragRate(64); got != 0 {
+		t.Fatalf("MemFragRate with zero free memory = %v, want 0", got)
+	}
+
+	// Mixed case: CPU exhausted but memory free — only the CPU rate is
+	// pinned to zero.
+	c2 := New(1, PMType{Name: "cpu-bound", CPUPerNuma: 16, MemPerNuma: 100})
+	vm2 := c2.AddVM(VMType{Name: "cpu-hog", CPU: 32, Mem: 64, Numas: 2})
+	if err := c2.Place(vm2, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := c2.FragRate(16); got != 0 {
+		t.Fatalf("FragRate with zero free CPU = %v, want 0", got)
+	}
+	if got := c2.FreeMem(); got != 2*100-64 {
+		t.Fatalf("FreeMem = %d, want %d", got, 2*100-64)
+	}
+	if got, want := c2.MemFragRate(64), rate(c2.MemFragment(64), c2.FreeMem()); got != want {
+		t.Fatalf("MemFragRate = %v, want %v", got, want)
+	}
+}
+
+// TestRateHelper pins the shared division helper directly.
+func TestRateHelper(t *testing.T) {
+	if got := rate(5, 0); got != 0 {
+		t.Fatalf("rate(5, 0) = %v, want 0", got)
+	}
+	if got := rate(0, 10); got != 0 {
+		t.Fatalf("rate(0, 10) = %v, want 0", got)
+	}
+	if got := rate(3, 12); got != 0.25 {
+		t.Fatalf("rate(3, 12) = %v, want 0.25", got)
+	}
+}

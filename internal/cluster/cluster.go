@@ -7,15 +7,105 @@ import (
 
 // Cluster is the mutable VM-PM mapping the rescheduler operates on. The zero
 // value is unusable; build one with New or by loading a trace mapping.
+//
+// The cluster keeps incremental aggregates (total free CPU/memory and total
+// fragment per queried chunk size) that are updated in O(1) by Place and
+// Remove, so FragRate and friends never rescan all PMs on the hot path.
+// Aggregates initialize lazily on first query, which keeps struct-literal
+// construction (the trace loader) valid. Code outside this package must
+// mutate placements only through Place/Remove/Migrate; writing NUMA usage
+// fields directly after an aggregate query would desynchronize the totals
+// (Validate catches this).
 type Cluster struct {
 	PMs []PM
 	VMs []VM
 	// AntiAffinity enables the hard service anti-affinity constraint: two
 	// VMs with the same non-negative Service id must not share a PM.
 	AntiAffinity bool
-	// serviceCount[pm][service] tracks hosted VMs per service for O(1)
-	// anti-affinity checks. Lazily maintained; nil when AntiAffinity is off.
-	serviceCount []map[int]int
+	// svc is the dense per-PM service-count index for O(1) anti-affinity
+	// checks; zero value when AntiAffinity is off.
+	svc svcIndex
+	// agg holds the lazily initialized incremental aggregates.
+	agg aggregates
+}
+
+// svcIndex tracks hosted VMs per (PM, service) in one dense array:
+// counts[pm*stride+service]. The flat layout clones with a single copy and
+// needs no per-PM map allocations.
+type svcIndex struct {
+	counts []int32
+	stride int // max service id + 1; 0 when the index is unused
+}
+
+func (s *svcIndex) count(pm, service int) int32 {
+	if service < 0 || service >= s.stride {
+		return 0
+	}
+	return s.counts[pm*s.stride+service]
+}
+
+func (s *svcIndex) add(pm, service int, delta int32, numPMs int) {
+	if service < 0 {
+		return
+	}
+	if service >= s.stride {
+		s.grow(service+1, numPMs)
+	}
+	s.counts[pm*s.stride+service] += delta
+}
+
+// grow re-strides the index for a service id beyond the current range (rare:
+// services are normally assigned before EnableAntiAffinity).
+func (s *svcIndex) grow(stride, numPMs int) {
+	counts := make([]int32, numPMs*stride)
+	for pm := 0; pm < numPMs; pm++ {
+		copy(counts[pm*stride:], s.counts[pm*s.stride:(pm+1)*s.stride])
+	}
+	s.counts, s.stride = counts, stride
+}
+
+// build populates the index from current placements.
+func (s *svcIndex) build(c *Cluster) {
+	maxSvc := -1
+	for i := range c.VMs {
+		if c.VMs[i].Service > maxSvc {
+			maxSvc = c.VMs[i].Service
+		}
+	}
+	s.stride = maxSvc + 1
+	need := len(c.PMs) * s.stride
+	if cap(s.counts) < need {
+		s.counts = make([]int32, need)
+	} else {
+		s.counts = s.counts[:need]
+		for i := range s.counts {
+			s.counts[i] = 0
+		}
+	}
+	for i := range c.VMs {
+		v := &c.VMs[i]
+		if v.Placed() && v.Service >= 0 {
+			s.counts[v.PM*s.stride+v.Service]++
+		}
+	}
+}
+
+// chunkTotal is one tracked fragment aggregate: the cluster-wide fragment at
+// a given chunk granularity.
+type chunkTotal struct {
+	chunk int
+	total int
+}
+
+// aggregates caches cluster-wide totals, kept in sync by Place/Remove. Chunk
+// sizes are registered on first query; the tracked set stays tiny (the
+// objectives use 16 and 64).
+type aggregates struct {
+	valid   bool
+	freeCPU int
+	freeMem int
+	cpuFrag []chunkTotal
+	memFrag []chunkTotal
 }
 
 // Common placement errors.
@@ -52,16 +142,78 @@ func (c *Cluster) AddVM(t VMType) int {
 // per-PM service index.
 func (c *Cluster) EnableAntiAffinity() {
 	c.AntiAffinity = true
-	c.serviceCount = make([]map[int]int, len(c.PMs))
-	for i := range c.serviceCount {
-		c.serviceCount[i] = make(map[int]int)
+	c.svc.build(c)
+}
+
+// ensureAgg initializes the incremental aggregates with one full scan.
+func (c *Cluster) ensureAgg() {
+	if c.agg.valid {
+		return
 	}
-	for i := range c.VMs {
-		v := &c.VMs[i]
-		if v.Placed() && v.Service >= 0 {
-			c.serviceCount[v.PM][v.Service]++
+	c.agg.freeCPU, c.agg.freeMem = 0, 0
+	for i := range c.PMs {
+		c.agg.freeCPU += c.PMs[i].FreeCPU()
+		c.agg.freeMem += c.PMs[i].FreeMem()
+	}
+	for i := range c.agg.cpuFrag {
+		c.agg.cpuFrag[i].total = c.scanFrag(c.agg.cpuFrag[i].chunk, true)
+	}
+	for i := range c.agg.memFrag {
+		c.agg.memFrag[i].total = c.scanFrag(c.agg.memFrag[i].chunk, false)
+	}
+	c.agg.valid = true
+}
+
+// scanFrag brute-force computes a cluster-wide fragment total.
+func (c *Cluster) scanFrag(chunk int, cpu bool) int {
+	total := 0
+	for i := range c.PMs {
+		if cpu {
+			total += c.PMs[i].Fragment(chunk)
+		} else {
+			total += c.PMs[i].MemFragment(chunk)
 		}
 	}
+	return total
+}
+
+// fragTotal returns the tracked aggregate for a chunk size, registering it
+// (one scan) on first use.
+func (c *Cluster) fragTotal(chunk int, cpu bool) int {
+	c.ensureAgg()
+	tracked := &c.agg.cpuFrag
+	if !cpu {
+		tracked = &c.agg.memFrag
+	}
+	for i := range *tracked {
+		if (*tracked)[i].chunk == chunk {
+			return (*tracked)[i].total
+		}
+	}
+	t := c.scanFrag(chunk, cpu)
+	*tracked = append(*tracked, chunkTotal{chunk: chunk, total: t})
+	return t
+}
+
+// addUsage applies a usage delta to NUMA j of PM p, keeping the tracked
+// aggregates in sync. All placement mutations must go through here.
+func (c *Cluster) addUsage(p *PM, j, dCPU, dMem int) {
+	n := &p.Numas[j]
+	if c.agg.valid {
+		c.agg.freeCPU -= dCPU
+		c.agg.freeMem -= dMem
+		oldCPU, oldMem := n.FreeCPU(), n.FreeMem()
+		for i := range c.agg.cpuFrag {
+			a := &c.agg.cpuFrag[i]
+			a.total += (oldCPU-dCPU)%a.chunk - oldCPU%a.chunk
+		}
+		for i := range c.agg.memFrag {
+			a := &c.agg.memFrag[i]
+			a.total += (oldMem-dMem)%a.chunk - oldMem%a.chunk
+		}
+	}
+	n.CPUUsed += dCPU
+	n.MemUsed += dMem
 }
 
 // FitsNuma reports whether vm fits on NUMA j of PM p by capacity alone.
@@ -97,7 +249,7 @@ func (c *Cluster) violatesAffinity(v *VM, pmID int) bool {
 	if !c.AntiAffinity || v.Service < 0 {
 		return false
 	}
-	return c.serviceCount[pmID][v.Service] > 0
+	return c.svc.count(pmID, v.Service) > 0
 }
 
 // CanHost reports whether PM pmID can legally receive vmID: capacity on the
@@ -160,8 +312,7 @@ func (c *Cluster) Place(vmID, pmID, numa int) error {
 			return fmt.Errorf("%w: vm %d on pm %d", ErrNoCapacity, vmID, pmID)
 		}
 		for j := range p.Numas {
-			p.Numas[j].CPUUsed += v.CPUPerNuma()
-			p.Numas[j].MemUsed += v.MemPerNuma()
+			c.addUsage(p, j, v.CPUPerNuma(), v.MemPerNuma())
 		}
 		numa = 0
 	} else {
@@ -172,13 +323,12 @@ func (c *Cluster) Place(vmID, pmID, numa int) error {
 		if n.FreeCPU() < v.CPUPerNuma() || n.FreeMem() < v.MemPerNuma() {
 			return fmt.Errorf("%w: vm %d on pm %d numa %d", ErrNoCapacity, vmID, pmID, numa)
 		}
-		n.CPUUsed += v.CPUPerNuma()
-		n.MemUsed += v.MemPerNuma()
+		c.addUsage(p, numa, v.CPUPerNuma(), v.MemPerNuma())
 	}
 	v.PM, v.Numa = pmID, numa
 	p.VMs = append(p.VMs, vmID)
-	if c.AntiAffinity && v.Service >= 0 {
-		c.serviceCount[pmID][v.Service]++
+	if c.AntiAffinity {
+		c.svc.add(pmID, v.Service, 1, len(c.PMs))
 	}
 	return nil
 }
@@ -195,12 +345,10 @@ func (c *Cluster) Remove(vmID int) error {
 	p := &c.PMs[v.PM]
 	if v.Numas == 2 {
 		for j := range p.Numas {
-			p.Numas[j].CPUUsed -= v.CPUPerNuma()
-			p.Numas[j].MemUsed -= v.MemPerNuma()
+			c.addUsage(p, j, -v.CPUPerNuma(), -v.MemPerNuma())
 		}
 	} else {
-		p.Numas[v.Numa].CPUUsed -= v.CPUPerNuma()
-		p.Numas[v.Numa].MemUsed -= v.MemPerNuma()
+		c.addUsage(p, v.Numa, -v.CPUPerNuma(), -v.MemPerNuma())
 	}
 	for i, id := range p.VMs {
 		if id == vmID {
@@ -209,8 +357,8 @@ func (c *Cluster) Remove(vmID int) error {
 			break
 		}
 	}
-	if c.AntiAffinity && v.Service >= 0 {
-		c.serviceCount[v.PM][v.Service]--
+	if c.AntiAffinity {
+		c.svc.add(v.PM, v.Service, -1, len(c.PMs))
 	}
 	v.PM, v.Numa = -1, -1
 	return nil
@@ -254,84 +402,124 @@ func (c *Cluster) Migrate(vmID, pmID, x int) error {
 	return nil
 }
 
-// Fragment returns the total X-core CPU fragment across all PMs.
+// Fragment returns the total X-core CPU fragment across all PMs, from the
+// incremental aggregate (O(1) once chunk x has been queried).
 func (c *Cluster) Fragment(x int) int {
-	total := 0
-	for i := range c.PMs {
-		total += c.PMs[i].Fragment(x)
-	}
-	return total
+	return c.fragTotal(x, true)
 }
 
 // MemFragment returns the total chunk-GB memory fragment across all PMs.
 func (c *Cluster) MemFragment(chunk int) int {
-	total := 0
-	for i := range c.PMs {
-		total += c.PMs[i].MemFragment(chunk)
-	}
-	return total
+	return c.fragTotal(chunk, false)
 }
 
-// FreeCPU returns total spare CPU across all PMs.
+// FreeCPU returns total spare CPU across all PMs. Like every aggregate
+// accessor (FreeMem, Fragment, MemFragment, and the rates built on them) it
+// lazily initializes the incremental cache on first use, so these reads
+// mutate internal state: a Cluster must be confined to one goroutine, even
+// for queries.
 func (c *Cluster) FreeCPU() int {
-	total := 0
-	for i := range c.PMs {
-		total += c.PMs[i].FreeCPU()
-	}
-	return total
+	c.ensureAgg()
+	return c.agg.freeCPU
 }
 
 // FreeMem returns total spare memory across all PMs.
 func (c *Cluster) FreeMem() int {
-	total := 0
-	for i := range c.PMs {
-		total += c.PMs[i].FreeMem()
+	c.ensureAgg()
+	return c.agg.freeMem
+}
+
+// rate is the shared fragment-rate helper: fragment divided by free
+// resources, with the zero-free edge case (an exactly full cluster) defined
+// as rate 0 — there is no spare capacity to fragment.
+func rate(frag, free int) float64 {
+	if free == 0 {
+		return 0
 	}
-	return total
+	return float64(frag) / float64(free)
 }
 
 // FragRate returns the X-core fragment rate: unusable spare CPU divided by
 // total spare CPU (paper section 1). Zero free CPU yields FR 0.
 func (c *Cluster) FragRate(x int) float64 {
-	free := c.FreeCPU()
-	if free == 0 {
-		return 0
-	}
-	return float64(c.Fragment(x)) / float64(free)
+	return rate(c.Fragment(x), c.FreeCPU())
 }
 
-// MemFragRate returns the chunk-GB memory fragment rate.
+// MemFragRate returns the chunk-GB memory fragment rate. Zero free memory
+// yields rate 0.
 func (c *Cluster) MemFragRate(chunk int) float64 {
-	free := c.FreeMem()
-	if free == 0 {
-		return 0
-	}
-	return float64(c.MemFragment(chunk)) / float64(free)
+	return rate(c.MemFragment(chunk), c.FreeMem())
 }
 
-// Clone returns a deep copy of the cluster (PM VM lists and affinity index
-// included). Mutating the copy never affects the original.
+// Clone returns a deep copy of the cluster (PM VM lists, affinity index and
+// aggregates included). Mutating the copy never affects the original. All
+// per-PM VM lists share one backing array, allocated in a single call;
+// capacities are clipped so a later append on one PM cannot bleed into its
+// neighbor.
 func (c *Cluster) Clone() *Cluster {
 	cp := &Cluster{
 		PMs:          make([]PM, len(c.PMs)),
 		VMs:          make([]VM, len(c.VMs)),
 		AntiAffinity: c.AntiAffinity,
+		agg:          c.agg,
+		svc:          svcIndex{stride: c.svc.stride},
 	}
 	copy(cp.VMs, c.VMs)
+	total := 0
+	for i := range c.PMs {
+		total += len(c.PMs[i].VMs)
+	}
+	backing := make([]int, total)
+	off := 0
 	for i := range c.PMs {
 		cp.PMs[i] = c.PMs[i]
-		cp.PMs[i].VMs = append([]int(nil), c.PMs[i].VMs...)
+		n := len(c.PMs[i].VMs)
+		dst := backing[off : off+n : off+n]
+		copy(dst, c.PMs[i].VMs)
+		cp.PMs[i].VMs = dst
+		off += n
 	}
-	if c.serviceCount != nil {
-		cp.serviceCount = make([]map[int]int, len(c.serviceCount))
-		for i, m := range c.serviceCount {
-			cp.serviceCount[i] = make(map[int]int, len(m))
-			for k, v := range m {
-				cp.serviceCount[i][k] = v
-			}
-		}
+	// Deep-copy the aggregate chunk lists and the service index: the struct
+	// copies above shared their backing slices.
+	cp.agg.cpuFrag = append([]chunkTotal(nil), c.agg.cpuFrag...)
+	cp.agg.memFrag = append([]chunkTotal(nil), c.agg.memFrag...)
+	if c.svc.counts != nil {
+		cp.svc.counts = append([]int32(nil), c.svc.counts...)
 	}
 	return cp
+}
+
+// CopyFrom makes c an exact copy of src, reusing c's existing storage where
+// capacities allow. In steady state (same cluster shape, as in episode
+// resets and search scratch restores) it performs zero allocations. c and
+// src must not alias each other's storage unless c was built by Clone.
+func (c *Cluster) CopyFrom(src *Cluster) {
+	if c == src {
+		return
+	}
+	c.AntiAffinity = src.AntiAffinity
+	c.VMs = append(c.VMs[:0], src.VMs...)
+	if cap(c.PMs) < len(src.PMs) {
+		c.PMs = make([]PM, len(src.PMs))
+	} else {
+		c.PMs = c.PMs[:len(src.PMs)]
+	}
+	for i := range src.PMs {
+		vms := c.PMs[i].VMs
+		c.PMs[i] = src.PMs[i]
+		c.PMs[i].VMs = append(vms[:0], src.PMs[i].VMs...)
+	}
+	c.agg.valid = src.agg.valid
+	c.agg.freeCPU = src.agg.freeCPU
+	c.agg.freeMem = src.agg.freeMem
+	c.agg.cpuFrag = append(c.agg.cpuFrag[:0], src.agg.cpuFrag...)
+	c.agg.memFrag = append(c.agg.memFrag[:0], src.agg.memFrag...)
+	c.svc.stride = src.svc.stride
+	if src.svc.counts == nil {
+		c.svc.counts = nil
+	} else {
+		c.svc.counts = append(c.svc.counts[:0], src.svc.counts...)
+	}
 }
 
 // CountPlaced returns the number of VMs currently assigned to a PM.
@@ -347,8 +535,9 @@ func (c *Cluster) CountPlaced() int {
 
 // Validate checks internal consistency: per-NUMA usage equals the sum of
 // hosted VM demands, membership lists match VM records, no capacity is
-// exceeded, and anti-affinity holds when enabled. Returns the first problem
-// found.
+// exceeded, anti-affinity holds when enabled, and any initialized
+// incremental aggregates match a brute-force recomputation. Returns the
+// first problem found.
 func (c *Cluster) Validate() error {
 	type usage struct{ cpu, mem int }
 	use := make([][NumasPerPM]usage, len(c.PMs))
@@ -436,6 +625,46 @@ func (c *Cluster) Validate() error {
 		}
 		if !found {
 			return fmt.Errorf("cluster: vm %d records pm %d but is not in its list", i, v.PM)
+		}
+	}
+	return c.validateAggregates()
+}
+
+// validateAggregates cross-checks initialized incremental totals against a
+// full recomputation.
+func (c *Cluster) validateAggregates() error {
+	if !c.agg.valid {
+		return nil
+	}
+	freeCPU, freeMem := 0, 0
+	for i := range c.PMs {
+		freeCPU += c.PMs[i].FreeCPU()
+		freeMem += c.PMs[i].FreeMem()
+	}
+	if c.agg.freeCPU != freeCPU || c.agg.freeMem != freeMem {
+		return fmt.Errorf("cluster: aggregate free (%d cpu, %d mem) != scanned (%d, %d)",
+			c.agg.freeCPU, c.agg.freeMem, freeCPU, freeMem)
+	}
+	for _, a := range c.agg.cpuFrag {
+		if got := c.scanFrag(a.chunk, true); got != a.total {
+			return fmt.Errorf("cluster: aggregate %d-core fragment %d != scanned %d", a.chunk, a.total, got)
+		}
+	}
+	for _, a := range c.agg.memFrag {
+		if got := c.scanFrag(a.chunk, false); got != a.total {
+			return fmt.Errorf("cluster: aggregate %d-GB mem fragment %d != scanned %d", a.chunk, a.total, got)
+		}
+	}
+	if c.AntiAffinity && c.svc.stride > 0 {
+		var want svcIndex
+		want.build(c)
+		for pm := 0; pm < len(c.PMs); pm++ {
+			for s := 0; s < want.stride; s++ {
+				if c.svc.count(pm, s) != want.counts[pm*want.stride+s] {
+					return fmt.Errorf("cluster: service index pm %d service %d count %d != scanned %d",
+						pm, s, c.svc.count(pm, s), want.counts[pm*want.stride+s])
+				}
+			}
 		}
 	}
 	return nil

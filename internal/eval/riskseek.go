@@ -8,6 +8,8 @@ package eval
 import (
 	"context"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"vmr2l/internal/cluster"
 	"vmr2l/internal/policy"
@@ -56,8 +58,11 @@ func RunContext(ctx context.Context, m *policy.Model, init *cluster.Cluster, cfg
 		plan  []sim.Migration
 	}
 	results := make([]result, k)
-	runOne := func(i int) {
-		env := sim.New(init, cfg)
+	// runOne rolls trajectory i on a worker-owned environment: Reset is an
+	// in-place restore (cluster.CopyFrom), so the per-trajectory cost never
+	// re-clones the initial mapping.
+	runOne := func(i int, env *sim.Env) {
+		env.Reset()
 		sampleOpts := policy.SampleOpts{
 			Greedy:     i == 0,
 			VMQuantile: opts.VMQuantile,
@@ -68,21 +73,35 @@ func RunContext(ctx context.Context, m *policy.Model, init *cluster.Cluster, cfg
 		results[i] = result{value: env.Value(), plan: append([]sim.Migration(nil), env.Plan()...)}
 	}
 	if opts.Parallel {
-		done := make(chan int, k)
-		for i := 0; i < k; i++ {
-			// Each rollout forks its own model view; the model is read-only
-			// during inference so sharing parameters is safe.
-			go func(i int) {
-				runOne(i)
-				done <- i
-			}(i)
+		// Fan rollouts out over at most GOMAXPROCS workers (the paper's
+		// multi-GPU analog): each worker reuses one environment and one
+		// inference context across its share of the K trajectories. The
+		// model is read-only during inference so sharing parameters is safe.
+		workers := runtime.GOMAXPROCS(0)
+		if workers > k {
+			workers = k
+		}
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				env := sim.New(init, cfg)
+				for i := range jobs {
+					runOne(i, env)
+				}
+			}()
 		}
 		for i := 0; i < k; i++ {
-			<-done
+			jobs <- i
 		}
+		close(jobs)
+		wg.Wait()
 	} else {
+		env := sim.New(init, cfg)
 		for i := 0; i < k; i++ {
-			runOne(i)
+			runOne(i, env)
 		}
 	}
 	out := Outcome{BestValue: results[0].value, BestPlan: results[0].plan}

@@ -68,6 +68,10 @@ type searchState struct {
 	stack     []sim.Action
 	// filter restricts candidate actions (POP partitioning); nil = all.
 	filter func(sim.Action) bool
+	// keep is the combined candidate predicate (filter + gain pruning).
+	keep func(sim.Action) bool
+	// actBufs holds one reusable candidate buffer per recursion depth.
+	actBufs [][]sim.Action
 }
 
 // clusterScore is the total objective score (sum of PM scores); the search
@@ -120,28 +124,14 @@ func (st *searchState) dfs(score float64, depth int) {
 	if score-float64(depth)*st.maxGain >= st.bestScore-1e-12 {
 		return
 	}
-	acts := sim.TopActions(st.c, st.obj, 0)
-	if st.filter != nil {
-		kept := acts[:0]
-		for _, a := range acts {
-			if st.filter(a) {
-				kept = append(kept, a)
-			}
-		}
-		acts = kept
+	// Candidate enumeration reuses a per-depth buffer (the slice must stay
+	// valid while children recurse below it) and prunes to the beam during
+	// the scan instead of sorting the full list at every node.
+	for len(st.actBufs) <= depth {
+		st.actBufs = append(st.actBufs, nil)
 	}
-	if !st.allow {
-		kept := acts[:0]
-		for _, a := range acts {
-			if a.Gain > 1e-12 {
-				kept = append(kept, a)
-			}
-		}
-		acts = kept
-	}
-	if st.beam > 0 && len(acts) > st.beam {
-		acts = acts[:st.beam]
-	}
+	acts := sim.TopActionsInto(st.actBufs[depth], st.c, st.obj, st.beam, st.keep)
+	st.actBufs[depth] = acts[:0]
 	for _, a := range acts {
 		v := &st.c.VMs[a.VM]
 		srcPM, srcNuma := v.PM, v.Numa
@@ -187,6 +177,12 @@ func (s *Solver) searchFiltered(ctx context.Context, init *cluster.Cluster, obj 
 	if s.Deadline > 0 {
 		st.deadline = time.Now().Add(s.Deadline)
 		st.hasDL = true
+	}
+	st.keep = func(a sim.Action) bool {
+		if st.filter != nil && !st.filter(a) {
+			return false
+		}
+		return st.allow || a.Gain > 1e-12
 	}
 	st.bestScore = clusterScore(st.c, obj)
 	st.dfs(st.bestScore, depth)

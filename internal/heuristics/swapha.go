@@ -3,7 +3,7 @@ package heuristics
 import (
 	"context"
 	"fmt"
-	"sort"
+	"slices"
 
 	"vmr2l/internal/sim"
 	"vmr2l/internal/solver"
@@ -63,11 +63,15 @@ func (s SwapHA) Solve(ctx context.Context, env *sim.Env) error {
 				cands = append(cands, cand{vm, g})
 			}
 		}
-		sort.Slice(cands, func(i, j int) bool {
-			if cands[i].gain != cands[j].gain {
-				return cands[i].gain > cands[j].gain
+		slices.SortFunc(cands, func(a, b cand) int {
+			switch {
+			case a.gain > b.gain:
+				return -1
+			case a.gain < b.gain:
+				return 1
+			default:
+				return a.vm - b.vm
 			}
-			return cands[i].vm < cands[j].vm
 		})
 		if len(cands) > s.topK() {
 			cands = cands[:s.topK()]

@@ -3,7 +3,7 @@ package heuristics
 import (
 	"context"
 	"fmt"
-	"sort"
+	"slices"
 
 	"vmr2l/internal/sim"
 	"vmr2l/internal/solver"
@@ -63,11 +63,15 @@ func (v VBPP) Solve(ctx context.Context, env *sim.Env) error {
 		if len(cands) == 0 {
 			return nil
 		}
-		sort.Slice(cands, func(i, j int) bool {
-			if cands[i].gain != cands[j].gain {
-				return cands[i].gain > cands[j].gain
+		slices.SortFunc(cands, func(a, b cand) int {
+			switch {
+			case a.gain > b.gain:
+				return -1
+			case a.gain < b.gain:
+				return 1
+			default:
+				return a.vm - b.vm
 			}
-			return cands[i].vm < cands[j].vm
 		})
 		if len(cands) > v.alpha() {
 			cands = cands[:v.alpha()]
@@ -75,11 +79,11 @@ func (v VBPP) Solve(ctx context.Context, env *sim.Env) error {
 		// Re-pack in decreasing size (best-fit decreasing), one migration
 		// per VM. Unlike HA, the destination is chosen purely by insert
 		// gain, ignoring interactions within the batch beyond sequencing.
-		sort.Slice(cands, func(i, j int) bool {
-			if cands[i].size != cands[j].size {
-				return cands[i].size > cands[j].size
+		slices.SortFunc(cands, func(a, b cand) int {
+			if a.size != b.size {
+				return b.size - a.size
 			}
-			return cands[i].vm < cands[j].vm
+			return a.vm - b.vm
 		})
 		progressed := false
 		for _, cd := range cands {

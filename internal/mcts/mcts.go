@@ -84,18 +84,19 @@ func (n *node) ucb(parentVisits int, c float64) float64 {
 }
 
 // greedyRollout plays the best immediate-gain action while one with positive
-// gain exists, up to depth moves, returning the cumulative gain.
+// gain exists, up to depth moves, returning the cumulative gain. Uses the
+// allocation-free sim.BestAction scan.
 func greedyRollout(c *cluster.Cluster, obj sim.Objective, depth int) float64 {
 	total := 0.0
 	for d := 0; depth == 0 || d < depth; d++ {
-		acts := sim.TopActions(c, obj, 1)
-		if len(acts) == 0 || acts[0].Gain <= 1e-12 {
+		act, ok := sim.BestAction(c, obj)
+		if !ok || act.Gain <= 1e-12 {
 			break
 		}
-		if err := c.Migrate(acts[0].VM, acts[0].PM, cluster.DefaultFragCores); err != nil {
+		if err := c.Migrate(act.VM, act.PM, cluster.DefaultFragCores); err != nil {
 			break
 		}
-		total += acts[0].Gain
+		total += act.Gain
 	}
 	return total
 }
@@ -153,6 +154,10 @@ func (s *Solver) Solve(ctx context.Context, env *sim.Env) error {
 	if s.Deadline > 0 {
 		deadline = time.Now().Add(s.Deadline)
 	}
+	// One scratch cluster for all simulations: each UCT iteration restores
+	// it in place (CopyFrom) instead of allocating a fresh deep copy — the
+	// dominant allocation of search-based inference at scale.
+	var scratch *cluster.Cluster
 	for !env.Done() {
 		if ctx.Err() != nil {
 			return nil // budget spent: best-so-far plan is already in env
@@ -166,7 +171,11 @@ func (s *Solver) Solve(ctx context.Context, env *sim.Env) error {
 			if !deadline.IsZero() && time.Now().After(deadline) {
 				break
 			}
-			scratch := env.Cluster().Clone()
+			if scratch == nil {
+				scratch = env.Cluster().Clone()
+			} else {
+				scratch.CopyFrom(env.Cluster())
+			}
 			s.simulate(root, scratch, env.Objective(), remaining, rng)
 		}
 		if len(root.children) == 0 {

@@ -1,0 +1,76 @@
+package nn
+
+import (
+	"math"
+
+	"vmr2l/internal/tensor"
+)
+
+// Inference fast path: every module gets an Infer method that mirrors
+// Forward but allocates outputs from a tensor.Arena and skips autograd graph
+// construction entirely. PPO's Evaluate keeps using Forward (it needs
+// gradients); rollouts, search, and serving use Infer. Outputs are valid
+// until the arena's next Reset.
+
+// Infer applies the linear layer without building a graph.
+func (l *Linear) Infer(ar *tensor.Arena, x *tensor.Tensor) *tensor.Tensor {
+	return ar.AddRow(ar.MatMul(x, l.W), l.B)
+}
+
+// Infer normalizes x row-wise without building a graph.
+func (l *LayerNorm) Infer(ar *tensor.Arena, x *tensor.Tensor) *tensor.Tensor {
+	return ar.LayerNorm(x, l.Gamma, l.Beta, 1e-5)
+}
+
+// Infer applies linear-ReLU-linear without building a graph.
+func (m *MLP) Infer(ar *tensor.Arena, x *tensor.Tensor) *tensor.Tensor {
+	return m.Out.Infer(ar, ar.ReLU(m.In.Infer(ar, x)))
+}
+
+// InferTree is the arena-allocated, graph-free ForwardTree.
+func (a *Attention) InferTree(ar *tensor.Arena, x *tensor.Tensor, groups [][]int) *tensor.Tensor {
+	var concat *tensor.Tensor
+	scale := 1 / math.Sqrt(float64(a.headDim))
+	for h := range a.Wq {
+		qq := a.Wq[h].Infer(ar, x)
+		kk := a.Wk[h].Infer(ar, x)
+		vv := a.Wv[h].Infer(ar, x)
+		head := ar.GroupedAttention(qq, kk, vv, groups, scale)
+		if concat == nil {
+			concat = head
+		} else {
+			concat = ar.ConcatCols(concat, head)
+		}
+	}
+	return a.Wo.Infer(ar, concat)
+}
+
+// Infer attends q over kv like Forward, arena-allocated and graph-free. It
+// returns the output (m×d) and the mean attention probabilities across heads
+// (m×n).
+func (a *Attention) Infer(ar *tensor.Arena, q, kv *tensor.Tensor, mask []bool) (*tensor.Tensor, *tensor.Tensor) {
+	var concat *tensor.Tensor
+	var probsMean *tensor.Tensor
+	scale := 1 / math.Sqrt(float64(a.headDim))
+	for h := range a.Wq {
+		qq := a.Wq[h].Infer(ar, q)
+		kk := a.Wk[h].Infer(ar, kv)
+		vv := a.Wv[h].Infer(ar, kv)
+		scores := ar.Scale(ar.MatMulT(qq, kk), scale)
+		if mask != nil {
+			scores = ar.MaskedFill(scores, mask, -1e9)
+		}
+		probs := ar.Softmax(scores)
+		head := ar.MatMul(probs, vv)
+		if concat == nil {
+			concat, probsMean = head, probs
+		} else {
+			concat = ar.ConcatCols(concat, head)
+			probsMean = ar.Add(probsMean, probs)
+		}
+	}
+	if len(a.Wq) > 1 {
+		probsMean = ar.Scale(probsMean, 1/float64(len(a.Wq)))
+	}
+	return a.Wo.Infer(ar, concat), probsMean
+}

@@ -156,9 +156,10 @@ func NewLinear(p *Params, name string, rng *rand.Rand, in, out int) *Linear {
 	}
 }
 
-// Forward applies the layer to x (m×in) producing (m×out).
+// Forward applies the layer to x (m×in) producing (m×out) as one fused
+// graph node (tensor.Affine).
 func (l *Linear) Forward(x *tensor.Tensor) *tensor.Tensor {
-	return tensor.AddRow(tensor.MatMul(x, l.W), l.B)
+	return tensor.Affine(x, l.W, l.B)
 }
 
 // LayerNorm is a row-wise layer normalization module.
@@ -243,6 +244,29 @@ func NewMultiHeadAttention(p *Params, name string, rng *rand.Rand, d, heads int)
 
 // Heads returns the number of attention heads.
 func (a *Attention) Heads() int { return len(a.Wq) }
+
+// ForwardTree is sparse tree-local self-attention: rows of x attend only
+// within their disjoint group (one group per PM tree). Mathematically this
+// is Forward with a same-group mask, but computed block-diagonally — the
+// O(Σ s²·d) realization of the paper's sparse attention instead of a masked
+// O(n²·d) dense pass. No probability matrix is returned; the tree stage
+// never feeds the PM actor's score feature.
+func (a *Attention) ForwardTree(x *tensor.Tensor, groups [][]int) *tensor.Tensor {
+	var concat *tensor.Tensor
+	scale := 1 / math.Sqrt(float64(a.headDim))
+	for h := range a.Wq {
+		qq := a.Wq[h].Forward(x)
+		kk := a.Wk[h].Forward(x)
+		vv := a.Wv[h].Forward(x)
+		head := tensor.GroupedAttention(qq, kk, vv, groups, scale)
+		if concat == nil {
+			concat = head
+		} else {
+			concat = tensor.ConcatCols(concat, head)
+		}
+	}
+	return a.Wo.Forward(concat)
+}
 
 // Forward attends queries q (m×d) over keys/values kv (n×d). mask, when
 // non-nil, is row-major m×n with false marking forbidden pairs; fully

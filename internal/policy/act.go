@@ -1,10 +1,7 @@
 package policy
 
 import (
-	"fmt"
-	"math"
 	"math/rand"
-	"sort"
 
 	"vmr2l/internal/sim"
 	"vmr2l/internal/tensor"
@@ -64,47 +61,18 @@ func sampleRow(probs []float64, rng *rand.Rand, greedy bool) int {
 	return len(probs) - 1
 }
 
-// quantileThreshold returns the q-th quantile of the probability vector
-// (paper section 3.4 computes thresholds over all candidate probabilities).
-func quantileThreshold(probs []float64, q float64) float64 {
-	if q <= 0 || len(probs) == 0 {
-		return 0
-	}
-	sorted := append([]float64(nil), probs...)
-	sort.Float64s(sorted)
-	idx := int(q * float64(len(sorted)-1))
-	return sorted[idx]
-}
-
-// applyThreshold zeroes entries below the quantile threshold and
-// renormalizes, respecting an optional legality mask.
-func applyThreshold(probs []float64, mask []bool, q float64) {
-	th := quantileThreshold(probs, q)
-	sum := 0.0
-	for i, p := range probs {
-		if p >= th && (mask == nil || mask[i]) {
-			sum += p
-		}
-	}
-	if sum == 0 {
-		return // degenerate: leave as-is (caller falls back to legal max)
-	}
-	for i, p := range probs {
-		if p >= th && (mask == nil || mask[i]) {
-			probs[i] = p / sum
-		} else {
-			probs[i] = 0
-		}
-	}
-}
-
 // Act selects an action for the environment's current state. It returns the
-// decision record used by PPO (state snapshot, log-prob, value).
+// decision record used by PPO (state snapshot, log-prob, value). The forward
+// pass runs on the inference fast path (no autograd graph); Evaluate later
+// rebuilds the graph from the stored state when PPO needs gradients.
 func (m *Model) Act(env *sim.Env, rng *rand.Rand, opts SampleOpts) (*Decision, error) {
+	ic := inferPool.Get().(*InferCtx)
+	defer inferPool.Put(ic)
+	ic.arena.Reset()
 	feat := sim.Extract(env.Cluster())
-	out := m.forward(feat)
+	out := m.forwardInfer(ic, feat)
 	st := &State{Feat: feat}
-	dec := &Decision{State: st, Value: m.value(out).Scalar()}
+	dec := &Decision{State: st, Value: m.valueInfer(ic, out)}
 
 	switch m.Cfg.Action {
 	case FullMask:
@@ -121,42 +89,41 @@ func (m *Model) Act(env *sim.Env, rng *rand.Rand, opts SampleOpts) (*Decision, e
 				st.JointMask[vm*nTotal+pm] = pmMask[pm]
 			}
 		}
-		logits := m.jointLogits(out, st.JointMask)
-		probs := tensor.Softmax(logits).Data
+		probs := ic.arena.Softmax(m.jointLogitsInfer(ic, out, st.JointMask)).Data
 		idx := sampleRow(probs, rng, opts.Greedy)
 		st.VM, st.PM = idx/nTotal, idx%nTotal
-		dec.LogProb = math.Log(probs[idx] + 1e-300)
+		dec.LogProb = logProbOf(probs[idx])
 		return dec, nil
 
 	case Penalty:
 		// Unmasked two-stage sampling; illegal choices are possible and
 		// penalized by the caller via PenaltyStep.
-		vmProbs := tensor.Softmax(m.vmLogits(out, nil)).Data
+		vmProbs := ic.arena.Softmax(m.vmLogitsInfer(ic, out, nil)).Data
 		st.VM = sampleRow(vmProbs, rng, opts.Greedy)
-		pmProbs := tensor.Softmax(m.pmLogits(out, st.VM, nil)).Data
+		pmProbs := ic.arena.Softmax(m.pmLogitsInfer(ic, out, st.VM, nil)).Data
 		st.PM = sampleRow(pmProbs, rng, opts.Greedy)
-		dec.LogProb = math.Log(vmProbs[st.VM]+1e-300) + math.Log(pmProbs[st.PM]+1e-300)
+		dec.LogProb = logProbOf(vmProbs[st.VM]) + logProbOf(pmProbs[st.PM])
 		return dec, nil
 
 	default: // TwoStage
 		st.VMMask = env.VMMask()
 		if !anyTrue(st.VMMask) {
-			return nil, fmt.Errorf("policy: no migratable VM")
+			return nil, ErrNoMigratableVM
 		}
-		vmProbs := append([]float64(nil), tensor.Softmax(m.vmLogits(out, st.VMMask)).Data...)
+		vmProbs := append([]float64(nil), ic.arena.Softmax(m.vmLogitsInfer(ic, out, st.VMMask)).Data...)
 		if opts.VMQuantile > 0 {
-			applyThreshold(vmProbs, st.VMMask, opts.VMQuantile)
+			ic.applyThreshold(vmProbs, st.VMMask, opts.VMQuantile)
 		}
 		st.VM = sampleLegal(vmProbs, st.VMMask, rng, opts.Greedy)
 
 		pmMask := env.PMMask(st.VM)
 		st.PMMask = pmMask
-		pmProbs := append([]float64(nil), tensor.Softmax(m.pmLogits(out, st.VM, pmMask)).Data...)
+		pmProbs := append([]float64(nil), ic.arena.Softmax(m.pmLogitsInfer(ic, out, st.VM, pmMask)).Data...)
 		if opts.PMQuantile > 0 {
-			applyThreshold(pmProbs, pmMask, opts.PMQuantile)
+			ic.applyThreshold(pmProbs, pmMask, opts.PMQuantile)
 		}
 		st.PM = sampleLegal(pmProbs, pmMask, rng, opts.Greedy)
-		dec.LogProb = math.Log(vmProbs[st.VM]+1e-300) + math.Log(pmProbs[st.PM]+1e-300)
+		dec.LogProb = logProbOf(vmProbs[st.VM]) + logProbOf(pmProbs[st.PM])
 
 		if m.Cfg.PMSubset > 0 {
 			// Decima-style: resample the PM from a random legal subset,
@@ -275,18 +242,22 @@ func entropyOf(logp *tensor.Tensor) *tensor.Tensor {
 }
 
 // Probabilities returns the stage-1 VM distribution and, for its argmax VM,
-// the stage-2 PM distribution — the data behind paper Fig. 11.
+// the stage-2 PM distribution — the data behind paper Fig. 11. Runs on the
+// inference fast path; the returned slices are fresh copies.
 func (m *Model) Probabilities(env *sim.Env) (vmProbs, pmProbs []float64) {
+	ic := inferPool.Get().(*InferCtx)
+	defer inferPool.Put(ic)
+	ic.arena.Reset()
 	feat := sim.Extract(env.Cluster())
-	out := m.forward(feat)
+	out := m.forwardInfer(ic, feat)
 	vmMask := env.VMMask()
-	vmProbs = tensor.Softmax(m.vmLogits(out, vmMask)).Data
+	vmProbs = append([]float64(nil), ic.arena.Softmax(m.vmLogitsInfer(ic, out, vmMask)).Data...)
 	best := 0
 	for i, p := range vmProbs {
 		if p > vmProbs[best] {
 			best = i
 		}
 	}
-	pmProbs = tensor.Softmax(m.pmLogits(out, best, env.PMMask(best))).Data
+	pmProbs = append([]float64(nil), ic.arena.Softmax(m.pmLogitsInfer(ic, out, best, env.PMMask(best))).Data...)
 	return vmProbs, pmProbs
 }

@@ -1,0 +1,251 @@
+package policy
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"vmr2l/internal/sim"
+	"vmr2l/internal/tensor"
+)
+
+// ErrNoMigratableVM is returned by Infer when stage 1 has no legal candidate.
+var ErrNoMigratableVM = errors.New("policy: no migratable VM")
+
+// InferCtx is the per-goroutine scratch state of the allocation-free
+// inference path: a tensor arena for the forward pass plus reusable feature,
+// mask, and probability buffers. Obtain one with NewInferCtx and reuse it
+// across steps and episodes; it is not safe for concurrent use.
+type InferCtx struct {
+	arena tensor.Arena
+	feat  sim.Features
+	out   forwardOut
+	// gb caches the tree partition for sparse attention.
+	gb groupBuf
+	// Stage masks and distributions, reused across steps.
+	vmMask    []bool
+	pmMask    []bool
+	jointMask []bool
+	vmProbs   []float64
+	pmProbs   []float64
+	sortBuf   []float64
+}
+
+// NewInferCtx returns an empty inference context.
+func NewInferCtx() *InferCtx { return &InferCtx{} }
+
+// inferPool recycles contexts for Act/Probabilities callers that do not
+// manage their own.
+var inferPool = sync.Pool{New: func() any { return NewInferCtx() }}
+
+// forwardInfer runs the feature extractor on one state through the arena:
+// identical math to forward, no autograd graph, no steady-state allocation.
+func (m *Model) forwardInfer(ic *InferCtx, f *sim.Features) *forwardOut {
+	ar := &ic.arena
+	pmE := m.pmEmbed.Infer(ar, ar.FromFlat(len(f.PM), sim.PMFeatDim, f.FlatPM()))
+	vmE := m.vmEmbed.Infer(ar, ar.FromFlat(len(f.VM), sim.VMFeatDim, f.FlatVM()))
+	out := &ic.out
+	out.pmE, out.vmE, out.crossProbs = nil, nil, nil
+	numPM := len(f.PM)
+	var groups [][]int
+	if m.Cfg.Extractor == SparseAttention {
+		groups = ic.gb.build(f.HostPM, numPM)
+	}
+	for _, blk := range m.blocks {
+		if blk.tree != nil {
+			// Stage 1: tree-local attention over stacked [PM; VM] rows,
+			// computed block-diagonally per PM tree.
+			x := ar.ConcatRows(pmE, vmE)
+			tx := blk.tree.InferTree(ar, x, groups)
+			x = ar.Add(x, tx) // residual
+			pmE = ar.Rows(x, 0, numPM)
+			vmE = ar.Rows(x, numPM, numPM+len(f.VM))
+		}
+		if blk.pmSelf != nil {
+			// Stage 2: intra-set self-attention.
+			pa, _ := blk.pmSelf.Infer(ar, pmE, pmE, nil)
+			pmE = ar.Add(pmE, pa)
+			va, _ := blk.vmSelf.Infer(ar, vmE, vmE, nil)
+			vmE = ar.Add(vmE, va)
+			// Stage 3: VM -> PM cross attention.
+			ca, probs := blk.cross.Infer(ar, vmE, pmE, nil)
+			vmE = ar.Add(vmE, ca)
+			out.crossProbs = probs
+		}
+		// Dense layers + layer norm.
+		pmE = blk.pmLN.Infer(ar, ar.Add(pmE, blk.pmFF.Infer(ar, pmE)))
+		vmE = blk.vmLN.Infer(ar, ar.Add(vmE, blk.vmFF.Infer(ar, vmE)))
+	}
+	out.pmE, out.vmE = pmE, vmE
+	return out
+}
+
+// vmLogitsInfer is the graph-free vmLogits.
+func (m *Model) vmLogitsInfer(ic *InferCtx, out *forwardOut, mask []bool) *tensor.Tensor {
+	ar := &ic.arena
+	row := ar.Transpose(m.vmHead.Infer(ar, out.vmE)) // 1×M
+	if mask != nil {
+		row = ar.MaskedFill(row, mask, -1e9)
+	}
+	return row
+}
+
+// pmLogitsInfer is the graph-free pmLogits.
+func (m *Model) pmLogitsInfer(ic *InferCtx, out *forwardOut, vm int, mask []bool) *tensor.Tensor {
+	ar := &ic.arena
+	n := out.pmE.Rows
+	sel := ar.Rows(out.vmE, vm, vm+1) // 1×d view
+	selB := ar.RepeatRow(sel, n)      // N×d
+	var score *tensor.Tensor
+	if out.crossProbs != nil {
+		score = ar.Transpose(ar.Rows(out.crossProbs, vm, vm+1)) // N×1
+	} else {
+		score = ar.Tensor(n, 1)
+	}
+	merged := ar.ConcatCols(ar.ConcatCols(out.pmE, selB), score) // N×(2d+1)
+	row := ar.Transpose(m.pmMerge.Infer(ar, merged))             // 1×N
+	if mask != nil {
+		row = ar.MaskedFill(row, mask, -1e9)
+	}
+	return row
+}
+
+// jointLogitsInfer is the graph-free jointLogits.
+func (m *Model) jointLogitsInfer(ic *InferCtx, out *forwardOut, mask []bool) *tensor.Tensor {
+	ar := &ic.arena
+	scores := ar.MatMulT(out.vmE, out.pmE) // M×N
+	flat := ar.Reshape(scores, 1, scores.Rows*scores.Cols)
+	if mask != nil {
+		flat = ar.MaskedFill(flat, mask, -1e9)
+	}
+	return flat
+}
+
+// valueInfer is the graph-free critic head.
+func (m *Model) valueInfer(ic *InferCtx, out *forwardOut) float64 {
+	ar := &ic.arena
+	pooled := ar.ConcatCols(ar.MeanRows(out.pmE), ar.MeanRows(out.vmE))
+	return m.critic.Infer(ar, pooled).Data[0]
+}
+
+// resizeFloats returns dst with length n, reallocating only when needed.
+func resizeFloats(dst []float64, n int) []float64 {
+	if cap(dst) < n {
+		return make([]float64, n)
+	}
+	return dst[:n]
+}
+
+// applyThresholdBuf is the single implementation of action thresholding
+// (paper section 3.4): entries below the q-th quantile of the distribution
+// are zeroed and the rest renormalized, respecting an optional legality
+// mask. buf is an optional reusable sort buffer; the (possibly grown)
+// buffer is returned so contexts can keep it. The q<=0 and all-zero-sum
+// degenerate cases leave probs untouched (callers fall back to legal max).
+func applyThresholdBuf(buf, probs []float64, mask []bool, q float64) []float64 {
+	if q <= 0 || len(probs) == 0 {
+		return buf
+	}
+	buf = append(buf[:0], probs...)
+	sort.Float64s(buf)
+	th := buf[int(q*float64(len(buf)-1))]
+	sum := 0.0
+	for i, p := range probs {
+		if p >= th && (mask == nil || mask[i]) {
+			sum += p
+		}
+	}
+	if sum == 0 {
+		return buf // degenerate: leave as-is (caller falls back to legal max)
+	}
+	for i, p := range probs {
+		if p >= th && (mask == nil || mask[i]) {
+			probs[i] = p / sum
+		} else {
+			probs[i] = 0
+		}
+	}
+	return buf
+}
+
+// applyThreshold is applyThresholdBuf reusing the context's sort buffer.
+func (ic *InferCtx) applyThreshold(probs []float64, mask []bool, q float64) {
+	ic.sortBuf = applyThresholdBuf(ic.sortBuf, probs, mask, q)
+}
+
+// Infer selects an action on the environment's current state through the
+// allocation-free fast path: features are re-extracted into the context,
+// the forward pass runs on the arena, and only the chosen (vm, pm) pair is
+// returned. Use this for rollouts and serving; use Act when the decision
+// record (state snapshot, log-prob, value) must be retained for training.
+func (m *Model) Infer(ic *InferCtx, env *sim.Env, rng *rand.Rand, opts SampleOpts) (vm, pm int, err error) {
+	ic.arena.Reset()
+	sim.ExtractInto(&ic.feat, env.Cluster())
+	out := m.forwardInfer(ic, &ic.feat)
+
+	switch m.Cfg.Action {
+	case FullMask:
+		mTotal, nTotal := len(ic.feat.VM), len(ic.feat.PM)
+		if cap(ic.jointMask) < mTotal*nTotal {
+			ic.jointMask = make([]bool, mTotal*nTotal)
+		} else {
+			ic.jointMask = ic.jointMask[:mTotal*nTotal]
+			for i := range ic.jointMask {
+				ic.jointMask[i] = false
+			}
+		}
+		ic.vmMask = env.VMMaskInto(ic.vmMask)
+		for v := 0; v < mTotal; v++ {
+			if !ic.vmMask[v] {
+				continue
+			}
+			ic.pmMask = env.PMMaskInto(v, ic.pmMask)
+			for p := 0; p < nTotal; p++ {
+				ic.jointMask[v*nTotal+p] = ic.pmMask[p]
+			}
+		}
+		probs := ic.arena.Softmax(m.jointLogitsInfer(ic, out, ic.jointMask)).Data
+		idx := sampleRow(probs, rng, opts.Greedy)
+		return idx / nTotal, idx % nTotal, nil
+
+	case Penalty:
+		vmProbs := ic.arena.Softmax(m.vmLogitsInfer(ic, out, nil)).Data
+		vm = sampleRow(vmProbs, rng, opts.Greedy)
+		pmProbs := ic.arena.Softmax(m.pmLogitsInfer(ic, out, vm, nil)).Data
+		pm = sampleRow(pmProbs, rng, opts.Greedy)
+		return vm, pm, nil
+
+	default: // TwoStage
+		ic.vmMask = env.VMMaskInto(ic.vmMask)
+		if !anyTrue(ic.vmMask) {
+			return 0, 0, ErrNoMigratableVM
+		}
+		ic.vmProbs = resizeFloats(ic.vmProbs, len(ic.vmMask))
+		copy(ic.vmProbs, ic.arena.Softmax(m.vmLogitsInfer(ic, out, ic.vmMask)).Data)
+		if opts.VMQuantile > 0 {
+			ic.applyThreshold(ic.vmProbs, ic.vmMask, opts.VMQuantile)
+		}
+		vm = sampleLegal(ic.vmProbs, ic.vmMask, rng, opts.Greedy)
+
+		ic.pmMask = env.PMMaskInto(vm, ic.pmMask)
+		ic.pmProbs = resizeFloats(ic.pmProbs, len(ic.pmMask))
+		copy(ic.pmProbs, ic.arena.Softmax(m.pmLogitsInfer(ic, out, vm, ic.pmMask)).Data)
+		if opts.PMQuantile > 0 {
+			ic.applyThreshold(ic.pmProbs, ic.pmMask, opts.PMQuantile)
+		}
+		pm = sampleLegal(ic.pmProbs, ic.pmMask, rng, opts.Greedy)
+
+		if m.Cfg.PMSubset > 0 {
+			// Decima-style: resample the PM from a random legal subset,
+			// overriding the learned stage-2 choice.
+			pm = subsetPM(ic.pmMask, m.Cfg.PMSubset, ic.pmProbs, rng)
+		}
+		return vm, pm, nil
+	}
+}
+
+// logProbOf returns log(p) with the same epsilon floor the training path
+// uses.
+func logProbOf(p float64) float64 { return math.Log(p + 1e-300) }

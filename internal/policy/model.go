@@ -145,27 +145,76 @@ type forwardOut struct {
 	crossProbs *tensor.Tensor
 }
 
-// treeMask builds the sparse local-attention mask over the stacked
-// [PMs; VMs] rows: position (i, j) is allowed iff i and j belong to the same
-// PM tree — a PM with the VMs it hosts (and every node with itself).
-func treeMask(host []int, numPM int) []bool {
+// groupBuf builds the tree partition of the stacked [PMs; VMs] rows: one
+// group per PM (the PM row plus its hosted VM rows, ascending) and a
+// singleton group per unplaced VM. A long-lived groupBuf (InferCtx) reuses
+// its buffers across builds; holders of a previous build's result must not
+// reuse the same groupBuf until that result is dead.
+type groupBuf struct {
+	groups [][]int
+	flat   []int
+	counts []int
+}
+
+// build fills the partition for the given hosting relation. The returned
+// slice is valid until the next build.
+func (gb *groupBuf) build(host []int, numPM int) [][]int {
 	n := numPM + len(host)
-	mask := make([]bool, n*n)
-	treeOf := func(i int) int {
-		if i < numPM {
-			return i
-		}
-		return host[i-numPM]
+	if cap(gb.flat) < n {
+		gb.flat = make([]int, n)
+	} else {
+		gb.flat = gb.flat[:n]
 	}
-	for i := 0; i < n; i++ {
-		ti := treeOf(i)
-		for j := 0; j < n; j++ {
-			if i == j || (ti >= 0 && ti == treeOf(j)) {
-				mask[i*n+j] = true
-			}
+	if cap(gb.counts) < numPM {
+		gb.counts = make([]int, numPM)
+	} else {
+		gb.counts = gb.counts[:numPM]
+	}
+	singles := 0
+	for t := 0; t < numPM; t++ {
+		gb.counts[t] = 1 // the PM row itself
+	}
+	for _, h := range host {
+		if h >= 0 {
+			gb.counts[h]++
+		} else {
+			singles++
 		}
 	}
-	return mask
+	nGroups := numPM + singles
+	if cap(gb.groups) < nGroups {
+		gb.groups = make([][]int, nGroups)
+	} else {
+		gb.groups = gb.groups[:nGroups]
+	}
+	// Lay the PM trees out back to back in flat; counts[t] becomes the write
+	// cursor for tree t. Rows stay ascending within each group (PM index
+	// first, hosted VMs in VM order).
+	off := 0
+	for t := 0; t < numPM; t++ {
+		size := gb.counts[t]
+		gb.groups[t] = gb.flat[off : off+size : off+size]
+		gb.flat[off] = t
+		gb.counts[t] = off + 1
+		off += size
+	}
+	for v, h := range host {
+		if h >= 0 {
+			gb.flat[gb.counts[h]] = numPM + v
+			gb.counts[h]++
+		}
+	}
+	// Singleton groups for unplaced VMs.
+	si := numPM
+	for v, h := range host {
+		if h < 0 {
+			gb.flat[off] = numPM + v
+			gb.groups[si] = gb.flat[off : off+1 : off+1]
+			si++
+			off++
+		}
+	}
+	return gb.groups
 }
 
 // forward runs the feature extractor on one state.
@@ -174,15 +223,22 @@ func (m *Model) forward(f *sim.Features) *forwardOut {
 	vmE := m.vmEmbed.Forward(tensor.FromRows(f.VM))
 	out := &forwardOut{}
 	numPM := len(f.PM)
-	var tmask []bool
+	var groups [][]int
 	if m.Cfg.Extractor == SparseAttention {
-		tmask = treeMask(f.HostPM, numPM)
+		// The partition must be freshly allocated here: GroupedAttention's
+		// backward closure retains it until loss.Backward(), long after this
+		// forward returns, so a pooled/reused buffer would be clobbered by
+		// the next transition's forward. (The inference path reuses its
+		// InferCtx buffer safely — arena ops never retain groups.)
+		var gb groupBuf
+		groups = gb.build(f.HostPM, numPM)
 	}
 	for _, blk := range m.blocks {
 		if blk.tree != nil {
-			// Stage 1: tree-local attention over stacked [PM; VM] rows.
+			// Stage 1: tree-local attention over stacked [PM; VM] rows,
+			// computed block-diagonally per PM tree.
 			x := tensor.ConcatRows(pmE, vmE)
-			tx, _ := blk.tree.Forward(x, x, tmask)
+			tx := blk.tree.ForwardTree(x, groups)
 			x = tensor.Add(x, tx) // residual
 			pmE = tensor.GatherRows(x, seq(0, numPM))
 			vmE = tensor.GatherRows(x, seq(numPM, numPM+len(f.VM)))

@@ -138,30 +138,50 @@ func TestGreedyIsDeterministic(t *testing.T) {
 	}
 }
 
-func TestTreeMask(t *testing.T) {
-	// 2 PMs; VM0 on PM0, VM1 on PM1, VM2 on PM0.
-	host := []int{0, 1, 0}
-	mask := treeMask(host, 2)
-	n := 5
-	at := func(i, j int) bool { return mask[i*n+j] }
-	// PM0 (idx 0) sees itself, VM0 (idx 2), VM2 (idx 4); not PM1 or VM1.
-	wants := map[[2]int]bool{
-		{0, 0}: true, {0, 2}: true, {0, 4}: true, {0, 1}: false, {0, 3}: false,
-		{2, 4}: true, // VMs on same PM see each other
-		{2, 3}: false,
-		{1, 3}: true,
-		{3, 3}: true,
+func TestTreeGroups(t *testing.T) {
+	// 2 PMs; VM0 on PM0, VM1 on PM1, VM2 on PM0, VM3 unplaced.
+	host := []int{0, 1, 0, -1}
+	var gb groupBuf
+	groups := gb.build(host, 2)
+	// Stacked row ids: PM0=0, PM1=1, VM0=2, VM1=3, VM2=4, VM3=5.
+	want := [][]int{{0, 2, 4}, {1, 3}, {5}}
+	if len(groups) != len(want) {
+		t.Fatalf("got %d groups, want %d: %v", len(groups), len(want), groups)
 	}
-	for ij, want := range wants {
-		if got := at(ij[0], ij[1]); got != want {
-			t.Errorf("mask[%d][%d] = %v, want %v", ij[0], ij[1], got, want)
+	for gi := range want {
+		if len(groups[gi]) != len(want[gi]) {
+			t.Fatalf("group %d = %v, want %v", gi, groups[gi], want[gi])
+		}
+		for j := range want[gi] {
+			if groups[gi][j] != want[gi][j] {
+				t.Fatalf("group %d = %v, want %v", gi, groups[gi], want[gi])
+			}
 		}
 	}
-	// Symmetry.
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			if at(i, j) != at(j, i) {
-				t.Fatalf("tree mask not symmetric at (%d,%d)", i, j)
+	// The partition must cover every row exactly once.
+	seen := map[int]bool{}
+	for _, g := range groups {
+		for _, r := range g {
+			if seen[r] {
+				t.Fatalf("row %d in two groups", r)
+			}
+			seen[r] = true
+		}
+	}
+	if len(seen) != 2+len(host) {
+		t.Fatalf("partition covers %d of %d rows", len(seen), 2+len(host))
+	}
+	// Rebuild with different shape reuses buffers without corruption.
+	// Stacked row ids: PM0=0, PM1=1, PM2=2, VM0=3, VM1=4, VM2=5.
+	groups = gb.build([]int{1, -1, 1}, 3)
+	want = [][]int{{0}, {1, 3, 5}, {2}, {4}}
+	if len(groups) != len(want) {
+		t.Fatalf("rebuild: got %v, want %v", groups, want)
+	}
+	for gi := range want {
+		for j := range want[gi] {
+			if groups[gi][j] != want[gi][j] {
+				t.Fatalf("rebuild group %d = %v, want %v", gi, groups[gi], want[gi])
 			}
 		}
 	}
@@ -169,7 +189,7 @@ func TestTreeMask(t *testing.T) {
 
 func TestThresholdingMasksLowProbability(t *testing.T) {
 	probs := []float64{0.5, 0.3, 0.1, 0.05, 0.03, 0.02}
-	applyThreshold(probs, nil, 0.5) // keep top half
+	applyThresholdBuf(nil, probs, nil, 0.5) // keep top half
 	if probs[4] != 0 || probs[5] != 0 {
 		t.Fatalf("low-prob entries not masked: %v", probs)
 	}
@@ -185,7 +205,7 @@ func TestThresholdingMasksLowProbability(t *testing.T) {
 func TestThresholdingDegenerateKeepsDistribution(t *testing.T) {
 	probs := []float64{0.5, 0.5}
 	mask := []bool{false, false} // nothing legal
-	applyThreshold(probs, mask, 0.99)
+	applyThresholdBuf(nil, probs, mask, 0.99)
 	if probs[0] != 0.5 || probs[1] != 0.5 {
 		t.Fatalf("degenerate threshold mutated probs: %v", probs)
 	}

@@ -41,29 +41,33 @@ func (a *Agent) Meta() solver.Meta {
 }
 
 // Solve implements solver.Solver: one policy rollout, stopping at episode
-// end, when no migratable VM remains, or when ctx expires.
+// end, when no migratable VM remains, or when ctx expires. The rollout runs
+// on the allocation-free inference path (Model.Infer) with a pooled
+// per-rollout scratch context.
 func (a *Agent) Solve(ctx context.Context, env *sim.Env) error {
 	rng := rand.New(rand.NewSource(a.Seed))
+	ic := inferPool.Get().(*InferCtx)
+	defer inferPool.Put(ic)
 	for !env.Done() {
 		if ctx.Err() != nil {
 			return nil // budget spent: best-so-far plan is already in env
 		}
-		dec, err := a.Model.Act(env, rng, a.Opts)
+		vm, pm, err := a.Model.Infer(ic, env, rng, a.Opts)
 		if err != nil {
 			return nil // no migratable VM left: episode effectively over
 		}
 		if a.Model.Cfg.Action == Penalty {
-			if _, _, err := env.PenaltyStep(dec.State.VM, dec.State.PM, -5); err != nil {
+			if _, _, err := env.PenaltyStep(vm, pm, -5); err != nil {
 				return fmt.Errorf("policy: penalty step: %w", err)
 			}
 			continue
 		}
 		if a.EarlyStop {
-			if g, ok := sim.MoveGain(env.Cluster(), env.Objective(), dec.State.VM, dec.State.PM); ok && g < 0 {
+			if g, ok := sim.MoveGain(env.Cluster(), env.Objective(), vm, pm); ok && g < 0 {
 				return nil
 			}
 		}
-		if _, _, err := env.Step(dec.State.VM, dec.State.PM); err != nil {
+		if _, _, err := env.Step(vm, pm); err != nil {
 			return fmt.Errorf("policy: step: %w", err)
 		}
 	}
@@ -95,12 +99,14 @@ func (n *NeuPlan) Meta() solver.Meta {
 func (n *NeuPlan) Solve(ctx context.Context, env *sim.Env) error {
 	rng := rand.New(rand.NewSource(n.Seed))
 	rlSteps := env.MNL() - n.Beta
+	ic := inferPool.Get().(*InferCtx)
+	defer inferPool.Put(ic)
 	for env.StepsTaken() < rlSteps && !env.Done() && ctx.Err() == nil {
-		dec, err := n.Model.Act(env, rng, SampleOpts{Greedy: true})
+		vm, pm, err := n.Model.Infer(ic, env, rng, SampleOpts{Greedy: true})
 		if err != nil {
 			break
 		}
-		if _, _, err := env.Step(dec.State.VM, dec.State.PM); err != nil {
+		if _, _, err := env.Step(vm, pm); err != nil {
 			return fmt.Errorf("policy: neuplan rl step: %w", err)
 		}
 	}

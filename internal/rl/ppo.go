@@ -85,6 +85,8 @@ type Trainer struct {
 	Cfg   Config
 	opt   *nn.Adam
 	rng   *rand.Rand
+	// pool recycles minibatch graph storage across Update calls.
+	pool *tensor.GraphPool
 }
 
 // NewTrainer builds a trainer (one Adam state per trainer).
@@ -283,6 +285,15 @@ func (t *Trainer) Update(maps []*cluster.Cluster, envCfg sim.Config, updateIdx i
 		idx[i] = i
 	}
 	nMB := 0
+	// Route the minibatch graphs' storage through a recycling pool: each
+	// minibatch builds and discards one autograd graph, so its buffers are
+	// reused instead of churning the allocator. The pool is removed before
+	// returning (Evaluate callers outside Update see normal allocation).
+	if t.pool == nil {
+		t.pool = &tensor.GraphPool{}
+	}
+	prevPool := tensor.SetGraphPool(t.pool)
+	defer tensor.SetGraphPool(prevPool)
 	for epoch := 0; epoch < t.Cfg.Epochs; epoch++ {
 		t.rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
 		for start := 0; start < len(idx); start += t.Cfg.Minibatch {
@@ -291,6 +302,9 @@ func (t *Trainer) Update(maps []*cluster.Cluster, envCfg sim.Config, updateIdx i
 				end = len(idx)
 			}
 			mb := idx[start:end]
+			// All scalars of the previous minibatch have been extracted;
+			// recycle its graph storage.
+			t.pool.Reset()
 			t.Model.Params.ZeroGrad()
 			var pgTerms, vTerms, entTerms []*tensor.Tensor
 			for _, i := range mb {

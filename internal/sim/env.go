@@ -3,6 +3,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"vmr2l/internal/cluster"
 )
@@ -66,23 +67,56 @@ func New(init *cluster.Cluster, cfg Config) *Env {
 	return e
 }
 
-// Reset restores the initial mapping and clears the plan.
+// Reset restores the initial mapping and clears the plan. The restore reuses
+// the live cluster's storage (cluster.CopyFrom), so per-episode resets do
+// not allocate.
 func (e *Env) Reset() {
-	e.c = e.init.Clone()
+	if e.c == nil {
+		e.c = e.init.Clone()
+	} else {
+		e.c.CopyFrom(e.init)
+	}
 	e.step = 0
 	e.done = e.cfg.MNL <= 0
 	e.plan = e.plan[:0]
 }
 
+// envPool recycles forked environments (and their cluster storage) across
+// the thousands of Fork calls MCTS and risk-seeking sampling make per
+// request. Entries are returned via Release.
+var envPool = sync.Pool{New: func() any { return new(Env) }}
+
 // Fork returns an independent copy of the environment mid-episode, used by
-// search (MCTS) and risk-seeking sampling.
+// search (MCTS) and risk-seeking sampling. The copy comes from an internal
+// pool; call Release when done with it to make the fork allocation-free in
+// steady state (forgetting Release is safe — the copy is then simply
+// garbage-collected).
 func (e *Env) Fork() *Env {
-	cp := &Env{cfg: e.cfg, init: e.init, c: e.c.Clone(), step: e.step, done: e.done}
-	cp.plan = append([]Migration(nil), e.plan...)
+	cp := envPool.Get().(*Env)
+	cp.cfg = e.cfg
+	cp.init = e.init
+	if cp.c == nil {
+		cp.c = e.c.Clone()
+	} else {
+		cp.c.CopyFrom(e.c)
+	}
+	cp.step, cp.done = e.step, e.done
+	cp.plan = append(cp.plan[:0], e.plan...)
 	return cp
 }
 
-// Cluster exposes the live cluster state (read-only by convention).
+// Release returns a forked environment to the pool. The environment must not
+// be used afterwards. Safe to call on any Env, but intended for Fork copies;
+// plans previously returned by Plan() must be copied out first.
+func (e *Env) Release() {
+	e.init = nil
+	envPool.Put(e)
+}
+
+// Cluster exposes the live cluster state (read-only by convention; note
+// that even aggregate queries like FragRate lazily warm internal caches, so
+// the cluster must stay confined to the environment's goroutine — share
+// across goroutines via Fork, not by handing out this pointer).
 func (e *Env) Cluster() *cluster.Cluster { return e.c }
 
 // Initial exposes the initial mapping snapshot.
@@ -125,25 +159,45 @@ func (e *Env) LegalVM(vm int) bool {
 
 // VMMask returns a bitmask over VMs: true when the VM may be selected by
 // stage 1. This is the mask the two-stage framework gives the VM actor.
-func (e *Env) VMMask() []bool {
-	mask := make([]bool, len(e.c.VMs))
+func (e *Env) VMMask() []bool { return e.VMMaskInto(nil) }
+
+// VMMaskInto fills (and returns) dst with the stage-1 mask, growing it only
+// when the VM count changed — the allocation-free variant for inference
+// loops.
+func (e *Env) VMMaskInto(dst []bool) []bool {
+	dst = resizeBools(dst, len(e.c.VMs))
 	for vm := range e.c.VMs {
-		mask[vm] = e.LegalVM(vm)
+		dst[vm] = e.LegalVM(vm)
 	}
-	return mask
+	return dst
 }
 
 // PMMask returns a bitmask over PMs: true when the PM can legally host vm.
 // This is the stage-2 mask applied after the VM actor picks a candidate.
-func (e *Env) PMMask(vm int) []bool {
-	mask := make([]bool, len(e.c.PMs))
+func (e *Env) PMMask(vm int) []bool { return e.PMMaskInto(vm, nil) }
+
+// PMMaskInto fills (and returns) dst with the stage-2 mask for vm.
+func (e *Env) PMMaskInto(vm int, dst []bool) []bool {
+	dst = resizeBools(dst, len(e.c.PMs))
 	if vm < 0 || vm >= len(e.c.VMs) {
-		return mask
+		for pm := range dst {
+			dst[pm] = false
+		}
+		return dst
 	}
 	for pm := range e.c.PMs {
-		mask[pm] = e.c.CanHost(vm, pm)
+		dst[pm] = e.c.CanHost(vm, pm)
 	}
-	return mask
+	return dst
+}
+
+// resizeBools returns dst resized to n, reallocating only when it is too
+// small.
+func resizeBools(dst []bool, n int) []bool {
+	if cap(dst) < n {
+		return make([]bool, n)
+	}
+	return dst[:n]
 }
 
 // goalReached reports whether the FR-goal objective has been met.

@@ -13,12 +13,66 @@ const (
 
 // Features is the neural-network input for one state: one row per PM and one
 // row per VM, plus the tree structure (which VMs live on which PM) consumed
-// by the sparse local-attention stage.
+// by the sparse local-attention stage. All rows are views into one flat
+// backing buffer, so re-extraction via ExtractInto is allocation-free once
+// the buffer has grown to the cluster's shape.
 type Features struct {
 	PM [][]float64 // len(PMs) x PMFeatDim, min-max normalized
 	VM [][]float64 // len(VMs) x VMFeatDim, min-max normalized
 	// HostPM[v] is the PM currently hosting VM v, or -1.
 	HostPM []int
+
+	// buf backs every PM row followed by every VM row, row-major.
+	buf []float64
+}
+
+// FlatPM returns the PM rows as one row-major slice (len(PM)*PMFeatDim).
+func (f *Features) FlatPM() []float64 { return f.buf[:len(f.PM)*PMFeatDim] }
+
+// FlatVM returns the VM rows as one row-major slice (len(VM)*VMFeatDim).
+func (f *Features) FlatVM() []float64 {
+	off := len(f.PM) * PMFeatDim
+	return f.buf[off : off+len(f.VM)*VMFeatDim]
+}
+
+// reshape sizes the backing buffer and row headers for nPM PMs and nVM VMs,
+// reusing existing storage when the shape is unchanged.
+func (f *Features) reshape(nPM, nVM int) {
+	need := nPM*PMFeatDim + nVM*VMFeatDim
+	if cap(f.buf) < need {
+		f.buf = make([]float64, need)
+	} else {
+		f.buf = f.buf[:need]
+		for i := range f.buf {
+			f.buf[i] = 0
+		}
+	}
+	if len(f.PM) == nPM && len(f.VM) == nVM && len(f.HostPM) == nVM &&
+		(nPM == 0 || &f.PM[0][0] == &f.buf[0]) {
+		return // headers already point into the current buffer
+	}
+	if cap(f.PM) < nPM {
+		f.PM = make([][]float64, nPM)
+	} else {
+		f.PM = f.PM[:nPM]
+	}
+	if cap(f.VM) < nVM {
+		f.VM = make([][]float64, nVM)
+	} else {
+		f.VM = f.VM[:nVM]
+	}
+	if cap(f.HostPM) < nVM {
+		f.HostPM = make([]int, nVM)
+	} else {
+		f.HostPM = f.HostPM[:nVM]
+	}
+	for i := 0; i < nPM; i++ {
+		f.PM[i] = f.buf[i*PMFeatDim : (i+1)*PMFeatDim : (i+1)*PMFeatDim]
+	}
+	off := nPM * PMFeatDim
+	for v := 0; v < nVM; v++ {
+		f.VM[v] = f.buf[off+v*VMFeatDim : off+(v+1)*VMFeatDim : off+(v+1)*VMFeatDim]
+	}
 }
 
 // pmRaw fills an 8-feature row for one PM: per NUMA, free CPU, free memory,
@@ -43,19 +97,22 @@ func pmRaw(p *cluster.PM, row []float64) {
 // environment. Each feature dimension is min-max normalized across machines
 // (paper section 3.1); constant dimensions become zero.
 func Extract(c *cluster.Cluster) *Features {
-	f := &Features{
-		PM:     make([][]float64, len(c.PMs)),
-		VM:     make([][]float64, len(c.VMs)),
-		HostPM: make([]int, len(c.VMs)),
-	}
+	f := &Features{}
+	ExtractInto(f, c)
+	return f
+}
+
+// ExtractInto recomputes the features for c into f, reusing f's buffers.
+// Steady-state re-extraction (same cluster shape) performs zero allocations;
+// this is the per-step path of policy rollouts.
+func ExtractInto(f *Features, c *cluster.Cluster) {
+	f.reshape(len(c.PMs), len(c.VMs))
 	for i := range c.PMs {
-		f.PM[i] = make([]float64, PMFeatDim)
 		pmRaw(&c.PMs[i], f.PM[i])
 	}
 	for v := range c.VMs {
 		vm := &c.VMs[v]
-		row := make([]float64, VMFeatDim)
-		f.VM[v] = row
+		row := f.VM[v] // zeroed by reshape
 		f.HostPM[v] = vm.PM
 		// Requested cpu/mem per NUMA; zeros pad the unused NUMA slot of
 		// single-NUMA VMs (paper section 3.1).
@@ -83,7 +140,6 @@ func Extract(c *cluster.Cluster) *Features {
 	}
 	normalize(f.PM)
 	normalize(f.VM)
-	return f
 }
 
 // normalize applies per-column min-max scaling in place.

@@ -1,7 +1,7 @@
 package sim
 
 import (
-	"sort"
+	"slices"
 
 	"vmr2l/internal/cluster"
 )
@@ -90,6 +90,30 @@ func MoveGain(c *cluster.Cluster, o Objective, vm, pm int) (float64, bool) {
 	return rg + ig, true
 }
 
+// BestAction returns the legal migration with the highest immediate gain
+// (ties: lowest VM, then lowest PM) without allocating — the zero-alloc
+// variant of TopActions(c, o, 1) used by search rollouts. ok is false when
+// no legal migration exists.
+func BestAction(c *cluster.Cluster, o Objective) (best Action, ok bool) {
+	for vm := range c.VMs {
+		rg, rok := RemovalGain(c, o, vm)
+		if !rok {
+			continue
+		}
+		for pm := range c.PMs {
+			ig, iok := InsertGain(c, o, vm, pm)
+			if !iok {
+				continue
+			}
+			gain := rg + ig
+			if !ok || gain > best.Gain {
+				best, ok = Action{VM: vm, PM: pm, Gain: gain}, true
+			}
+		}
+	}
+	return best, ok
+}
+
 // Action is a candidate (VM, PM) migration with its immediate gain.
 type Action struct {
 	VM   int
@@ -101,7 +125,16 @@ type Action struct {
 // gain, keeping at most k (k <= 0 means all). This is the candidate pruning
 // shared by the heuristic, search, and exact solvers.
 func TopActions(c *cluster.Cluster, o Objective, k int) []Action {
-	var acts []Action
+	return TopActionsInto(nil, c, o, k, nil)
+}
+
+// TopActionsInto is TopActions with a reusable result buffer (dst, may be
+// nil) and an optional candidate filter. For bounded k the top-k set is
+// maintained by insertion during the scan — O(M·N·k) and allocation-free
+// once dst has capacity — instead of sorting the full candidate list, which
+// is what search solvers hammer at every tree node.
+func TopActionsInto(dst []Action, c *cluster.Cluster, o Objective, k int, keep func(Action) bool) []Action {
+	acts := dst[:0]
 	for vm := range c.VMs {
 		rg, ok := RemovalGain(c, o, vm)
 		if !ok {
@@ -112,32 +145,57 @@ func TopActions(c *cluster.Cluster, o Objective, k int) []Action {
 			if !ok {
 				continue
 			}
-			acts = append(acts, Action{VM: vm, PM: pm, Gain: rg + ig})
+			a := Action{VM: vm, PM: pm, Gain: rg + ig}
+			if keep != nil && !keep(a) {
+				continue
+			}
+			if k > 0 {
+				acts = insertTopK(acts, a, k)
+			} else {
+				acts = append(acts, a)
+			}
 		}
 	}
-	sortActions(acts)
-	if k > 0 && len(acts) > k {
-		acts = acts[:k]
+	if k <= 0 {
+		sortActions(acts)
 	}
 	return acts
 }
 
-// sortActions sorts by descending gain with (VM, PM) tie-breaks so solver
+// actionRank orders by descending gain with (VM, PM) tie-breaks so solver
 // behaviour is deterministic across runs.
-func sortActions(acts []Action) {
-	// Small-n insertion-friendly sort via stdlib.
-	sortSlice(acts, func(a, b Action) bool {
-		if a.Gain != b.Gain {
-			return a.Gain > b.Gain
-		}
-		if a.VM != b.VM {
-			return a.VM < b.VM
-		}
-		return a.PM < b.PM
-	})
+func actionRank(a, b Action) int {
+	switch {
+	case a.Gain > b.Gain:
+		return -1
+	case a.Gain < b.Gain:
+		return 1
+	case a.VM != b.VM:
+		return a.VM - b.VM
+	default:
+		return a.PM - b.PM
+	}
 }
 
-// sortSlice is sort.Slice specialized to Action to keep call sites tidy.
-func sortSlice(acts []Action, less func(a, b Action) bool) {
-	sort.Slice(acts, func(i, j int) bool { return less(acts[i], acts[j]) })
+// insertTopK inserts a into the rank-sorted slice acts, keeping at most k
+// entries. The enumeration order (ascending VM, then PM) already matches the
+// tie-break, so equal-gain candidates keep their deterministic order.
+func insertTopK(acts []Action, a Action, k int) []Action {
+	pos := len(acts)
+	for pos > 0 && actionRank(a, acts[pos-1]) < 0 {
+		pos--
+	}
+	if len(acts) < k {
+		acts = append(acts, Action{})
+	} else if pos >= len(acts) {
+		return acts
+	}
+	copy(acts[pos+1:], acts[pos:len(acts)-1])
+	acts[pos] = a
+	return acts
+}
+
+// sortActions sorts the full candidate list (reflection-free).
+func sortActions(acts []Action) {
+	slices.SortFunc(acts, actionRank)
 }

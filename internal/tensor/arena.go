@@ -1,0 +1,334 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Arena is the inference-mode scratch allocator: a bump allocator over a
+// pool of reusable tensors. Ops invoked through an Arena never build
+// autograd graphs — no parent links, no backward closures, no gradient
+// buffers — and their outputs live until the next Reset, at which point the
+// storage is recycled. After the first few forwards an arena reaches a
+// steady state where a full policy forward performs zero heap allocations.
+//
+// An Arena is not safe for concurrent use; give each worker goroutine its
+// own (see policy's arena pool). Tensors returned by arena ops must not be
+// retained across Reset and must not be fed into autograd ops that will be
+// backpropagated through.
+type Arena struct {
+	tensors []*Tensor
+	next    int
+	// views are zero-copy headers (Rows, Reshape) kept separate from the
+	// storage pool: their Data fields alias other tensors and must never be
+	// recycled as backing buffers.
+	views []*Tensor
+	vnext int
+}
+
+// Reset recycles all tensors and views handed out since the last Reset.
+func (ar *Arena) Reset() { ar.next, ar.vnext = 0, 0 }
+
+// view returns a reusable tensor header whose Data the caller will point at
+// existing storage.
+func (ar *Arena) view(data []float64, rows, cols int) *Tensor {
+	if ar.vnext == len(ar.views) {
+		ar.views = append(ar.views, new(Tensor))
+	}
+	t := ar.views[ar.vnext]
+	ar.vnext++
+	t.Data, t.Rows, t.Cols = data, rows, cols
+	t.Grad, t.parents, t.backward, t.requiresGrad = nil, nil, nil, false
+	return t
+}
+
+// Tensor returns a zeroed rows×cols tensor backed by recycled storage.
+func (ar *Arena) Tensor(rows, cols int) *Tensor {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: arena invalid shape %dx%d", rows, cols))
+	}
+	n := rows * cols
+	if ar.next == len(ar.tensors) {
+		ar.tensors = append(ar.tensors, &Tensor{Data: make([]float64, n)})
+	}
+	t := ar.tensors[ar.next]
+	ar.next++
+	if cap(t.Data) < n {
+		t.Data = make([]float64, n)
+	} else {
+		t.Data = t.Data[:n]
+		for i := range t.Data {
+			t.Data[i] = 0
+		}
+	}
+	t.Rows, t.Cols = rows, cols
+	t.Grad, t.parents, t.backward, t.requiresGrad = nil, nil, nil, false
+	return t
+}
+
+// FromFlat copies row-major data into an arena tensor.
+func (ar *Arena) FromFlat(rows, cols int, data []float64) *Tensor {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: arena FromFlat %dx%d with %d values", rows, cols, len(data)))
+	}
+	t := ar.Tensor(rows, cols)
+	copy(t.Data, data)
+	return t
+}
+
+// MatMul returns a·b (no graph), using the shared cache-blocked kernel.
+func (ar *Arena) MatMul(a, b *Tensor) *Tensor {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMul %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := ar.Tensor(a.Rows, b.Cols)
+	matMulInto(out.Data, a.Data, b.Data, a.Rows, a.Cols, b.Cols)
+	return out
+}
+
+// MatMulT returns a·bᵀ (no graph).
+func (ar *Arena) MatMulT(a, b *Tensor) *Tensor {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulT %dx%d · (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := ar.Tensor(a.Rows, b.Rows)
+	matMulTInto(out.Data, a.Data, b.Data, a.Rows, a.Cols, b.Rows)
+	return out
+}
+
+// Add returns a + b elementwise.
+func (ar *Arena) Add(a, b *Tensor) *Tensor {
+	sameShape(a, b, "arena Add")
+	out := ar.Tensor(a.Rows, a.Cols)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] + b.Data[i]
+	}
+	return out
+}
+
+// AddRow broadcasts a 1×n row onto every row of a.
+func (ar *Arena) AddRow(a, row *Tensor) *Tensor {
+	if row.Rows != 1 || row.Cols != a.Cols {
+		panic(fmt.Sprintf("tensor: arena AddRow %dx%d + %dx%d", a.Rows, a.Cols, row.Rows, row.Cols))
+	}
+	out := ar.Tensor(a.Rows, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		o := out.Data[i*a.Cols : (i+1)*a.Cols]
+		x := a.Data[i*a.Cols : (i+1)*a.Cols]
+		for j := range o {
+			o[j] = x[j] + row.Data[j]
+		}
+	}
+	return out
+}
+
+// Scale returns c·a.
+func (ar *Arena) Scale(a *Tensor, c float64) *Tensor {
+	out := ar.Tensor(a.Rows, a.Cols)
+	for i, v := range a.Data {
+		out.Data[i] = v * c
+	}
+	return out
+}
+
+// ReLU returns max(a, 0).
+func (ar *Arena) ReLU(a *Tensor) *Tensor {
+	out := ar.Tensor(a.Rows, a.Cols)
+	for i, v := range a.Data {
+		if v > 0 {
+			out.Data[i] = v
+		}
+	}
+	return out
+}
+
+// Softmax applies a row-wise softmax.
+func (ar *Arena) Softmax(a *Tensor) *Tensor {
+	out := ar.Tensor(a.Rows, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		rowSoftmaxInto(a.Data[i*a.Cols:(i+1)*a.Cols], out.Data[i*a.Cols:(i+1)*a.Cols])
+	}
+	return out
+}
+
+// MaskedFill writes fill where mask is false.
+func (ar *Arena) MaskedFill(a *Tensor, mask []bool, fill float64) *Tensor {
+	if len(mask) != len(a.Data) {
+		panic(fmt.Sprintf("tensor: arena MaskedFill mask %d vs data %d", len(mask), len(a.Data)))
+	}
+	out := ar.Tensor(a.Rows, a.Cols)
+	for i, v := range a.Data {
+		if mask[i] {
+			out.Data[i] = v
+		} else {
+			out.Data[i] = fill
+		}
+	}
+	return out
+}
+
+// LayerNorm normalizes each row and applies the affine gamma/beta.
+func (ar *Arena) LayerNorm(a, gamma, beta *Tensor, eps float64) *Tensor {
+	if gamma.Cols != a.Cols || beta.Cols != a.Cols || gamma.Rows != 1 || beta.Rows != 1 {
+		panic("tensor: arena LayerNorm parameter shape")
+	}
+	out := ar.Tensor(a.Rows, a.Cols)
+	n := float64(a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		row := a.Data[i*a.Cols : (i+1)*a.Cols]
+		m := 0.0
+		for _, v := range row {
+			m += v
+		}
+		m /= n
+		va := 0.0
+		for _, v := range row {
+			va += (v - m) * (v - m)
+		}
+		va /= n
+		is := 1 / math.Sqrt(va+eps)
+		o := out.Data[i*a.Cols : (i+1)*a.Cols]
+		for j, v := range row {
+			o[j] = (v-m)*is*gamma.Data[j] + beta.Data[j]
+		}
+	}
+	return out
+}
+
+// ConcatCols concatenates a (m×p) and b (m×q) into (m×(p+q)).
+func (ar *Arena) ConcatCols(a, b *Tensor) *Tensor {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: arena ConcatCols rows %d vs %d", a.Rows, b.Rows))
+	}
+	out := ar.Tensor(a.Rows, a.Cols+b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		copy(out.Data[i*out.Cols:], a.Data[i*a.Cols:(i+1)*a.Cols])
+		copy(out.Data[i*out.Cols+a.Cols:], b.Data[i*b.Cols:(i+1)*b.Cols])
+	}
+	return out
+}
+
+// ConcatRows stacks a (p×n) over b (q×n).
+func (ar *Arena) ConcatRows(a, b *Tensor) *Tensor {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: arena ConcatRows cols %d vs %d", a.Cols, b.Cols))
+	}
+	out := ar.Tensor(a.Rows+b.Rows, a.Cols)
+	copy(out.Data, a.Data)
+	copy(out.Data[len(a.Data):], b.Data)
+	return out
+}
+
+// GroupedAttention is the inference-mode block-diagonal attention (see the
+// graph op of the same name): each row attends only within its group.
+func (ar *Arena) GroupedAttention(q, k, v *Tensor, groups [][]int, scale float64) *Tensor {
+	if q.Rows != k.Rows || q.Rows != v.Rows || q.Cols != k.Cols {
+		panic(fmt.Sprintf("tensor: arena GroupedAttention q %dx%d k %dx%d v %dx%d",
+			q.Rows, q.Cols, k.Rows, k.Cols, v.Rows, v.Cols))
+	}
+	d := q.Cols
+	dv := v.Cols
+	out := ar.Tensor(q.Rows, dv)
+	maxS := 0
+	for _, g := range groups {
+		if len(g) > maxS {
+			maxS = len(g)
+		}
+	}
+	scratch := ar.Tensor(1, 2*maxS).Data
+	scores, prow := scratch[:maxS], scratch[maxS:]
+	for _, g := range groups {
+		s := len(g)
+		for _, r1 := range g {
+			qr := q.Data[r1*d : (r1+1)*d]
+			for b, r2 := range g {
+				kr := k.Data[r2*d : (r2+1)*d]
+				dp := 0.0
+				for j, qv := range qr {
+					dp += qv * kr[j]
+				}
+				scores[b] = dp * scale
+			}
+			rowSoftmaxInto(scores[:s], prow[:s])
+			or := out.Data[r1*dv : (r1+1)*dv]
+			for b, p := range prow[:s] {
+				if p == 0 {
+					continue
+				}
+				vr := v.Data[g[b]*dv : (g[b]+1)*dv]
+				for j, vv := range vr {
+					or[j] += p * vv
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Rows returns the row view a[lo:hi) — a slice header into a's storage, no
+// copy. Valid for inference reads only.
+func (ar *Arena) Rows(a *Tensor, lo, hi int) *Tensor {
+	if lo < 0 || hi > a.Rows || lo > hi {
+		panic(fmt.Sprintf("tensor: arena Rows [%d:%d) of %d", lo, hi, a.Rows))
+	}
+	return ar.view(a.Data[lo*a.Cols:hi*a.Cols], hi-lo, a.Cols)
+}
+
+// GatherRows copies rows by index.
+func (ar *Arena) GatherRows(a *Tensor, idx []int) *Tensor {
+	out := ar.Tensor(len(idx), a.Cols)
+	for r, i := range idx {
+		if i < 0 || i >= a.Rows {
+			panic(fmt.Sprintf("tensor: arena GatherRows index %d of %d", i, a.Rows))
+		}
+		copy(out.Data[r*a.Cols:(r+1)*a.Cols], a.Data[i*a.Cols:(i+1)*a.Cols])
+	}
+	return out
+}
+
+// RepeatRow tiles row (1×n) into (m×n) — the inference replacement for the
+// ones-vector MatMul broadcast.
+func (ar *Arena) RepeatRow(row *Tensor, m int) *Tensor {
+	if row.Rows != 1 {
+		panic(fmt.Sprintf("tensor: arena RepeatRow on %dx%d", row.Rows, row.Cols))
+	}
+	out := ar.Tensor(m, row.Cols)
+	for i := 0; i < m; i++ {
+		copy(out.Data[i*row.Cols:(i+1)*row.Cols], row.Data)
+	}
+	return out
+}
+
+// Transpose returns aᵀ.
+func (ar *Arena) Transpose(a *Tensor) *Tensor {
+	out := ar.Tensor(a.Cols, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			out.Data[j*a.Rows+i] = a.Data[i*a.Cols+j]
+		}
+	}
+	return out
+}
+
+// MeanRows reduces (m×n) to the column mean (1×n).
+func (ar *Arena) MeanRows(a *Tensor) *Tensor {
+	out := ar.Tensor(1, a.Cols)
+	m := float64(a.Rows)
+	if m == 0 {
+		m = 1
+	}
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			out.Data[j] += a.Data[i*a.Cols+j] / m
+		}
+	}
+	return out
+}
+
+// Reshape returns a rows×cols view sharing a's storage (no copy, no graph).
+func (ar *Arena) Reshape(a *Tensor, rows, cols int) *Tensor {
+	if rows*cols != a.Rows*a.Cols {
+		panic(fmt.Sprintf("tensor: arena Reshape %dx%d -> %dx%d", a.Rows, a.Cols, rows, cols))
+	}
+	return ar.view(a.Data, rows, cols)
+}

@@ -1,0 +1,60 @@
+package tensor
+
+// GraphPool recycles the float64 buffers behind autograd graph nodes. PPO
+// updates build and discard thousands of near-identical small graphs per
+// second; routing their Data/Grad storage through a bump pool removes the
+// allocator and GC pressure (the buffers are still zeroed on reuse, which
+// the ops require). The pool is NOT thread-safe and applies process-wide:
+// enable it only around single-threaded training steps, and never hold a
+// graph across Reset.
+//
+// Persistent tensors (parameters, checkpoints) are allocated via New while
+// no pool is installed, so they are never recycled.
+type GraphPool struct {
+	bufs [][]float64
+	next int
+}
+
+// activeGraphPool is consulted by child() and ensureGrad(). nil = off.
+var activeGraphPool *GraphPool
+
+// SetGraphPool installs (or, with nil, removes) the process-wide graph pool.
+// Returns the previously installed pool.
+func SetGraphPool(p *GraphPool) *GraphPool {
+	prev := activeGraphPool
+	activeGraphPool = p
+	return prev
+}
+
+// Reset recycles every buffer handed out since the last Reset. All tensors
+// whose storage came from the pool are invalid afterwards.
+func (p *GraphPool) Reset() { p.next = 0 }
+
+// get returns a zeroed buffer of length n.
+func (p *GraphPool) get(n int) []float64 {
+	if p.next == len(p.bufs) {
+		p.bufs = append(p.bufs, make([]float64, n))
+	}
+	buf := p.bufs[p.next]
+	if cap(buf) < n {
+		buf = make([]float64, n)
+		p.bufs[p.next] = buf
+	} else {
+		buf = buf[:n]
+		for i := range buf {
+			buf[i] = 0
+		}
+		p.bufs[p.next] = buf
+	}
+	p.next++
+	return buf
+}
+
+// graphAlloc returns a zeroed buffer for a graph-internal tensor, from the
+// active pool when one is installed.
+func graphAlloc(n int) []float64 {
+	if activeGraphPool != nil {
+		return activeGraphPool.get(n)
+	}
+	return make([]float64, n)
+}

@@ -1,0 +1,200 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Cache-blocked matrix-multiply kernels shared by the autograd ops and the
+// inference arena. The i-k-j loop order streams the B rows sequentially;
+// blocking over (i, k) keeps the active B panel resident in cache while a
+// block of A rows consumes it. Large products additionally fan out across
+// GOMAXPROCS goroutines.
+
+const (
+	// mmBlock is the block edge (rows of A × rows of B per panel). 64×64
+	// float64 panels are 32 KiB — comfortably L1/L2 resident.
+	mmBlock = 64
+	// mmParallelFlops is the m*k*n threshold above which matMulInto splits
+	// row blocks across goroutines. Below it the spawn overhead dominates.
+	mmParallelFlops = 1 << 18
+)
+
+// matMulInto computes dst = a·b for row-major a (m×k), b (k×n). dst must be
+// zeroed (freshly allocated or cleared) and must not alias a or b.
+func matMulInto(dst, a, b []float64, m, k, n int) {
+	if m == 0 || k == 0 || n == 0 {
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 1 && m >= 2*mmBlock && m*k*n >= mmParallelFlops {
+		if workers > (m+mmBlock-1)/mmBlock {
+			workers = (m + mmBlock - 1) / mmBlock
+		}
+		var wg sync.WaitGroup
+		chunk := (m + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo, hi := w*chunk, min((w+1)*chunk, m)
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				matMulRange(dst, a, b, lo, hi, k, n)
+			}(lo, hi)
+		}
+		wg.Wait()
+		return
+	}
+	matMulRange(dst, a, b, 0, m, k, n)
+}
+
+// matMulRange multiplies A rows [i0,i1) into dst with (i, k) blocking.
+func matMulRange(dst, a, b []float64, i0, i1, k, n int) {
+	for ib := i0; ib < i1; ib += mmBlock {
+		ie := min(ib+mmBlock, i1)
+		for kb := 0; kb < k; kb += mmBlock {
+			ke := min(kb+mmBlock, k)
+			i := ib
+			// Two output rows per pass share each B-row load (register
+			// blocking): half the B traffic of a row-at-a-time loop.
+			for ; i+2 <= ie; i += 2 {
+				ar0 := a[i*k : (i+1)*k]
+				ar1 := a[(i+1)*k : (i+2)*k]
+				or0 := dst[i*n : (i+1)*n]
+				or1 := dst[(i+1)*n : (i+2)*n]
+				for kk := kb; kk < ke; kk++ {
+					av0, av1 := ar0[kk], ar1[kk]
+					if av0 == 0 && av1 == 0 {
+						continue
+					}
+					br := b[kk*n : (kk+1)*n : (kk+1)*n]
+					for j, bv := range br {
+						or0[j] += av0 * bv
+						or1[j] += av1 * bv
+					}
+				}
+			}
+			for ; i < ie; i++ {
+				ar := a[i*k : (i+1)*k]
+				or := dst[i*n : (i+1)*n]
+				for kk := kb; kk < ke; kk++ {
+					av := ar[kk]
+					if av == 0 {
+						continue
+					}
+					br := b[kk*n : (kk+1)*n : (kk+1)*n]
+					for j, bv := range br {
+						or[j] += av * bv
+					}
+				}
+			}
+		}
+	}
+}
+
+// matMulTInto computes dst = a·bᵀ for a (m×k), b (n×k). dst need not be
+// zeroed: every cell is written exactly once.
+func matMulTInto(dst, a, b []float64, m, k, n int) {
+	for i := 0; i < m; i++ {
+		ar := a[i*k : (i+1)*k]
+		dr := dst[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			br := b[j*k : (j+1)*k : (j+1)*k]
+			var s0, s1, s2, s3 float64
+			kk := 0
+			for ; kk+4 <= len(br); kk += 4 {
+				s0 += ar[kk] * br[kk]
+				s1 += ar[kk+1] * br[kk+1]
+				s2 += ar[kk+2] * br[kk+2]
+				s3 += ar[kk+3] * br[kk+3]
+			}
+			for ; kk < len(br); kk++ {
+				s0 += ar[kk] * br[kk]
+			}
+			dr[j] = (s0 + s1) + (s2 + s3)
+		}
+	}
+}
+
+// matMulTAccum computes dst += a·bᵀ for a (m×q), b (n×q), dst (m×n) — the
+// dX = dOut·Wᵀ shape of linear/matmul backwards.
+func matMulTAccum(dst, a, b []float64, m, q, n int) {
+	i := 0
+	for ; i+2 <= m; i += 2 {
+		ar0 := a[i*q : (i+1)*q]
+		ar1 := a[(i+1)*q : (i+2)*q]
+		dr0 := dst[i*n : (i+1)*n]
+		dr1 := dst[(i+1)*n : (i+2)*n]
+		for j := 0; j < n; j++ {
+			br := b[j*q : (j+1)*q : (j+1)*q]
+			var t0, t1, u0, u1 float64
+			kk := 0
+			for ; kk+2 <= len(br); kk += 2 {
+				t0 += ar0[kk] * br[kk]
+				t1 += ar0[kk+1] * br[kk+1]
+				u0 += ar1[kk] * br[kk]
+				u1 += ar1[kk+1] * br[kk+1]
+			}
+			for ; kk < len(br); kk++ {
+				t0 += ar0[kk] * br[kk]
+				u0 += ar1[kk] * br[kk]
+			}
+			dr0[j] += t0 + t1
+			dr1[j] += u0 + u1
+		}
+	}
+	for ; i < m; i++ {
+		ar := a[i*q : (i+1)*q]
+		dr := dst[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			br := b[j*q : (j+1)*q : (j+1)*q]
+			var s0, s1 float64
+			kk := 0
+			for ; kk+2 <= len(br); kk += 2 {
+				s0 += ar[kk] * br[kk]
+				s1 += ar[kk+1] * br[kk+1]
+			}
+			for ; kk < len(br); kk++ {
+				s0 += ar[kk] * br[kk]
+			}
+			dr[j] += s0 + s1
+		}
+	}
+}
+
+// matMulATAccum computes dst += aᵀ·g for a (m×k), g (m×n), dst (k×n) — the
+// dW = Xᵀ·dOut shape. Zero activations (common after ReLU) are skipped.
+func matMulATAccum(dst, a, g []float64, m, k, n int) {
+	i := 0
+	for ; i+2 <= m; i += 2 {
+		ar0 := a[i*k : (i+1)*k]
+		ar1 := a[(i+1)*k : (i+2)*k]
+		gr0 := g[i*n : (i+1)*n]
+		gr1 := g[(i+1)*n : (i+2)*n]
+		for kk := 0; kk < k; kk++ {
+			av0, av1 := ar0[kk], ar1[kk]
+			if av0 == 0 && av1 == 0 {
+				continue
+			}
+			dr := dst[kk*n : (kk+1)*n : (kk+1)*n]
+			for j, g0 := range gr0 {
+				dr[j] += av0*g0 + av1*gr1[j]
+			}
+		}
+	}
+	for ; i < m; i++ {
+		ar := a[i*k : (i+1)*k]
+		gr := g[i*n : (i+1)*n]
+		for kk, av := range ar {
+			if av == 0 {
+				continue
+			}
+			dr := dst[kk*n : (kk+1)*n : (kk+1)*n]
+			for j, gv := range gr {
+				dr[j] += av * gv
+			}
+		}
+	}
+}

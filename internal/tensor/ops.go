@@ -129,53 +129,18 @@ func MatMul(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMul %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	out := child(a.Rows, b.Cols, a, b)
-	for i := 0; i < a.Rows; i++ {
-		ar := a.Data[i*a.Cols : (i+1)*a.Cols]
-		or := out.Data[i*out.Cols : (i+1)*out.Cols]
-		for k, av := range ar {
-			if av == 0 {
-				continue
-			}
-			br := b.Data[k*b.Cols : (k+1)*b.Cols]
-			for j, bv := range br {
-				or[j] += av * bv
-			}
-		}
-	}
+	matMulInto(out.Data, a.Data, b.Data, a.Rows, a.Cols, b.Cols)
 	if out.requiresGrad {
 		out.backward = func() {
 			if a.requiresGrad {
 				a.ensureGrad()
-				// dA = dOut · Bᵀ
-				for i := 0; i < a.Rows; i++ {
-					gr := out.Grad[i*out.Cols : (i+1)*out.Cols]
-					agr := a.Grad[i*a.Cols : (i+1)*a.Cols]
-					for k := 0; k < a.Cols; k++ {
-						br := b.Data[k*b.Cols : (k+1)*b.Cols]
-						s := 0.0
-						for j, g := range gr {
-							s += g * br[j]
-						}
-						agr[k] += s
-					}
-				}
+				// dA += dOut · Bᵀ
+				matMulTAccum(a.Grad, out.Grad, b.Data, a.Rows, b.Cols, a.Cols)
 			}
 			if b.requiresGrad {
 				b.ensureGrad()
-				// dB = Aᵀ · dOut
-				for k := 0; k < b.Rows; k++ {
-					bgr := b.Grad[k*b.Cols : (k+1)*b.Cols]
-					for i := 0; i < a.Rows; i++ {
-						av := a.Data[i*a.Cols+k]
-						if av == 0 {
-							continue
-						}
-						gr := out.Grad[i*out.Cols : (i+1)*out.Cols]
-						for j, g := range gr {
-							bgr[j] += av * g
-						}
-					}
-				}
+				// dB += Aᵀ · dOut
+				matMulATAccum(b.Grad, a.Data, out.Grad, a.Rows, a.Cols, out.Cols)
 			}
 		}
 	}
@@ -188,48 +153,59 @@ func MatMulT(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMulT %dx%d · (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	out := child(a.Rows, b.Rows, a, b)
-	for i := 0; i < a.Rows; i++ {
-		ar := a.Data[i*a.Cols : (i+1)*a.Cols]
-		for j := 0; j < b.Rows; j++ {
-			br := b.Data[j*b.Cols : (j+1)*b.Cols]
-			s := 0.0
-			for k, av := range ar {
-				s += av * br[k]
-			}
-			out.Data[i*out.Cols+j] = s
-		}
-	}
+	matMulTInto(out.Data, a.Data, b.Data, a.Rows, a.Cols, b.Rows)
 	if out.requiresGrad {
 		out.backward = func() {
 			if a.requiresGrad {
 				a.ensureGrad()
-				for i := 0; i < a.Rows; i++ {
-					gr := out.Grad[i*out.Cols : (i+1)*out.Cols]
-					agr := a.Grad[i*a.Cols : (i+1)*a.Cols]
-					for j, g := range gr {
-						if g == 0 {
-							continue
-						}
-						br := b.Data[j*b.Cols : (j+1)*b.Cols]
-						for k, bv := range br {
-							agr[k] += g * bv
-						}
-					}
-				}
+				// dA += dOut · B
+				matMulRange(a.Grad, out.Grad, b.Data, 0, a.Rows, out.Cols, a.Cols)
 			}
 			if b.requiresGrad {
 				b.ensureGrad()
-				for j := 0; j < b.Rows; j++ {
-					bgr := b.Grad[j*b.Cols : (j+1)*b.Cols]
-					for i := 0; i < a.Rows; i++ {
-						g := out.Grad[i*out.Cols+j]
-						if g == 0 {
-							continue
-						}
-						ar := a.Data[i*a.Cols : (i+1)*a.Cols]
-						for k, av := range ar {
-							bgr[k] += g * av
-						}
+				// dB += dOutᵀ · A
+				matMulATAccum(b.Grad, out.Grad, a.Data, a.Rows, out.Cols, a.Cols)
+			}
+		}
+	}
+	return out
+}
+
+// Affine returns x·w + b for x (m×k), w (k×n), b (1×n) as ONE graph node —
+// the fused Linear layer. Compared to MatMul followed by AddRow it saves a
+// full intermediate tensor (data + grad), one output traversal, and one
+// backward closure per layer, which is most of the training hot path.
+func Affine(x, w, b *Tensor) *Tensor {
+	if x.Cols != w.Rows || b.Rows != 1 || b.Cols != w.Cols {
+		panic(fmt.Sprintf("tensor: Affine %dx%d · %dx%d + %dx%d", x.Rows, x.Cols, w.Rows, w.Cols, b.Rows, b.Cols))
+	}
+	out := child(x.Rows, w.Cols, x, w, b)
+	matMulInto(out.Data, x.Data, w.Data, x.Rows, x.Cols, w.Cols)
+	n := w.Cols
+	for i := 0; i < out.Rows; i++ {
+		or := out.Data[i*n : (i+1)*n]
+		for j := range or {
+			or[j] += b.Data[j]
+		}
+	}
+	if out.requiresGrad {
+		out.backward = func() {
+			if x.requiresGrad {
+				x.ensureGrad()
+				// dX += dOut · Wᵀ
+				matMulTAccum(x.Grad, out.Grad, w.Data, x.Rows, n, x.Cols)
+			}
+			if w.requiresGrad {
+				w.ensureGrad()
+				// dW += Xᵀ · dOut
+				matMulATAccum(w.Grad, x.Data, out.Grad, x.Rows, x.Cols, n)
+			}
+			if b.requiresGrad {
+				b.ensureGrad()
+				for i := 0; i < out.Rows; i++ {
+					gr := out.Grad[i*n : (i+1)*n]
+					for j, g := range gr {
+						b.Grad[j] += g
 					}
 				}
 			}
@@ -371,6 +347,127 @@ func Min(a, b *Tensor) *Tensor {
 	return out
 }
 
+// GroupedAttention computes block-diagonal scaled dot-product attention:
+// rows are partitioned into disjoint groups (the PM trees of the paper's
+// sparse tree-local attention), and each row attends only within its group.
+// Equivalent to full attention under a same-group mask, but O(Σ s_g²·d)
+// instead of O(n²·d): scores, softmax, and the value mix are computed per
+// group only. q, k, v are n×d; groups must cover every row exactly once.
+// The backward closure retains groups until Backward runs — callers must
+// not mutate or recycle the partition while the graph is alive.
+func GroupedAttention(q, k, v *Tensor, groups [][]int, scale float64) *Tensor {
+	if q.Rows != k.Rows || q.Rows != v.Rows || q.Cols != k.Cols {
+		panic(fmt.Sprintf("tensor: GroupedAttention q %dx%d k %dx%d v %dx%d",
+			q.Rows, q.Cols, k.Rows, k.Cols, v.Rows, v.Cols))
+	}
+	d := q.Cols
+	dv := v.Cols
+	out := child(q.Rows, dv, q, k, v)
+	// probs stores each group's attention matrix back to back (row-major
+	// s×s blocks) for the backward pass.
+	total := 0
+	for _, g := range groups {
+		total += len(g) * len(g)
+	}
+	probs := graphAlloc(total)
+	maxS := 0
+	for _, g := range groups {
+		if len(g) > maxS {
+			maxS = len(g)
+		}
+	}
+	scores := graphAlloc(maxS)
+	off := 0
+	for _, g := range groups {
+		s := len(g)
+		for a, r1 := range g {
+			qr := q.Data[r1*d : (r1+1)*d]
+			for b, r2 := range g {
+				kr := k.Data[r2*d : (r2+1)*d]
+				dp := 0.0
+				for j, qv := range qr {
+					dp += qv * kr[j]
+				}
+				scores[b] = dp * scale
+			}
+			prow := probs[off+a*s : off+(a+1)*s]
+			rowSoftmaxInto(scores[:s], prow)
+			or := out.Data[r1*dv : (r1+1)*dv]
+			for b, p := range prow {
+				if p == 0 {
+					continue
+				}
+				vr := v.Data[g[b]*dv : (g[b]+1)*dv]
+				for j, vv := range vr {
+					or[j] += p * vv
+				}
+			}
+		}
+		off += s * s
+	}
+	if out.requiresGrad {
+		out.backward = func() {
+			if q.requiresGrad {
+				q.ensureGrad()
+			}
+			if k.requiresGrad {
+				k.ensureGrad()
+			}
+			if v.requiresGrad {
+				v.ensureGrad()
+			}
+			dp := graphAlloc(maxS)
+			off := 0
+			for _, g := range groups {
+				s := len(g)
+				for a, r1 := range g {
+					gr := out.Grad[r1*dv : (r1+1)*dv]
+					prow := probs[off+a*s : off+(a+1)*s]
+					// dP[b] = dOut[r1]·v[g[b]], then dS = P⊙(dP - Σ dP·P).
+					rowdot := 0.0
+					for b, p := range prow {
+						vr := v.Data[g[b]*dv : (g[b]+1)*dv]
+						sum := 0.0
+						for j, gv := range gr {
+							sum += gv * vr[j]
+						}
+						dp[b] = sum
+						rowdot += sum * p
+					}
+					qr := q.Data[r1*d : (r1+1)*d]
+					for b, p := range prow {
+						if v.requiresGrad && p != 0 {
+							vgr := v.Grad[g[b]*dv : (g[b]+1)*dv]
+							for j, gv := range gr {
+								vgr[j] += p * gv
+							}
+						}
+						ds := p * (dp[b] - rowdot) * scale
+						if ds == 0 {
+							continue
+						}
+						if q.requiresGrad {
+							kr := k.Data[g[b]*d : (g[b]+1)*d]
+							qgr := q.Grad[r1*d : (r1+1)*d]
+							for j, kv := range kr {
+								qgr[j] += ds * kv
+							}
+						}
+						if k.requiresGrad {
+							kgr := k.Grad[g[b]*d : (g[b]+1)*d]
+							for j, qv := range qr {
+								kgr[j] += ds * qv
+							}
+						}
+					}
+				}
+				off += s * s
+			}
+		}
+	}
+	return out
+}
+
 // rowSoftmaxInto computes a numerically stable softmax of src row into dst.
 func rowSoftmaxInto(src, dst []float64) {
 	maxv := math.Inf(-1)
@@ -490,9 +587,9 @@ func LayerNorm(a, gamma, beta *Tensor, eps float64) *Tensor {
 	}
 	out := child(a.Rows, a.Cols, a, gamma, beta)
 	n := float64(a.Cols)
-	means := make([]float64, a.Rows)
-	invstd := make([]float64, a.Rows)
-	xhat := make([]float64, len(a.Data))
+	means := graphAlloc(a.Rows)
+	invstd := graphAlloc(a.Rows)
+	xhat := graphAlloc(len(a.Data))
 	for i := 0; i < a.Rows; i++ {
 		row := a.Data[i*a.Cols : (i+1)*a.Cols]
 		m := 0.0
@@ -515,6 +612,10 @@ func LayerNorm(a, gamma, beta *Tensor, eps float64) *Tensor {
 	}
 	if out.requiresGrad {
 		out.backward = func() {
+			var gp []float64
+			if a.requiresGrad {
+				gp = graphAlloc(a.Cols)
+			}
 			for i := 0; i < a.Rows; i++ {
 				g := out.Grad[i*a.Cols : (i+1)*a.Cols]
 				xh := xhat[i*a.Cols : (i+1)*a.Cols]
@@ -534,7 +635,6 @@ func LayerNorm(a, gamma, beta *Tensor, eps float64) *Tensor {
 					a.ensureGrad()
 					// dL/dx = (gamma*invstd/n) * (n*g' - sum(g') - xhat*sum(g'*xhat))
 					sumG, sumGX := 0.0, 0.0
-					gp := make([]float64, len(g))
 					for j := range g {
 						gp[j] = g[j] * gamma.Data[j]
 						sumG += gp[j]

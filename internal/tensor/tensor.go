@@ -29,12 +29,15 @@ type Tensor struct {
 	backward     func()
 }
 
-// New allocates a zero rows×cols tensor.
+// New allocates a zero rows×cols tensor. While a graph pool is installed
+// (training steps), storage is recycled like any other graph node — callers
+// that need a tensor to outlive the step (parameters, checkpoints) allocate
+// while no pool is active.
 func New(rows, cols int) *Tensor {
 	if rows < 0 || cols < 0 {
 		panic(fmt.Sprintf("tensor: invalid shape %dx%d", rows, cols))
 	}
-	return &Tensor{Data: make([]float64, rows*cols), Rows: rows, Cols: cols}
+	return &Tensor{Data: graphAlloc(rows * cols), Rows: rows, Cols: cols}
 }
 
 // FromSlice wraps row-major data (copied) into a rows×cols tensor.
@@ -105,9 +108,13 @@ func (t *Tensor) Clone() *Tensor {
 }
 
 // child builds a result tensor wired into the graph when any parent
-// requires grad.
+// requires grad. Storage comes from the active graph pool when one is
+// installed (see GraphPool).
 func child(rows, cols int, parents ...*Tensor) *Tensor {
-	out := New(rows, cols)
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: invalid shape %dx%d", rows, cols))
+	}
+	out := &Tensor{Data: graphAlloc(rows * cols), Rows: rows, Cols: cols}
 	for _, p := range parents {
 		if p.requiresGrad {
 			out.requiresGrad = true
@@ -115,7 +122,7 @@ func child(rows, cols int, parents ...*Tensor) *Tensor {
 		}
 	}
 	if out.requiresGrad {
-		out.Grad = make([]float64, len(out.Data))
+		out.Grad = graphAlloc(len(out.Data))
 		out.parents = parents
 	}
 	return out
@@ -124,7 +131,7 @@ func child(rows, cols int, parents ...*Tensor) *Tensor {
 // ensureGrad lazily allocates the gradient buffer of a graph-internal node.
 func (t *Tensor) ensureGrad() {
 	if t.Grad == nil {
-		t.Grad = make([]float64, len(t.Data))
+		t.Grad = graphAlloc(len(t.Data))
 	}
 }
 
