@@ -5,12 +5,17 @@
 //	vmr2l-bench -exp fig9 -full    # larger datasets/budgets (slow)
 //	vmr2l-bench -list              # available experiment ids
 //	vmr2l-bench -hotpath           # hot-path microbenchmarks -> BENCH_hotpath.json
+//	vmr2l-bench -scenario diurnal  # live-cluster session pipeline (solve + churn + repair)
+//	vmr2l-bench -scenarios         # available scenario names
 //
 // Reports are printed as aligned text tables; EXPERIMENTS.md interprets them
 // against the paper's numbers. The -hotpath suite measures the serving hot
 // path (Step, Extract, Clone/Fork, policy forward, one end-to-end fig9 quick
 // run) and updates BENCH_hotpath.json: the baseline section is pinned on
-// first write, the current section tracks every run since.
+// first write, the current section tracks every run since. The -scenario
+// pipeline runs the full serving stack in-process — session registration
+// from the named scenario, scenario churn streamed while a session-scoped
+// job solves, and plan validation/repair against the drifted state.
 package main
 
 import (
@@ -27,18 +32,37 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("vmr2l-bench: ")
 	var (
-		exp     = flag.String("exp", "all", "experiment id (fig1..fig21, tab2..tab5) or 'all'")
-		full    = flag.Bool("full", false, "use the larger (slow) experiment scale")
-		seed    = flag.Int64("seed", 1, "random seed")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
-		hotpath = flag.Bool("hotpath", false, "run the hot-path microbenchmark suite and update -hotpath-out")
-		hotOut  = flag.String("hotpath-out", "BENCH_hotpath.json", "artifact path for -hotpath")
+		exp       = flag.String("exp", "all", "experiment id (fig1..fig21, tab2..tab5) or 'all'")
+		full      = flag.Bool("full", false, "use the larger (slow) experiment scale")
+		seed      = flag.Int64("seed", 1, "random seed")
+		list      = flag.Bool("list", false, "list experiment ids and exit")
+		hotpath   = flag.Bool("hotpath", false, "run the hot-path microbenchmark suite and update -hotpath-out")
+		hotOut    = flag.String("hotpath-out", "BENCH_hotpath.json", "artifact path for -hotpath")
+		scen      = flag.String("scenario", "", "run the live-cluster session pipeline for this scenario (see -scenarios)")
+		scenMins  = flag.Int("minutes", 30, "simulated minutes of churn streamed during the -scenario solve")
+		scenarios = flag.Bool("scenarios", false, "list scenario names and exit")
 	)
 	flag.Parse()
 	if *list {
 		for _, e := range bench.Registry() {
 			fmt.Printf("%-6s %s\n", e.ID, e.Title)
 		}
+		return
+	}
+	if *scenarios {
+		for _, n := range bench.ScenarioNames() {
+			fmt.Println(n)
+		}
+		return
+	}
+	if *scen != "" {
+		start := time.Now()
+		rep, err := bench.RunScenario(*scen, *seed, *scenMins)
+		if err != nil {
+			log.Fatalf("scenario %s: %v", *scen, err)
+		}
+		rep.Fprint(os.Stdout)
+		fmt.Printf("elapsed: %s\n", time.Since(start).Round(time.Millisecond))
 		return
 	}
 	if *hotpath {

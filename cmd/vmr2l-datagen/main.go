@@ -3,6 +3,13 @@
 // them as JSON under an output directory:
 //
 //	vmr2l-datagen -profile medium-small -n 120 -out ./data -seed 7
+//	vmr2l-datagen -scenario memory-intensive -n 60 -out ./data
+//
+// With -scenario, every mapping is produced by the named scenario's own
+// builder (internal/scenario.Scenario.Build: profile, fragmentation floor,
+// affinity overlay, default seed), so datasets are drawn from the same
+// generator the serving stack and vmr2l-bench -scenario register sessions
+// from — no ad-hoc flag plumbing to keep in sync.
 //
 // The resulting layout is data/<profile>/{train,val,test}/NNNN.json,
 // loadable with trace.LoadDataset and by the other commands.
@@ -14,6 +21,8 @@ import (
 	"log"
 	"math/rand"
 
+	"vmr2l/internal/cluster"
+	"vmr2l/internal/scenario"
 	"vmr2l/internal/trace"
 )
 
@@ -22,17 +31,49 @@ func main() {
 	log.SetPrefix("vmr2l-datagen: ")
 	var (
 		profile = flag.String("profile", "medium-small", "dataset profile (see internal/trace.Profiles)")
+		scen    = flag.String("scenario", "", "generate via this scenario's builder instead of -profile")
 		n       = flag.Int("n", 60, "number of mappings to generate (split 10:1:1)")
 		out     = flag.String("out", "data", "output directory")
-		seed    = flag.Int64("seed", 1, "random seed")
+		seed    = flag.Int64("seed", 0, "random seed (0 = scenario default, else 1)")
 	)
 	flag.Parse()
-	p, err := trace.Profiles(*profile)
-	if err != nil {
-		log.Fatal(err)
+
+	var d *trace.Dataset
+	if *scen != "" {
+		sc, err := scenario.Get(*scen)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runSeed := *seed
+		if runSeed == 0 {
+			runSeed = sc.Seed
+		}
+		rng := rand.New(rand.NewSource(runSeed))
+		maps := make([]*cluster.Cluster, *n)
+		for i := range maps {
+			if maps[i], err = sc.Build(rng); err != nil {
+				log.Fatal(err)
+			}
+		}
+		d = trace.NewDataset(sc.Profile, maps)
+		if sc.AffinityLevel > 0 {
+			fmt.Printf("anti-affinity overlay: level %d\n", sc.AffinityLevel)
+		}
+	} else {
+		p, err := trace.Profiles(*profile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := p.Validate(); err != nil {
+			log.Fatal(err)
+		}
+		runSeed := *seed
+		if runSeed == 0 {
+			runSeed = 1
+		}
+		d = p.Generate(rand.New(rand.NewSource(runSeed)), *n)
 	}
-	rng := rand.New(rand.NewSource(*seed))
-	d := p.Generate(rng, *n)
+
 	if err := trace.SaveDataset(*out, d); err != nil {
 		log.Fatal(err)
 	}
@@ -41,6 +82,6 @@ func main() {
 		fr += c.FragRate(16)
 	}
 	fmt.Printf("wrote %d mappings (%d train / %d val / %d test) to %s/%s\n",
-		*n, len(d.Train), len(d.Val), len(d.Test), *out, p.Name)
+		*n, len(d.Train), len(d.Val), len(d.Test), *out, d.Profile)
 	fmt.Printf("mean initial 16-core fragment rate: %.4f\n", fr/float64(*n))
 }

@@ -13,6 +13,14 @@
 //	curl -s -X POST localhost:8080/v2/reschedule -d '{"mnl":10,"mapping":{...}}'
 //	curl -s -X POST localhost:8080/v1/reschedule -d '{"mnl":10,"mapping":{...}}'  # compat shim
 //
+// Live cluster sessions (the deployment loop of paper Fig. 5):
+//
+//	curl -s localhost:8080/v2/scenarios
+//	curl -s -X POST localhost:8080/v2/clusters -d '{"scenario":"diurnal","seed":7}'
+//	curl -s -X POST localhost:8080/v2/clusters/sess-1/events -d '{"advance_minutes":30}'
+//	curl -s -X POST localhost:8080/v2/clusters/sess-1/jobs -d '{"mnl":10}'
+//	curl -s localhost:8080/v2/jobs/job-1   # plan repaired against the live session
+//
 // Registered engines: ha, swap-ha, vbpp, bnb, pop, mcts, and (with -ckpt)
 // the trained VMR2L agent. The default engine is HA — always within the
 // five-second budget. SIGINT/SIGTERM drain in-flight solves before exit.

@@ -10,6 +10,17 @@
 // v2 HTTP API with its Go client). The public entry points live under cmd/
 // and examples/; the library packages are in internal/.
 //
+// # Live-cluster serving
+//
+// The deployment loop of paper Fig. 5 is first-class: internal/scenario
+// declares named workload scenarios (trace profile + dynamics shape +
+// constraints + objective), internal/sched.Dynamics evolves a live cluster
+// through Poisson arrival/exit churn on a pull-based minute clock, and the
+// service hosts cluster sessions (POST /v2/clusters) whose reschedule jobs
+// solve on snapshots and then validate/repair their plans against the
+// drifted live state (internal/solver.ValidatePlan/RepairPlan). See
+// README.md's "Live-cluster serving & scenarios".
+//
 // # Performance
 //
 // The serving hot path is allocation-free in steady state: the cluster

@@ -1,9 +1,13 @@
 // Dynamic: why VMR inference must finish in seconds (paper section 2.2,
-// Fig. 5). A near-optimal plan is computed from a snapshot; meanwhile the
-// cluster keeps serving VM arrivals and exits through the best-fit VMS
-// scheduler. The longer the solver takes, the more plan actions become
-// infeasible and the worse the achieved fragment rate. Also prints the
-// live-migration cost of the deployed plan (pre-copy rounds, downtime).
+// Fig. 5) — now told through the live cluster-session API. A session
+// registered from the "diurnal" scenario keeps serving VM arrivals and
+// exits through the best-fit VMS scheduler while a reschedule job solves on
+// a snapshot; when the solve lands, the server validates and repairs the
+// plan against the drifted session. The longer the cluster churns during
+// the solve, the fewer plan actions survive as-is — the repair report
+// (valid/repaired/dropped) quantifies exactly what staleness costs. Also
+// prints the live-migration cost of the final deployed plan (pre-copy
+// rounds, downtime).
 //
 //	go run ./examples/dynamic
 package main
@@ -13,69 +17,104 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"net/http/httptest"
+	"time"
 
+	"vmr2l/internal/client"
 	"vmr2l/internal/cluster"
 	"vmr2l/internal/exact"
 	"vmr2l/internal/migrate"
-	"vmr2l/internal/sched"
+	"vmr2l/internal/scenario"
+	"vmr2l/internal/service"
 	"vmr2l/internal/sim"
-	"vmr2l/internal/solver"
-	"vmr2l/internal/trace"
 )
 
 func main() {
 	log.SetFlags(0)
-	rng := rand.New(rand.NewSource(9))
-	profile := trace.MustProfile("tiny")
-	snapshot := profile.GenerateFragmented(rng, 0.15, 20)
-	fmt.Printf("snapshot: %d PMs, %d VMs, FR %.4f\n",
-		len(snapshot.PMs), len(snapshot.VMs), snapshot.FragRate(16))
-
-	// Compute a near-optimal plan from the snapshot (the "MIP" role),
-	// bounded by the five-second budget the rest of the example motivates.
-	s := &exact.Solver{Beam: 6, AllowLoss: true, MaxNodes: 60000}
-	env := sim.New(snapshot, sim.DefaultConfig(6))
-	ctx, cancel := context.WithTimeout(context.Background(), solver.FiveSecondLimit)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()
-	if err := s.Solve(ctx, env); err != nil {
-		log.Fatal(err)
-	}
-	plan := env.Plan()
-	fmt.Printf("plan: %d migrations, would reach FR %.4f if deployed instantly\n\n",
-		len(plan), env.FragRate())
 
-	// Deploy the same plan after increasing amounts of churn.
-	var mix []cluster.VMType
-	for _, tw := range profile.VMMix {
-		mix = append(mix, tw.Type)
-	}
-	fmt.Printf("%-10s %-12s %-9s %-9s\n", "delay", "achieved FR", "applied", "skipped")
-	for _, delaySec := range []int{0, 2, 5, 15, 60, 300} {
-		evolved := snapshot.Clone()
-		churn := rand.New(rand.NewSource(int64(delaySec) + 100))
-		// ~0.5 VM events per second of solver delay.
-		for i := 0; i < delaySec/2; i++ {
-			ev := sched.Event{Arrive: churn.Float64() < 0.5, Type: mix[churn.Intn(len(mix))]}
-			sched.Replay(evolved, []sched.Event{ev}, churn)
+	// In-process server: an unbounded exact search throttled to a ~300 ms
+	// budget plays the "slow near-optimal solver" whose plans go stale (its
+	// anytime contract leaves the best partial plan when the budget ends).
+	srv := service.New(
+		service.WithWorkers(2),
+		service.WithSolverTimeout("bnb", 300*time.Millisecond),
+	)
+	defer srv.Close()
+	srv.Register("bnb", &exact.Solver{Beam: 6, AllowLoss: true})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	cl := client.New(ts.URL, client.WithPollInterval(5*time.Millisecond))
+
+	fmt.Println("plan repair vs. simulated churn during a ~300ms solve (scenario: diurnal, same seed):")
+	fmt.Printf("%-10s %-7s %-6s %-9s %-8s %-13s %-12s\n",
+		"churn", "plan", "valid", "repaired", "dropped", "snapshot FR", "live FR")
+
+	var lastPlan *service.PlanResponse
+	for _, minutes := range []int{0, 2, 5, 15, 60, 180} {
+		// A fresh session from the same scenario seed reproduces the same
+		// initial cluster, so rows differ only in how much churn the solve
+		// overlaps with.
+		sess, _, err := cl.CreateSession(ctx, service.SessionRequest{Scenario: "diurnal", Seed: 7})
+		if err != nil {
+			log.Fatal(err)
 		}
-		applied, skipped := sim.ApplyPlan(evolved, plan)
-		fmt.Printf("%-10s %-12.4f %-9d %-9d\n",
-			fmt.Sprintf("%ds", delaySec), evolved.FragRate(16), applied, skipped)
+		jobID, err := sess.Submit(ctx, service.PlanRequest{MNL: 10, Solver: "bnb"})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// While the job is solving on its snapshot, the session lives on.
+		if minutes > 0 {
+			if _, err := sess.Advance(ctx, minutes); err != nil {
+				log.Fatal(err)
+			}
+		}
+		job, err := cl.Wait(ctx, jobID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := job.Result
+		rep := res.Repair
+		fmt.Printf("%-10s %-7d %-6d %-9d %-8d %.4f->%.4f %.4f->%.4f\n",
+			fmt.Sprintf("%dmin", minutes), res.Steps, rep.Valid, rep.Repaired, rep.Dropped,
+			res.InitialFR, res.FinalFR, rep.LiveInitialFR, rep.LiveFinalFR)
+		if minutes == 0 {
+			lastPlan = res
+		}
+		if err := sess.Close(ctx); err != nil {
+			log.Fatal(err)
+		}
 	}
 
-	// Live-migration cost of the full plan (paper section 1: pre-copy with
-	// dirty-page tracking; only memory moves under compute-storage
-	// separation).
+	// Live-migration cost of the undrifted plan (paper section 1: pre-copy
+	// with dirty-page tracking; only memory moves under compute-storage
+	// separation). Rebuild the scenario cluster locally for VM sizes.
+	snapshot := mustBuildDiurnal()
 	model := migrate.DefaultModel()
+	var plan []sim.Migration
+	for _, m := range lastPlan.Plan {
+		plan = append(plan, sim.Migration{VM: m.VM, FromPM: m.FromPM, ToPM: m.ToPM, Swap: m.Swap})
+	}
 	total, downtime, copied := migrate.PlanCost(snapshot, plan, model)
-	fmt.Printf("\nlive-migration cost of the plan (%.0f MB/s link, %.0f MB/s dirty rate):\n",
+	fmt.Printf("\nlive-migration cost of the 0-churn plan (%.0f MB/s link, %.0f MB/s dirty rate):\n",
 		model.BandwidthMBps, model.DirtyRateMBps)
 	fmt.Printf("  total copy time %v, guest downtime %v, %.0f MB moved\n",
-		total.Round(1000000), downtime.Round(1000), copied)
-	for i, m := range plan {
+		total.Round(time.Millisecond), downtime.Round(time.Microsecond), copied)
+	for _, m := range plan {
 		est := model.Estimate(snapshot.VMs[m.VM].Mem)
-		fmt.Printf("  migration %d: vm%d (%d GB) pm%d->pm%d: %d pre-copy rounds, %v total, %v pause\n",
-			i+1, m.VM, snapshot.VMs[m.VM].Mem, m.FromPM, m.ToPM,
-			est.Rounds, est.Duration.Round(1000000), est.Downtime.Round(1000))
+		fmt.Printf("  vm%-4d (%2d GB) pm%d->pm%d: %d pre-copy rounds, %v total, %v pause\n",
+			m.VM, snapshot.VMs[m.VM].Mem, m.FromPM, m.ToPM,
+			est.Rounds, est.Duration.Round(time.Millisecond), est.Downtime.Round(time.Microsecond))
 	}
+}
+
+// mustBuildDiurnal rebuilds the diurnal scenario's initial cluster with the
+// example's seed (the server built the identical one for the sessions).
+func mustBuildDiurnal() *cluster.Cluster {
+	c, err := scenario.MustGet("diurnal").Build(rand.New(rand.NewSource(7)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	return c
 }

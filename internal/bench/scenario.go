@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"time"
+
+	"vmr2l/internal/client"
+	"vmr2l/internal/exact"
+	"vmr2l/internal/heuristics"
+	"vmr2l/internal/scenario"
+	"vmr2l/internal/service"
+)
+
+// RunScenario drives the full live-cluster rescheduling pipeline for a named
+// scenario, end to end through the serving stack: an in-process service
+// hosts a session built from the scenario; a session-scoped job solves on a
+// snapshot while the session churns through `minutes` of scenario dynamics;
+// the finished plan is validated/repaired against the drifted state. The
+// report shows the session drift, the solver's snapshot-relative claim, and
+// the repair outcome — the CLI form of paper Fig. 5.
+func RunScenario(name string, seed int64, minutes int) (*Report, error) {
+	sc, err := scenario.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	if seed == 0 {
+		seed = sc.Seed
+	}
+	if minutes <= 0 {
+		minutes = 30
+	}
+
+	// The solve budget is what the churn overlaps with: an unbounded exact
+	// search pinned to ~1s guarantees the session drifts mid-solve.
+	const solveBudget = time.Second
+	srv := service.New(
+		service.WithWorkers(2),
+		service.WithSolverTimeout("bnb", solveBudget),
+	)
+	defer srv.Close()
+	srv.Register("ha", heuristics.HA{})
+	srv.Register("bnb", &exact.Solver{Beam: 6, AllowLoss: true})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	cl := client.New(ts.URL, client.WithPollInterval(5*time.Millisecond))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	sess, initial, err := cl.CreateSession(ctx, service.SessionRequest{Scenario: name, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	defer sess.Close(ctx)
+
+	jobID, err := sess.Submit(ctx, service.PlanRequest{MNL: sc.MNL, Solver: "bnb", Objective: sc.Objective})
+	if err != nil {
+		return nil, err
+	}
+	// While the job solves on its snapshot, stream the scenario's churn in
+	// chunks (several round-trips, like a real VMS feed would).
+	chunk := minutes / 3
+	if chunk < 1 {
+		chunk = 1
+	}
+	var last *service.SessionStatus
+	for advanced := 0; advanced < minutes; advanced += chunk {
+		n := chunk
+		if advanced+n > minutes {
+			n = minutes - advanced
+		}
+		if last, err = sess.Advance(ctx, n); err != nil {
+			return nil, err
+		}
+	}
+	job, err := cl.Wait(ctx, jobID)
+	if err != nil {
+		return nil, err
+	}
+	res := job.Result
+	if res.Repair == nil {
+		return nil, fmt.Errorf("bench: session job returned no repair report")
+	}
+
+	rep := &Report{
+		ID:    "scenario-" + name,
+		Title: fmt.Sprintf("Live-cluster rescheduling pipeline — scenario %q (%s)", name, sc.Description),
+	}
+	rep.Tables = append(rep.Tables, Table{
+		Title:  "session drift while solving",
+		Header: []string{"", "minute", "placed VMs", "events", "arrivals", "rejected", "exits", "FR16"},
+		Rows: [][]string{
+			{"registered", itoa(initial.Minute), itoa(initial.VMs), "0", "0", "0", "0", f4(initial.FR)},
+			{"at solve end", itoa(last.Minute), itoa(last.VMs), itoa(last.Stats.Events),
+				itoa(last.Stats.Arrivals), itoa(last.Stats.Rejected), itoa(last.Stats.Exits), f4(last.FR)},
+		},
+	})
+	rep.Tables = append(rep.Tables, Table{
+		Title:  "plan validation & repair against the drifted session",
+		Header: []string{"solver", "steps", "valid", "repaired", "dropped", "snapshot FR", "live FR"},
+		Rows: [][]string{{
+			res.Solver, itoa(res.Steps),
+			itoa(res.Repair.Valid), itoa(res.Repair.Repaired), itoa(res.Repair.Dropped),
+			fmt.Sprintf("%s -> %s", f4(res.InitialFR), f4(res.FinalFR)),
+			fmt.Sprintf("%s -> %s", f4(res.Repair.LiveInitialFR), f4(res.Repair.LiveFinalFR)),
+		}},
+	})
+	rep.Notes = append(rep.Notes,
+		fmt.Sprintf("session drifted %d simulated minutes during a %v solve; the returned plan applies cleanly to the live cluster", minutes, solveBudget),
+		fmt.Sprintf("scenario profile %s, objective %s, MNL %d, seed %d", sc.Profile, orDefault(sc.Objective, "fr16"), sc.MNL, seed),
+	)
+	return rep, nil
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}
+
+// ScenarioNames lists the registered scenarios for -list style output.
+func ScenarioNames() []string { return scenario.Names() }

@@ -1,0 +1,40 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunScenarioPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a ~1s solve budget")
+	}
+	rep, err := RunScenario("diurnal", 11, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tables) != 2 {
+		t.Fatalf("tables = %d, want 2", len(rep.Tables))
+	}
+	var buf bytes.Buffer
+	rep.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"session drift", "repair", "valid"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunScenarioUnknown(t *testing.T) {
+	if _, err := RunScenario("no-such", 1, 5); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+func TestScenarioNames(t *testing.T) {
+	if names := ScenarioNames(); len(names) < 5 {
+		t.Fatalf("names = %v", names)
+	}
+}

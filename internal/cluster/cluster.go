@@ -402,6 +402,29 @@ func (c *Cluster) Migrate(vmID, pmID, x int) error {
 	return nil
 }
 
+// PlaceFragDelta returns the drop in PM pmID's X-core fragment that placing
+// the (unplaced) VM vmID on NUMA numa would cause — positive means the
+// placement reduces fragment. numa is ignored for double-NUMA VMs, which
+// occupy both NUMAs. The score is computed arithmetically in O(1); the
+// cluster is not mutated, so callers (best-fit scans) can probe every
+// candidate without the Place/score/Remove round-trip. Feasibility is the
+// caller's job: the delta of an infeasible placement is meaningless.
+func (c *Cluster) PlaceFragDelta(vmID, pmID, numa, x int) int {
+	v := &c.VMs[vmID]
+	p := &c.PMs[pmID]
+	cpu := v.CPUPerNuma()
+	if v.Numas == 2 {
+		delta := 0
+		for j := range p.Numas {
+			free := p.Numas[j].FreeCPU()
+			delta += free%x - (free-cpu)%x
+		}
+		return delta
+	}
+	free := p.Numas[numa].FreeCPU()
+	return free%x - (free-cpu)%x
+}
+
 // Fragment returns the total X-core CPU fragment across all PMs, from the
 // incremental aggregate (O(1) once chunk x has been queried).
 func (c *Cluster) Fragment(x int) int {

@@ -1,0 +1,31 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"vmr2l/internal/cluster"
+	"vmr2l/internal/trace"
+)
+
+// BenchmarkBestFit measures one best-fit placement decision on a
+// medium-small cluster (28 PMs) — the per-arrival cost the Dynamics engine
+// pays for every simulated VM request.
+func BenchmarkBestFit(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	base := trace.MustProfile("medium-small").GenerateMapping(rng)
+	base.FragRate(cluster.DefaultFragCores) // warm aggregates
+	c := base.Clone()
+	t := cluster.StandardTypes[1] // xlarge
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := c.AddVM(t)
+		if BestFit(c, id) >= 0 {
+			if err := c.Remove(id); err != nil {
+				b.Fatal(err)
+			}
+		}
+		c.VMs = c.VMs[:len(c.VMs)-1]
+	}
+}

@@ -1,8 +1,14 @@
 // Package sched implements the VM scheduling (VMS) half of the paper's
 // control plane: the latency-critical best-fit placement that handles new VM
-// requests throughout the day (paper section 1), plus the diurnal
-// arrival/exit stream of Fig. 1 used to replay dynamic cluster state while a
-// rescheduling solution is being computed (Fig. 5).
+// requests throughout the day (paper section 1), and the Dynamics engine
+// that evolves a live cluster through the diurnal arrival/exit churn of
+// Fig. 1 while a rescheduling solution is being computed (Fig. 5).
+//
+// Dynamics is the primary interface: it owns a minute clock and applies
+// Poisson arrivals (placed by BestFit) and uniform-random exits in place as
+// the clock is advanced. Stream and Replay are retained as thin
+// compatibility wrappers over the same event application logic for callers
+// that want a precomputed event slice.
 package sched
 
 import (
@@ -15,6 +21,11 @@ import (
 // BestFit places VM id using ByteDance's production VMS rule: among PMs that
 // can host the VM, choose the one with the largest drop in 16-core fragment
 // from adding it (paper section 1). Returns the chosen PM or -1 if none fits.
+//
+// Each candidate is scored with cluster.PlaceFragDelta — O(1) arithmetic on
+// the would-be destination NUMA — instead of the old Place/probe/Remove
+// round-trip, so the scan never touches the cluster's incremental aggregates
+// until the single final Place.
 func BestFit(c *cluster.Cluster, id int) int {
 	bestPM, bestNuma, bestScore := -1, -1, math.MinInt
 	for pm := range c.PMs {
@@ -25,15 +36,7 @@ func BestFit(c *cluster.Cluster, id int) int {
 		if c.AntiAffinity && !canHostUnplaced(c, id, pm) {
 			continue
 		}
-		before := c.PMs[pm].Fragment(cluster.DefaultFragCores)
-		if err := c.Place(id, pm, numa); err != nil {
-			continue
-		}
-		after := c.PMs[pm].Fragment(cluster.DefaultFragCores)
-		if err := c.Remove(id); err != nil {
-			panic(err)
-		}
-		if score := before - after; score > bestScore {
+		if score := c.PlaceFragDelta(id, pm, numa, cluster.DefaultFragCores); score > bestScore {
 			bestPM, bestNuma, bestScore = pm, numa, score
 		}
 	}
@@ -116,33 +119,21 @@ func poisson(rng *rand.Rand, lambda float64) int {
 	return k - 1
 }
 
-// Replay applies events to the cluster: arrivals are placed by BestFit (and
-// dropped when no PM fits), exits remove a uniformly random placed VM. It
-// mutates c in place and returns counts of applied arrivals and exits.
+// Replay applies a precomputed event slice to the cluster: arrivals are
+// placed by BestFit (and dropped when no PM fits), exits remove a uniformly
+// random placed VM. It mutates c in place and returns counts of applied
+// arrivals and exits.
+//
+// Replay is a compatibility wrapper over the Dynamics engine: it feeds each
+// event through the same apply logic Advance uses, consuming rng identically
+// to the original event-slice implementation (one Intn draw per resolvable
+// exit, nothing for arrivals).
 func Replay(c *cluster.Cluster, events []Event, rng *rand.Rand) (arrivals, exits int) {
+	d := NewDynamics(c, rng, nil, nil)
 	for _, ev := range events {
-		if ev.Arrive {
-			id := c.AddVM(ev.Type)
-			if BestFit(c, id) >= 0 {
-				arrivals++
-			}
-		} else {
-			var placed []int
-			for i := range c.VMs {
-				if c.VMs[i].Placed() {
-					placed = append(placed, i)
-				}
-			}
-			if len(placed) == 0 {
-				continue
-			}
-			id := placed[rng.Intn(len(placed))]
-			if err := c.Remove(id); err == nil {
-				exits++
-			}
-		}
+		d.apply(ev)
 	}
-	return arrivals, exits
+	return d.stats.Arrivals, d.stats.Exits
 }
 
 // PerMinuteCounts aggregates a stream into changes-per-minute, the series

@@ -1,0 +1,8 @@
+//go:build race
+
+package service
+
+// raceDetectorEnabled widens timing margins in tests: the race detector
+// slows compute-bound code by 5-10x, which is irrelevant to the contracts
+// under test.
+const raceDetectorEnabled = true

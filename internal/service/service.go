@@ -11,6 +11,17 @@
 // delegates to the same engine. Every solve runs under a context deadline,
 // so even the exact solver returns a best-so-far anytime plan inside the
 // paper's five-second budget instead of a stale optimal one.
+//
+// Beyond one-shot solves, the server hosts live cluster sessions
+// (POST /v2/clusters, from a mapping or a named scenario): clients stream
+// VMS arrival/exit churn into a session (POST /v2/clusters/{id}/events,
+// explicit events or scenario-driven advance_minutes) and submit
+// session-scoped jobs (POST /v2/clusters/{id}/jobs) that snapshot the
+// session, solve asynchronously, then validate and repair the plan against
+// the drifted live state — the deployment loop of paper Fig. 5, where a
+// plan is only as good as what still applies by the time it lands. Session
+// job results carry a RepairReport (valid/repaired/dropped, live fragment
+// delta) and a plan that applies cleanly to the live cluster.
 package service
 
 import (
@@ -20,8 +31,6 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
-	"strconv"
-	"strings"
 	"sync"
 	"time"
 
@@ -45,8 +54,10 @@ type PlanRequest struct {
 	// never extend the budget). Honored on every endpoint, including the
 	// /v1 shim, where pre-v2 clients simply never set it.
 	TimeoutMS int `json:"timeout_ms,omitempty"`
-	// Mapping is the cluster snapshot (trace JSON schema).
-	Mapping json.RawMessage `json:"mapping"`
+	// Mapping is the cluster snapshot (trace JSON schema). Must be unset on
+	// session-scoped jobs (rejected with 400 otherwise): those snapshot the
+	// session cluster instead.
+	Mapping json.RawMessage `json:"mapping,omitempty"`
 }
 
 // PlanMigration is one step of the returned plan.
@@ -57,8 +68,10 @@ type PlanMigration struct {
 	Swap   bool `json:"swap,omitempty"`
 }
 
-// PlanResponse is the body returned by the reschedule endpoints. Its shape
-// is frozen: /v1/reschedule clients from before API v2 depend on it.
+// PlanResponse is the body returned by the reschedule endpoints. Its
+// pre-session shape is frozen: /v1/reschedule clients from before API v2
+// depend on it; Repair only ever appears on session-scoped jobs, which
+// post-date v1.
 type PlanResponse struct {
 	Solver    string          `json:"solver"`
 	InitialFR float64         `json:"initial_fr"`
@@ -66,6 +79,11 @@ type PlanResponse struct {
 	Steps     int             `json:"steps"`
 	ElapsedMS float64         `json:"elapsed_ms"`
 	Plan      []PlanMigration `json:"plan"`
+	// Repair is set on session-scoped jobs: Plan has been validated and
+	// repaired against the live session cluster at solve completion, and
+	// contains only migrations that apply cleanly to it. InitialFR/FinalFR
+	// above remain snapshot-relative; the live truth is in Repair.
+	Repair *RepairReport `json:"repair,omitempty"`
 }
 
 // JobState enumerates the lifecycle of an async solve.
@@ -87,6 +105,8 @@ type JobStatus struct {
 	State JobState `json:"state"`
 	// Solver is the registry name the job runs on.
 	Solver string `json:"solver"`
+	// Session is set for session-scoped jobs (POST /v2/clusters/{id}/jobs).
+	Session string `json:"session,omitempty"`
 	// TimedOut reports the solve hit its deadline and the plan is the
 	// anytime best-so-far (still valid, possibly shorter than MNL).
 	TimedOut bool `json:"timed_out,omitempty"`
@@ -115,6 +135,10 @@ type job struct {
 	mapping *cluster.Cluster
 	cfg     sim.Config
 	timeout time.Duration
+	// sess, when non-nil, makes this a session-scoped job: mapping is a
+	// snapshot of the session cluster, and the finished plan is repaired
+	// against the live session state before being reported.
+	sess *session
 
 	mu       sync.Mutex
 	state    JobState
@@ -126,10 +150,14 @@ type job struct {
 func (j *job) status() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return JobStatus{
+	st := JobStatus{
 		ID: j.id, State: j.state, Solver: j.name,
 		TimedOut: j.timedOut, Result: j.result, Error: j.err,
 	}
+	if j.sess != nil {
+		st.Session = j.sess.id
+	}
+	return st
 }
 
 // Server routes rescheduling requests to registered solvers and owns the
@@ -152,6 +180,10 @@ type Server struct {
 	jobs     map[string]*job
 	jobOrder []string // submission order, for finished-job eviction
 	jobSeq   uint64
+
+	sessMu   sync.RWMutex
+	sessions map[string]*session
+	sessSeq  uint64
 
 	queue chan *job
 	wg    sync.WaitGroup
@@ -206,6 +238,7 @@ func New(opts ...Option) *Server {
 		solvers:    map[string]solver.Solver{},
 		timeouts:   map[string]time.Duration{},
 		jobs:       map[string]*job{},
+		sessions:   map[string]*session{},
 		workers:    4,
 		queueDepth: 64,
 	}
@@ -228,7 +261,15 @@ func New(opts ...Option) *Server {
 	s.mux.HandleFunc("POST /v2/jobs", s.handleSubmitJob)
 	s.mux.HandleFunc("GET /v2/jobs/{id}", s.handleJobStatus)
 	s.mux.HandleFunc("GET /v2/solvers", s.handleSolversV2)
+	s.mux.HandleFunc("GET /v2/scenarios", s.handleScenarios)
 	s.mux.HandleFunc("POST /v2/reschedule", s.handleRescheduleV2)
+	// Live cluster sessions: register once, stream churn, solve against
+	// snapshots with validation/repair at completion.
+	s.mux.HandleFunc("POST /v2/clusters", s.handleCreateSession)
+	s.mux.HandleFunc("GET /v2/clusters/{id}", s.handleSessionStatus)
+	s.mux.HandleFunc("DELETE /v2/clusters/{id}", s.handleDeleteSession)
+	s.mux.HandleFunc("POST /v2/clusters/{id}/events", s.handleSessionEvents)
+	s.mux.HandleFunc("POST /v2/clusters/{id}/jobs", s.handleSessionJob)
 	// v1 compatibility shims: same engines, same response bytes as before v2.
 	s.mux.HandleFunc("/v1/reschedule", s.handleRescheduleV1)
 	s.mux.HandleFunc("/v1/solvers", s.handleSolversV1)
@@ -328,27 +369,22 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// parseObjective understands "fr16", "mixed-vm:<l>", "mixed-mem:<l>" with
-// lambda in [0, 1].
-func parseObjective(spec string) (sim.Objective, error) {
-	if spec == "" || spec == "fr16" {
-		return sim.FR16(), nil
-	}
-	if rest, ok := strings.CutPrefix(spec, "mixed-vm:"); ok {
-		if lambda, err := strconv.ParseFloat(rest, 64); err == nil && lambda >= 0 && lambda <= 1 {
-			return sim.MixedVMType(lambda), nil
-		}
-	} else if rest, ok := strings.CutPrefix(spec, "mixed-mem:"); ok {
-		if lambda, err := strconv.ParseFloat(rest, 64); err == nil && lambda >= 0 && lambda <= 1 {
-			return sim.MixedResource(lambda), nil
-		}
-	}
-	return sim.Objective{}, fmt.Errorf("unknown objective %q", spec)
-}
-
 // parseRequest validates a PlanRequest into a runnable job (not yet queued).
 // The returned error text is client-facing (400).
 func (s *Server) parseRequest(req PlanRequest) (*job, error) {
+	return s.newJob(req, func() (*cluster.Cluster, error) {
+		c, err := trace.ReadMapping(bytes.NewReader(req.Mapping))
+		if err != nil {
+			return nil, fmt.Errorf("invalid mapping: %v", err)
+		}
+		return c, nil
+	})
+}
+
+// newJob validates the engine-facing half of a PlanRequest (MNL, solver,
+// objective, budget) shared by the one-shot and session-scoped submission
+// paths, then obtains the mapping from the caller-supplied source.
+func (s *Server) newJob(req PlanRequest, mapping func() (*cluster.Cluster, error)) (*job, error) {
 	if req.MNL <= 0 {
 		return nil, fmt.Errorf("mnl must be positive")
 	}
@@ -357,13 +393,13 @@ func (s *Server) parseRequest(req PlanRequest) (*job, error) {
 		// Report the resolved name so a missing *default* engine is named.
 		return nil, fmt.Errorf("unknown solver %q", name)
 	}
-	obj, err := parseObjective(req.Objective)
+	obj, err := sim.ParseObjective(req.Objective)
 	if err != nil {
 		return nil, err
 	}
-	c, err := trace.ReadMapping(bytes.NewReader(req.Mapping))
+	c, err := mapping()
 	if err != nil {
-		return nil, fmt.Errorf("invalid mapping: %v", err)
+		return nil, err
 	}
 	return &job{
 		name:    name,
@@ -376,6 +412,8 @@ func (s *Server) parseRequest(req PlanRequest) (*job, error) {
 }
 
 // solve runs one job's engine under its deadline and converts the outcome.
+// Session-scoped jobs then validate/repair the plan against the live
+// session state, which has usually drifted since the snapshot was taken.
 func solve(ctx context.Context, j *job) (*PlanResponse, bool, error) {
 	ctx, cancel := context.WithTimeout(ctx, j.timeout)
 	defer cancel()
@@ -390,7 +428,19 @@ func solve(ctx context.Context, j *job) (*PlanResponse, bool, error) {
 		Steps:     res.Steps,
 		ElapsedMS: float64(res.Elapsed.Microseconds()) / 1000,
 	}
-	for _, m := range res.Plan {
+	plan := res.Plan
+	if j.sess != nil {
+		j.sess.mu.Lock()
+		rp := solver.RepairPlanObjective(j.sess.c, res.Plan, j.cfg.Obj)
+		j.sess.mu.Unlock()
+		plan = rp.Plan
+		resp.Repair = &RepairReport{
+			RepairStats:   rp.Stats,
+			LiveInitialFR: rp.InitialFR,
+			LiveFinalFR:   rp.FinalFR,
+		}
+	}
+	for _, m := range plan {
 		resp.Plan = append(resp.Plan, PlanMigration{VM: m.VM, FromPM: m.FromPM, ToPM: m.ToPM, Swap: m.Swap})
 	}
 	return resp, res.TimedOut, nil
@@ -433,13 +483,19 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	s.submitJob(w, j)
+}
+
+// submitJob allocates an id for a parsed job, enqueues it, records it for
+// polling, and writes the 202 — or sheds it with a 503 when the bounded
+// queue is full (the job was never recorded then, so nothing leaks).
+// Shared by the one-shot and session-scoped submission endpoints.
+func (s *Server) submitJob(w http.ResponseWriter, j *job) {
 	s.jobsMu.Lock()
 	s.jobSeq++
 	j.id = fmt.Sprintf("job-%d", s.jobSeq)
 	s.jobsMu.Unlock()
 	if !s.enqueue(j) {
-		// Bounded queue full (or closing): shed load instead of holding the
-		// request open. The job was never recorded, so nothing leaks.
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusServiceUnavailable, "job queue full (%d pending)", s.queueDepth)
 		return
@@ -451,7 +507,11 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	s.jobOrder = append(s.jobOrder, j.id)
 	s.evictFinishedLocked()
 	s.jobsMu.Unlock()
-	writeJSON(w, http.StatusAccepted, JobStatus{ID: j.id, State: JobQueued, Solver: j.name})
+	st := JobStatus{ID: j.id, State: JobQueued, Solver: j.name}
+	if j.sess != nil {
+		st.Session = j.sess.id
+	}
+	writeJSON(w, http.StatusAccepted, st)
 }
 
 // maxRetainedJobs bounds the job store: beyond it, the oldest *finished*

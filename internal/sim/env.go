@@ -263,7 +263,7 @@ func ApplyPlan(c *cluster.Cluster, plan []Migration) (applied, skipped int) {
 			}
 			continue
 		}
-		if m.VM >= len(c.VMs) || !c.VMs[m.VM].Placed() || c.VMs[m.VM].PM != m.FromPM {
+		if m.VM < 0 || m.VM >= len(c.VMs) || !c.VMs[m.VM].Placed() || c.VMs[m.VM].PM != m.FromPM {
 			skipped++
 			continue
 		}
@@ -280,7 +280,7 @@ func ApplyPlan(c *cluster.Cluster, plan []Migration) (applied, skipped int) {
 // changed) cluster, rolling back on any failure.
 func applySwap(c *cluster.Cluster, m, n Migration) bool {
 	for _, e := range []Migration{m, n} {
-		if e.VM >= len(c.VMs) || !c.VMs[e.VM].Placed() || c.VMs[e.VM].PM != e.FromPM {
+		if e.VM < 0 || e.VM >= len(c.VMs) || !c.VMs[e.VM].Placed() || c.VMs[e.VM].PM != e.FromPM {
 			return false
 		}
 	}

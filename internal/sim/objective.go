@@ -7,7 +7,13 @@
 // risk-seeking evaluation pipeline.
 package sim
 
-import "vmr2l/internal/cluster"
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"vmr2l/internal/cluster"
+)
 
 // Resource selects which resource a fragment term measures.
 type Resource int
@@ -52,6 +58,25 @@ func MixedResource(lambda float64) Objective {
 		{Res: CPU, Chunk: 16, Weight: 1 - lambda},
 		{Res: Mem, Chunk: 64, Weight: lambda},
 	}}
+}
+
+// ParseObjective understands the textual objective specs shared by the HTTP
+// API and the scenario registry: "" or "fr16" (the default FR16 objective),
+// "mixed-vm:<λ>" and "mixed-mem:<λ>" with λ in [0, 1].
+func ParseObjective(spec string) (Objective, error) {
+	if spec == "" || spec == "fr16" {
+		return FR16(), nil
+	}
+	if rest, ok := strings.CutPrefix(spec, "mixed-vm:"); ok {
+		if lambda, err := strconv.ParseFloat(rest, 64); err == nil && lambda >= 0 && lambda <= 1 {
+			return MixedVMType(lambda), nil
+		}
+	} else if rest, ok := strings.CutPrefix(spec, "mixed-mem:"); ok {
+		if lambda, err := strconv.ParseFloat(rest, 64); err == nil && lambda >= 0 && lambda <= 1 {
+			return MixedResource(lambda), nil
+		}
+	}
+	return Objective{}, fmt.Errorf("unknown objective %q", spec)
 }
 
 // Value returns the objective for a cluster: Σ w_i · FR_i (lower is better).

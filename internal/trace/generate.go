@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"fmt"
 	"math/rand"
 	"sort"
 
@@ -25,10 +26,20 @@ func (d *Dataset) All() []*cluster.Cluster {
 	return append(out, d.Test...)
 }
 
+// pickWeighted samples an index proportionally to weights. Weight vectors
+// are validated at profile-construction time (Profile.Validate); this panic
+// is the backstop for callers that skipped it — silently returning an
+// arbitrary index would turn a bad profile into a skewed dataset.
 func pickWeighted(rng *rand.Rand, weights []float64) int {
 	total := 0.0
 	for _, w := range weights {
+		if w < 0 {
+			panic(fmt.Sprintf("trace: negative sampling weight %v in %v", w, weights))
+		}
 		total += w
+	}
+	if total <= 0 {
+		panic(fmt.Sprintf("trace: sampling weights sum to %v (all zero?): %v", total, weights))
 	}
 	r := rng.Float64() * total
 	for i, w := range weights {
@@ -57,7 +68,9 @@ func (p Profile) sampleVMType(rng *rand.Rand) cluster.VMType {
 
 // bestFitPlace places vm id using the VMS best-fit rule: among feasible PMs,
 // pick the one whose 16-core fragment drops the most (equivalently, ends
-// lowest) after adding the VM. Returns false when no PM fits.
+// lowest) after adding the VM. Returns false when no PM fits. Candidates are
+// scored with the O(1) cluster.PlaceFragDelta arithmetic — no probe
+// placements.
 func bestFitPlace(c *cluster.Cluster, id int, rng *rand.Rand) bool {
 	bestPM, bestNuma, bestScore := -1, -1, 0
 	// Random scan order breaks ties differently across mappings.
@@ -67,15 +80,7 @@ func bestFitPlace(c *cluster.Cluster, id int, rng *rand.Rand) bool {
 		if numa < 0 {
 			continue
 		}
-		before := c.PMs[pm].Fragment(cluster.DefaultFragCores)
-		if err := c.Place(id, pm, numa); err != nil {
-			continue
-		}
-		after := c.PMs[pm].Fragment(cluster.DefaultFragCores)
-		if err := c.Remove(id); err != nil {
-			panic(err) // placement just succeeded; removal cannot fail
-		}
-		score := before - after
+		score := c.PlaceFragDelta(id, pm, numa, cluster.DefaultFragCores)
 		if bestPM == -1 || score > bestScore {
 			bestPM, bestNuma, bestScore = pm, numa, score
 		}
@@ -110,6 +115,9 @@ func usedCPUFrac(c *cluster.Cluster) float64 {
 // The churn+refill phases scatter fragments across PMs exactly the way the
 // continual VMS/exit cycle does in production (paper section 1).
 func (p Profile) GenerateMapping(rng *rand.Rand) *cluster.Cluster {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
 	c := &cluster.Cluster{}
 	weights := make([]float64, len(p.PMTypes))
 	for i := range p.PMTypes {
@@ -183,6 +191,14 @@ func (p Profile) Generate(rng *rand.Rand, n int) *Dataset {
 	for i := range maps {
 		maps[i] = p.GenerateMapping(rng)
 	}
+	return NewDataset(p.Name, maps)
+}
+
+// NewDataset splits pre-generated mappings 10:1:1 (train:val:test) under a
+// profile name — the entry point for mappings built outside Generate (e.g.
+// scenario builders that add fragmentation floors or affinity overlays).
+func NewDataset(profile string, maps []*cluster.Cluster) *Dataset {
+	n := len(maps)
 	nVal := n / 12
 	if nVal < 1 {
 		nVal = 1
@@ -195,7 +211,7 @@ func (p Profile) Generate(rng *rand.Rand, n int) *Dataset {
 			nVal, nTest = (n-1+1)/2, (n-1)/2
 		}
 	}
-	d := &Dataset{Profile: p.Name}
+	d := &Dataset{Profile: profile}
 	d.Train = maps[:nTrain]
 	d.Val = maps[nTrain : nTrain+nVal]
 	d.Test = maps[nTrain+nVal:]

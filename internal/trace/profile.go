@@ -206,3 +206,55 @@ func MustProfile(name string) Profile {
 	}
 	return p
 }
+
+// Validate checks that the profile can actually be sampled from: at least
+// one PM type and one VM flavor, every weight vector non-negative with a
+// positive sum, and matched MemRatios/MemRatioValues lengths. Construction
+// sites (scenario specs, hand-built profiles) should call this before
+// generating; GenerateMapping enforces it with a panic so a bad vector can
+// never silently skew a dataset.
+func (p Profile) Validate() error {
+	if p.NumPMs <= 0 {
+		return fmt.Errorf("trace: profile %q: NumPMs must be positive, got %d", p.Name, p.NumPMs)
+	}
+	check := func(what string, weights []float64) error {
+		if len(weights) == 0 {
+			return fmt.Errorf("trace: profile %q: empty %s", p.Name, what)
+		}
+		total := 0.0
+		for i, w := range weights {
+			if w < 0 {
+				return fmt.Errorf("trace: profile %q: negative %s weight %v at index %d", p.Name, what, w, i)
+			}
+			total += w
+		}
+		if total <= 0 {
+			return fmt.Errorf("trace: profile %q: %s weights sum to %v; at least one must be positive", p.Name, what, total)
+		}
+		return nil
+	}
+	pmw := make([]float64, len(p.PMTypes))
+	for i := range p.PMTypes {
+		pmw[i] = p.PMTypes[i].Weight
+	}
+	if err := check("pm-type", pmw); err != nil {
+		return err
+	}
+	vmw := make([]float64, len(p.VMMix))
+	for i, tw := range p.VMMix {
+		vmw[i] = tw.Weight
+	}
+	if err := check("vm-mix", vmw); err != nil {
+		return err
+	}
+	if len(p.MemRatios) > 0 {
+		if len(p.MemRatios) != len(p.MemRatioValues) {
+			return fmt.Errorf("trace: profile %q: %d MemRatios but %d MemRatioValues",
+				p.Name, len(p.MemRatios), len(p.MemRatioValues))
+		}
+		if err := check("mem-ratio", p.MemRatios); err != nil {
+			return err
+		}
+	}
+	return nil
+}

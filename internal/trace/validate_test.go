@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestPickWeightedRejectsDegenerateWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, weights := range [][]float64{{0, 0, 0}, {1, -2, 1}, {}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("pickWeighted(%v) did not panic", weights)
+				}
+			}()
+			pickWeighted(rng, weights)
+		}()
+	}
+	// Sane vectors still work.
+	if got := pickWeighted(rng, []float64{0, 1, 0}); got != 1 {
+		t.Fatalf("pickWeighted([0,1,0]) = %d, want 1", got)
+	}
+}
+
+func TestProfileValidate(t *testing.T) {
+	for _, name := range []string{"tiny", "medium", "large", "multi-resource", "workload-low"} {
+		if err := MustProfile(name).Validate(); err != nil {
+			t.Errorf("built-in profile %s invalid: %v", name, err)
+		}
+	}
+	bad := MustProfile("tiny")
+	for i := range bad.VMMix {
+		bad.VMMix[i].Weight = 0
+	}
+	err := bad.Validate()
+	if err == nil || !strings.Contains(err.Error(), "vm-mix") {
+		t.Fatalf("all-zero vm mix: err = %v, want vm-mix weight error", err)
+	}
+	neg := MustProfile("tiny")
+	neg.PMTypes[0].Weight = -1
+	if err := neg.Validate(); err == nil {
+		t.Fatal("negative pm weight accepted")
+	}
+	mism := MustProfile("multi-resource")
+	mism.MemRatioValues = mism.MemRatioValues[:1]
+	if err := mism.Validate(); err == nil {
+		t.Fatal("mismatched MemRatios/MemRatioValues accepted")
+	}
+	none := MustProfile("tiny")
+	none.NumPMs = 0
+	if err := none.Validate(); err == nil {
+		t.Fatal("zero-PM profile accepted")
+	}
+}
+
+func TestGenerateMappingPanicsOnInvalidProfile(t *testing.T) {
+	p := MustProfile("tiny")
+	for i := range p.VMMix {
+		p.VMMix[i].Weight = 0
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("GenerateMapping on an unsampleable profile did not panic")
+		}
+	}()
+	p.GenerateMapping(rand.New(rand.NewSource(1)))
+}
+
+// TestBestFitPlaceStillFillsToTarget guards the O(1) rescoring of
+// bestFitPlace: generated mappings stay valid and near the usage target.
+func TestBestFitPlaceStillFillsToTarget(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p := MustProfile("tiny")
+	c := p.GenerateMapping(rng)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if used := usedCPUFrac(c); used < p.TargetUsage-p.UsageJitter-0.15 {
+		t.Fatalf("usage %.3f far below target %.3f", used, p.TargetUsage)
+	}
+}
