@@ -32,15 +32,19 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("vmr2l-bench: ")
 	var (
-		exp       = flag.String("exp", "all", "experiment id (fig1..fig21, tab2..tab5) or 'all'")
-		full      = flag.Bool("full", false, "use the larger (slow) experiment scale")
-		seed      = flag.Int64("seed", 1, "random seed")
-		list      = flag.Bool("list", false, "list experiment ids and exit")
-		hotpath   = flag.Bool("hotpath", false, "run the hot-path microbenchmark suite and update -hotpath-out")
-		hotOut    = flag.String("hotpath-out", "BENCH_hotpath.json", "artifact path for -hotpath")
-		scen      = flag.String("scenario", "", "run the live-cluster session pipeline for this scenario (see -scenarios)")
-		scenMins  = flag.Int("minutes", 30, "simulated minutes of churn streamed during the -scenario solve")
-		scenarios = flag.Bool("scenarios", false, "list scenario names and exit")
+		exp        = flag.String("exp", "all", "experiment id (fig1..fig21, tab2..tab5) or 'all'")
+		full       = flag.Bool("full", false, "use the larger (slow) experiment scale")
+		seed       = flag.Int64("seed", 1, "random seed")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		hotpath    = flag.Bool("hotpath", false, "run the hot-path microbenchmark suite and update -hotpath-out")
+		hotOut     = flag.String("hotpath-out", "BENCH_hotpath.json", "artifact path for -hotpath")
+		hotCheck   = flag.Bool("hotpath-check", false, "with -hotpath: exit 1 when the fresh numbers regress vs the pinned baseline (>25% ns/op or any allocs/op growth)")
+		scen       = flag.String("scenario", "", "run the live-cluster session pipeline for this scenario (see -scenarios)")
+		scenMins   = flag.Int("minutes", 30, "simulated minutes of churn streamed during the -scenario solve")
+		scenarios  = flag.Bool("scenarios", false, "list scenario names and exit")
+		shards     = flag.Bool("shards", false, "run the scale-out shard scaling sweep (1/2/4/8/16 shards x engines) and write -shards-out")
+		shardsScen = flag.String("shards-scenario", "large-static", "scenario swept by -shards")
+		shardsOut  = flag.String("shards-out", "BENCH_shard.json", "artifact path for -shards")
 	)
 	flag.Parse()
 	if *list {
@@ -65,7 +69,29 @@ func main() {
 		fmt.Printf("elapsed: %s\n", time.Since(start).Round(time.Millisecond))
 		return
 	}
+	if *shards {
+		start := time.Now()
+		rep, art, err := bench.RunShardBench(*shardsScen, *seed, func(s string) { log.Printf("shards: %s", s) })
+		if err != nil {
+			log.Fatalf("shards: %v", err)
+		}
+		if err := bench.WriteShardArtifact(*shardsOut, art); err != nil {
+			log.Fatalf("shards: %v", err)
+		}
+		rep.Fprint(os.Stdout)
+		fmt.Printf("wrote %s\nelapsed: %s\n", *shardsOut, time.Since(start).Round(time.Millisecond))
+		return
+	}
 	if *hotpath {
+		// Snapshot the gate reference before the update overwrites the
+		// artifact's current section with this run.
+		var prev bench.HotpathArtifact
+		if *hotCheck {
+			var err error
+			if prev, err = bench.LoadHotpathArtifact(*hotOut); err != nil {
+				log.Fatalf("hotpath: %v", err)
+			}
+		}
 		rep := bench.RunHotpath(func(name string) { log.Printf("hotpath: %s", name) })
 		art, err := bench.UpdateHotpathArtifact(*hotOut, rep)
 		if err != nil {
@@ -73,6 +99,15 @@ func main() {
 		}
 		art.Fprint(os.Stdout)
 		fmt.Printf("wrote %s\n", *hotOut)
+		if *hotCheck {
+			if regs := bench.HotpathRegressions(prev.GateReference(), rep, 0); len(regs) > 0 {
+				for _, r := range regs {
+					log.Printf("REGRESSION: %s", r)
+				}
+				log.Fatalf("hotpath: %d regression(s) vs the pinned reference", len(regs))
+			}
+			fmt.Println("hotpath regression gate: ok")
+		}
 		return
 	}
 	opts := bench.Options{Seed: *seed, Full: *full}

@@ -21,9 +21,13 @@
 //	curl -s -X POST localhost:8080/v2/clusters/sess-1/jobs -d '{"mnl":10}'
 //	curl -s localhost:8080/v2/jobs/job-1   # plan repaired against the live session
 //
-// Registered engines: ha, swap-ha, vbpp, bnb, pop, mcts, and (with -ckpt)
-// the trained VMR2L agent. The default engine is HA — always within the
-// five-second budget. SIGINT/SIGTERM drain in-flight solves before exit.
+// Registered engines: ha, swap-ha, vbpp, bnb, pop, mcts, the scale-out
+// wrappers portfolio (ha+vbpp raced under one deadline) and sharded
+// (-shards partitions, see internal/shard), and (with -ckpt) the trained
+// VMR2L agent. Any v2 job can also request scale-out ad hoc with the
+// "shards"/"portfolio" body fields. The default engine is HA — always
+// within the five-second budget. SIGINT/SIGTERM drain in-flight solves
+// before exit.
 package main
 
 import (
@@ -42,6 +46,7 @@ import (
 	"vmr2l/internal/mcts"
 	"vmr2l/internal/policy"
 	"vmr2l/internal/service"
+	"vmr2l/internal/shard"
 )
 
 func main() {
@@ -55,6 +60,7 @@ func main() {
 		workers = flag.Int("workers", 4, "async solve workers")
 		queue   = flag.Int("queue", 64, "async job queue depth")
 		timeout = flag.Duration("timeout", 0, "per-solve budget (0 = paper's 5s limit)")
+		shards  = flag.Int("shards", 8, "partition count of the pre-registered 'sharded' engine")
 	)
 	flag.Parse()
 
@@ -69,6 +75,11 @@ func main() {
 	s.Register("bnb", &exact.Solver{Beam: 6, AllowLoss: true})
 	s.Register("pop", exact.POP{Parts: 4, Inner: exact.Solver{Beam: 4, AllowLoss: true}})
 	s.Register("mcts", &mcts.Solver{Iterations: 64, Width: 6})
+	// Scale-out engines (internal/shard). Clients can also compose their own
+	// per request via the "shards" and "portfolio" fields of any v2 job.
+	scaleOut := []shard.Engine{{Name: "ha", S: heuristics.HA{}}, {Name: "vbpp", S: heuristics.VBPP{}}}
+	s.Register("portfolio", shard.NewPortfolio(scaleOut...))
+	s.Register("sharded", &shard.Solver{Engines: scaleOut, Opts: shard.Options{Shards: *shards}})
 	if *ckpt != "" {
 		m := policy.New(policy.Config{
 			DModel: *dModel, Hidden: 2 * *dModel, Blocks: *blocks,

@@ -21,6 +21,24 @@
 // drifted live state (internal/solver.ValidatePlan/RepairPlan). See
 // README.md's "Live-cluster serving & scenarios".
 //
+// # Scaling out
+//
+// internal/shard is the scale-out solving layer for fleet-sized inputs
+// (the hyperscale scenarios: 10k PMs, ~90k VMs): shard.Partition splits
+// the PMs into balanced parts while keeping every anti-affinity service
+// group inside one shard (groups larger than a shard's capacity are split
+// — safe, since anti-affinity is per-PM and every VM on a shard's PMs is
+// in its sub-cluster, but counted as oversized_groups); cluster.ExtractSub
+// produces independent sub-clusters with id remap tables; shard.Solve
+// races a portfolio of engines per shard in parallel under one shared
+// deadline, keeps each shard's best anytime plan, and merges the remapped
+// plans through solver.ValidatePlan + RepairPlanObjective against the full
+// live cluster, so the returned plan always applies cleanly. The
+// shard.Portfolio and shard.Solver wrappers register like any engine; the
+// service accepts "shards"/"portfolio" on every v2 job and reports
+// per-shard stats; "vmr2l-bench -shards" records the scaling sweep in
+// BENCH_shard.json. See README.md's "Scaling out".
+//
 // # Performance
 //
 // The serving hot path is allocation-free in steady state: the cluster

@@ -257,11 +257,9 @@ type HotpathArtifact struct {
 // when present, else from this report) and preserved afterwards; the current
 // section is always replaced. Returns the merged artifact.
 func UpdateHotpathArtifact(path string, rep HotpathReport) (HotpathArtifact, error) {
-	var art HotpathArtifact
-	if data, err := os.ReadFile(path); err == nil {
-		if err := json.Unmarshal(data, &art); err != nil {
-			return art, fmt.Errorf("bench: parse %s: %w", path, err)
-		}
+	art, err := LoadHotpathArtifact(path)
+	if err != nil {
+		return art, err
 	}
 	if art.Baseline == nil {
 		if art.Current != nil {
@@ -287,6 +285,82 @@ func UpdateHotpathArtifact(path string, rep HotpathReport) (HotpathArtifact, err
 		return art, err
 	}
 	return art, nil
+}
+
+// HotpathNsTolerance is the fractional ns/op growth the regression gate
+// tolerates before failing: timing on shared CI runners jitters, allocation
+// counts do not. 25% is far above run-to-run noise for these benchmarks and
+// far below the cost of reintroducing an allocation-per-step regression.
+const HotpathNsTolerance = 0.25
+
+// LoadHotpathArtifact reads the artifact at path; a missing file yields a
+// zero artifact (nothing pinned yet), a malformed one an error.
+func LoadHotpathArtifact(path string) (HotpathArtifact, error) {
+	var art HotpathArtifact
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return art, nil
+		}
+		return art, err
+	}
+	if err := json.Unmarshal(data, &art); err != nil {
+		return art, fmt.Errorf("bench: parse %s: %w", path, err)
+	}
+	return art, nil
+}
+
+// GateReference returns the measurement a fresh run must not regress from:
+// the artifact's current section — the optimized state pinned in the repo —
+// not the pre-optimization baseline, which exists to show the trajectory
+// and would let the gate wave through anything faster than the unoptimized
+// code. Falls back to the baseline for artifacts that predate a current
+// section; nil when nothing is pinned.
+func (a HotpathArtifact) GateReference() *HotpathReport {
+	if a.Current != nil {
+		return a.Current
+	}
+	return a.Baseline
+}
+
+// HotpathRegressions compares a fresh report against the pinned reference
+// and reports every operation that regressed: allocs/op growth, or ns/op
+// growth beyond nsTol (fractional; <= 0 means HotpathNsTolerance). The
+// allocation check is exact for operations pinned below 100 allocs/op —
+// the steady-state hot path, where a single new allocation per op is the
+// regression this gate exists to catch — and tolerates <1% drift above
+// that, because the end-to-end benchmark trains with parallel rollouts
+// whose pool/scheduler behaviour moves total allocations by a few hundred
+// per run. An empty result means the gate passes. Operations present on
+// only one side are ignored — a new benchmark has no reference to regress
+// from.
+func HotpathRegressions(ref *HotpathReport, fresh HotpathReport, nsTol float64) []string {
+	if ref == nil {
+		return nil
+	}
+	if nsTol <= 0 {
+		nsTol = HotpathNsTolerance
+	}
+	base := map[string]HotpathResult{}
+	for _, r := range ref.Results {
+		base[r.Name] = r
+	}
+	var regs []string
+	for _, r := range fresh.Results {
+		b, ok := base[r.Name]
+		if !ok {
+			continue
+		}
+		if r.AllocsPerOp > b.AllocsPerOp+b.AllocsPerOp/100 {
+			regs = append(regs, fmt.Sprintf("%s: allocs/op %d -> %d",
+				r.Name, b.AllocsPerOp, r.AllocsPerOp))
+		}
+		if b.NsPerOp > 0 && r.NsPerOp > b.NsPerOp*(1+nsTol) {
+			regs = append(regs, fmt.Sprintf("%s: ns/op %.1f -> %.1f (+%.0f%%, tolerance %.0f%%)",
+				r.Name, b.NsPerOp, r.NsPerOp, 100*(r.NsPerOp/b.NsPerOp-1), 100*nsTol))
+		}
+	}
+	return regs
 }
 
 // Fprint renders baseline vs current with speedup and allocation ratios.

@@ -1,0 +1,185 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"vmr2l/internal/heuristics"
+	"vmr2l/internal/scenario"
+	"vmr2l/internal/shard"
+	"vmr2l/internal/sim"
+)
+
+// The shard scaling bench measures what the scale-out layer buys on a
+// fleet-sized cluster: every engine is run through the full internal/shard
+// pipeline (partition -> parallel per-shard solve -> merge-then-repair) at
+// 1/2/4/8/16 shards on the same scenario cluster, and the wall-clock
+// speedup over the 1-shard run is recorded per engine. Results are written
+// to BENCH_shard.json so the scaling trajectory is tracked across PRs. Run
+// via
+//
+//	vmr2l-bench -shards                         # default large-static
+//	vmr2l-bench -shards -shards-scenario <name>
+
+// ShardCounts is the sweep recorded in the artifact.
+var ShardCounts = []int{1, 2, 4, 8, 16}
+
+// ShardBenchEntry is one (engine, shard count) measurement.
+type ShardBenchEntry struct {
+	Engine    string  `json:"engine"`
+	Shards    int     `json:"shards"`
+	WallMS    float64 `json:"wall_ms"`
+	Speedup   float64 `json:"speedup_vs_1shard"`
+	Steps     int     `json:"steps"`
+	InitialFR float64 `json:"initial_fr"`
+	FinalFR   float64 `json:"final_fr"`
+	Valid     int     `json:"valid"`
+	Repaired  int     `json:"repaired"`
+	Dropped   int     `json:"dropped"`
+	Oversized int     `json:"oversized_groups,omitempty"`
+}
+
+// ShardBenchReport is the JSON artifact of one sweep.
+type ShardBenchReport struct {
+	Scenario   string            `json:"scenario"`
+	PMs        int               `json:"pms"`
+	VMs        int               `json:"vms"`
+	MNL        int               `json:"mnl"`
+	GoVersion  string            `json:"go_version"`
+	GoMaxProcs int               `json:"gomaxprocs"`
+	Timestamp  string            `json:"timestamp"`
+	Entries    []ShardBenchEntry `json:"entries"`
+}
+
+// shardBenchEngines are the work-bound engines swept by the scaling bench.
+// Deadline-bound engines (B&B under a budget) are deliberately absent: their
+// wall-clock is the budget by construction, so sharding changes their plan
+// quality, not their latency, and the table would show nothing.
+func shardBenchEngines() [][]shard.Engine {
+	ha := shard.Engine{Name: "ha", S: heuristics.HA{}}
+	vbpp := shard.Engine{Name: "vbpp", S: heuristics.VBPP{}}
+	return [][]shard.Engine{{ha}, {vbpp}, {ha, vbpp}}
+}
+
+// engineLabel names an engine set in the report.
+func engineLabel(engines []shard.Engine) string {
+	if len(engines) == 1 {
+		return engines[0].Name
+	}
+	return "portfolio(" + shard.Names(engines) + ")"
+}
+
+// RunShardBench builds the scenario cluster once and sweeps every engine
+// set over ShardCounts through the scale-out pipeline. The progress
+// callback (may be nil) is invoked before each run.
+func RunShardBench(scenName string, seed int64, progress func(string)) (*Report, ShardBenchReport, error) {
+	art := ShardBenchReport{
+		Scenario:   scenName,
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+	}
+	sc, err := scenario.Get(scenName)
+	if err != nil {
+		return nil, art, err
+	}
+	if seed == 0 {
+		seed = sc.Seed
+	}
+	if progress != nil {
+		progress(fmt.Sprintf("building %s cluster (profile %s)", scenName, sc.Profile))
+	}
+	live, err := sc.Build(rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, art, err
+	}
+	obj, err := sc.ParseObjective()
+	if err != nil {
+		return nil, art, err
+	}
+	mnl := sc.MNL
+	if mnl <= 0 {
+		mnl = 64
+	}
+	art.PMs, art.VMs, art.MNL = len(live.PMs), live.CountPlaced(), mnl
+	cfg := sim.Config{MNL: mnl, Obj: obj}
+
+	rep := &Report{
+		ID: "shards-" + scenName,
+		Title: fmt.Sprintf("Scale-out solving on %q: %d PMs / %d VMs, MNL %d",
+			scenName, art.PMs, art.VMs, mnl),
+	}
+	table := Table{
+		Title:  "sharded wall-clock scaling (merge-then-repair included)",
+		Header: []string{"engine", "shards", "wall", "speedup", "steps", "valid", "repaired", "dropped", "FR"},
+	}
+	for _, engines := range shardBenchEngines() {
+		label := engineLabel(engines)
+		base := 0.0
+		for _, k := range ShardCounts {
+			if progress != nil {
+				progress(fmt.Sprintf("%s x %d shards", label, k))
+			}
+			// The sweep measures work-bound wall-clock: the context only
+			// guards against pathological stalls.
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+			start := time.Now()
+			res, err := shard.Solve(ctx, live, cfg, engines, shard.Options{Shards: k})
+			wall := time.Since(start)
+			cancel()
+			if err != nil {
+				return nil, art, fmt.Errorf("%s x %d shards: %w", label, k, err)
+			}
+			e := ShardBenchEntry{
+				Engine:    label,
+				Shards:    k,
+				WallMS:    float64(wall.Microseconds()) / 1000,
+				Steps:     len(res.Plan),
+				InitialFR: res.InitialFR,
+				FinalFR:   res.FinalFR,
+				Valid:     res.Stats.Valid,
+				Repaired:  res.Stats.Repaired,
+				Dropped:   res.Stats.Dropped,
+				Oversized: res.OversizedGroups,
+			}
+			if k == 1 {
+				base = e.WallMS
+			}
+			if base > 0 && e.WallMS > 0 {
+				e.Speedup = base / e.WallMS
+			}
+			art.Entries = append(art.Entries, e)
+			table.Rows = append(table.Rows, []string{
+				label, itoa(k), ms(e.WallMS), fmt.Sprintf("%.2fx", e.Speedup),
+				itoa(e.Steps), itoa(e.Valid), itoa(e.Repaired), itoa(e.Dropped),
+				fmt.Sprintf("%s -> %s", f4(e.InitialFR), f4(e.FinalFR)),
+			})
+		}
+	}
+	rep.Tables = append(rep.Tables, table)
+	rep.Notes = append(rep.Notes,
+		"wall-clock includes partitioning, sub-cluster extraction, the parallel per-shard race, and the global merge+repair pass",
+		fmt.Sprintf("per-shard MNL is %d/k (minimum 1); the merged plan never exceeds MNL", mnl),
+	)
+	return rep, art, nil
+}
+
+// WriteShardArtifact writes the sweep to path (replacing any previous run).
+func WriteShardArtifact(path string, art ShardBenchReport) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(art); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

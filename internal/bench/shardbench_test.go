@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestShardBenchPipeline sweeps a CI-sized scenario through the scale-out
+// bench: the full pipeline (partition, parallel race, merge-then-repair,
+// artifact write) with the real engine sets, just on a small cluster. The
+// hyperscale sweep is what vmr2l-bench -shards runs manually.
+func TestShardBenchPipeline(t *testing.T) {
+	rep, art, err := RunShardBench("static", 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tables) != 1 || len(rep.Tables[0].Rows) == 0 {
+		t.Fatalf("report shape: %+v", rep)
+	}
+	wantRuns := len(shardBenchEngines()) * len(ShardCounts)
+	if len(art.Entries) != wantRuns {
+		t.Fatalf("artifact has %d entries, want %d", len(art.Entries), wantRuns)
+	}
+	if art.PMs == 0 || art.VMs == 0 || art.MNL == 0 {
+		t.Fatalf("artifact header incomplete: %+v", art)
+	}
+	for _, e := range art.Entries {
+		if e.Shards == 1 && e.Speedup != 1 {
+			t.Errorf("%s: 1-shard speedup %v, want 1", e.Engine, e.Speedup)
+		}
+		if e.Steps != e.Valid+e.Repaired {
+			t.Errorf("%s x %d: steps %d != valid %d + repaired %d",
+				e.Engine, e.Shards, e.Steps, e.Valid, e.Repaired)
+		}
+		if e.FinalFR > e.InitialFR+1e-9 {
+			t.Errorf("%s x %d: FR worsened %v -> %v", e.Engine, e.Shards, e.InitialFR, e.FinalFR)
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_shard.json")
+	if err := WriteShardArtifact(path, art); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ShardBenchReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("artifact not valid JSON: %v", err)
+	}
+	if len(back.Entries) != len(art.Entries) {
+		t.Fatalf("round-trip lost entries: %d != %d", len(back.Entries), len(art.Entries))
+	}
+
+	if _, _, err := RunShardBench("no-such-scenario", 1, nil); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+func TestHotpathRegressionGate(t *testing.T) {
+	ref := &HotpathReport{Results: []HotpathResult{
+		{Name: "step", NsPerOp: 100, AllocsPerOp: 0},
+		{Name: "forward", NsPerOp: 1000, AllocsPerOp: 2},
+	}}
+	fresh := func(stepNs float64, fwdAllocs int64) HotpathReport {
+		return HotpathReport{Results: []HotpathResult{
+			{Name: "step", NsPerOp: stepNs, AllocsPerOp: 0},
+			{Name: "forward", NsPerOp: 900, AllocsPerOp: fwdAllocs},
+			{Name: "brand-new", NsPerOp: 5, AllocsPerOp: 9}, // no reference: ignored
+		}}
+	}
+	if regs := HotpathRegressions(ref, fresh(110, 2), 0); len(regs) != 0 {
+		t.Fatalf("within-tolerance run flagged: %v", regs)
+	}
+	if regs := HotpathRegressions(ref, fresh(130, 2), 0); len(regs) != 1 {
+		t.Fatalf(">25%% ns/op regression not flagged: %v", regs)
+	}
+	if regs := HotpathRegressions(ref, fresh(100, 3), 0); len(regs) != 1 {
+		t.Fatalf("allocs/op regression not flagged: %v", regs)
+	}
+	if regs := HotpathRegressions(nil, fresh(999, 9), 0); regs != nil {
+		t.Fatalf("missing reference must pass: %v", regs)
+	}
+	// Small allocation counts are exact (a 2 -> 3 step fails above); counts
+	// in the millions tolerate sub-1% scheduler drift but not real growth.
+	big := &HotpathReport{Results: []HotpathResult{{Name: "e2e", NsPerOp: 1e9, AllocsPerOp: 1_000_000}}}
+	drift := HotpathReport{Results: []HotpathResult{{Name: "e2e", NsPerOp: 1e9, AllocsPerOp: 1_000_500}}}
+	if regs := HotpathRegressions(big, drift, 0); len(regs) != 0 {
+		t.Fatalf("sub-1%% alloc drift on an e2e run flagged: %v", regs)
+	}
+	grown := HotpathReport{Results: []HotpathResult{{Name: "e2e", NsPerOp: 1e9, AllocsPerOp: 1_020_000}}}
+	if regs := HotpathRegressions(big, grown, 0); len(regs) != 1 {
+		t.Fatalf("2%% alloc growth on an e2e run not flagged: %v", regs)
+	}
+	// The gate reference is the optimized current section, not the
+	// pre-optimization baseline kept for the trajectory display.
+	old := &HotpathReport{Results: []HotpathResult{{Name: "step", NsPerOp: 5000, AllocsPerOp: 700}}}
+	art := HotpathArtifact{Baseline: old, Current: ref}
+	if got := art.GateReference(); got != ref {
+		t.Fatal("gate reference must be the current section when present")
+	}
+	if got := (HotpathArtifact{Baseline: old}).GateReference(); got != old {
+		t.Fatal("gate reference must fall back to the baseline")
+	}
+	if got := (HotpathArtifact{}).GateReference(); got != nil {
+		t.Fatal("empty artifact has no gate reference")
+	}
+}

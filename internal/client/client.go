@@ -10,9 +10,11 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strings"
 	"time"
 
@@ -24,6 +26,10 @@ type Client struct {
 	baseURL string
 	http    *http.Client
 	poll    time.Duration
+	// 503 backpressure retry policy (see WithRetry).
+	retries   int
+	retryBase time.Duration
+	retryCap  time.Duration
 }
 
 // Option configures a Client.
@@ -41,12 +47,24 @@ func WithPollInterval(d time.Duration) Option {
 	return func(c *Client) { c.poll = d }
 }
 
+// WithRetry tunes the 503-backpressure retry policy: up to retries extra
+// attempts with exponential backoff starting at base and capped at max.
+// A 503 means the server shed the request before doing any work (full job
+// queue, session limit), so retrying is always safe. retries = 0 disables.
+// The default is 3 retries, 50 ms base, 1 s cap.
+func WithRetry(retries int, base, max time.Duration) Option {
+	return func(c *Client) { c.retries, c.retryBase, c.retryCap = retries, base, max }
+}
+
 // New builds a client for the server at baseURL (e.g. "http://localhost:8080").
 func New(baseURL string, opts ...Option) *Client {
 	c := &Client{
-		baseURL: strings.TrimRight(baseURL, "/"),
-		http:    http.DefaultClient,
-		poll:    50 * time.Millisecond,
+		baseURL:   strings.TrimRight(baseURL, "/"),
+		http:      http.DefaultClient,
+		poll:      50 * time.Millisecond,
+		retries:   3,
+		retryBase: 50 * time.Millisecond,
+		retryCap:  time.Second,
 	}
 	for _, opt := range opts {
 		opt(c)
@@ -70,14 +88,50 @@ func (e *StatusError) Error() string {
 	return fmt.Sprintf("server returned %d: %s", e.Code, e.Message)
 }
 
+// do issues one API call, retrying 503 backpressure responses with capped
+// exponential backoff (the server sheds load before doing any work, so a
+// retried request is never a duplicate). Other errors return immediately.
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
-	var rd io.Reader
+	var encoded []byte
 	if body != nil {
 		b, err := json.Marshal(body)
 		if err != nil {
 			return fmt.Errorf("client: encode request: %w", err)
 		}
-		rd = bytes.NewReader(b)
+		encoded = b
+	}
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = c.once(ctx, method, path, encoded, out)
+		var se *StatusError
+		if err == nil || attempt >= c.retries ||
+			!errors.As(err, &se) || se.Code != http.StatusServiceUnavailable {
+			return err
+		}
+		// Shift from the base each attempt, saturating at the cap (an
+		// unclamped base<<attempt overflows for large retry budgets).
+		delay := c.retryBase
+		for i := 0; i < attempt && delay < c.retryCap; i++ {
+			delay <<= 1
+		}
+		if delay > c.retryCap {
+			delay = c.retryCap
+		}
+		t := time.NewTimer(delay)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return err
+		case <-t.C:
+		}
+	}
+}
+
+// once is a single HTTP round-trip.
+func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.baseURL+path, rd)
 	if err != nil {
@@ -160,6 +214,22 @@ func (c *Client) Job(ctx context.Context, id string) (*service.JobStatus, error)
 		return nil, err
 	}
 	return &out, nil
+}
+
+// Jobs lists the server's retained jobs in submission order. A non-empty
+// state ("queued", "running", "succeeded", "failed") filters server-side.
+func (c *Client) Jobs(ctx context.Context, state service.JobState) ([]service.JobStatus, error) {
+	path := "/v2/jobs"
+	if state != "" {
+		path += "?status=" + url.QueryEscape(string(state))
+	}
+	var out struct {
+		Jobs []service.JobStatus `json:"jobs"`
+	}
+	if err := c.do(ctx, http.MethodGet, path, nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Jobs, nil
 }
 
 // Wait polls a job until it reaches a terminal state or ctx expires. A

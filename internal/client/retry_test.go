@@ -1,0 +1,104 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"vmr2l/internal/service"
+)
+
+// flakyServer returns 503 for the first fails requests, then delegates to
+// ok. It counts total attempts.
+func flakyServer(t *testing.T, fails int, ok http.HandlerFunc) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var attempts atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if attempts.Add(1) <= int64(fails) {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_ = json.NewEncoder(w).Encode(map[string]string{"error": "job queue full"})
+			return
+		}
+		ok(w, r)
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &attempts
+}
+
+func TestClientRetriesBackpressure(t *testing.T) {
+	srv, attempts := flakyServer(t, 2, func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusAccepted)
+		_ = json.NewEncoder(w).Encode(service.JobStatus{ID: "job-1", State: service.JobQueued})
+	})
+	cl := New(srv.URL, WithRetry(3, time.Millisecond, 8*time.Millisecond))
+	id, err := cl.Submit(context.Background(), service.PlanRequest{MNL: 1})
+	if err != nil {
+		t.Fatalf("submit should survive two 503s: %v", err)
+	}
+	if id != "job-1" {
+		t.Fatalf("id = %q", id)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Fatalf("server saw %d attempts, want 3 (two 503s + success)", got)
+	}
+}
+
+func TestClientRetryGivesUpAfterCap(t *testing.T) {
+	srv, attempts := flakyServer(t, 1000, nil)
+	cl := New(srv.URL, WithRetry(2, time.Millisecond, 4*time.Millisecond))
+	_, err := cl.Submit(context.Background(), service.PlanRequest{MNL: 1})
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusServiceUnavailable {
+		t.Fatalf("want StatusError 503 after retries, got %v", err)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Fatalf("server saw %d attempts, want 3 (initial + 2 retries)", got)
+	}
+}
+
+func TestClientRetryDisabled(t *testing.T) {
+	srv, attempts := flakyServer(t, 1000, nil)
+	cl := New(srv.URL, WithRetry(0, time.Millisecond, time.Millisecond))
+	if _, err := cl.Submit(context.Background(), service.PlanRequest{MNL: 1}); err == nil {
+		t.Fatal("want error")
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Fatalf("server saw %d attempts, want 1 with retries disabled", got)
+	}
+}
+
+func TestClientRetryDoesNotTouchOtherErrors(t *testing.T) {
+	srv, attempts := flakyServer(t, 0, func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusBadRequest)
+		_ = json.NewEncoder(w).Encode(map[string]string{"error": "mnl must be positive"})
+	})
+	cl := New(srv.URL, WithRetry(5, time.Millisecond, time.Millisecond))
+	_, err := cl.Submit(context.Background(), service.PlanRequest{})
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusBadRequest {
+		t.Fatalf("want StatusError 400, got %v", err)
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Fatalf("server saw %d attempts, want 1 (400 is not retryable)", got)
+	}
+}
+
+func TestClientRetryHonorsContext(t *testing.T) {
+	srv, _ := flakyServer(t, 1000, nil)
+	cl := New(srv.URL, WithRetry(50, 50*time.Millisecond, time.Second))
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := cl.Submit(ctx, service.PlanRequest{MNL: 1}); err == nil {
+		t.Fatal("want error")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("retry loop ignored context: ran %v", elapsed)
+	}
+}

@@ -1,0 +1,62 @@
+package cluster
+
+import "fmt"
+
+// SubMap records how a sub-cluster's dense local ids map back to the parent
+// cluster it was extracted from. Index i of each table is the local id; the
+// value is the parent id. Plans computed on the sub-cluster are remapped to
+// parent ids through these tables before they are merged and repaired
+// against the full cluster (internal/shard).
+type SubMap struct {
+	// PMs[localPM] = parent PM id.
+	PMs []int
+	// VMs[localVM] = parent VM id.
+	VMs []int
+}
+
+// ExtractSub builds the sub-cluster induced by the given parent PM ids: the
+// listed PMs (relabeled 0..len-1 in input order) plus every VM currently
+// placed on them (relabeled densely in PM order). Unplaced parent VMs are
+// not carried over — a solver can only move placed VMs, and dropping dead
+// records keeps long-lived session snapshots from bloating every shard.
+//
+// The copy follows the Clone storage discipline: all per-PM VM lists share
+// one backing array with clipped capacities, so the sub-cluster is fully
+// independent of the parent and cheap to allocate. Anti-affinity (and the
+// service index) is preserved; service ids keep their parent values so the
+// constraint means the same thing in both views.
+//
+// pmIDs must be valid parent PM ids without duplicates; ExtractSub panics
+// otherwise (the partitioner guarantees this by construction).
+func (c *Cluster) ExtractSub(pmIDs []int) (*Cluster, *SubMap) {
+	sm := &SubMap{PMs: append([]int(nil), pmIDs...)}
+	sub := &Cluster{PMs: make([]PM, len(pmIDs)), AntiAffinity: c.AntiAffinity}
+	total := 0
+	for _, g := range pmIDs {
+		if g < 0 || g >= len(c.PMs) {
+			panic(fmt.Sprintf("cluster: ExtractSub: pm %d out of range [0,%d)", g, len(c.PMs)))
+		}
+		total += len(c.PMs[g].VMs)
+	}
+	backing := make([]int, 0, total)
+	sm.VMs = make([]int, 0, total)
+	sub.VMs = make([]VM, 0, total)
+	for i, g := range pmIDs {
+		src := &c.PMs[g]
+		sub.PMs[i] = PM{ID: i, Numas: src.Numas}
+		start := len(backing)
+		for _, gvm := range src.VMs {
+			local := len(sub.VMs)
+			v := c.VMs[gvm]
+			v.ID, v.PM = local, i
+			sub.VMs = append(sub.VMs, v)
+			sm.VMs = append(sm.VMs, gvm)
+			backing = append(backing, local)
+		}
+		sub.PMs[i].VMs = backing[start:len(backing):len(backing)]
+	}
+	if c.AntiAffinity {
+		sub.EnableAntiAffinity()
+	}
+	return sub, sm
+}

@@ -1,0 +1,60 @@
+package cluster
+
+import "testing"
+
+func TestExtractSubBasics(t *testing.T) {
+	c := New(4, PMType{Name: "pm", CPUPerNuma: 16, MemPerNuma: 32})
+	for pm := 0; pm < 4; pm++ {
+		for i := 0; i < 2; i++ {
+			id := c.AddVM(VMType{CPU: 4, Mem: 8, Numas: 1})
+			c.VMs[id].Service = id % 3
+			if err := c.Place(id, pm, i); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	unplaced := c.AddVM(VMType{CPU: 2, Mem: 4, Numas: 1})
+	c.EnableAntiAffinity()
+
+	sub, m := c.ExtractSub([]int{2, 0})
+	if err := sub.Validate(); err != nil {
+		t.Fatalf("sub invalid: %v", err)
+	}
+	if len(sub.PMs) != 2 || len(sub.VMs) != 4 {
+		t.Fatalf("sub has %d PMs / %d VMs, want 2 / 4", len(sub.PMs), len(sub.VMs))
+	}
+	if m.PMs[0] != 2 || m.PMs[1] != 0 {
+		t.Fatalf("pm map %v, want [2 0]", m.PMs)
+	}
+	for local, global := range m.VMs {
+		if global == unplaced {
+			t.Fatal("unplaced VM carried into sub-cluster")
+		}
+		if got, want := m.PMs[sub.VMs[local].PM], c.VMs[global].PM; got != want {
+			t.Fatalf("vm %d maps to pm %d, parent has %d", local, got, want)
+		}
+		if sub.VMs[local].Service != c.VMs[global].Service {
+			t.Fatal("service id not preserved")
+		}
+	}
+	if !sub.AntiAffinity {
+		t.Fatal("anti-affinity not preserved")
+	}
+	// The per-PM VM lists must have clipped capacities: appending on one PM
+	// cannot bleed into its neighbor's list.
+	id := sub.AddVM(VMType{CPU: 2, Mem: 4, Numas: 1})
+	sub.VMs[id].Service = -1
+	if err := sub.Place(id, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatalf("sub invalid after append: %v", err)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range pm id must panic")
+		}
+	}()
+	c.ExtractSub([]int{99})
+}

@@ -247,6 +247,29 @@ func init() {
 		Seed:          1,
 		Dynamics:      DynamicsSpec{Shape: Diurnal, Rate: 3},
 	})
+	// Fleet-scale entries for the scale-out solving layer (internal/shard):
+	// sized so only sharded solving sweeps them inside a deadline. MinFR is
+	// left 0 — resampling a 10k-PM mapping for a fragment floor would cost
+	// minutes, and at ~90k VMs the churn phase alone leaves thousands of
+	// fragmented cores to reschedule.
+	register(Scenario{
+		Name:        "large-static",
+		Description: "fleet-scale frozen snapshot: 10k PMs / ~90k VMs for scale-out solving",
+		Profile:     "hyperscale",
+		Objective:   "fr16",
+		MNL:         64,
+		Seed:        1,
+		Dynamics:    DynamicsSpec{Shape: Static},
+	})
+	register(Scenario{
+		Name:        "hyperscale-diurnal",
+		Description: "fleet-scale day-cycle churn: 10k PMs / ~90k VMs, 120 events/min at peak",
+		Profile:     "hyperscale",
+		Objective:   "fr16",
+		MNL:         64,
+		Seed:        1,
+		Dynamics:    DynamicsSpec{Shape: Diurnal, Rate: 120},
+	})
 	register(Scenario{
 		Name:          "affinity-diurnal",
 		Description:   "diurnal churn under a level-4 anti-affinity overlay",

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"vmr2l/internal/cluster"
+	"vmr2l/internal/shard"
 	"vmr2l/internal/sim"
 	"vmr2l/internal/solver"
 	"vmr2l/internal/trace"
@@ -58,6 +59,17 @@ type PlanRequest struct {
 	// session-scoped jobs (rejected with 400 otherwise): those snapshot the
 	// session cluster instead.
 	Mapping json.RawMessage `json:"mapping,omitempty"`
+	// Shards > 1 runs the solve through the scale-out pipeline
+	// (internal/shard): the cluster is partitioned into up to Shards
+	// anti-affinity-preserving parts, every part is solved concurrently
+	// under the shared budget, and the merged plan is validated and
+	// repaired against the full snapshot. 0 or 1 means no sharding.
+	Shards int `json:"shards,omitempty"`
+	// Portfolio lists engine registry names raced per shard; the best
+	// anytime plan wins. Empty means the single engine from Solver. Setting
+	// Portfolio (even with Shards <= 1) always engages the scale-out path,
+	// so the response carries per-shard stats.
+	Portfolio []string `json:"portfolio,omitempty"`
 }
 
 // PlanMigration is one step of the returned plan.
@@ -84,6 +96,27 @@ type PlanResponse struct {
 	// contains only migrations that apply cleanly to it. InitialFR/FinalFR
 	// above remain snapshot-relative; the live truth is in Repair.
 	Repair *RepairReport `json:"repair,omitempty"`
+	// Sharding is set when the job ran through the scale-out pipeline
+	// (PlanRequest.Shards/Portfolio): per-shard statistics plus the
+	// merge-then-repair counts against the snapshot.
+	Sharding *ShardingReport `json:"sharding,omitempty"`
+}
+
+// ShardingReport describes a scale-out solve: how the cluster was
+// partitioned, what each shard's engine race produced, and what the merge's
+// validate+repair pass did to the concatenated plan.
+type ShardingReport struct {
+	// Shards is the effective partition count (≤ the requested value).
+	Shards int `json:"shards"`
+	// OversizedGroups counts anti-affinity components that exceeded shard
+	// capacity and were split (the partitioner's documented fallback).
+	OversizedGroups int `json:"oversized_groups,omitempty"`
+	// PerShard holds one entry per shard: size, winning engine, steps,
+	// shard-local fragment rates.
+	PerShard []shard.Stat `json:"per_shard"`
+	// Repair partitions the merged pre-repair plan into valid / repaired /
+	// dropped against the solve snapshot.
+	Repair solver.RepairStats `json:"repair"`
 }
 
 // JobState enumerates the lifecycle of an async solve.
@@ -135,6 +168,11 @@ type job struct {
 	mapping *cluster.Cluster
 	cfg     sim.Config
 	timeout time.Duration
+	// engines, when non-empty, routes the job through the scale-out
+	// pipeline (internal/shard) with shards partitions: the engines race
+	// per shard and the merged plan is repaired against the snapshot.
+	engines []shard.Engine
+	shards  int
 	// sess, when non-nil, makes this a session-scoped job: mapping is a
 	// snapshot of the session cluster, and the finished plan is repaired
 	// against the live session state before being reported.
@@ -259,6 +297,7 @@ func New(opts ...Option) *Server {
 	}
 
 	s.mux.HandleFunc("POST /v2/jobs", s.handleSubmitJob)
+	s.mux.HandleFunc("GET /v2/jobs", s.handleListJobs)
 	s.mux.HandleFunc("GET /v2/jobs/{id}", s.handleJobStatus)
 	s.mux.HandleFunc("GET /v2/solvers", s.handleSolversV2)
 	s.mux.HandleFunc("GET /v2/scenarios", s.handleScenarios)
@@ -397,6 +436,10 @@ func (s *Server) newJob(req PlanRequest, mapping func() (*cluster.Cluster, error
 	if err != nil {
 		return nil, err
 	}
+	engines, err := s.scaleOutEngines(req, name, sv)
+	if err != nil {
+		return nil, err
+	}
 	c, err := mapping()
 	if err != nil {
 		return nil, err
@@ -407,31 +450,104 @@ func (s *Server) newJob(req PlanRequest, mapping func() (*cluster.Cluster, error
 		mapping: c,
 		cfg:     sim.Config{MNL: req.MNL, Obj: obj},
 		timeout: s.budgetFor(name, req.TimeoutMS),
+		engines: engines,
+		shards:  req.Shards,
 		state:   JobQueued,
 	}, nil
 }
 
+// maxShards bounds the requested partition count; the effective count is
+// further capped at the cluster's PM count by the partitioner.
+const maxShards = 256
+
+// scaleOutEngines validates the shards/portfolio half of a PlanRequest and
+// resolves the engine list raced per shard. A nil result means the job
+// takes the plain single-engine path.
+func (s *Server) scaleOutEngines(req PlanRequest, name string, sv solver.Solver) ([]shard.Engine, error) {
+	if req.Shards < 0 || req.Shards > maxShards {
+		return nil, fmt.Errorf("shards must be in [0, %d]", maxShards)
+	}
+	if req.Shards <= 1 && len(req.Portfolio) == 0 {
+		return nil, nil
+	}
+	if len(req.Portfolio) == 0 {
+		return []shard.Engine{{Name: name, S: sv}}, nil
+	}
+	engines := make([]shard.Engine, 0, len(req.Portfolio))
+	for _, pname := range req.Portfolio {
+		if pname == "" {
+			// Empty names would silently resolve to the default engine.
+			return nil, fmt.Errorf("empty portfolio solver name")
+		}
+		_, rsv, ok := s.lookup(pname)
+		if !ok {
+			return nil, fmt.Errorf("unknown portfolio solver %q", pname)
+		}
+		engines = append(engines, shard.Engine{Name: pname, S: rsv})
+	}
+	return engines, nil
+}
+
+// scaleOutLabel is the Solver label of a scale-out response.
+func scaleOutLabel(engines []shard.Engine, shards int) string {
+	if shards > 1 {
+		return fmt.Sprintf("sharded-%d(%s)", shards, shard.Names(engines))
+	}
+	return fmt.Sprintf("portfolio(%s)", shard.Names(engines))
+}
+
 // solve runs one job's engine under its deadline and converts the outcome.
+// Scale-out jobs (shards/portfolio set) go through the internal/shard
+// pipeline instead of a single engine and report per-shard stats.
 // Session-scoped jobs then validate/repair the plan against the live
 // session state, which has usually drifted since the snapshot was taken.
 func solve(ctx context.Context, j *job) (*PlanResponse, bool, error) {
 	ctx, cancel := context.WithTimeout(ctx, j.timeout)
 	defer cancel()
-	res, err := solver.Evaluate(ctx, j.sv, j.mapping, j.cfg)
-	if err != nil {
-		return nil, res.TimedOut, err
+	var (
+		resp     *PlanResponse
+		plan     []sim.Migration
+		timedOut bool
+	)
+	if len(j.engines) > 0 {
+		start := time.Now()
+		res, err := shard.Solve(ctx, j.mapping, j.cfg, j.engines, shard.Options{Shards: j.shards})
+		if err != nil {
+			return nil, res.TimedOut, err
+		}
+		resp = &PlanResponse{
+			Solver:    scaleOutLabel(j.engines, len(res.Shards)),
+			InitialFR: res.InitialFR,
+			FinalFR:   res.FinalFR,
+			Steps:     len(res.Plan),
+			ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+			Sharding: &ShardingReport{
+				Shards:          len(res.Shards),
+				OversizedGroups: res.OversizedGroups,
+				PerShard:        res.Shards,
+				Repair:          res.Stats,
+			},
+		}
+		plan = res.Plan
+		timedOut = res.TimedOut
+	} else {
+		res, err := solver.Evaluate(ctx, j.sv, j.mapping, j.cfg)
+		if err != nil {
+			return nil, res.TimedOut, err
+		}
+		resp = &PlanResponse{
+			Solver:    res.Solver,
+			InitialFR: res.InitialFR,
+			FinalFR:   res.FinalFR,
+			Steps:     res.Steps,
+			ElapsedMS: float64(res.Elapsed.Microseconds()) / 1000,
+		}
+		plan = res.Plan
+		timedOut = res.TimedOut
 	}
-	resp := &PlanResponse{
-		Solver:    res.Solver,
-		InitialFR: res.InitialFR,
-		FinalFR:   res.FinalFR,
-		Steps:     res.Steps,
-		ElapsedMS: float64(res.Elapsed.Microseconds()) / 1000,
-	}
-	plan := res.Plan
 	if j.sess != nil {
 		j.sess.mu.Lock()
-		rp := solver.RepairPlanObjective(j.sess.c, res.Plan, j.cfg.Obj)
+		rp := solver.RepairPlanObjective(j.sess.c, plan, j.cfg.Obj)
 		j.sess.mu.Unlock()
 		plan = rp.Plan
 		resp.Repair = &RepairReport{
@@ -443,7 +559,7 @@ func solve(ctx context.Context, j *job) (*PlanResponse, bool, error) {
 	for _, m := range plan {
 		resp.Plan = append(resp.Plan, PlanMigration{VM: m.VM, FromPM: m.FromPM, ToPM: m.ToPM, Swap: m.Swap})
 	}
-	return resp, res.TimedOut, nil
+	return resp, timedOut, nil
 }
 
 func (s *Server) worker() {
@@ -537,6 +653,38 @@ func (s *Server) evictFinishedLocked() {
 		kept = append(kept, id)
 	}
 	s.jobOrder = kept
+}
+
+// handleListJobs serves GET /v2/jobs: every retained job in submission
+// order, optionally filtered with ?status=queued|running|succeeded|failed.
+// Finished jobs beyond the retention bound have been evicted and no longer
+// appear (see maxRetainedJobs).
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	filter := JobState(r.URL.Query().Get("status"))
+	switch filter {
+	case "", JobQueued, JobRunning, JobSucceeded, JobFailed:
+	default:
+		httpError(w, http.StatusBadRequest, "unknown status %q", filter)
+		return
+	}
+	s.jobsMu.RLock()
+	jobs := make([]*job, 0, len(s.jobOrder))
+	for _, id := range s.jobOrder {
+		if j, ok := s.jobs[id]; ok {
+			jobs = append(jobs, j)
+		}
+	}
+	s.jobsMu.RUnlock()
+	// Statuses are read outside the store lock: job state has its own mutex.
+	out := make([]JobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		st := j.status()
+		if filter != "" && st.State != filter {
+			continue
+		}
+		out = append(out, st)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
 }
 
 func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,183 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"vmr2l/internal/cluster"
+	"vmr2l/internal/sim"
+	"vmr2l/internal/trace"
+)
+
+// affinityMappingJSON builds a mid-sized anti-affinity mapping: enough PMs
+// that partitioning into several shards is meaningful.
+func affinityMappingJSON(t *testing.T, seed int64) ([]byte, *cluster.Cluster) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	c := trace.MustProfile("workload-mid-small").GenerateFragmented(rng, 0.10, 12)
+	trace.AttachAffinity(c, 4, rng)
+	var buf bytes.Buffer
+	if err := trace.WriteMapping(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), c
+}
+
+func TestListJobsAndStatusFilter(t *testing.T) {
+	s := testServer(t)
+	mapping, _ := mappingJSON(t, 9)
+	first := submitJob(t, s, PlanRequest{MNL: 4, Mapping: mapping})
+	second := submitJob(t, s, PlanRequest{MNL: 4, Mapping: mapping})
+	waitJob(t, s, first.ID, 5*time.Second)
+	waitJob(t, s, second.ID, 5*time.Second)
+
+	var out struct {
+		Jobs []JobStatus `json:"jobs"`
+	}
+	if code := getJSON(t, s, "/v2/jobs", &out); code != http.StatusOK {
+		t.Fatalf("list: status %d", code)
+	}
+	if len(out.Jobs) != 2 {
+		t.Fatalf("listed %d jobs, want 2", len(out.Jobs))
+	}
+	if out.Jobs[0].ID != first.ID || out.Jobs[1].ID != second.ID {
+		t.Fatalf("jobs out of submission order: %s, %s", out.Jobs[0].ID, out.Jobs[1].ID)
+	}
+	if code := getJSON(t, s, "/v2/jobs?status=succeeded", &out); code != http.StatusOK {
+		t.Fatalf("filtered list: status %d", code)
+	}
+	if len(out.Jobs) != 2 {
+		t.Fatalf("succeeded filter matched %d jobs, want 2", len(out.Jobs))
+	}
+	for _, j := range out.Jobs {
+		if j.State != JobSucceeded {
+			t.Errorf("filter leaked state %q", j.State)
+		}
+	}
+	if code := getJSON(t, s, "/v2/jobs?status=queued", &out); code != http.StatusOK || len(out.Jobs) != 0 {
+		t.Fatalf("queued filter: status %d, %d jobs, want 200 and 0", code, len(out.Jobs))
+	}
+	if code := getJSON(t, s, "/v2/jobs?status=bogus", nil); code != http.StatusBadRequest {
+		t.Fatalf("bogus status filter: status %d, want 400", code)
+	}
+}
+
+func TestScaleOutJobReturnsShardStatsAndRepairCounts(t *testing.T) {
+	s := testServer(t)
+	mapping, c := affinityMappingJSON(t, 3)
+	st := submitJob(t, s, PlanRequest{
+		MNL: 12, Mapping: mapping, Shards: 4, Portfolio: []string{"ha", "swap-ha"},
+	})
+	final := waitJob(t, s, st.ID, 30*time.Second)
+	if final.State != JobSucceeded {
+		t.Fatalf("job failed: %+v", final)
+	}
+	res := final.Result
+	if res.Sharding == nil {
+		t.Fatal("scale-out job returned no sharding report")
+	}
+	sh := res.Sharding
+	if sh.Shards < 1 || sh.Shards > 4 || len(sh.PerShard) != sh.Shards {
+		t.Fatalf("sharding report inconsistent: %+v", sh)
+	}
+	totalPMs, merged := 0, 0
+	for _, ps := range sh.PerShard {
+		totalPMs += ps.PMs
+		merged += ps.Steps
+		if ps.Engine != "ha" && ps.Engine != "swap-ha" {
+			t.Errorf("shard %d won by unknown engine %q", ps.Shard, ps.Engine)
+		}
+	}
+	if totalPMs != len(c.PMs) {
+		t.Errorf("shards cover %d PMs, cluster has %d", totalPMs, len(c.PMs))
+	}
+	if got := sh.Repair.Valid + sh.Repair.Repaired + sh.Repair.Dropped; got > merged {
+		t.Errorf("repair stats count %d migrations, shards produced %d", got, merged)
+	}
+	if res.Steps != sh.Repair.Valid+sh.Repair.Repaired {
+		t.Errorf("steps %d != valid %d + repaired %d", res.Steps, sh.Repair.Valid, sh.Repair.Repaired)
+	}
+	if !strings.HasPrefix(res.Solver, "sharded-") {
+		t.Errorf("solver label %q", res.Solver)
+	}
+	// The merged+repaired plan applies cleanly to the submitted mapping.
+	replay := c.Clone()
+	var plan []sim.Migration
+	for _, m := range res.Plan {
+		plan = append(plan, sim.Migration{VM: m.VM, FromPM: m.FromPM, ToPM: m.ToPM, Swap: m.Swap})
+	}
+	if _, skipped := sim.ApplyPlan(replay, plan); skipped != 0 {
+		t.Fatalf("replay skipped %d migrations", skipped)
+	}
+	if err := replay.Validate(); err != nil {
+		t.Fatalf("cluster invalid after replay: %v", err)
+	}
+}
+
+func TestPortfolioOnlyJobUsesRaceLabel(t *testing.T) {
+	s := testServer(t)
+	mapping, _ := mappingJSON(t, 5)
+	w, resp := postPlan(t, s, PlanRequest{MNL: 6, Mapping: mapping, Portfolio: []string{"ha", "swap-ha"}})
+	if resp == nil {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	if resp.Solver != "portfolio(ha+swap-ha)" {
+		t.Errorf("solver label %q", resp.Solver)
+	}
+	if resp.Sharding == nil || resp.Sharding.Shards != 1 {
+		t.Fatalf("portfolio job sharding report: %+v", resp.Sharding)
+	}
+	if resp.FinalFR > resp.InitialFR {
+		t.Errorf("race worsened FR: %v -> %v", resp.InitialFR, resp.FinalFR)
+	}
+}
+
+func TestScaleOutValidation(t *testing.T) {
+	s := testServer(t)
+	mapping, _ := mappingJSON(t, 6)
+	cases := []PlanRequest{
+		{MNL: 4, Mapping: mapping, Shards: -1},
+		{MNL: 4, Mapping: mapping, Shards: maxShards + 1},
+		{MNL: 4, Mapping: mapping, Portfolio: []string{"ha", "no-such-engine"}},
+	}
+	for i, req := range cases {
+		if w := postJSON(t, s, "/v2/jobs", req); w.Code != http.StatusBadRequest {
+			t.Errorf("case %d: status %d, want 400: %s", i, w.Code, w.Body.String())
+		}
+	}
+}
+
+func TestSessionScaleOutJobRepairsAgainstLiveState(t *testing.T) {
+	s := testServer(t)
+	sess := createSession(t, s, SessionRequest{Scenario: "affinity-diurnal", Seed: 3})
+	w := postJSON(t, s, "/v2/clusters/"+sess.ID+"/jobs", PlanRequest{
+		MNL: 10, Shards: 3, Portfolio: []string{"ha", "swap-ha"},
+	})
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("session scale-out submit: status %d: %s", w.Code, w.Body.String())
+	}
+	var st JobStatus
+	if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	final := waitJob(t, s, st.ID, 30*time.Second)
+	if final.State != JobSucceeded {
+		t.Fatalf("session job failed: %+v", final)
+	}
+	if final.Result.Sharding == nil {
+		t.Fatal("session scale-out job returned no sharding report")
+	}
+	if final.Result.Repair == nil {
+		t.Fatal("session job returned no repair report")
+	}
+	// The doubly repaired plan (merge-repair vs the snapshot, then repair vs
+	// the live session) must still be internally consistent.
+	if got := final.Result.Repair.Valid + final.Result.Repair.Repaired; len(final.Result.Plan) != got {
+		t.Errorf("plan length %d != live-repair valid+repaired %d", len(final.Result.Plan), got)
+	}
+}

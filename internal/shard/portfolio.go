@@ -1,0 +1,121 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+
+	"vmr2l/internal/sim"
+	"vmr2l/internal/solver"
+)
+
+// Names joins engine names with "+" — the shared spelling of an engine set
+// in Meta strings, API response labels, and bench artifacts.
+func Names(engines []Engine) string {
+	parts := make([]string, len(engines))
+	for i, e := range engines {
+		parts[i] = e.Name
+	}
+	return strings.Join(parts, "+")
+}
+
+// replay executes a plan computed from the environment's exact current
+// state, step by step, so the migrations land in env's recorded plan.
+// Atomic swap pairs are re-executed through SwapStep.
+func replay(env *sim.Env, plan []sim.Migration) error {
+	for i := 0; i < len(plan) && !env.Done(); i++ {
+		m := plan[i]
+		if m.Swap && i+1 < len(plan) && plan[i+1].Swap {
+			n := plan[i+1]
+			i++
+			if _, _, err := env.SwapStep(m.VM, n.VM); err != nil {
+				return fmt.Errorf("shard: replaying swap (%d,%d): %w", m.VM, n.VM, err)
+			}
+			continue
+		}
+		if _, _, err := env.Step(m.VM, m.ToPM); err != nil {
+			return fmt.Errorf("shard: replaying vm %d -> pm %d: %w", m.VM, m.ToPM, err)
+		}
+	}
+	return nil
+}
+
+// Portfolio races several engines over the same snapshot under one shared
+// context deadline and keeps the best anytime plan (lowest final objective
+// value; ties broken by fewer migrations, then configuration order). It
+// registers like any engine: racing N anytime solvers under the paper's
+// five-second budget yields the best answer any of them can produce in the
+// budget, at N times the CPU.
+type Portfolio struct {
+	Engines []Engine
+}
+
+// NewPortfolio builds a Portfolio over named engines.
+func NewPortfolio(engines ...Engine) *Portfolio { return &Portfolio{Engines: engines} }
+
+// Meta implements solver.Solver.
+func (p *Portfolio) Meta() solver.Meta {
+	return solver.Meta{
+		Name:        fmt.Sprintf("Portfolio(%s)", Names(p.Engines)),
+		Description: "races engines on the same snapshot under a shared deadline, keeps the best anytime plan",
+		Anytime:     true,
+		// The winner depends on wall-clock behaviour under the deadline.
+		Deterministic: false,
+	}
+}
+
+// Solve implements solver.Solver: race every engine on an independent copy
+// of the environment's cluster, then replay the winning plan onto env.
+func (p *Portfolio) Solve(ctx context.Context, env *sim.Env) error {
+	if len(p.Engines) == 0 {
+		return errors.New("shard: portfolio has no engines")
+	}
+	if env.Done() {
+		return nil
+	}
+	cfg := sim.Config{MNL: env.MNL() - env.StepsTaken(), Obj: env.Objective()}
+	out, err := race(ctx, p.Engines, env.Cluster(), cfg)
+	if err != nil {
+		return err
+	}
+	return replay(env, out.res.Plan)
+}
+
+// Solver is the registrable scale-out engine: partition the cluster, race
+// the portfolio per shard, merge-then-repair, and execute the repaired
+// global plan. It satisfies solver.Solver so it plugs into the service
+// registry, benchmarks, and Evaluate like any single-machine engine; the
+// richer per-shard statistics are available through the package-level Solve.
+type Solver struct {
+	Engines []Engine
+	Opts    Options
+}
+
+// Meta implements solver.Solver.
+func (s *Solver) Meta() solver.Meta {
+	k := s.Opts.Shards
+	if k < 1 {
+		k = 1
+	}
+	return solver.Meta{
+		Name:        fmt.Sprintf("Sharded(%d,%s)", k, Names(s.Engines)),
+		Description: "anti-affinity-aware cluster sharding with a per-shard engine race and merge-then-repair",
+		Anytime:     true,
+		// Partitioning is deterministic but the per-shard race is not.
+		Deterministic: false,
+	}
+}
+
+// Solve implements solver.Solver.
+func (s *Solver) Solve(ctx context.Context, env *sim.Env) error {
+	if env.Done() {
+		return nil
+	}
+	cfg := sim.Config{MNL: env.MNL() - env.StepsTaken(), Obj: env.Objective()}
+	res, err := Solve(ctx, env.Cluster(), cfg, s.Engines, s.Opts)
+	if err != nil {
+		return err
+	}
+	return replay(env, res.Plan)
+}

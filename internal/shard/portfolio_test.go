@@ -1,0 +1,129 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"vmr2l/internal/cluster"
+	"vmr2l/internal/heuristics"
+	"vmr2l/internal/sim"
+	"vmr2l/internal/solver"
+	"vmr2l/internal/trace"
+)
+
+// noopEngine returns without migrating: the worst possible competitor.
+type noopEngine struct{}
+
+func (noopEngine) Meta() solver.Meta {
+	return solver.Meta{Name: "noop", Anytime: true, Deterministic: true}
+}
+func (noopEngine) Solve(ctx context.Context, env *sim.Env) error { return nil }
+
+// failEngine always errors.
+type failEngine struct{}
+
+func (failEngine) Meta() solver.Meta { return solver.Meta{Name: "fail"} }
+func (failEngine) Solve(ctx context.Context, env *sim.Env) error {
+	return errors.New("deliberate failure")
+}
+
+func testCluster(t *testing.T, seed int64) *cluster.Cluster {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	return trace.MustProfile("workload-mid-small").GenerateFragmented(rng, 0.10, 12)
+}
+
+func TestPortfolioKeepsBestPlan(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	cfg := sim.DefaultConfig(8)
+
+	// Find a mapping where HA actually has improving moves, so an empty
+	// portfolio plan would be a real loss and not a vacuous tie with noop.
+	var c *cluster.Cluster
+	var solo solver.Result
+	for seed := int64(1); seed <= 20; seed++ {
+		c = testCluster(t, seed)
+		res, err := solver.Evaluate(ctx, heuristics.HA{}, c, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Steps > 0 {
+			solo = res
+			break
+		}
+		c = nil
+	}
+	if c == nil {
+		t.Fatal("no seed produced an improvable mapping")
+	}
+	p := NewPortfolio(Engine{"noop", noopEngine{}}, Engine{"ha", heuristics.HA{}})
+	port, err := solver.Evaluate(ctx, p, c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The race must not lose to its best member.
+	if port.FinalValue > solo.FinalValue+1e-9 {
+		t.Fatalf("portfolio value %v worse than HA alone %v", port.FinalValue, solo.FinalValue)
+	}
+	if len(port.Plan) == 0 {
+		t.Fatal("portfolio kept noop's empty plan although HA improved the cluster")
+	}
+}
+
+func TestPortfolioSurvivesFailingEngine(t *testing.T) {
+	c := testCluster(t, 2)
+	p := NewPortfolio(Engine{"fail", failEngine{}}, Engine{"ha", heuristics.HA{}})
+	res, err := solver.Evaluate(context.Background(), p, c, sim.DefaultConfig(6))
+	if err != nil {
+		t.Fatalf("portfolio failed although one engine succeeded: %v", err)
+	}
+	if res.FinalFR > res.InitialFR {
+		t.Fatalf("FR worsened: %v -> %v", res.InitialFR, res.FinalFR)
+	}
+	if _, err := solver.Evaluate(context.Background(),
+		NewPortfolio(Engine{"fail", failEngine{}}), c, sim.DefaultConfig(6)); err == nil {
+		t.Fatal("all-engines-failed race must report an error")
+	}
+}
+
+func TestShardedSolverRegistersLikeAnyEngine(t *testing.T) {
+	c := testCluster(t, 3)
+	s := &Solver{
+		Engines: []Engine{{"ha", heuristics.HA{}}, {"vbpp", heuristics.VBPP{Alpha: 4}}},
+		Opts:    Options{Shards: 4},
+	}
+	if meta := s.Meta(); meta.Name == "" || !meta.Anytime {
+		t.Fatalf("bad meta: %+v", meta)
+	}
+	res, err := solver.Evaluate(context.Background(), s, c, sim.DefaultConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != len(res.Plan) {
+		t.Fatalf("steps %d != plan length %d", res.Steps, len(res.Plan))
+	}
+	if res.Steps > 8 {
+		t.Fatalf("plan exceeds MNL: %d", res.Steps)
+	}
+	if res.FinalFR > res.InitialFR {
+		t.Fatalf("FR worsened: %v -> %v", res.InitialFR, res.FinalFR)
+	}
+}
+
+func TestPortfolioHonorsDeadline(t *testing.T) {
+	c := testCluster(t, 4)
+	p := NewPortfolio(Engine{"ha", heuristics.HA{}}, Engine{"vbpp", heuristics.VBPP{}})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := solver.Evaluate(ctx, p, c, sim.DefaultConfig(50)); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("race ignored its deadline: ran %v", elapsed)
+	}
+}

@@ -1,0 +1,161 @@
+// Package shard is the scale-out solving layer: it makes any registered
+// engine work on clusters 10-50x larger than a single engine can sweep
+// inside the paper's latency budget. The pipeline is
+//
+//	partition -> solve shards in parallel (racing a portfolio of engines
+//	per shard under one shared deadline) -> remap per-shard plans to global
+//	ids -> merge -> validate + repair against the full live cluster.
+//
+// The partitioner splits the PMs into balanced parts while keeping every
+// anti-affinity service group inside one shard (transitively: PMs that host
+// VMs of the same service are glued together), so each shard-local solver
+// sees its constraint groups whole. Groups too large for one shard fall
+// back to being split — this is safe, not merely tolerated: anti-affinity
+// is a per-PM constraint and a shard's sub-cluster contains every VM hosted
+// by its PMs, so no intra-shard placement can violate the constraint
+// unseen, and migrations never cross shards. What an oversized group loses
+// is only joint optimization across its full PM span.
+//
+// The merge-then-repair step is what makes the concatenated shard plans
+// trustworthy at global scale: the merged plan is validated migration by
+// migration against the full live cluster and stale entries are re-fitted
+// under the job's own objective or dropped (solver.RepairPlanObjective), so
+// cross-shard staleness — or session drift while the shards solved — is
+// caught before the plan is reported.
+package shard
+
+import (
+	"sort"
+
+	"vmr2l/internal/cluster"
+)
+
+// Options configures a scale-out solve.
+type Options struct {
+	// Shards is the requested partition count. Values below 1 mean a single
+	// shard; the effective count is also capped at the number of PMs.
+	Shards int
+}
+
+// Partition splits the PMs of c into at most k balanced parts (each sorted
+// ascending; every PM lands in exactly one part). When anti-affinity is
+// enabled, PMs hosting VMs of the same service group are kept in one part,
+// transitively: two services sharing a PM glue their PM sets together.
+// Components larger than the per-part capacity ceil(PMs/k) are split across
+// parts — the documented fallback for groups that exceed shard capacity
+// (see the package comment for why this stays correct) — and counted in
+// oversized. Packing is longest-processing-time onto the currently
+// smallest part, so part sizes stay within one component of each other.
+func Partition(c *cluster.Cluster, k int) (parts [][]int, oversized int) {
+	n := len(c.PMs)
+	if n == 0 {
+		return nil, 0
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	if k == 1 {
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		return [][]int{all}, 0
+	}
+
+	// Union-find over PMs; service groups glue their hosting PMs together.
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+	if c.AntiAffinity {
+		svcPM := map[int]int{} // service -> first hosting PM seen
+		for i := range c.VMs {
+			v := &c.VMs[i]
+			if v.Service < 0 || !v.Placed() {
+				continue
+			}
+			if first, ok := svcPM[v.Service]; ok {
+				union(first, v.PM)
+			} else {
+				svcPM[v.Service] = v.PM
+			}
+		}
+	}
+
+	// Collect components in PM-id order (deterministic).
+	compOf := map[int]int{}
+	var comps [][]int
+	for pm := 0; pm < n; pm++ {
+		r := find(pm)
+		ci, ok := compOf[r]
+		if !ok {
+			ci = len(comps)
+			compOf[r] = ci
+			comps = append(comps, nil)
+		}
+		comps[ci] = append(comps[ci], pm)
+	}
+
+	// Split components that exceed the per-part capacity (fallback), then
+	// pack longest-first onto the smallest part.
+	cap := (n + k - 1) / k
+	var units [][]int
+	for _, comp := range comps {
+		if len(comp) > cap {
+			oversized++
+			for start := 0; start < len(comp); start += cap {
+				end := start + cap
+				if end > len(comp) {
+					end = len(comp)
+				}
+				units = append(units, comp[start:end])
+			}
+		} else {
+			units = append(units, comp)
+		}
+	}
+	sort.SliceStable(units, func(i, j int) bool {
+		if len(units[i]) != len(units[j]) {
+			return len(units[i]) > len(units[j])
+		}
+		return units[i][0] < units[j][0]
+	})
+	parts = make([][]int, k)
+	for _, u := range units {
+		best := 0
+		for i := 1; i < k; i++ {
+			if len(parts[i]) < len(parts[best]) {
+				best = i
+			}
+		}
+		parts[best] = append(parts[best], u...)
+	}
+	// Drop parts that stayed empty (k close to n with big components) and
+	// sort each part for deterministic extraction order.
+	out := parts[:0]
+	for _, p := range parts {
+		if len(p) == 0 {
+			continue
+		}
+		sort.Ints(p)
+		out = append(out, p)
+	}
+	return out, oversized
+}

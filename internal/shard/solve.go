@@ -1,0 +1,233 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"vmr2l/internal/cluster"
+	"vmr2l/internal/sim"
+	"vmr2l/internal/solver"
+)
+
+// Engine pairs a solver with the registry-style name reported in per-shard
+// stats (the winning engine of each shard's race).
+type Engine struct {
+	Name string
+	S    solver.Solver
+}
+
+// Stat describes what happened on one shard: its size, the engine that won
+// the race, and the shard-local (snapshot-relative) outcome. Fragment rates
+// are local to the shard's sub-cluster; the live global truth is in
+// Result.InitialFR/FinalFR after merge and repair.
+type Stat struct {
+	Shard     int     `json:"shard"`
+	PMs       int     `json:"pms"`
+	VMs       int     `json:"vms"`
+	Engine    string  `json:"engine"`
+	Steps     int     `json:"steps"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	InitialFR float64 `json:"initial_fr"`
+	FinalFR   float64 `json:"final_fr"`
+	TimedOut  bool    `json:"timed_out,omitempty"`
+}
+
+// Result is the outcome of a scale-out solve.
+type Result struct {
+	// Plan is the merged, validated and repaired global plan: it applies
+	// cleanly to the live cluster as passed to Solve, in global ids, at
+	// most MNL entries.
+	Plan []sim.Migration
+	// Stats partitions the pre-repair merged plan into valid / repaired /
+	// dropped — the cross-shard staleness bill.
+	Stats solver.RepairStats
+	// Shards holds one entry per shard in partition order.
+	Shards []Stat
+	// OversizedGroups counts partition components that exceeded shard
+	// capacity and were split (see Partition).
+	OversizedGroups int
+	// InitialFR / FinalFR are the true 16-core fragment rates of the live
+	// cluster before and after the repaired plan.
+	InitialFR float64
+	FinalFR   float64
+	// TimedOut reports the shared deadline expired during the race and the
+	// shard plans are anytime best-so-far.
+	TimedOut bool
+}
+
+// outcome is one engine's result in a race.
+type outcome struct {
+	name string
+	res  solver.Result
+	err  error
+}
+
+// better reports whether a beats b: lower final objective value, ties
+// broken by fewer migrations (cheaper plan), then by engine order.
+func better(a, b solver.Result) bool {
+	if a.FinalValue != b.FinalValue {
+		return a.FinalValue < b.FinalValue
+	}
+	return a.Steps < b.Steps
+}
+
+// race runs every engine on its own environment over init concurrently
+// under the shared ctx and returns the winner. Engines that error are
+// excluded; when all fail, the first error is returned.
+func race(ctx context.Context, engines []Engine, init *cluster.Cluster, cfg sim.Config) (outcome, error) {
+	if len(engines) == 1 {
+		// Common case (sharding without a portfolio): skip the goroutine.
+		res, err := solver.Evaluate(ctx, engines[0].S, init, cfg)
+		return outcome{name: engines[0].Name, res: res, err: err}, err
+	}
+	outs := make([]outcome, len(engines))
+	var wg sync.WaitGroup
+	for i := range engines {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := solver.Evaluate(ctx, engines[i].S, init, cfg)
+			outs[i] = outcome{name: engines[i].Name, res: res, err: err}
+		}(i)
+	}
+	wg.Wait()
+	best := -1
+	for i := range outs {
+		if outs[i].err != nil {
+			continue
+		}
+		if best == -1 || better(outs[i].res, outs[best].res) {
+			best = i
+		}
+	}
+	if best == -1 {
+		return outs[0], fmt.Errorf("shard: every engine failed: %w", outs[0].err)
+	}
+	return outs[best], nil
+}
+
+// remap rewrites a plan computed on a sub-cluster into parent ids.
+func remap(m *cluster.SubMap, plan []sim.Migration) []sim.Migration {
+	out := make([]sim.Migration, len(plan))
+	for i, mg := range plan {
+		mg.VM = m.VMs[mg.VM]
+		mg.FromPM = m.PMs[mg.FromPM]
+		mg.ToPM = m.PMs[mg.ToPM]
+		out[i] = mg
+	}
+	return out
+}
+
+// truncate caps a plan at mnl migrations without splitting an atomic swap
+// pair across the cut.
+func truncate(plan []sim.Migration, mnl int) []sim.Migration {
+	if len(plan) <= mnl {
+		return plan
+	}
+	n := 0
+	for n < len(plan) && n < mnl {
+		if plan[n].Swap && n+1 < len(plan) && plan[n+1].Swap {
+			if n+2 > mnl {
+				break
+			}
+			n += 2
+			continue
+		}
+		n++
+	}
+	return plan[:n]
+}
+
+// Solve runs the full scale-out pipeline against the live cluster: partition
+// into opts.Shards parts (anti-affinity groups kept whole), solve every
+// shard concurrently — racing all engines per shard under the shared ctx
+// deadline and keeping each shard's best anytime plan — then remap to
+// global ids, merge in shard order, truncate to cfg.MNL, and validate +
+// repair against live under cfg.Obj. live is never mutated; the returned
+// plan applies cleanly to it as of call time.
+//
+// The per-shard migration budget is cfg.MNL divided evenly across shards
+// (minimum 1), so the merged plan respects the global MNL.
+func Solve(ctx context.Context, live *cluster.Cluster, cfg sim.Config, engines []Engine, opts Options) (Result, error) {
+	if len(engines) == 0 {
+		return Result{}, errors.New("shard: no engines configured")
+	}
+	if cfg.MNL <= 0 {
+		return Result{}, errors.New("shard: MNL must be positive")
+	}
+	if len(cfg.Obj.Terms) == 0 {
+		cfg.Obj = sim.FR16()
+	}
+	parts, oversized := Partition(live, opts.Shards)
+	k := len(parts)
+	if k == 0 {
+		return Result{}, errors.New("shard: cluster has no PMs")
+	}
+	// Extraction runs single-threaded (sub-cluster reads warm no caches but
+	// the aggregate warm-up below does); each sub-cluster is then fully
+	// independent storage, safe for its own goroutine.
+	subs := make([]*cluster.Cluster, k)
+	maps := make([]*cluster.SubMap, k)
+	for i, p := range parts {
+		subs[i], maps[i] = live.ExtractSub(p)
+		// Warm the incremental aggregates once here so every engine clone
+		// starts with O(1) fragment queries instead of re-scanning.
+		subs[i].Fragment(cluster.DefaultFragCores)
+	}
+	per := cfg.MNL / k
+	if per < 1 {
+		per = 1
+	}
+	stats := make([]Stat, k)
+	plans := make([][]sim.Migration, k)
+	errs := make([]error, k)
+	var wg sync.WaitGroup
+	for i := range subs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			shardCfg := cfg
+			shardCfg.MNL = per
+			out, err := race(ctx, engines, subs[i], shardCfg)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			plans[i] = remap(maps[i], out.res.Plan)
+			stats[i] = Stat{
+				Shard:     i,
+				PMs:       len(subs[i].PMs),
+				VMs:       len(subs[i].VMs),
+				Engine:    out.name,
+				Steps:     out.res.Steps,
+				ElapsedMS: float64(out.res.Elapsed.Microseconds()) / 1000,
+				InitialFR: out.res.InitialFR,
+				FinalFR:   out.res.FinalFR,
+				TimedOut:  out.res.TimedOut,
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	global := make([]sim.Migration, 0, cfg.MNL)
+	for _, p := range plans {
+		global = append(global, p...)
+	}
+	global = truncate(global, cfg.MNL)
+	rp := solver.RepairPlanObjective(live, global, cfg.Obj)
+	return Result{
+		Plan:            rp.Plan,
+		Stats:           rp.Stats,
+		Shards:          stats,
+		OversizedGroups: oversized,
+		InitialFR:       rp.InitialFR,
+		FinalFR:         rp.FinalFR,
+		TimedOut:        errors.Is(ctx.Err(), context.DeadlineExceeded),
+	}, nil
+}

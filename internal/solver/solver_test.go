@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"vmr2l/internal/cluster"
 	"vmr2l/internal/sim"
 	"vmr2l/internal/trace"
 )
@@ -49,6 +50,79 @@ func TestEvaluatePopulatesResult(t *testing.T) {
 	// Evaluate must not mutate the input mapping.
 	if got := c.FragRate(16); got != res.InitialFR {
 		t.Error("input mapping mutated")
+	}
+}
+
+// stallSolver migrates once, then blocks until its context ends — the shape
+// of an engine that still has search budget left when the deadline fires.
+type stallSolver struct{}
+
+func (stallSolver) Meta() Meta { return Meta{Name: "stall", Anytime: true} }
+
+func (stallSolver) Solve(ctx context.Context, env *sim.Env) error {
+	acts := sim.TopActions(env.Cluster(), env.Objective(), 1)
+	if len(acts) > 0 {
+		if _, _, err := env.Step(acts[0].VM, acts[0].PM); err != nil {
+			return err
+		}
+	}
+	<-ctx.Done()
+	return nil
+}
+
+// fragmented returns a mapping where at least one improving action exists.
+func fragmented(t *testing.T) *cluster.Cluster {
+	t.Helper()
+	return trace.MustProfile("tiny").GenerateFragmented(rand.New(rand.NewSource(3)), 0.12, 10)
+}
+
+func TestEvaluateTimedOutOnDeadlineExceeded(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	res, err := Evaluate(ctx, stallSolver{}, fragmented(t), sim.DefaultConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TimedOut {
+		t.Error("TimedOut false although the deadline expired mid-solve")
+	}
+	// The anytime plan made before the deadline is still returned.
+	if res.Steps != 1 || len(res.Plan) != 1 {
+		t.Errorf("anytime plan lost: steps=%d plan=%d, want 1", res.Steps, len(res.Plan))
+	}
+	if res.FinalFR > res.InitialFR {
+		t.Errorf("partial plan worsened FR: %v -> %v", res.InitialFR, res.FinalFR)
+	}
+}
+
+func TestEvaluateNotTimedOutOnPlainCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	res, err := Evaluate(ctx, stallSolver{}, fragmented(t), sim.DefaultConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TimedOut {
+		t.Error("TimedOut true on plain cancellation; only DeadlineExceeded is a budget expiry")
+	}
+	// Cancellation also cuts the solve short, but the anytime plan survives.
+	if res.Steps != 1 || len(res.Plan) != 1 {
+		t.Errorf("anytime plan lost: steps=%d plan=%d, want 1", res.Steps, len(res.Plan))
+	}
+}
+
+func TestEvaluateNotTimedOutWhenSolverFinishesInBudget(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	res, err := Evaluate(ctx, fakeSolver{}, fragmented(t), sim.DefaultConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TimedOut {
+		t.Error("TimedOut true although the solve finished well inside its budget")
 	}
 }
 

@@ -66,23 +66,44 @@ func (p Profile) sampleVMType(rng *rand.Rand) cluster.VMType {
 	return t
 }
 
+// Fleet-scale generation: above bestFitScanCap PMs, a full best-fit scan per
+// placement makes synthesizing a mapping quadratic (the hyperscale profile
+// places ~90k VMs over 10k PMs), so candidates are sampled instead. Small
+// profiles keep the exact full-permutation scan — and the exact rng stream —
+// so every pre-existing dataset is byte-identical.
+const (
+	bestFitScanCap = 2048
+	bestFitSamples = 128
+)
+
 // bestFitPlace places vm id using the VMS best-fit rule: among feasible PMs,
 // pick the one whose 16-core fragment drops the most (equivalently, ends
 // lowest) after adding the VM. Returns false when no PM fits. Candidates are
 // scored with the O(1) cluster.PlaceFragDelta arithmetic — no probe
-// placements.
+// placements. On clusters larger than bestFitScanCap PMs the scan is
+// restricted to bestFitSamples random candidates (duplicates merely
+// re-score), trading a marginally less tight pack for O(1)-per-placement
+// generation at fleet scale.
 func bestFitPlace(c *cluster.Cluster, id int, rng *rand.Rand) bool {
 	bestPM, bestNuma, bestScore := -1, -1, 0
-	// Random scan order breaks ties differently across mappings.
-	order := rng.Perm(len(c.PMs))
-	for _, pm := range order {
+	consider := func(pm int) {
 		numa := c.BestNuma(id, pm, cluster.DefaultFragCores)
 		if numa < 0 {
-			continue
+			return
 		}
 		score := c.PlaceFragDelta(id, pm, numa, cluster.DefaultFragCores)
 		if bestPM == -1 || score > bestScore {
 			bestPM, bestNuma, bestScore = pm, numa, score
+		}
+	}
+	if n := len(c.PMs); n > bestFitScanCap {
+		for i := 0; i < bestFitSamples; i++ {
+			consider(rng.Intn(n))
+		}
+	} else {
+		// Random scan order breaks ties differently across mappings.
+		for _, pm := range rng.Perm(n) {
+			consider(pm)
 		}
 	}
 	if bestPM < 0 {
@@ -135,9 +156,16 @@ func (p Profile) GenerateMapping(rng *rand.Rand) *cluster.Cluster {
 	if target > 0.95 {
 		target = 0.95
 	}
+	// Track usage incrementally: total capacity is fixed after PM creation
+	// and FreeCPU is an O(1) aggregate, so the fill loop never rescans the
+	// fleet (usedCPUFrac would cost O(PMs) per placement).
+	capTotal := 0
+	for i := range c.PMs {
+		capTotal += c.PMs[i].CPUCap()
+	}
 	fill := func(level float64) {
 		misses := 0
-		for usedCPUFrac(c) < level && misses < 20 {
+		for float64(capTotal-c.FreeCPU())/float64(capTotal) < level && misses < 20 {
 			id := c.AddVM(p.sampleVMType(rng))
 			if !bestFitPlace(c, id, rng) {
 				// Drop the VM record; it stays unplaced and is pruned below.

@@ -124,16 +124,24 @@ func largeProfile(pms int) Profile {
 
 // Profiles returns the named dataset profile. Available names:
 //
-//	medium, large, multi-resource, workload-low, workload-mid, workload-high,
-//	medium-small, large-small, multi-resource-small, workload-low-small,
-//	workload-mid-small, tiny
+//	medium, large, hyperscale, multi-resource, workload-low, workload-mid,
+//	workload-high, medium-small, large-small, multi-resource-small,
+//	workload-low-small, workload-mid-small, tiny
 //
 // The "-small" variants shrink PM counts ~10x for CPU-only experimentation;
-// "tiny" is a unit-test scale.
+// "tiny" is a unit-test scale; "hyperscale" (10k PMs, ~90k VMs) is the
+// fleet-sized input of the scale-out solving scenarios (internal/shard) —
+// far beyond the paper's Large dataset, sized so that only sharded solving
+// sweeps it inside a deadline.
 func Profiles(name string) (Profile, error) {
 	switch name {
 	case "medium":
 		return mediumProfile(280, 0.78), nil
+	case "hyperscale":
+		p := mediumProfile(10000, 0.78)
+		p.Name = "hyperscale"
+		p.UsageJitter = 0.02
+		return p, nil
 	case "medium-small":
 		p := mediumProfile(28, 0.78)
 		p.Name = "medium-small"
