@@ -5,6 +5,7 @@
 //	vmr2l-bench -exp fig9 -full    # larger datasets/budgets (slow)
 //	vmr2l-bench -list              # available experiment ids
 //	vmr2l-bench -hotpath           # hot-path microbenchmarks -> BENCH_hotpath.json
+//	vmr2l-bench -batch             # batched-vs-sequential rollout sweep -> BENCH_batch.json
 //	vmr2l-bench -scenario diurnal  # live-cluster session pipeline (solve + churn + repair)
 //	vmr2l-bench -scenarios         # available scenario names
 //
@@ -45,6 +46,9 @@ func main() {
 		shards     = flag.Bool("shards", false, "run the scale-out shard scaling sweep (1/2/4/8/16 shards x engines) and write -shards-out")
 		shardsScen = flag.String("shards-scenario", "large-static", "scenario swept by -shards")
 		shardsOut  = flag.String("shards-out", "BENCH_shard.json", "artifact path for -shards")
+		batch      = flag.Bool("batch", false, "run the batch-vs-sequential rollout sweep (1/2/4/8 envs) and write -batch-out")
+		batchOut   = flag.String("batch-out", "BENCH_batch.json", "artifact path for -batch")
+		batchCheck = flag.Bool("batch-check", false, "with -batch: exit 1 when the batched wave allocates or (GOMAXPROCS>=4) the 8-env speedup is below 2x")
 	)
 	flag.Parse()
 	if *list {
@@ -80,6 +84,25 @@ func main() {
 		}
 		rep.Fprint(os.Stdout)
 		fmt.Printf("wrote %s\nelapsed: %s\n", *shardsOut, time.Since(start).Round(time.Millisecond))
+		return
+	}
+	if *batch {
+		start := time.Now()
+		rep := bench.RunBatchBench(func(s string) { log.Printf("batch: %s", s) })
+		if err := bench.WriteBatchArtifact(*batchOut, rep); err != nil {
+			log.Fatalf("batch: %v", err)
+		}
+		rep.Fprint(os.Stdout)
+		fmt.Printf("wrote %s\nelapsed: %s\n", *batchOut, time.Since(start).Round(time.Millisecond))
+		if *batchCheck {
+			if regs := bench.BatchRegressions(rep); len(regs) > 0 {
+				for _, r := range regs {
+					log.Printf("REGRESSION: %s", r)
+				}
+				log.Fatalf("batch: %d regression(s)", len(regs))
+			}
+			fmt.Println("batch gate: ok")
+		}
 		return
 	}
 	if *hotpath {

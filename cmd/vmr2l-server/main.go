@@ -5,6 +5,7 @@
 // five-second latency budget, so every engine returns an anytime plan.
 //
 //	vmr2l-server -addr :8080 -workers 4 -queue 64 -timeout 5s -ckpt vmr2l.gob
+//	vmr2l-server -pprof 6060       # expose net/http/pprof on 127.0.0.1:6060
 //
 //	curl -s localhost:8080/v2/solvers
 //	curl -s -X POST localhost:8080/v2/jobs \
@@ -24,7 +25,9 @@
 // Registered engines: ha, swap-ha, vbpp, bnb, pop, mcts, the scale-out
 // wrappers portfolio (ha+vbpp raced under one deadline) and sharded
 // (-shards partitions, see internal/shard), and (with -ckpt) the trained
-// VMR2L agent. Any v2 job can also request scale-out ad hoc with the
+// VMR2L agent plus mcts-prior (UCT with batched critic value priors). A
+// sharded job on the policy engine rolls all shards through one batched
+// forward per wave. Any v2 job can also request scale-out ad hoc with the
 // "shards"/"portfolio" body fields. The default engine is HA — always
 // within the five-second budget. SIGINT/SIGTERM drain in-flight solves
 // before exit.
@@ -37,6 +40,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof"
 	"os/signal"
 	"syscall"
 	"time"
@@ -61,8 +65,21 @@ func main() {
 		queue   = flag.Int("queue", 64, "async job queue depth")
 		timeout = flag.Duration("timeout", 0, "per-solve budget (0 = paper's 5s limit)")
 		shards  = flag.Int("shards", 8, "partition count of the pre-registered 'sharded' engine")
+		pprofP  = flag.Int("pprof", 0, "expose net/http/pprof on 127.0.0.1:<port> (0 = disabled)")
 	)
 	flag.Parse()
+
+	if *pprofP > 0 {
+		// Opt-in profiling endpoint, bound to loopback only so serving hot
+		// spots can be inspected in place without exposing pprof publicly.
+		// net/http/pprof registers its handlers on the default mux, which is
+		// served solely on this listener (the API below uses its own mux).
+		pprofAddr := fmt.Sprintf("127.0.0.1:%d", *pprofP)
+		go func() {
+			log.Printf("pprof: %v", http.ListenAndServe(pprofAddr, nil))
+		}()
+		fmt.Printf("pprof on http://%s/debug/pprof/\n", pprofAddr)
+	}
 
 	s := service.New(
 		service.WithWorkers(*workers),
@@ -89,6 +106,9 @@ func main() {
 			log.Fatal(err)
 		}
 		s.Register("vmr2l", &policy.Agent{Model: m, Opts: policy.SampleOpts{Greedy: true}})
+		// Value-prior MCTS: root candidates scored by the checkpoint's critic
+		// in one batched forward per step.
+		s.Register("mcts-prior", &mcts.Solver{Iterations: 64, Width: 6, Prior: m})
 		fmt.Printf("serving VMR2L checkpoint %s\n", *ckpt)
 	}
 

@@ -52,4 +52,26 @@
 // suite behind BENCH_hotpath.json lives in internal/bench (run
 // "vmr2l-bench -hotpath" or "go test -bench=Hotpath ."); see README.md's
 // Performance section for how to read the artifact.
+//
+// # Batched inference
+//
+// Every parallel consumer of the policy network routes through one batched
+// forward instead of batch-size-1 calls: sim.FeatureBatch stacks B
+// environments' feature rows into flat (ΣnPM)×F / (ΣnVM)×F buffers,
+// policy.InferBatch / policy.ActBatch (pooled policy.BatchInferCtx, zero
+// steady-state allocations) run every row-wise network stage as one B-row
+// GEMM with attention computed block-diagonally per environment
+// (nn.Attention.InferSeg; tree attention concatenates per-env groups into
+// one GroupedAttention pass). Per environment the batched forward is
+// bit-identical to the sequential policy.Model.Infer — each kernel computes
+// every output row independently — which property tests pin across action
+// modes, batch sizes, and ragged batches. Consumers: rl.Config.Envs
+// lock-steps N training environments per wave, rl.EvalFR batches all test
+// mappings, eval.Options.Batched batches the K risk-seeking trajectories,
+// mcts.Solver.Prior scores root candidates with one batched critic pass,
+// and shard solves route a single policy engine through shard.BatchSolver
+// so all shards share each wave's forward. The batching win scales with
+// GOMAXPROCS (stacked GEMMs cross the kernels' parallel threshold);
+// "vmr2l-bench -batch" records the batch-vs-sequential sweep in
+// BENCH_batch.json and "-batch-check" gates it.
 package vmr2l

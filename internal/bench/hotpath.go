@@ -100,8 +100,25 @@ func HotpathBenchmarks() []NamedBench {
 		{"reset", benchReset},
 		{"forward_act", benchAct},
 		{"forward_infer", benchInfer},
+		{"forward_batch8", benchForwardBatch8},
+		{"rollout_wave", benchRolloutWave},
 		{"e2e_fig9_quick", benchFig9Quick},
 	}
+}
+
+// batchFixture builds n environments over the hot fixture's mapping plus the
+// per-env rngs and options of a greedy batched wave.
+func batchFixture(n int) ([]*sim.Env, []*rand.Rand, []policy.SampleOpts, *policy.Model) {
+	fx := newHotFixture()
+	envs := make([]*sim.Env, n)
+	rngs := make([]*rand.Rand, n)
+	opts := make([]policy.SampleOpts, n)
+	for i := range envs {
+		envs[i] = sim.New(fx.c, sim.Config{MNL: 1 << 30, Obj: sim.FR16()})
+		rngs[i] = rand.New(rand.NewSource(int64(i + 1)))
+		opts[i] = policy.SampleOpts{Greedy: true}
+	}
+	return envs, rngs, opts, fx.model
 }
 
 func benchStep(b *testing.B) {
@@ -109,6 +126,13 @@ func benchStep(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		// Reset periodically so the recorded plan stays bounded: without it
+		// the episode's plan slice grows with b.N and the benchmark drifts
+		// into measuring GC pressure instead of Step. Reset is ~96ns,
+		// amortized to nothing at this interval.
+		if i&4095 == 4095 {
+			fx.env.Reset()
+		}
 		to := fx.pmB
 		if fx.env.Cluster().VMs[fx.vm].PM == fx.pmB {
 			to = fx.pmA
@@ -205,6 +229,51 @@ func benchInfer(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, _, err := fx.model.Infer(ic, fx.env, rng, policy.SampleOpts{Greedy: true}); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// benchForwardBatch8 measures one batched action selection for 8
+// environments (extract → stacked forward → mask → sample, all 8 in one
+// InferBatch). Compare ns/op against 8× forward_infer for the batching win.
+func benchForwardBatch8(b *testing.B) {
+	envs, rngs, opts, model := batchFixture(8)
+	bc := policy.NewBatchInferCtx()
+	var acts []policy.BatchAction
+	acts = model.InferBatch(bc, envs, rngs, opts, acts) // warm buffers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acts = model.InferBatch(bc, envs, rngs, opts, acts)
+	}
+}
+
+// benchRolloutWave measures one full vectorized collection wave at 8
+// environments: a batched forward plus every environment's Step. This is the
+// per-wave cost of rl's vectorized stepper and the sharded batched rollout.
+func benchRolloutWave(b *testing.B) {
+	envs, rngs, opts, model := batchFixture(8)
+	bc := policy.NewBatchInferCtx()
+	var acts []policy.BatchAction
+	acts = model.InferBatch(bc, envs, rngs, opts, acts) // warm buffers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Bounded episodes, as in benchStep: keep plan slices from growing
+		// with b.N.
+		if i&511 == 511 {
+			for _, env := range envs {
+				env.Reset()
+			}
+		}
+		acts = model.InferBatch(bc, envs, rngs, opts, acts)
+		for k, env := range envs {
+			if acts[k].Err != nil {
+				continue
+			}
+			if _, _, err := env.Step(acts[k].VM, acts[k].PM); err != nil {
+				b.Fatal(err)
+			}
 		}
 	}
 }

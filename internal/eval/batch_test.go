@@ -1,0 +1,33 @@
+package eval
+
+import (
+	"testing"
+
+	"vmr2l/internal/sim"
+)
+
+// TestBatchedMatchesSequential pins the lock-step batched evaluation against
+// the sequential rollout path: same per-trajectory seeds and sample options,
+// so the outcome (best value, winning trajectory, plan) must be identical.
+func TestBatchedMatchesSequential(t *testing.T) {
+	m := testModel()
+	c := testMapping(3)
+	cfg := sim.DefaultConfig(5)
+	opts := Options{Trajectories: 6, VMQuantile: 0.95, PMQuantile: 0.95, Seed: 9}
+	seq := Run(m, c, cfg, opts)
+	opts.Batched = true
+	bat := Run(m, c, cfg, opts)
+	if seq.BestValue != bat.BestValue || seq.MeanValue != bat.MeanValue || seq.Trajectory != bat.Trajectory {
+		t.Fatalf("batched (%v, %v, traj %d) != sequential (%v, %v, traj %d)",
+			bat.BestValue, bat.MeanValue, bat.Trajectory,
+			seq.BestValue, seq.MeanValue, seq.Trajectory)
+	}
+	if len(seq.BestPlan) != len(bat.BestPlan) {
+		t.Fatalf("plan lengths differ: %d vs %d", len(bat.BestPlan), len(seq.BestPlan))
+	}
+	for i := range seq.BestPlan {
+		if seq.BestPlan[i] != bat.BestPlan[i] {
+			t.Fatalf("plan migration %d differs: %+v vs %+v", i, bat.BestPlan[i], seq.BestPlan[i])
+		}
+	}
+}

@@ -26,7 +26,14 @@ type Options struct {
 	PMQuantile float64
 	// Parallel runs rollouts on goroutines (the paper's multi-GPU analog).
 	Parallel bool
-	Seed     int64
+	// Batched rolls all K trajectories in lock-step on one goroutine with a
+	// single batched forward per wave (policy.RolloutBatch): the K
+	// environments' rows stack into one GEMM chain, whose kernels themselves
+	// parallelize across GOMAXPROCS for large batches. Trajectory-for-
+	// trajectory identical to the sequential path (same per-trajectory rng
+	// seeds and sample options). Takes precedence over Parallel.
+	Batched bool
+	Seed    int64
 }
 
 // Outcome is the result of one risk-seeking evaluation.
@@ -72,7 +79,29 @@ func RunContext(ctx context.Context, m *policy.Model, init *cluster.Cluster, cfg
 		_ = ag.Solve(ctx, env)
 		results[i] = result{value: env.Value(), plan: append([]sim.Migration(nil), env.Plan()...)}
 	}
-	if opts.Parallel {
+	if opts.Batched {
+		// Lock-step batching: one environment per trajectory, every wave one
+		// stacked forward. Seeds and sample options match runOne exactly, so
+		// the outcome is identical to the sequential path.
+		envs := make([]*sim.Env, k)
+		rngs := make([]*rand.Rand, k)
+		sampleOpts := make([]policy.SampleOpts, k)
+		for i := 0; i < k; i++ {
+			envs[i] = sim.New(init, cfg)
+			rngs[i] = rand.New(rand.NewSource(opts.Seed + int64(i)*9973))
+			sampleOpts[i] = policy.SampleOpts{
+				Greedy:     i == 0,
+				VMQuantile: opts.VMQuantile,
+				PMQuantile: opts.PMQuantile,
+			}
+		}
+		bc := policy.AcquireBatchCtx()
+		_ = m.RolloutBatch(ctx, bc, envs, rngs, sampleOpts, false)
+		bc.Release()
+		for i, env := range envs {
+			results[i] = result{value: env.Value(), plan: append([]sim.Migration(nil), env.Plan()...)}
+		}
+	} else if opts.Parallel {
 		// Fan rollouts out over at most GOMAXPROCS workers (the paper's
 		// multi-GPU analog): each worker reuses one environment and one
 		// inference context across its share of the K trajectories. The

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"vmr2l/internal/cluster"
+	"vmr2l/internal/policy"
 	"vmr2l/internal/sim"
 	"vmr2l/internal/solver"
 )
@@ -35,6 +36,16 @@ type Solver struct {
 	Seed int64
 	// Deadline bounds total wall time across all steps (0 = unbounded).
 	Deadline time.Duration
+	// Prior, when set, scores every root candidate's post-action state with
+	// the policy network's critic in ONE batched forward pass per
+	// environment step (policy.ValuesBatch) — the DDTS-style neural
+	// candidate scoring the gain-ranked pruning approximates. Each root
+	// child starts with a virtual visit whose return is its immediate gain
+	// plus the critic's estimate of the remaining return, so UCT's first
+	// sweeps favor states the value network likes instead of exploring the
+	// pruned candidates uniformly. Batching the expansion keeps the network
+	// cost one stacked GEMM chain per step rather than Width forwards.
+	Prior *policy.Model
 }
 
 // Meta implements solver.Solver.
@@ -158,12 +169,45 @@ func (s *Solver) Solve(ctx context.Context, env *sim.Env) error {
 	// it in place (CopyFrom) instead of allocating a fresh deep copy — the
 	// dominant allocation of search-based inference at scale.
 	var scratch *cluster.Cluster
+	// Value-prior scratch: one cluster copy per candidate child plus a
+	// batched inference context, reused across every environment step.
+	var childStates []*cluster.Cluster
+	var childVals []float64
+	var bc *policy.BatchInferCtx
+	if s.Prior != nil {
+		bc = policy.AcquireBatchCtx()
+		defer bc.Release()
+	}
 	for !env.Done() {
 		if ctx.Err() != nil {
 			return nil // budget spent: best-so-far plan is already in env
 		}
 		remaining := env.MNL() - env.StepsTaken()
 		root := &node{}
+		if s.Prior != nil {
+			root.expanded = true
+			cands := sim.TopActions(env.Cluster(), env.Objective(), s.width())
+			for len(childStates) < len(cands) {
+				childStates = append(childStates, env.Cluster().Clone())
+			}
+			kept := cands[:0]
+			for _, a := range cands {
+				st := childStates[len(kept)]
+				st.CopyFrom(env.Cluster())
+				if st.Migrate(a.VM, a.PM, cluster.DefaultFragCores) != nil {
+					continue // stale candidate: drop rather than mis-score
+				}
+				kept = append(kept, a)
+			}
+			// One batched forward values every candidate's child state.
+			childVals = s.Prior.ValuesBatch(bc, childStates[:len(kept)], childVals)
+			for j, a := range kept {
+				root.children = append(root.children, &node{
+					action: a, visits: 1, total: a.Gain + childVals[j],
+				})
+				root.visits++
+			}
+		}
 		for it := 0; it < s.iterations(); it++ {
 			if ctx.Err() != nil {
 				break

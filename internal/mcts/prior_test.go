@@ -1,0 +1,40 @@
+package mcts
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"vmr2l/internal/policy"
+	"vmr2l/internal/sim"
+	"vmr2l/internal/solver"
+	"vmr2l/internal/trace"
+)
+
+// TestMCTSPriorBatchedExpansion runs the value-prior variant end to end: the
+// root candidates are scored by one batched critic forward per environment
+// step, and the search must still respect the MNL and never worsen the FR.
+func TestMCTSPriorBatchedExpansion(t *testing.T) {
+	prior := policy.New(policy.Config{
+		DModel: 16, Hidden: 24, Blocks: 1,
+		Extractor: policy.SparseAttention, Action: policy.TwoStage, Seed: 7,
+	})
+	c := trace.MustProfile("tiny").GenerateMapping(rand.New(rand.NewSource(2)))
+	s := &Solver{Iterations: 32, Width: 5, Seed: 3, Prior: prior}
+	res, err := solver.Evaluate(context.Background(), s, c, sim.DefaultConfig(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps > 6 {
+		t.Fatalf("prior MCTS exceeded MNL: %d", res.Steps)
+	}
+	if res.FinalFR > res.InitialFR+1e-9 {
+		t.Errorf("prior MCTS worsened FR: %v -> %v", res.InitialFR, res.FinalFR)
+	}
+	// The plan must replay cleanly on the original mapping.
+	cp := c.Clone()
+	applied, skipped := sim.ApplyPlan(cp, res.Plan)
+	if skipped != 0 || applied != len(res.Plan) {
+		t.Fatalf("plan replay: applied %d skipped %d of %d", applied, skipped, len(res.Plan))
+	}
+}

@@ -12,9 +12,12 @@ import (
 // gradients); rollouts, search, and serving use Infer. Outputs are valid
 // until the arena's next Reset.
 
-// Infer applies the linear layer without building a graph.
+// Infer applies the linear layer without building a graph. The bias add
+// lands in the matmul output in place: the intermediate is single-use, so
+// skipping the extra tensor halves the layer's arena footprint — what keeps
+// large batched forwards cache-resident.
 func (l *Linear) Infer(ar *tensor.Arena, x *tensor.Tensor) *tensor.Tensor {
-	return ar.AddRow(ar.MatMul(x, l.W), l.B)
+	return ar.AddRowInPlace(ar.MatMul(x, l.W), l.B)
 }
 
 // Infer normalizes x row-wise without building a graph.
@@ -22,9 +25,10 @@ func (l *LayerNorm) Infer(ar *tensor.Arena, x *tensor.Tensor) *tensor.Tensor {
 	return ar.LayerNorm(x, l.Gamma, l.Beta, 1e-5)
 }
 
-// Infer applies linear-ReLU-linear without building a graph.
+// Infer applies linear-ReLU-linear without building a graph. The hidden
+// activation is rectified in place (single-use intermediate).
 func (m *MLP) Infer(ar *tensor.Arena, x *tensor.Tensor) *tensor.Tensor {
-	return m.Out.Infer(ar, ar.ReLU(m.In.Infer(ar, x)))
+	return m.Out.Infer(ar, ar.ReLUInPlace(m.In.Infer(ar, x)))
 }
 
 // InferTree is the arena-allocated, graph-free ForwardTree.
@@ -43,6 +47,61 @@ func (a *Attention) InferTree(ar *tensor.Arena, x *tensor.Tensor, groups [][]int
 		}
 	}
 	return a.Wo.Infer(ar, concat)
+}
+
+// InferSeg is the batched, segment-diagonal Infer: q (Σm_b×d) and kv
+// (Σn_b×d) stack B independent segments back to back, with qOff/kvOff the
+// B+1 row offsets. Rows of segment b attend only over kv rows of segment b —
+// the block-diagonal structure of batching independent environments into one
+// forward pass. The Q/K/V projections and the output layer each run as one
+// stacked GEMM over all segments (the batching win); the score/softmax/value
+// stage runs per segment on zero-copy row views through the same kernels the
+// single-segment Infer uses, writing each segment's product directly into
+// its slot of the stacked head tensor. Per segment the result is
+// bit-identical to Infer on that segment alone, because every kernel here
+// computes each output row independently of how many other rows share the
+// call. No mask is supported (the policy's self/cross attention never masks).
+//
+// probs is an optional reusable slice for the per-segment mean attention
+// probabilities; the (possibly grown) slice is returned alongside the
+// stacked output.
+func (a *Attention) InferSeg(ar *tensor.Arena, q, kv *tensor.Tensor, qOff, kvOff []int, probs []*tensor.Tensor) (*tensor.Tensor, []*tensor.Tensor) {
+	nSeg := len(qOff) - 1
+	if len(kvOff)-1 != nSeg {
+		panic("nn: InferSeg offset lengths disagree")
+	}
+	if cap(probs) < nSeg {
+		probs = make([]*tensor.Tensor, nSeg)
+	} else {
+		probs = probs[:nSeg]
+	}
+	var concat *tensor.Tensor
+	scale := 1 / math.Sqrt(float64(a.headDim))
+	for h := range a.Wq {
+		qq := a.Wq[h].Infer(ar, q)
+		kk := a.Wk[h].Infer(ar, kv)
+		vv := a.Wv[h].Infer(ar, kv)
+		head, hp := ar.SegmentedAttention(qq, kk, vv, qOff, kvOff, scale)
+		if h == 0 {
+			copy(probs, hp)
+		} else {
+			for b := 0; b < nSeg; b++ {
+				probs[b] = ar.Add(probs[b], hp[b])
+			}
+		}
+		if concat == nil {
+			concat = head
+		} else {
+			concat = ar.ConcatCols(concat, head)
+		}
+	}
+	if len(a.Wq) > 1 {
+		inv := 1 / float64(len(a.Wq))
+		for b := 0; b < nSeg; b++ {
+			probs[b] = ar.Scale(probs[b], inv)
+		}
+	}
+	return a.Wo.Infer(ar, concat), probs
 }
 
 // Infer attends q over kv like Forward, arena-allocated and graph-free. It

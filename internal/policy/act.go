@@ -68,6 +68,13 @@ func sampleRow(probs []float64, rng *rand.Rand, greedy bool) int {
 func (m *Model) Act(env *sim.Env, rng *rand.Rand, opts SampleOpts) (*Decision, error) {
 	ic := inferPool.Get().(*InferCtx)
 	defer inferPool.Put(ic)
+	return m.ActCtx(ic, env, rng, opts)
+}
+
+// ActCtx is Act on a caller-owned inference context: collection loops hold
+// one context across a whole episode instead of a pool round-trip per
+// decision.
+func (m *Model) ActCtx(ic *InferCtx, env *sim.Env, rng *rand.Rand, opts SampleOpts) (*Decision, error) {
 	ic.arena.Reset()
 	feat := sim.Extract(env.Cluster())
 	out := m.forwardInfer(ic, feat)

@@ -1,0 +1,647 @@
+package policy
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+
+	"vmr2l/internal/cluster"
+	"vmr2l/internal/sim"
+	"vmr2l/internal/tensor"
+)
+
+// Batched inference: one forward pass for many environments. The B
+// environments' PM rows are stacked into one (ΣnPM)×d matrix and their VM
+// rows into one (ΣnVM)×d matrix, so every row-wise stage — the embedding
+// MLPs, the feed-forward blocks, layer norms, residuals, and the actor/critic
+// heads — runs as a single B-row GEMM through the register-blocked matmul
+// kernels instead of B single-environment calls. The cross-row stages
+// (tree-local, self, and cross attention) are block-diagonal per environment
+// and run on zero-copy row segments through the same kernels. Because every
+// kernel computes each output row independently of how many other rows share
+// the call, the batched forward is bit-identical per environment to the
+// sequential Infer fast path; the property tests in infer_batch_test.go pin
+// that equivalence for every action mode, including ragged batches.
+
+// BatchAction is one environment's decision from InferBatch.
+type BatchAction struct {
+	VM, PM int
+	// Err is ErrNoMigratableVM when stage 1 had no legal candidate for this
+	// environment (the environment's episode is effectively over).
+	Err error
+}
+
+// BatchInferCtx is the pooled scratch state of the batched inference path: a
+// tensor arena for the stacked forward pass, the batched feature extractor,
+// the concatenated tree partition, and reusable mask/probability buffers.
+// Reuse one across waves and episodes; it is not safe for concurrent use. At
+// a stable batch shape a full InferBatch performs zero heap allocations.
+type BatchInferCtx struct {
+	arena tensor.Arena
+	fb    sim.FeatureBatch
+	bgb   batchGroupBuf
+	out   batchOut
+
+	// Sampling scratch, reused across environments and waves.
+	vmMask    []bool
+	pmMask    []bool
+	jointMask []bool
+	vmProbs   []float64
+	pmProbs   []float64
+	sortBuf   []float64
+	vmSel     []int
+	values    []float64
+
+	// Wave scratch for RolloutBatch.
+	clusters []*cluster.Cluster
+	active   []int
+	waveEnvs []*sim.Env
+	waveRngs []*rand.Rand
+	waveOpts []SampleOpts
+	acts     []BatchAction
+}
+
+// NewBatchInferCtx returns an empty batched inference context.
+func NewBatchInferCtx() *BatchInferCtx { return &BatchInferCtx{} }
+
+// batchPool recycles contexts for callers that do not manage their own.
+var batchPool = sync.Pool{New: func() any { return NewBatchInferCtx() }}
+
+// AcquireBatchCtx returns a pooled batched inference context with warm
+// buffers; call Release when done. External consumers (risk-seeking
+// evaluation, MCTS value priors) use this instead of growing a fresh
+// context's arena per request.
+func AcquireBatchCtx() *BatchInferCtx { return batchPool.Get().(*BatchInferCtx) }
+
+// Release returns the context to the pool. The context must not be used
+// afterwards.
+func (bc *BatchInferCtx) Release() { batchPool.Put(bc) }
+
+// batchOut carries the stacked extractor outputs. Row segment b of pmAll /
+// vmAll (delimited by the FeatureBatch offsets) is bit-identical to the
+// forwardOut of environment b alone.
+type batchOut struct {
+	pmAll, vmAll *tensor.Tensor
+	// crossProbs[b] is environment b's stage-3 VM→PM attention of the last
+	// block (m_b×n_b); nil in NoAttention mode.
+	crossProbs []*tensor.Tensor
+	// scratch for InferSeg probability slices (self-attention probs are
+	// discarded; cross probs live in crossProbs, backed by crossBuf so the
+	// slice header is reused across calls).
+	segProbs []*tensor.Tensor
+	crossBuf []*tensor.Tensor
+}
+
+// batchGroupBuf builds the concatenated tree partition of the interleaved
+// [PM_0; VM_0; PM_1; VM_1; …] row space: environment b's groups are its
+// per-PM trees and unplaced-VM singletons shifted by its row base. Feeding
+// the concatenation to one GroupedAttention call computes every
+// environment's tree attention block-diagonally in a single pass.
+type batchGroupBuf struct {
+	groups [][]int
+	flat   []int
+	counts []int
+}
+
+func (gb *batchGroupBuf) build(fb *sim.FeatureBatch) [][]int {
+	nEnv := fb.Len()
+	totRows := fb.PMOff[nEnv] + fb.VMOff[nEnv]
+	if cap(gb.flat) < totRows {
+		gb.flat = make([]int, totRows)
+	} else {
+		gb.flat = gb.flat[:totRows]
+	}
+	gb.groups = gb.groups[:0]
+	off := 0
+	for b := 0; b < nEnv; b++ {
+		host := fb.Envs[b].HostPM
+		nPM := fb.PMOff[b+1] - fb.PMOff[b]
+		base := fb.PMOff[b] + fb.VMOff[b]
+		if cap(gb.counts) < nPM {
+			gb.counts = make([]int, nPM)
+		} else {
+			gb.counts = gb.counts[:nPM]
+		}
+		for t := 0; t < nPM; t++ {
+			gb.counts[t] = 1 // the PM row itself
+		}
+		for _, h := range host {
+			if h >= 0 {
+				gb.counts[h]++
+			}
+		}
+		// Trees back to back; counts[t] becomes tree t's write cursor.
+		for t := 0; t < nPM; t++ {
+			size := gb.counts[t]
+			gb.groups = append(gb.groups, gb.flat[off:off+size:off+size])
+			gb.flat[off] = base + t
+			gb.counts[t] = off + 1
+			off += size
+		}
+		for v, h := range host {
+			if h >= 0 {
+				gb.flat[gb.counts[h]] = base + nPM + v
+				gb.counts[h]++
+			}
+		}
+		for v, h := range host {
+			if h < 0 {
+				gb.flat[off] = base + nPM + v
+				gb.groups = append(gb.groups, gb.flat[off:off+1:off+1])
+				off++
+			}
+		}
+	}
+	return gb.groups
+}
+
+// forwardInferBatch runs the stacked forward pass over every environment in
+// bc.fb: identical math per environment to forwardInfer, one GEMM per
+// row-wise stage for the whole batch.
+func (m *Model) forwardInferBatch(bc *BatchInferCtx) *batchOut {
+	ar := &bc.arena
+	fb := &bc.fb
+	nEnv := fb.Len()
+	totPM, totVM := fb.PMOff[nEnv], fb.VMOff[nEnv]
+	pmAll := m.pmEmbed.Infer(ar, ar.FromFlat(totPM, sim.PMFeatDim, fb.FlatPM()))
+	vmAll := m.vmEmbed.Infer(ar, ar.FromFlat(totVM, sim.VMFeatDim, fb.FlatVM()))
+	out := &bc.out
+	out.pmAll, out.vmAll, out.crossProbs = nil, nil, nil
+	var groups [][]int
+	if m.Cfg.Extractor == SparseAttention {
+		groups = bc.bgb.build(fb)
+	}
+	d := pmAll.Cols
+	for _, blk := range m.blocks {
+		if blk.tree != nil {
+			// Stage 1: tree-local attention over the interleaved
+			// [PM_b; VM_b] stacks, block-diagonal across trees AND
+			// environments in one GroupedAttention pass.
+			x := ar.Uninit(totPM+totVM, d)
+			for b := 0; b < nEnv; b++ {
+				base := fb.PMOff[b] + fb.VMOff[b]
+				nPM := fb.PMOff[b+1] - fb.PMOff[b]
+				ar.SetRows(x, base, ar.Rows(pmAll, fb.PMOff[b], fb.PMOff[b+1]))
+				ar.SetRows(x, base+nPM, ar.Rows(vmAll, fb.VMOff[b], fb.VMOff[b+1]))
+			}
+			tx := blk.tree.InferTree(ar, x, groups)
+			x = ar.Add(x, tx) // residual
+			pmNew := ar.Uninit(totPM, d)
+			vmNew := ar.Uninit(totVM, d)
+			for b := 0; b < nEnv; b++ {
+				base := fb.PMOff[b] + fb.VMOff[b]
+				nPM := fb.PMOff[b+1] - fb.PMOff[b]
+				nVM := fb.VMOff[b+1] - fb.VMOff[b]
+				ar.SetRows(pmNew, fb.PMOff[b], ar.Rows(x, base, base+nPM))
+				ar.SetRows(vmNew, fb.VMOff[b], ar.Rows(x, base+nPM, base+nPM+nVM))
+			}
+			pmAll, vmAll = pmNew, vmNew
+		}
+		if blk.pmSelf != nil {
+			// Stage 2: intra-set self-attention, segment-diagonal per env.
+			pa, sp := blk.pmSelf.InferSeg(ar, pmAll, pmAll, fb.PMOff, fb.PMOff, out.segProbs)
+			out.segProbs = sp
+			pmAll = ar.Add(pmAll, pa)
+			va, sp2 := blk.vmSelf.InferSeg(ar, vmAll, vmAll, fb.VMOff, fb.VMOff, out.segProbs)
+			out.segProbs = sp2
+			vmAll = ar.Add(vmAll, va)
+			// Stage 3: VM -> PM cross attention.
+			ca, cp := blk.cross.InferSeg(ar, vmAll, pmAll, fb.VMOff, fb.PMOff, out.crossBuf)
+			out.crossBuf = cp
+			out.crossProbs = cp
+			vmAll = ar.Add(vmAll, ca)
+		}
+		// Dense layers + layer norm: one stacked GEMM chain for the batch.
+		pmAll = blk.pmLN.Infer(ar, ar.Add(pmAll, blk.pmFF.Infer(ar, pmAll)))
+		vmAll = blk.vmLN.Infer(ar, ar.Add(vmAll, blk.vmFF.Infer(ar, vmAll)))
+	}
+	out.pmAll, out.vmAll = pmAll, vmAll
+	return out
+}
+
+// vmLogitsBatch computes stage-1 logits for every environment in one stacked
+// head GEMM and returns the totVM×1 column; per-environment rows come from
+// vmLogitsRow.
+func (m *Model) vmLogitsBatch(bc *BatchInferCtx, out *batchOut) *tensor.Tensor {
+	return m.vmHead.Infer(&bc.arena, out.vmAll)
+}
+
+// vmLogitsRow extracts environment b's 1×M stage-1 logit row from the
+// stacked column, applying the optional legality mask.
+func (m *Model) vmLogitsRow(bc *BatchInferCtx, col *tensor.Tensor, b int, mask []bool) *tensor.Tensor {
+	ar := &bc.arena
+	row := ar.Transpose(ar.Rows(col, bc.fb.VMOff[b], bc.fb.VMOff[b+1]))
+	if mask != nil {
+		row = ar.MaskedFill(row, mask, -1e9)
+	}
+	return row
+}
+
+// pmMergeBatch assembles the stage-2 merge input for every environment —
+// [pmE, broadcast selected-VM embedding, stage-3 attention score] — and runs
+// pmMerge as one stacked GEMM. vmSel[b] is environment b's selected VM (a
+// negative selection leaves that environment's rows zero; its output is
+// unused). Returns the totPM×1 logit column.
+func (m *Model) pmMergeBatch(bc *BatchInferCtx, out *batchOut, vmSel []int) *tensor.Tensor {
+	ar := &bc.arena
+	fb := &bc.fb
+	nEnv := fb.Len()
+	d := out.pmAll.Cols
+	w := 2*d + 1
+	merged := ar.Tensor(fb.PMOff[nEnv], w)
+	for b := 0; b < nEnv; b++ {
+		vm := vmSel[b]
+		if vm < 0 {
+			continue
+		}
+		sel := out.vmAll.Data[(fb.VMOff[b]+vm)*d : (fb.VMOff[b]+vm+1)*d]
+		var crossRow []float64
+		if out.crossProbs != nil {
+			cp := out.crossProbs[b]
+			crossRow = cp.Data[vm*cp.Cols : (vm+1)*cp.Cols]
+		}
+		for i := fb.PMOff[b]; i < fb.PMOff[b+1]; i++ {
+			dst := merged.Data[i*w : (i+1)*w]
+			copy(dst[:d], out.pmAll.Data[i*d:(i+1)*d])
+			copy(dst[d:2*d], sel)
+			if crossRow != nil {
+				dst[2*d] = crossRow[i-fb.PMOff[b]]
+			}
+		}
+	}
+	return m.pmMerge.Infer(ar, merged)
+}
+
+// pmLogitsRow extracts environment b's 1×N stage-2 logit row from the merged
+// column, applying the optional legality mask.
+func (m *Model) pmLogitsRow(bc *BatchInferCtx, col *tensor.Tensor, b int, mask []bool) *tensor.Tensor {
+	ar := &bc.arena
+	row := ar.Transpose(ar.Rows(col, bc.fb.PMOff[b], bc.fb.PMOff[b+1]))
+	if mask != nil {
+		row = ar.MaskedFill(row, mask, -1e9)
+	}
+	return row
+}
+
+// jointLogitsBatchRow computes environment b's FullMask joint logits
+// (1×(M·N)) from the stacked embeddings.
+func (m *Model) jointLogitsBatchRow(bc *BatchInferCtx, out *batchOut, b int, mask []bool) *tensor.Tensor {
+	ar := &bc.arena
+	fb := &bc.fb
+	vmE := ar.Rows(out.vmAll, fb.VMOff[b], fb.VMOff[b+1])
+	pmE := ar.Rows(out.pmAll, fb.PMOff[b], fb.PMOff[b+1])
+	scores := ar.MatMulT(vmE, pmE)
+	flat := ar.Reshape(scores, 1, scores.Rows*scores.Cols)
+	if mask != nil {
+		flat = ar.MaskedFill(flat, mask, -1e9)
+	}
+	return flat
+}
+
+// valueInferBatch runs the critic over every environment's pooled embeddings
+// as one B×2d GEMM, filling dst with per-environment values.
+func (m *Model) valueInferBatch(bc *BatchInferCtx, out *batchOut, dst []float64) []float64 {
+	ar := &bc.arena
+	fb := &bc.fb
+	nEnv := fb.Len()
+	d := out.pmAll.Cols
+	pooled := ar.Uninit(nEnv, 2*d)
+	for b := 0; b < nEnv; b++ {
+		pm := ar.MeanRows(ar.Rows(out.pmAll, fb.PMOff[b], fb.PMOff[b+1]))
+		vm := ar.MeanRows(ar.Rows(out.vmAll, fb.VMOff[b], fb.VMOff[b+1]))
+		copy(pooled.Data[b*2*d:b*2*d+d], pm.Data)
+		copy(pooled.Data[b*2*d+d:(b+1)*2*d], vm.Data)
+	}
+	col := m.critic.Infer(ar, pooled)
+	dst = resizeFloats(dst, nEnv)
+	copy(dst, col.Data)
+	return dst
+}
+
+// optAt resolves the per-environment sample options: a single-element slice
+// broadcasts to every environment.
+func optAt(opts []SampleOpts, b int) SampleOpts {
+	if len(opts) == 1 {
+		return opts[0]
+	}
+	return opts[b]
+}
+
+// extractBatch refreshes the batched features for the environments' current
+// clusters.
+func (bc *BatchInferCtx) extractBatch(envs []*sim.Env) {
+	if cap(bc.clusters) < len(envs) {
+		bc.clusters = make([]*cluster.Cluster, len(envs))
+	} else {
+		bc.clusters = bc.clusters[:len(envs)]
+	}
+	for i, e := range envs {
+		bc.clusters[i] = e.Cluster()
+	}
+	bc.fb.Extract(bc.clusters)
+}
+
+// InferBatch selects one action per environment through a single batched
+// forward pass. Environment b's decision is bit-identical to what the
+// sequential Infer would pick given the same rng stream: the stacked forward
+// reproduces each per-environment forward exactly, and sampling consumes
+// each environment's rng in the same order. opts is per-environment (a
+// single element broadcasts). Environments with no migratable VM get
+// ErrNoMigratableVM in their BatchAction. acts is an optional reusable
+// result slice. Zero heap allocations at a stable batch shape.
+func (m *Model) InferBatch(bc *BatchInferCtx, envs []*sim.Env, rngs []*rand.Rand, opts []SampleOpts, acts []BatchAction) []BatchAction {
+	if cap(acts) < len(envs) {
+		acts = make([]BatchAction, len(envs))
+	} else {
+		acts = acts[:len(envs)]
+	}
+	for i := range acts {
+		acts[i] = BatchAction{}
+	}
+	if len(envs) == 0 {
+		return acts
+	}
+	bc.arena.Reset()
+	bc.extractBatch(envs)
+	out := m.forwardInferBatch(bc)
+	fb := &bc.fb
+
+	switch m.Cfg.Action {
+	case FullMask:
+		for b, env := range envs {
+			mTotal := len(fb.Envs[b].VM)
+			nTotal := len(fb.Envs[b].PM)
+			if cap(bc.jointMask) < mTotal*nTotal {
+				bc.jointMask = make([]bool, mTotal*nTotal)
+			} else {
+				bc.jointMask = bc.jointMask[:mTotal*nTotal]
+				for i := range bc.jointMask {
+					bc.jointMask[i] = false
+				}
+			}
+			bc.vmMask = env.VMMaskInto(bc.vmMask)
+			for v := 0; v < mTotal; v++ {
+				if !bc.vmMask[v] {
+					continue
+				}
+				bc.pmMask = env.PMMaskInto(v, bc.pmMask)
+				for p := 0; p < nTotal; p++ {
+					bc.jointMask[v*nTotal+p] = bc.pmMask[p]
+				}
+			}
+			probs := bc.arena.Softmax(m.jointLogitsBatchRow(bc, out, b, bc.jointMask)).Data
+			idx := sampleRow(probs, rngs[b], optAt(opts, b).Greedy)
+			acts[b].VM, acts[b].PM = idx/nTotal, idx%nTotal
+		}
+		return acts
+
+	case Penalty:
+		bc.vmSel = resizeInts(bc.vmSel, len(envs))
+		vmCol := m.vmLogitsBatch(bc, out)
+		for b := range envs {
+			vmProbs := bc.arena.Softmax(m.vmLogitsRow(bc, vmCol, b, nil)).Data
+			bc.vmSel[b] = sampleRow(vmProbs, rngs[b], optAt(opts, b).Greedy)
+			acts[b].VM = bc.vmSel[b]
+		}
+		pmCol := m.pmMergeBatch(bc, out, bc.vmSel)
+		for b := range envs {
+			pmProbs := bc.arena.Softmax(m.pmLogitsRow(bc, pmCol, b, nil)).Data
+			acts[b].PM = sampleRow(pmProbs, rngs[b], optAt(opts, b).Greedy)
+		}
+		return acts
+
+	default: // TwoStage
+		bc.vmSel = resizeInts(bc.vmSel, len(envs))
+		vmCol := m.vmLogitsBatch(bc, out)
+		for b, env := range envs {
+			o := optAt(opts, b)
+			bc.vmMask = env.VMMaskInto(bc.vmMask)
+			if !anyTrue(bc.vmMask) {
+				acts[b].Err = ErrNoMigratableVM
+				bc.vmSel[b] = -1
+				continue
+			}
+			bc.vmProbs = resizeFloats(bc.vmProbs, len(bc.vmMask))
+			copy(bc.vmProbs, bc.arena.Softmax(m.vmLogitsRow(bc, vmCol, b, bc.vmMask)).Data)
+			if o.VMQuantile > 0 {
+				bc.sortBuf = applyThresholdBuf(bc.sortBuf, bc.vmProbs, bc.vmMask, o.VMQuantile)
+			}
+			vm := sampleLegal(bc.vmProbs, bc.vmMask, rngs[b], o.Greedy)
+			bc.vmSel[b] = vm
+			acts[b].VM = vm
+		}
+		pmCol := m.pmMergeBatch(bc, out, bc.vmSel)
+		for b, env := range envs {
+			vm := bc.vmSel[b]
+			if vm < 0 {
+				continue
+			}
+			o := optAt(opts, b)
+			bc.pmMask = env.PMMaskInto(vm, bc.pmMask)
+			bc.pmProbs = resizeFloats(bc.pmProbs, len(bc.pmMask))
+			copy(bc.pmProbs, bc.arena.Softmax(m.pmLogitsRow(bc, pmCol, b, bc.pmMask)).Data)
+			if o.PMQuantile > 0 {
+				bc.sortBuf = applyThresholdBuf(bc.sortBuf, bc.pmProbs, bc.pmMask, o.PMQuantile)
+			}
+			pm := sampleLegal(bc.pmProbs, bc.pmMask, rngs[b], o.Greedy)
+			if m.Cfg.PMSubset > 0 {
+				// Decima-style: resample the PM from a random legal subset,
+				// overriding the learned stage-2 choice.
+				pm = subsetPM(bc.pmMask, m.Cfg.PMSubset, bc.pmProbs, rngs[b])
+			}
+			acts[b].PM = pm
+		}
+		return acts
+	}
+}
+
+// ActBatch is the training-path InferBatch: one batched forward pass, one
+// Decision per environment with the retained state snapshot, log-prob, and
+// critic value PPO stores. Per environment the decision is bit-identical to
+// Act given the same rng stream. The returned decisions own their storage
+// (state snapshots survive the context's next wave); the per-decision
+// allocations are inherent to retention.
+func (m *Model) ActBatch(bc *BatchInferCtx, envs []*sim.Env, rngs []*rand.Rand, opts []SampleOpts) []*Decision {
+	decs := make([]*Decision, len(envs))
+	if len(envs) == 0 {
+		return decs
+	}
+	bc.arena.Reset()
+	bc.extractBatch(envs)
+	out := m.forwardInferBatch(bc)
+	fb := &bc.fb
+	bc.values = m.valueInferBatch(bc, out, bc.values)
+	for b := range envs {
+		st := &State{Feat: fb.Envs[b].Clone()}
+		decs[b] = &Decision{State: st, Value: bc.values[b]}
+	}
+
+	switch m.Cfg.Action {
+	case FullMask:
+		for b, env := range envs {
+			st := decs[b].State
+			mTotal := len(fb.Envs[b].VM)
+			nTotal := len(fb.Envs[b].PM)
+			st.JointMask = make([]bool, mTotal*nTotal)
+			vmMask := env.VMMask()
+			for vm := 0; vm < mTotal; vm++ {
+				if !vmMask[vm] {
+					continue
+				}
+				pmMask := env.PMMask(vm)
+				for pm := 0; pm < nTotal; pm++ {
+					st.JointMask[vm*nTotal+pm] = pmMask[pm]
+				}
+			}
+			probs := bc.arena.Softmax(m.jointLogitsBatchRow(bc, out, b, st.JointMask)).Data
+			idx := sampleRow(probs, rngs[b], optAt(opts, b).Greedy)
+			st.VM, st.PM = idx/nTotal, idx%nTotal
+			decs[b].LogProb = logProbOf(probs[idx])
+		}
+		return decs
+
+	case Penalty:
+		bc.vmSel = resizeInts(bc.vmSel, len(envs))
+		vmCol := m.vmLogitsBatch(bc, out)
+		vmProbs := make([][]float64, len(envs))
+		for b := range envs {
+			vmProbs[b] = append([]float64(nil), bc.arena.Softmax(m.vmLogitsRow(bc, vmCol, b, nil)).Data...)
+			decs[b].State.VM = sampleRow(vmProbs[b], rngs[b], optAt(opts, b).Greedy)
+			bc.vmSel[b] = decs[b].State.VM
+		}
+		pmCol := m.pmMergeBatch(bc, out, bc.vmSel)
+		for b := range envs {
+			st := decs[b].State
+			pmProbs := bc.arena.Softmax(m.pmLogitsRow(bc, pmCol, b, nil)).Data
+			st.PM = sampleRow(pmProbs, rngs[b], optAt(opts, b).Greedy)
+			decs[b].LogProb = logProbOf(vmProbs[b][st.VM]) + logProbOf(pmProbs[st.PM])
+		}
+		return decs
+
+	default: // TwoStage
+		bc.vmSel = resizeInts(bc.vmSel, len(envs))
+		vmCol := m.vmLogitsBatch(bc, out)
+		vmProbs := make([][]float64, len(envs))
+		for b, env := range envs {
+			st := decs[b].State
+			o := optAt(opts, b)
+			st.VMMask = env.VMMask()
+			if !anyTrue(st.VMMask) {
+				decs[b] = nil // no migratable VM: episode over for this env
+				bc.vmSel[b] = -1
+				continue
+			}
+			vmProbs[b] = append([]float64(nil), bc.arena.Softmax(m.vmLogitsRow(bc, vmCol, b, st.VMMask)).Data...)
+			if o.VMQuantile > 0 {
+				bc.sortBuf = applyThresholdBuf(bc.sortBuf, vmProbs[b], st.VMMask, o.VMQuantile)
+			}
+			st.VM = sampleLegal(vmProbs[b], st.VMMask, rngs[b], o.Greedy)
+			bc.vmSel[b] = st.VM
+		}
+		pmCol := m.pmMergeBatch(bc, out, bc.vmSel)
+		for b, env := range envs {
+			if decs[b] == nil {
+				continue
+			}
+			st := decs[b].State
+			o := optAt(opts, b)
+			st.PMMask = env.PMMask(st.VM)
+			pmProbs := append([]float64(nil), bc.arena.Softmax(m.pmLogitsRow(bc, pmCol, b, st.PMMask)).Data...)
+			if o.PMQuantile > 0 {
+				bc.sortBuf = applyThresholdBuf(bc.sortBuf, pmProbs, st.PMMask, o.PMQuantile)
+			}
+			st.PM = sampleLegal(pmProbs, st.PMMask, rngs[b], o.Greedy)
+			decs[b].LogProb = logProbOf(vmProbs[b][st.VM]) + logProbOf(pmProbs[st.PM])
+			if m.Cfg.PMSubset > 0 {
+				st.PM = subsetPM(st.PMMask, m.Cfg.PMSubset, pmProbs, rngs[b])
+			}
+		}
+		return decs
+	}
+}
+
+// ValuesBatch returns the critic value of each cluster state through one
+// batched forward pass — the expansion primitive search-based consumers
+// (MCTS value priors) use to score candidate children in a single GEMM
+// instead of one forward per child. dst is an optional reusable slice.
+func (m *Model) ValuesBatch(bc *BatchInferCtx, cs []*cluster.Cluster, dst []float64) []float64 {
+	if len(cs) == 0 {
+		return dst[:0]
+	}
+	bc.arena.Reset()
+	bc.fb.Extract(cs)
+	out := m.forwardInferBatch(bc)
+	return m.valueInferBatch(bc, out, dst)
+}
+
+// RolloutBatch rolls every environment to completion in lock-step waves: one
+// batched forward per wave selects an action for every still-running
+// environment, then each environment steps. Environments drop out of the
+// wave as they finish (ragged tail), so the batch narrows rather than
+// padding. Stops early when ctx expires — every environment keeps its
+// best-so-far plan, matching the sequential Agent contract. opts and rngs
+// are per-environment (a single-element opts broadcasts). earlyStop mirrors
+// Agent.EarlyStop. Returns the first step error encountered (other
+// environments still finish).
+func (m *Model) RolloutBatch(ctx context.Context, bc *BatchInferCtx, envs []*sim.Env, rngs []*rand.Rand, opts []SampleOpts, earlyStop bool) error {
+	bc.active = bc.active[:0]
+	for i, env := range envs {
+		if !env.Done() {
+			bc.active = append(bc.active, i)
+		}
+	}
+	var firstErr error
+	for len(bc.active) > 0 && ctx.Err() == nil {
+		bc.waveEnvs = bc.waveEnvs[:0]
+		bc.waveRngs = bc.waveRngs[:0]
+		bc.waveOpts = bc.waveOpts[:0]
+		for _, i := range bc.active {
+			bc.waveEnvs = append(bc.waveEnvs, envs[i])
+			bc.waveRngs = append(bc.waveRngs, rngs[i])
+			bc.waveOpts = append(bc.waveOpts, optAt(opts, i))
+		}
+		bc.acts = m.InferBatch(bc, bc.waveEnvs, bc.waveRngs, bc.waveOpts, bc.acts)
+		n := 0
+		for k, i := range bc.active {
+			env := envs[i]
+			act := bc.acts[k]
+			if act.Err != nil {
+				continue // no migratable VM: episode effectively over
+			}
+			if m.Cfg.Action == Penalty {
+				if _, _, err := env.PenaltyStep(act.VM, act.PM, -5); err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					continue
+				}
+			} else {
+				if earlyStop {
+					if g, ok := sim.MoveGain(env.Cluster(), env.Objective(), act.VM, act.PM); ok && g < 0 {
+						continue
+					}
+				}
+				if _, _, err := env.Step(act.VM, act.PM); err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					continue
+				}
+			}
+			if !env.Done() {
+				bc.active[n] = i
+				n++
+			}
+		}
+		bc.active = bc.active[:n]
+	}
+	return firstErr
+}
+
+// resizeInts returns dst with length n, reallocating only when needed.
+func resizeInts(dst []int, n int) []int {
+	if cap(dst) < n {
+		return make([]int, n)
+	}
+	return dst[:n]
+}

@@ -74,6 +74,22 @@ func (a *Agent) Solve(ctx context.Context, env *sim.Env) error {
 	return nil
 }
 
+// SolveBatch rolls every environment in lock-step with one batched forward
+// per wave (Model.RolloutBatch) — the scale-out hook: a sharded solve hands
+// all shard environments to one call and amortizes a single stacked GEMM
+// chain across them. Per environment the rollout is bit-identical to Solve
+// with seed Seed+1000003·i. Environments already done are left untouched;
+// ctx expiry keeps every best-so-far plan.
+func (a *Agent) SolveBatch(ctx context.Context, envs []*sim.Env) error {
+	bc := batchPool.Get().(*BatchInferCtx)
+	defer batchPool.Put(bc)
+	rngs := make([]*rand.Rand, len(envs))
+	for i := range rngs {
+		rngs[i] = rand.New(rand.NewSource(a.Seed + 1_000_003*int64(i)))
+	}
+	return a.Model.RolloutBatch(ctx, bc, envs, rngs, []SampleOpts{a.Opts}, a.EarlyStop)
+}
+
 // NeuPlan is the hybrid baseline (Zhu et al., SIGCOMM'21; paper section
 // 5.1): the RL agent emits the first moves to prune the search space, then
 // an exact solver finishes the remaining budget. Beta is the paper's relax

@@ -44,7 +44,14 @@ type Config struct {
 	// Results are merged in worker order, so training stays deterministic
 	// for a fixed seed regardless of scheduling.
 	Workers int
-	Seed    int64
+	// Envs, when > 1, collects rollouts through the vectorized stepper: that
+	// many environments run lock-step on one goroutine and every wave issues
+	// a single batched forward (policy.ActBatch) instead of one forward per
+	// environment. Environments that finish their share drop out of the wave
+	// (ragged tail). Deterministic for a fixed seed (per-env rngs, merged in
+	// env order); takes precedence over Workers.
+	Envs int
+	Seed int64
 }
 
 // DefaultConfig mirrors CleanRL's PPO defaults, scaled for small clusters.
@@ -87,6 +94,9 @@ type Trainer struct {
 	rng   *rand.Rand
 	// pool recycles minibatch graph storage across Update calls.
 	pool *tensor.GraphPool
+	// bic is the batched inference context the vectorized stepper reuses
+	// across waves, episodes, and updates.
+	bic *policy.BatchInferCtx
 }
 
 // NewTrainer builds a trainer (one Adam state per trainer).
@@ -109,10 +119,122 @@ func NewTrainer(m *policy.Model, cfg Config) *Trainer {
 // episode starting from a random mapping in maps. With Cfg.Workers > 1 the
 // episodes are collected concurrently and merged in worker order.
 func (t *Trainer) collect(maps []*cluster.Cluster, envCfg sim.Config) ([]transition, float64) {
+	if t.Cfg.Envs > 1 {
+		return t.collectVectorized(maps, envCfg)
+	}
 	if t.Cfg.Workers > 1 {
 		return t.collectParallel(maps, envCfg)
 	}
 	return t.collectWith(maps, envCfg, t.rng, t.Cfg.RolloutSteps)
+}
+
+// collectVectorized lock-steps Cfg.Envs environments and issues one batched
+// forward per wave: the B environments' feature rows are stacked so every
+// row-wise network stage runs as a single GEMM. Each environment owns a
+// deterministic rng (the same derivation collectParallel uses per worker)
+// and contributes whole episodes until it reaches its share of
+// RolloutSteps, then drops out of the wave; batches merge in env order.
+func (t *Trainer) collectVectorized(maps []*cluster.Cluster, envCfg sim.Config) ([]transition, float64) {
+	n := t.Cfg.Envs
+	per := (t.Cfg.RolloutSteps + n - 1) / n
+	if t.bic == nil {
+		t.bic = policy.NewBatchInferCtx()
+	}
+	type envState struct {
+		env      *sim.Env
+		rng      *rand.Rand
+		batch    []transition
+		epReturn float64
+		returns  []float64
+	}
+	states := make([]envState, n)
+	active := make([]int, 0, n)
+	for i := range states {
+		s := &states[i]
+		s.rng = rand.New(rand.NewSource(t.Cfg.Seed*1_000_003 + int64(i)))
+		s.env = sim.New(maps[s.rng.Intn(len(maps))], envCfg)
+		active = append(active, i)
+	}
+	// endEpisode closes the env's running episode (epEnd fix-up mirrors the
+	// sequential loop) and reports whether the env still needs steps.
+	endEpisode := func(s *envState) bool {
+		if k := len(s.batch); k > 0 && !s.batch[k-1].epEnd {
+			s.batch[k-1].epEnd = true
+		}
+		s.returns = append(s.returns, s.epReturn)
+		s.epReturn = 0
+		if len(s.batch) >= per {
+			return false
+		}
+		s.env = sim.New(maps[s.rng.Intn(len(maps))], envCfg)
+		return true
+	}
+	waveEnvs := make([]*sim.Env, 0, n)
+	waveRngs := make([]*rand.Rand, 0, n)
+	for len(active) > 0 {
+		waveEnvs, waveRngs = waveEnvs[:0], waveRngs[:0]
+		for _, i := range active {
+			waveEnvs = append(waveEnvs, states[i].env)
+			waveRngs = append(waveRngs, states[i].rng)
+		}
+		decs := t.Model.ActBatch(t.bic, waveEnvs, waveRngs, []policy.SampleOpts{{}})
+		keep := active[:0]
+		for k, i := range active {
+			s := &states[i]
+			dec := decs[k]
+			if dec == nil {
+				// No migratable VM: the episode is over.
+				if endEpisode(s) {
+					keep = append(keep, i)
+				}
+				continue
+			}
+			var r float64
+			var done bool
+			var err error
+			illegal := false
+			if t.Model.Cfg.Action == policy.Penalty {
+				before := s.env.StepsTaken()
+				r, done, err = s.env.PenaltyStep(dec.State.VM, dec.State.PM, t.Cfg.Penalty)
+				illegal = err == nil && s.env.StepsTaken() == before+1 && r == t.Cfg.Penalty
+			} else {
+				r, done, err = s.env.Step(dec.State.VM, dec.State.PM)
+			}
+			if err != nil {
+				if endEpisode(s) {
+					keep = append(keep, i)
+				}
+				continue
+			}
+			s.batch = append(s.batch, transition{
+				state: dec.State, logp: dec.LogProb, value: dec.Value,
+				reward: r, done: done, epEnd: done, illegal: illegal,
+			})
+			s.epReturn += r
+			if done {
+				if endEpisode(s) {
+					keep = append(keep, i)
+				}
+				continue
+			}
+			keep = append(keep, i)
+		}
+		active = keep
+	}
+	var batch []transition
+	mean := 0.0
+	for i := range states {
+		batch = append(batch, states[i].batch...)
+		m := 0.0
+		for _, r := range states[i].returns {
+			m += r
+		}
+		if len(states[i].returns) > 0 {
+			m /= float64(len(states[i].returns))
+		}
+		mean += m
+	}
+	return batch, mean / float64(n)
 }
 
 // collectParallel fans episode collection out to Cfg.Workers goroutines,
@@ -143,15 +265,18 @@ func (t *Trainer) collectParallel(maps []*cluster.Cluster, envCfg sim.Config) ([
 }
 
 // collectWith is the single-threaded collection loop over an explicit rng.
+// One inference context serves every decision of the call instead of a pool
+// round-trip per step.
 func (t *Trainer) collectWith(maps []*cluster.Cluster, envCfg sim.Config, rng *rand.Rand, steps int) ([]transition, float64) {
 	var batch []transition
 	episodeReturns := []float64{}
+	ic := policy.NewInferCtx()
 	for len(batch) < steps {
 		init := maps[rng.Intn(len(maps))]
 		env := sim.New(init, envCfg)
 		epReturn := 0.0
 		for !env.Done() {
-			dec, err := t.Model.Act(env, rng, policy.SampleOpts{})
+			dec, err := t.Model.ActCtx(ic, env, rng, policy.SampleOpts{})
 			if err != nil {
 				break // no migratable VM: end episode
 			}
@@ -373,19 +498,24 @@ func (t *Trainer) Train(maps []*cluster.Cluster, envCfg sim.Config, n int, onUpd
 
 // EvalFR rolls the greedy policy on each mapping and returns the mean final
 // objective value (FR for the default objective) — the "test fragment rate"
-// of the paper's convergence plots.
+// of the paper's convergence plots. All mappings roll in lock-step through
+// one pooled batched context (Agent.SolveBatch), so every evaluation wave is
+// a single stacked forward instead of one per mapping, and the context is
+// reused across every episode of the call. Greedy selection ignores the rng,
+// so the result equals the sequential per-mapping rollout.
 func EvalFR(m *policy.Model, maps []*cluster.Cluster, envCfg sim.Config) float64 {
 	if len(maps) == 0 {
 		return 0
 	}
-	total := 0.0
+	envs := make([]*sim.Env, len(maps))
 	for i, init := range maps {
-		env := sim.New(init, envCfg)
-		ag := policy.Agent{Model: m, Opts: policy.SampleOpts{Greedy: true}, Seed: int64(i)}
-		if err := ag.Solve(context.Background(), env); err != nil {
-			// An agent error leaves the episode short; count current value.
-			_ = err
-		}
+		envs[i] = sim.New(init, envCfg)
+	}
+	ag := policy.Agent{Model: m, Opts: policy.SampleOpts{Greedy: true}}
+	// An agent error leaves episodes short; count current values regardless.
+	_ = ag.SolveBatch(context.Background(), envs)
+	total := 0.0
+	for _, env := range envs {
 		total += env.Value()
 	}
 	return total / float64(len(maps))

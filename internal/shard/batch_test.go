@@ -1,0 +1,125 @@
+package shard
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"vmr2l/internal/cluster"
+	"vmr2l/internal/policy"
+	"vmr2l/internal/sim"
+	"vmr2l/internal/solver"
+)
+
+var _ BatchSolver = (*policy.Agent)(nil)
+
+// TestShardedBatchSolverPath runs a sharded solve with a single policy
+// engine, which routes through the cross-shard batched rollout: all shard
+// environments lock-step through one batched forward per wave. The merged
+// plan must satisfy the same acceptance properties as the raced path, and
+// the per-shard stats must report the batching engine.
+func TestShardedBatchSolverPath(t *testing.T) {
+	m := policy.New(policy.Config{
+		DModel: 16, Hidden: 24, Blocks: 1,
+		Extractor: policy.SparseAttention, Action: policy.TwoStage, Seed: 4,
+	})
+	engines := []Engine{{Name: "vmr2l", S: &policy.Agent{Model: m, Opts: policy.SampleOpts{Greedy: true}}}}
+	const mnl = 12
+	for seed := int64(1); seed <= 3; seed++ {
+		live := affinityCluster(t, seed, 3)
+		for _, shards := range []int{2, 4} {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			res, err := Solve(ctx, live, sim.Config{MNL: mnl, Obj: sim.FR16()}, engines, Options{Shards: shards})
+			cancel()
+			if err != nil {
+				t.Fatalf("seed %d shards %d: %v", seed, shards, err)
+			}
+			if len(res.Plan) > mnl {
+				t.Fatalf("seed %d shards %d: plan has %d migrations, MNL %d", seed, shards, len(res.Plan), mnl)
+			}
+			if len(res.Shards) == 0 {
+				t.Fatalf("seed %d shards %d: no shard stats", seed, shards)
+			}
+			for _, st := range res.Shards {
+				if st.Engine != "vmr2l" {
+					t.Fatalf("seed %d shards %d: shard %d engine %q", seed, shards, st.Shard, st.Engine)
+				}
+			}
+			for _, check := range solver.ValidatePlan(live, res.Plan) {
+				if check.Status != solver.MigrationValid {
+					t.Fatalf("seed %d shards %d: migration %+v is %s post-repair",
+						seed, shards, check.Migration, check.Status)
+				}
+			}
+			applied := live.Clone()
+			ok, skipped := sim.ApplyPlan(applied, res.Plan)
+			if skipped != 0 || ok != len(res.Plan) {
+				t.Fatalf("seed %d shards %d: applied %d, skipped %d of %d",
+					seed, shards, ok, skipped, len(res.Plan))
+			}
+			if err := applied.Validate(); err != nil {
+				t.Fatalf("seed %d shards %d: cluster invalid after apply: %v", seed, shards, err)
+			}
+			if got := applied.FragRate(cluster.DefaultFragCores); got-res.FinalFR > 1e-9 || res.FinalFR-got > 1e-9 {
+				t.Fatalf("seed %d shards %d: reported final FR %v, applied FR %v", seed, shards, res.FinalFR, got)
+			}
+		}
+	}
+}
+
+// TestShardedBatchMatchesPerShardSequential pins the cross-shard batching
+// equivalence: because the batched rollout is bit-identical per environment,
+// a sharded solve through SolveBatch must produce exactly the plan obtained
+// by solving each shard sequentially with the engine's derived per-shard
+// seeds.
+func TestShardedBatchMatchesPerShardSequential(t *testing.T) {
+	m := policy.New(policy.Config{
+		DModel: 16, Hidden: 24, Blocks: 1,
+		Extractor: policy.SparseAttention, Action: policy.TwoStage, Seed: 6,
+	})
+	ag := &policy.Agent{Model: m, Opts: policy.SampleOpts{Greedy: true}, Seed: 17}
+	live := affinityCluster(t, 5, 3)
+	cfg := sim.Config{MNL: 8, Obj: sim.FR16()}
+	const shards = 3
+	res, err := Solve(context.Background(), live, cfg, []Engine{{Name: "vmr2l", S: ag}}, Options{Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-derive the per-shard sub-problems exactly as Solve does and run
+	// each sequentially with the seed SolveBatch assigns to that index.
+	parts, _ := Partition(live, shards)
+	per := cfg.MNL / len(parts)
+	if per < 1 {
+		per = 1
+	}
+	var want []sim.Migration
+	for i, p := range parts {
+		sub, smap := live.ExtractSub(p)
+		sub.Fragment(cluster.DefaultFragCores)
+		env := sim.New(sub, sim.Config{MNL: per, Obj: cfg.Obj})
+		seq := &policy.Agent{Model: m, Opts: ag.Opts, Seed: ag.Seed + 1_000_003*int64(i)}
+		if err := seq.Solve(context.Background(), env); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, remap(smap, env.Plan())...)
+	}
+	// The live cluster has not drifted between solve and repair, so repair
+	// keeps every valid migration: the repaired plan must equal the merged
+	// sequential plan truncated to the global MNL, migration for migration.
+	want = truncate(want, cfg.MNL)
+	if len(res.Plan) != len(want) {
+		t.Fatalf("batched plan length %d != sequential %d", len(res.Plan), len(want))
+	}
+	for i := range want {
+		if res.Plan[i] != want[i] {
+			t.Fatalf("migration %d: batched %+v != sequential %+v", i, res.Plan[i], want[i])
+		}
+	}
+	total := 0
+	for _, st := range res.Shards {
+		total += st.Steps
+	}
+	if total != len(want) {
+		t.Fatalf("batched shard steps %d != sequential merged steps %d", total, len(want))
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"vmr2l/internal/cluster"
 	"vmr2l/internal/sim"
@@ -55,6 +56,16 @@ type Result struct {
 	// TimedOut reports the shared deadline expired during the race and the
 	// shard plans are anytime best-so-far.
 	TimedOut bool
+}
+
+// BatchSolver is implemented by engines that can roll many environments in
+// lock-step with one batched forward per wave (policy.Agent). When a sharded
+// solve runs exactly one such engine, every shard's sub-problem joins a
+// single batched rollout instead of one independent solve per shard: the
+// network amortizes one stacked GEMM chain over all shards per wave.
+type BatchSolver interface {
+	solver.Solver
+	SolveBatch(ctx context.Context, envs []*sim.Env) error
 }
 
 // outcome is one engine's result in a race.
@@ -182,6 +193,38 @@ func Solve(ctx context.Context, live *cluster.Cluster, cfg sim.Config, engines [
 	}
 	stats := make([]Stat, k)
 	plans := make([][]sim.Migration, k)
+	if bs, ok := batchEngine(engines); ok {
+		// Cross-shard batching: all shard environments roll in one lock-step
+		// batched rollout — one forward pass per wave serves every shard.
+		shardCfg := cfg
+		shardCfg.MNL = per
+		envs := make([]*sim.Env, k)
+		for i := range subs {
+			envs[i] = sim.New(subs[i], shardCfg)
+		}
+		start := time.Now()
+		if err := bs.SolveBatch(ctx, envs); err != nil {
+			return Result{}, err
+		}
+		elapsed := float64(time.Since(start).Microseconds()) / 1000
+		for i, env := range envs {
+			plans[i] = remap(maps[i], env.Plan())
+			stats[i] = Stat{
+				Shard:  i,
+				PMs:    len(subs[i].PMs),
+				VMs:    len(subs[i].VMs),
+				Engine: engines[0].Name,
+				Steps:  env.StepsTaken(),
+				// The batched rollout is one shared wall-clock span; each
+				// shard reports the span it was part of.
+				ElapsedMS: elapsed,
+				InitialFR: subs[i].FragRate(cluster.DefaultFragCores),
+				FinalFR:   env.FragRate(),
+				TimedOut:  errors.Is(ctx.Err(), context.DeadlineExceeded),
+			}
+		}
+		return merge(ctx, live, cfg, plans, stats, oversized)
+	}
 	errs := make([]error, k)
 	var wg sync.WaitGroup
 	for i := range subs {
@@ -215,6 +258,23 @@ func Solve(ctx context.Context, live *cluster.Cluster, cfg sim.Config, engines [
 			return Result{}, err
 		}
 	}
+	return merge(ctx, live, cfg, plans, stats, oversized)
+}
+
+// batchEngine reports whether the engine set is a single lock-step-capable
+// solver — the condition under which sharding batches instead of racing.
+func batchEngine(engines []Engine) (BatchSolver, bool) {
+	if len(engines) != 1 {
+		return nil, false
+	}
+	bs, ok := engines[0].S.(BatchSolver)
+	return bs, ok
+}
+
+// merge is the shared tail of a scale-out solve: concatenate remapped shard
+// plans in shard order, truncate to the global MNL, and validate + repair
+// against the live cluster.
+func merge(ctx context.Context, live *cluster.Cluster, cfg sim.Config, plans [][]sim.Migration, stats []Stat, oversized int) (Result, error) {
 	global := make([]sim.Migration, 0, cfg.MNL)
 	for _, p := range plans {
 		global = append(global, p...)

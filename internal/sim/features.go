@@ -22,17 +22,28 @@ type Features struct {
 	// HostPM[v] is the PM currently hosting VM v, or -1.
 	HostPM []int
 
-	// buf backs every PM row followed by every VM row, row-major.
-	buf []float64
+	// buf backs every PM row followed by every VM row when the Features owns
+	// its storage; batch-extracted Features instead alias slots of a
+	// FeatureBatch's stacked buffers and leave buf nil.
+	buf            []float64
+	pmFlat, vmFlat []float64
 }
 
 // FlatPM returns the PM rows as one row-major slice (len(PM)*PMFeatDim).
-func (f *Features) FlatPM() []float64 { return f.buf[:len(f.PM)*PMFeatDim] }
+func (f *Features) FlatPM() []float64 { return f.pmFlat }
 
 // FlatVM returns the VM rows as one row-major slice (len(VM)*VMFeatDim).
-func (f *Features) FlatVM() []float64 {
-	off := len(f.PM) * PMFeatDim
-	return f.buf[off : off+len(f.VM)*VMFeatDim]
+func (f *Features) FlatVM() []float64 { return f.vmFlat }
+
+// Clone returns a deep copy with its own storage, detached from any batch
+// buffer — the snapshot ActBatch stores for PPO's later re-evaluation.
+func (f *Features) Clone() *Features {
+	cp := &Features{}
+	cp.reshape(len(f.PM), len(f.VM))
+	copy(cp.pmFlat, f.pmFlat)
+	copy(cp.vmFlat, f.vmFlat)
+	copy(cp.HostPM, f.HostPM)
+	return cp
 }
 
 // reshape sizes the backing buffer and row headers for nPM PMs and nVM VMs,
@@ -47,9 +58,18 @@ func (f *Features) reshape(nPM, nVM int) {
 			f.buf[i] = 0
 		}
 	}
+	f.reshapeInto(nPM, nVM, f.buf[:nPM*PMFeatDim], f.buf[nPM*PMFeatDim:need])
+}
+
+// reshapeInto points the row headers at the provided (already zeroed) PM and
+// VM backing slices — the aliasing mode FeatureBatch uses to stack several
+// environments' rows contiguously.
+func (f *Features) reshapeInto(nPM, nVM int, pmFlat, vmFlat []float64) {
+	f.pmFlat, f.vmFlat = pmFlat, vmFlat
 	if len(f.PM) == nPM && len(f.VM) == nVM && len(f.HostPM) == nVM &&
-		(nPM == 0 || &f.PM[0][0] == &f.buf[0]) {
-		return // headers already point into the current buffer
+		(nPM == 0 || &f.PM[0][0] == &pmFlat[0]) &&
+		(nVM == 0 || &f.VM[0][0] == &vmFlat[0]) {
+		return // headers already point into the current buffers
 	}
 	if cap(f.PM) < nPM {
 		f.PM = make([][]float64, nPM)
@@ -67,11 +87,10 @@ func (f *Features) reshape(nPM, nVM int) {
 		f.HostPM = f.HostPM[:nVM]
 	}
 	for i := 0; i < nPM; i++ {
-		f.PM[i] = f.buf[i*PMFeatDim : (i+1)*PMFeatDim : (i+1)*PMFeatDim]
+		f.PM[i] = pmFlat[i*PMFeatDim : (i+1)*PMFeatDim : (i+1)*PMFeatDim]
 	}
-	off := nPM * PMFeatDim
 	for v := 0; v < nVM; v++ {
-		f.VM[v] = f.buf[off+v*VMFeatDim : off+(v+1)*VMFeatDim : off+(v+1)*VMFeatDim]
+		f.VM[v] = vmFlat[v*VMFeatDim : (v+1)*VMFeatDim : (v+1)*VMFeatDim]
 	}
 }
 
@@ -107,6 +126,13 @@ func Extract(c *cluster.Cluster) *Features {
 // this is the per-step path of policy rollouts.
 func ExtractInto(f *Features, c *cluster.Cluster) {
 	f.reshape(len(c.PMs), len(c.VMs))
+	f.fill(c)
+}
+
+// fill computes the feature rows for c into f's already-shaped (and zeroed)
+// headers. Per-column normalization spans only this environment's machines,
+// so filling into a batch slot is bit-identical to a standalone extraction.
+func (f *Features) fill(c *cluster.Cluster) {
 	for i := range c.PMs {
 		pmRaw(&c.PMs[i], f.PM[i])
 	}
@@ -140,6 +166,81 @@ func ExtractInto(f *Features, c *cluster.Cluster) {
 	}
 	normalize(f.PM)
 	normalize(f.VM)
+}
+
+// FeatureBatch extracts the states of several environments into two stacked
+// flat buffers: every environment's PM rows laid back to back in one
+// (ΣnPM)×PMFeatDim block and every environment's VM rows in one
+// (ΣnVM)×VMFeatDim block. The batched policy forward feeds each block to the
+// embedding GEMMs as a single B-row matrix, replacing B single-environment
+// matmuls with one. Envs[i] is a Features header whose rows alias the shared
+// buffers, so each environment's extraction and normalization is
+// bit-identical to a standalone ExtractInto. Environments may have different
+// shapes (ragged batches); PMOff/VMOff carry the per-environment row
+// offsets. Re-extraction at a stable batch shape performs zero allocations.
+type FeatureBatch struct {
+	Envs []Features
+	// PMOff/VMOff are the B+1 row offsets of each environment's block within
+	// the stacked PM / VM buffers.
+	PMOff, VMOff   []int
+	pmFlat, vmFlat []float64
+}
+
+// Len returns the number of environments in the batch.
+func (b *FeatureBatch) Len() int { return len(b.Envs) }
+
+// FlatPM returns all PM rows of the batch as one row-major slice.
+func (b *FeatureBatch) FlatPM() []float64 { return b.pmFlat }
+
+// FlatVM returns all VM rows of the batch as one row-major slice.
+func (b *FeatureBatch) FlatVM() []float64 { return b.vmFlat }
+
+// Extract recomputes the batch for the given clusters, reusing all storage.
+func (b *FeatureBatch) Extract(cs []*cluster.Cluster) {
+	n := len(cs)
+	b.PMOff = resizeInts(b.PMOff, n+1)
+	b.VMOff = resizeInts(b.VMOff, n+1)
+	b.PMOff[0], b.VMOff[0] = 0, 0
+	for i, c := range cs {
+		b.PMOff[i+1] = b.PMOff[i] + len(c.PMs)
+		b.VMOff[i+1] = b.VMOff[i] + len(c.VMs)
+	}
+	b.pmFlat = resizeZeroed(b.pmFlat, b.PMOff[n]*PMFeatDim)
+	b.vmFlat = resizeZeroed(b.vmFlat, b.VMOff[n]*VMFeatDim)
+	if cap(b.Envs) < n {
+		grown := make([]Features, n)
+		copy(grown, b.Envs) // keep warmed headers of existing slots
+		b.Envs = grown
+	} else {
+		b.Envs = b.Envs[:n]
+	}
+	for i, c := range cs {
+		f := &b.Envs[i]
+		f.reshapeInto(len(c.PMs), len(c.VMs),
+			b.pmFlat[b.PMOff[i]*PMFeatDim:b.PMOff[i+1]*PMFeatDim],
+			b.vmFlat[b.VMOff[i]*VMFeatDim:b.VMOff[i+1]*VMFeatDim])
+		f.fill(c)
+	}
+}
+
+// resizeInts returns dst with length n, reallocating only when needed.
+func resizeInts(dst []int, n int) []int {
+	if cap(dst) < n {
+		return make([]int, n)
+	}
+	return dst[:n]
+}
+
+// resizeZeroed returns dst with length n and every element zero.
+func resizeZeroed(dst []float64, n int) []float64 {
+	if cap(dst) < n {
+		return make([]float64, n)
+	}
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = 0
+	}
+	return dst
 }
 
 // normalize applies per-column min-max scaling in place.

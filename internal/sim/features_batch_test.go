@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"vmr2l/internal/cluster"
+	"vmr2l/internal/trace"
+)
+
+func batchClusters(t *testing.T, n int) []*cluster.Cluster {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	p := trace.MustProfile("tiny")
+	cs := make([]*cluster.Cluster, n)
+	for i := range cs {
+		cs[i] = p.GenerateMapping(rng)
+		// Ragged shapes: drop a few VMs from later clusters.
+		for j := 0; j < i && len(cs[i].VMs) > 1; j++ {
+			_ = cs[i].Remove(len(cs[i].VMs) - 1 - j)
+		}
+	}
+	return cs
+}
+
+// TestFeatureBatchMatchesExtractInto pins the batched extraction contract:
+// every environment's rows in the stacked buffers are bit-identical to a
+// standalone ExtractInto (normalization spans only that environment).
+func TestFeatureBatchMatchesExtractInto(t *testing.T) {
+	cs := batchClusters(t, 4)
+	var fb FeatureBatch
+	fb.Extract(cs)
+	if fb.Len() != len(cs) {
+		t.Fatalf("batch len %d != %d", fb.Len(), len(cs))
+	}
+	for i, c := range cs {
+		var ref Features
+		ExtractInto(&ref, c)
+		got := &fb.Envs[i]
+		if len(got.PM) != len(ref.PM) || len(got.VM) != len(ref.VM) {
+			t.Fatalf("env %d: shape %d/%d vs %d/%d", i, len(got.PM), len(got.VM), len(ref.PM), len(ref.VM))
+		}
+		for r := range ref.PM {
+			for j := range ref.PM[r] {
+				if ref.PM[r][j] != got.PM[r][j] {
+					t.Fatalf("env %d PM[%d][%d]: %v != %v", i, r, j, got.PM[r][j], ref.PM[r][j])
+				}
+			}
+		}
+		for r := range ref.VM {
+			for j := range ref.VM[r] {
+				if ref.VM[r][j] != got.VM[r][j] {
+					t.Fatalf("env %d VM[%d][%d]: %v != %v", i, r, j, got.VM[r][j], ref.VM[r][j])
+				}
+			}
+		}
+		for v := range ref.HostPM {
+			if ref.HostPM[v] != got.HostPM[v] {
+				t.Fatalf("env %d HostPM[%d]: %d != %d", i, v, got.HostPM[v], ref.HostPM[v])
+			}
+		}
+		// The flat views must alias the shared stacked buffers at the
+		// recorded offsets.
+		if &got.FlatPM()[0] != &fb.FlatPM()[fb.PMOff[i]*PMFeatDim] {
+			t.Fatalf("env %d: FlatPM does not alias the stacked buffer", i)
+		}
+		if &got.FlatVM()[0] != &fb.FlatVM()[fb.VMOff[i]*VMFeatDim] {
+			t.Fatalf("env %d: FlatVM does not alias the stacked buffer", i)
+		}
+	}
+}
+
+// TestFeatureBatchSteadyStateAllocs verifies batch re-extraction at a stable
+// shape allocates nothing.
+func TestFeatureBatchSteadyStateAllocs(t *testing.T) {
+	cs := batchClusters(t, 3)
+	var fb FeatureBatch
+	fb.Extract(cs)
+	fb.Extract(cs)
+	if allocs := testing.AllocsPerRun(50, func() { fb.Extract(cs) }); allocs > 0 {
+		t.Fatalf("steady-state batch extraction allocates %v times", allocs)
+	}
+}
+
+// TestFeaturesCloneDetaches verifies Clone copies out of a batch slot.
+func TestFeaturesCloneDetaches(t *testing.T) {
+	cs := batchClusters(t, 2)
+	var fb FeatureBatch
+	fb.Extract(cs)
+	cp := fb.Envs[1].Clone()
+	want := append([]float64(nil), cp.FlatVM()...)
+	for i := range fb.Envs[1].FlatVM() {
+		fb.Envs[1].FlatVM()[i] = -999
+	}
+	for i, v := range cp.FlatVM() {
+		if v != want[i] {
+			t.Fatalf("clone mutated through batch buffer at %d", i)
+		}
+	}
+	if len(cp.PM) != len(fb.Envs[1].PM) || len(cp.VM) != len(fb.Envs[1].VM) {
+		t.Fatal("clone shape mismatch")
+	}
+}

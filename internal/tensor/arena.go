@@ -3,6 +3,8 @@ package tensor
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 )
 
 // Arena is the inference-mode scratch allocator: a bump allocator over a
@@ -24,10 +26,29 @@ type Arena struct {
 	// recycled as backing buffers.
 	views []*Tensor
 	vnext int
+	// tslices are recycled []*Tensor headers (SegmentedAttention's
+	// per-segment probability lists).
+	tslices [][]*Tensor
+	tsnext  int
 }
 
-// Reset recycles all tensors and views handed out since the last Reset.
-func (ar *Arena) Reset() { ar.next, ar.vnext = 0, 0 }
+// Reset recycles all tensors, views, and tensor slices handed out since the
+// last Reset.
+func (ar *Arena) Reset() { ar.next, ar.vnext, ar.tsnext = 0, 0, 0 }
+
+// tensorSlice returns a recycled []*Tensor of length n.
+func (ar *Arena) tensorSlice(n int) []*Tensor {
+	if ar.tsnext == len(ar.tslices) {
+		ar.tslices = append(ar.tslices, make([]*Tensor, n))
+	}
+	s := ar.tslices[ar.tsnext]
+	if cap(s) < n {
+		s = make([]*Tensor, n)
+		ar.tslices[ar.tsnext] = s
+	}
+	ar.tsnext++
+	return s[:n]
+}
 
 // view returns a reusable tensor header whose Data the caller will point at
 // existing storage.
@@ -44,6 +65,20 @@ func (ar *Arena) view(data []float64, rows, cols int) *Tensor {
 
 // Tensor returns a zeroed rows×cols tensor backed by recycled storage.
 func (ar *Arena) Tensor(rows, cols int) *Tensor {
+	t := ar.Uninit(rows, cols)
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+	return t
+}
+
+// Uninit returns a rows×cols tensor backed by recycled storage WITHOUT
+// clearing it: recycled entries hold stale values from earlier ops. Use only
+// when every element will be written before it is read — the case for most
+// elementwise and copy ops, where the zeroing of Tensor is pure memclr
+// overhead on the inference hot path. Accumulating consumers (MatMul,
+// GroupedAttention) must use Tensor.
+func (ar *Arena) Uninit(rows, cols int) *Tensor {
 	if rows < 0 || cols < 0 {
 		panic(fmt.Sprintf("tensor: arena invalid shape %dx%d", rows, cols))
 	}
@@ -57,9 +92,6 @@ func (ar *Arena) Tensor(rows, cols int) *Tensor {
 		t.Data = make([]float64, n)
 	} else {
 		t.Data = t.Data[:n]
-		for i := range t.Data {
-			t.Data[i] = 0
-		}
 	}
 	t.Rows, t.Cols = rows, cols
 	t.Grad, t.parents, t.backward, t.requiresGrad = nil, nil, nil, false
@@ -71,7 +103,7 @@ func (ar *Arena) FromFlat(rows, cols int, data []float64) *Tensor {
 	if len(data) != rows*cols {
 		panic(fmt.Sprintf("tensor: arena FromFlat %dx%d with %d values", rows, cols, len(data)))
 	}
-	t := ar.Tensor(rows, cols)
+	t := ar.Uninit(rows, cols)
 	copy(t.Data, data)
 	return t
 }
@@ -91,7 +123,7 @@ func (ar *Arena) MatMulT(a, b *Tensor) *Tensor {
 	if a.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMulT %dx%d · (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	out := ar.Tensor(a.Rows, b.Rows)
+	out := ar.Uninit(a.Rows, b.Rows)
 	matMulTInto(out.Data, a.Data, b.Data, a.Rows, a.Cols, b.Rows)
 	return out
 }
@@ -99,7 +131,7 @@ func (ar *Arena) MatMulT(a, b *Tensor) *Tensor {
 // Add returns a + b elementwise.
 func (ar *Arena) Add(a, b *Tensor) *Tensor {
 	sameShape(a, b, "arena Add")
-	out := ar.Tensor(a.Rows, a.Cols)
+	out := ar.Uninit(a.Rows, a.Cols)
 	for i := range out.Data {
 		out.Data[i] = a.Data[i] + b.Data[i]
 	}
@@ -111,7 +143,7 @@ func (ar *Arena) AddRow(a, row *Tensor) *Tensor {
 	if row.Rows != 1 || row.Cols != a.Cols {
 		panic(fmt.Sprintf("tensor: arena AddRow %dx%d + %dx%d", a.Rows, a.Cols, row.Rows, row.Cols))
 	}
-	out := ar.Tensor(a.Rows, a.Cols)
+	out := ar.Uninit(a.Rows, a.Cols)
 	for i := 0; i < a.Rows; i++ {
 		o := out.Data[i*a.Cols : (i+1)*a.Cols]
 		x := a.Data[i*a.Cols : (i+1)*a.Cols]
@@ -122,9 +154,38 @@ func (ar *Arena) AddRow(a, row *Tensor) *Tensor {
 	return out
 }
 
+// AddRowInPlace adds row (1×n) onto every row of a and returns a. The
+// values are identical to AddRow; a's storage is reused instead of a fresh
+// tensor, halving the footprint of bias adds whose input is a single-use
+// intermediate (Linear.Infer's matmul output). a must be a materialized
+// arena tensor the caller owns exclusively — never a view.
+func (ar *Arena) AddRowInPlace(a, row *Tensor) *Tensor {
+	if row.Rows != 1 || row.Cols != a.Cols {
+		panic(fmt.Sprintf("tensor: arena AddRowInPlace %dx%d + %dx%d", a.Rows, a.Cols, row.Rows, row.Cols))
+	}
+	for i := 0; i < a.Rows; i++ {
+		o := a.Data[i*a.Cols : (i+1)*a.Cols]
+		for j := range o {
+			o[j] += row.Data[j]
+		}
+	}
+	return a
+}
+
+// ReLUInPlace clamps a to max(a, 0) in place and returns a. Same ownership
+// contract as AddRowInPlace.
+func (ar *Arena) ReLUInPlace(a *Tensor) *Tensor {
+	for i, v := range a.Data {
+		if v <= 0 {
+			a.Data[i] = 0
+		}
+	}
+	return a
+}
+
 // Scale returns c·a.
 func (ar *Arena) Scale(a *Tensor, c float64) *Tensor {
-	out := ar.Tensor(a.Rows, a.Cols)
+	out := ar.Uninit(a.Rows, a.Cols)
 	for i, v := range a.Data {
 		out.Data[i] = v * c
 	}
@@ -133,10 +194,12 @@ func (ar *Arena) Scale(a *Tensor, c float64) *Tensor {
 
 // ReLU returns max(a, 0).
 func (ar *Arena) ReLU(a *Tensor) *Tensor {
-	out := ar.Tensor(a.Rows, a.Cols)
+	out := ar.Uninit(a.Rows, a.Cols)
 	for i, v := range a.Data {
 		if v > 0 {
 			out.Data[i] = v
+		} else {
+			out.Data[i] = 0
 		}
 	}
 	return out
@@ -144,7 +207,7 @@ func (ar *Arena) ReLU(a *Tensor) *Tensor {
 
 // Softmax applies a row-wise softmax.
 func (ar *Arena) Softmax(a *Tensor) *Tensor {
-	out := ar.Tensor(a.Rows, a.Cols)
+	out := ar.Uninit(a.Rows, a.Cols)
 	for i := 0; i < a.Rows; i++ {
 		rowSoftmaxInto(a.Data[i*a.Cols:(i+1)*a.Cols], out.Data[i*a.Cols:(i+1)*a.Cols])
 	}
@@ -156,7 +219,7 @@ func (ar *Arena) MaskedFill(a *Tensor, mask []bool, fill float64) *Tensor {
 	if len(mask) != len(a.Data) {
 		panic(fmt.Sprintf("tensor: arena MaskedFill mask %d vs data %d", len(mask), len(a.Data)))
 	}
-	out := ar.Tensor(a.Rows, a.Cols)
+	out := ar.Uninit(a.Rows, a.Cols)
 	for i, v := range a.Data {
 		if mask[i] {
 			out.Data[i] = v
@@ -172,7 +235,7 @@ func (ar *Arena) LayerNorm(a, gamma, beta *Tensor, eps float64) *Tensor {
 	if gamma.Cols != a.Cols || beta.Cols != a.Cols || gamma.Rows != 1 || beta.Rows != 1 {
 		panic("tensor: arena LayerNorm parameter shape")
 	}
-	out := ar.Tensor(a.Rows, a.Cols)
+	out := ar.Uninit(a.Rows, a.Cols)
 	n := float64(a.Cols)
 	for i := 0; i < a.Rows; i++ {
 		row := a.Data[i*a.Cols : (i+1)*a.Cols]
@@ -200,7 +263,7 @@ func (ar *Arena) ConcatCols(a, b *Tensor) *Tensor {
 	if a.Rows != b.Rows {
 		panic(fmt.Sprintf("tensor: arena ConcatCols rows %d vs %d", a.Rows, b.Rows))
 	}
-	out := ar.Tensor(a.Rows, a.Cols+b.Cols)
+	out := ar.Uninit(a.Rows, a.Cols+b.Cols)
 	for i := 0; i < a.Rows; i++ {
 		copy(out.Data[i*out.Cols:], a.Data[i*a.Cols:(i+1)*a.Cols])
 		copy(out.Data[i*out.Cols+a.Cols:], b.Data[i*b.Cols:(i+1)*b.Cols])
@@ -213,14 +276,19 @@ func (ar *Arena) ConcatRows(a, b *Tensor) *Tensor {
 	if a.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: arena ConcatRows cols %d vs %d", a.Cols, b.Cols))
 	}
-	out := ar.Tensor(a.Rows+b.Rows, a.Cols)
+	out := ar.Uninit(a.Rows+b.Rows, a.Cols)
 	copy(out.Data, a.Data)
 	copy(out.Data[len(a.Data):], b.Data)
 	return out
 }
 
 // GroupedAttention is the inference-mode block-diagonal attention (see the
-// graph op of the same name): each row attends only within its group.
+// graph op of the same name): each row attends only within its group. Groups
+// are disjoint, so when the total work is large (batched forwards
+// concatenate every environment's trees into one call) contiguous group
+// ranges fan out across GOMAXPROCS goroutines, each with its own scratch —
+// per group the arithmetic is identical either way, so the result is
+// bit-identical to the serial pass.
 func (ar *Arena) GroupedAttention(q, k, v *Tensor, groups [][]int, scale float64) *Tensor {
 	if q.Rows != k.Rows || q.Rows != v.Rows || q.Cols != k.Cols {
 		panic(fmt.Sprintf("tensor: arena GroupedAttention q %dx%d k %dx%d v %dx%d",
@@ -230,13 +298,56 @@ func (ar *Arena) GroupedAttention(q, k, v *Tensor, groups [][]int, scale float64
 	dv := v.Cols
 	out := ar.Tensor(q.Rows, dv)
 	maxS := 0
+	work := 0
 	for _, g := range groups {
 		if len(g) > maxS {
 			maxS = len(g)
 		}
+		work += len(g) * len(g) * (d + dv)
 	}
-	scratch := ar.Tensor(1, 2*maxS).Data
-	scores, prow := scratch[:maxS], scratch[maxS:]
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(groups) {
+		workers = len(groups)
+	}
+	if workers <= 1 || work < mmParallelFlops {
+		scratch := ar.Uninit(1, 2*maxS).Data
+		groupedAttnRange(out, q, k, v, groups, scale, scratch)
+		return out
+	}
+	// The parallel fan-out lives in its own function: goroutine closures
+	// heap-allocate their captures at function entry even on the serial
+	// path, which would cost the hot loop an allocation per call.
+	groupedAttnParallel(out, q, k, v, groups, scale, ar.Uninit(workers, 2*maxS), maxS, workers)
+	return out
+}
+
+// groupedAttnParallel chunks contiguous group ranges across workers; scratch
+// provides 2·maxS floats per worker, allocated by the caller (the arena is
+// not goroutine-safe).
+func groupedAttnParallel(out, q, k, v *Tensor, groups [][]int, scale float64, scratch *Tensor, maxS, workers int) {
+	var wg sync.WaitGroup
+	chunk := (len(groups) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, min((w+1)*chunk, len(groups))
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			groupedAttnRange(out, q, k, v, groups[lo:hi], scale,
+				scratch.Data[w*2*maxS:(w+1)*2*maxS])
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}
+
+// groupedAttnRange attends every row of the given groups within its group,
+// writing rows of out (disjoint across groups). scratch holds 2·maxS floats.
+func groupedAttnRange(out, q, k, v *Tensor, groups [][]int, scale float64, scratch []float64) {
+	d, dv := q.Cols, v.Cols
+	half := len(scratch) / 2
+	scores, prow := scratch[:half], scratch[half:]
 	for _, g := range groups {
 		s := len(g)
 		for _, r1 := range g {
@@ -262,7 +373,110 @@ func (ar *Arena) GroupedAttention(q, k, v *Tensor, groups [][]int, scale float64
 			}
 		}
 	}
-	return out
+}
+
+// SegmentedAttention computes scaled-dot-product attention independently per
+// segment: output rows [qOff[b], qOff[b+1]) attend over kv rows [kvOff[b],
+// kvOff[b+1]) — the block-diagonal structure of batching independent
+// environments. Per segment the result is bit-identical to
+// MatMul(Softmax(Scale(MatMulT(q_b, k_b), scale)), v_b); segments fan out
+// across GOMAXPROCS goroutines when the total work is large (every buffer is
+// allocated from the arena before the goroutines start). Returns the stacked
+// output (q.Rows × v.Cols) and each segment's attention probabilities
+// (m_b×n_b arena tensors, in a recycled slice valid until the next call
+// handing out the same slot after Reset).
+func (ar *Arena) SegmentedAttention(q, k, v *Tensor, qOff, kvOff []int, scale float64) (*Tensor, []*Tensor) {
+	nSeg := len(qOff) - 1
+	if len(kvOff)-1 != nSeg {
+		panic("tensor: SegmentedAttention offset lengths disagree")
+	}
+	if q.Cols != k.Cols || k.Rows != v.Rows {
+		panic(fmt.Sprintf("tensor: SegmentedAttention q %dx%d k %dx%d v %dx%d",
+			q.Rows, q.Cols, k.Rows, k.Cols, v.Rows, v.Cols))
+	}
+	d, dv := q.Cols, v.Cols
+	out := ar.Tensor(q.Rows, dv) // zeroed: matMulInto accumulates
+	probs := ar.tensorSlice(nSeg)
+	scoreCells, work := 0, 0
+	for b := 0; b < nSeg; b++ {
+		m, n := qOff[b+1]-qOff[b], kvOff[b+1]-kvOff[b]
+		scoreCells += m * n
+		work += m * n * (d + dv)
+	}
+	scoresFlat := ar.Uninit(1, scoreCells).Data
+	for b := 0; b < nSeg; b++ {
+		probs[b] = ar.Uninit(qOff[b+1]-qOff[b], kvOff[b+1]-kvOff[b])
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > nSeg {
+		workers = nSeg
+	}
+	if workers <= 1 || work < mmParallelFlops {
+		segAttnRange(out, q, k, v, qOff, kvOff, scale, scoresFlat, probs, 0, nSeg, 0)
+		return out, probs
+	}
+	segAttnParallel(out, q, k, v, qOff, kvOff, scale, scoresFlat, probs, workers)
+	return out, probs
+}
+
+// segAttnParallel chunks contiguous segment ranges across workers. Every
+// buffer was allocated by the caller; workers write disjoint rows of out and
+// disjoint probs/scores slots, so no synchronization beyond the join is
+// needed and the result matches the serial pass bit for bit.
+func segAttnParallel(out, q, k, v *Tensor, qOff, kvOff []int, scale float64, scoresFlat []float64, probs []*Tensor, workers int) {
+	nSeg := len(qOff) - 1
+	var wg sync.WaitGroup
+	chunk := (nSeg + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, min((w+1)*chunk, nSeg)
+		if lo >= hi {
+			break
+		}
+		off := 0
+		for b := 0; b < lo; b++ {
+			off += (qOff[b+1] - qOff[b]) * (kvOff[b+1] - kvOff[b])
+		}
+		wg.Add(1)
+		go func(lo, hi, off int) {
+			defer wg.Done()
+			segAttnRange(out, q, k, v, qOff, kvOff, scale, scoresFlat, probs, lo, hi, off)
+		}(lo, hi, off)
+	}
+	wg.Wait()
+}
+
+// segAttnRange computes segments [lo, hi): scores into scoresFlat at soff,
+// softmax into probs[b], and the probability-weighted value product into
+// out's segment rows.
+func segAttnRange(out, q, k, v *Tensor, qOff, kvOff []int, scale float64, scoresFlat []float64, probs []*Tensor, lo, hi, soff int) {
+	d, dv := q.Cols, v.Cols
+	for b := lo; b < hi; b++ {
+		m, n := qOff[b+1]-qOff[b], kvOff[b+1]-kvOff[b]
+		if m == 0 {
+			continue
+		}
+		sc := scoresFlat[soff : soff+m*n]
+		soff += m * n
+		matMulTInto(sc, q.Data[qOff[b]*d:qOff[b+1]*d], k.Data[kvOff[b]*d:kvOff[b+1]*d], m, d, n)
+		for i := range sc {
+			sc[i] *= scale
+		}
+		pr := probs[b].Data
+		for r := 0; r < m; r++ {
+			rowSoftmaxInto(sc[r*n:(r+1)*n], pr[r*n:(r+1)*n])
+		}
+		matMulInto(out.Data[qOff[b]*dv:qOff[b+1]*dv], pr, v.Data[kvOff[b]*dv:kvOff[b+1]*dv], m, n, dv)
+	}
+}
+
+// SetRows copies src into dst starting at row — the scatter half of
+// batch assembly (the gather half is the zero-copy Rows view).
+func (ar *Arena) SetRows(dst *Tensor, row int, src *Tensor) {
+	if src.Cols != dst.Cols || row < 0 || row+src.Rows > dst.Rows {
+		panic(fmt.Sprintf("tensor: arena SetRows %dx%d into %dx%d at %d",
+			src.Rows, src.Cols, dst.Rows, dst.Cols, row))
+	}
+	copy(dst.Data[row*dst.Cols:(row+src.Rows)*dst.Cols], src.Data)
 }
 
 // Rows returns the row view a[lo:hi) — a slice header into a's storage, no
@@ -276,7 +490,7 @@ func (ar *Arena) Rows(a *Tensor, lo, hi int) *Tensor {
 
 // GatherRows copies rows by index.
 func (ar *Arena) GatherRows(a *Tensor, idx []int) *Tensor {
-	out := ar.Tensor(len(idx), a.Cols)
+	out := ar.Uninit(len(idx), a.Cols)
 	for r, i := range idx {
 		if i < 0 || i >= a.Rows {
 			panic(fmt.Sprintf("tensor: arena GatherRows index %d of %d", i, a.Rows))
@@ -292,7 +506,7 @@ func (ar *Arena) RepeatRow(row *Tensor, m int) *Tensor {
 	if row.Rows != 1 {
 		panic(fmt.Sprintf("tensor: arena RepeatRow on %dx%d", row.Rows, row.Cols))
 	}
-	out := ar.Tensor(m, row.Cols)
+	out := ar.Uninit(m, row.Cols)
 	for i := 0; i < m; i++ {
 		copy(out.Data[i*row.Cols:(i+1)*row.Cols], row.Data)
 	}
@@ -301,7 +515,7 @@ func (ar *Arena) RepeatRow(row *Tensor, m int) *Tensor {
 
 // Transpose returns aᵀ.
 func (ar *Arena) Transpose(a *Tensor) *Tensor {
-	out := ar.Tensor(a.Cols, a.Rows)
+	out := ar.Uninit(a.Cols, a.Rows)
 	for i := 0; i < a.Rows; i++ {
 		for j := 0; j < a.Cols; j++ {
 			out.Data[j*a.Rows+i] = a.Data[i*a.Cols+j]

@@ -1,0 +1,121 @@
+package tensor
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// randArena builds a deterministic random tensor directly (no graph).
+func randDense(rng *rand.Rand, rows, cols int) *Tensor {
+	t := New(rows, cols)
+	for i := range t.Data {
+		t.Data[i] = rng.NormFloat64()
+	}
+	return t
+}
+
+// TestSegmentedAttentionMatchesPerSegmentOps pins SegmentedAttention against
+// the op-by-op composition it replaces, per segment.
+func TestSegmentedAttentionMatchesPerSegmentOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	qOff := []int{0, 5, 5, 12, 20}
+	kvOff := []int{0, 7, 9, 9, 16}
+	d, dv := 8, 6
+	q := randDense(rng, qOff[len(qOff)-1], d)
+	k := randDense(rng, kvOff[len(kvOff)-1], d)
+	v := randDense(rng, kvOff[len(kvOff)-1], dv)
+	var ar Arena
+	out, probs := ar.SegmentedAttention(q, k, v, qOff, kvOff, 0.35)
+	var ref Arena
+	for b := 0; b < len(qOff)-1; b++ {
+		qb := ref.Rows(q, qOff[b], qOff[b+1])
+		kb := ref.Rows(k, kvOff[b], kvOff[b+1])
+		vb := ref.Rows(v, kvOff[b], kvOff[b+1])
+		p := ref.Softmax(ref.Scale(ref.MatMulT(qb, kb), 0.35))
+		o := ref.MatMul(p, vb)
+		for i := range p.Data {
+			if p.Data[i] != probs[b].Data[i] {
+				t.Fatalf("segment %d probs[%d]: %v != %v", b, i, probs[b].Data[i], p.Data[i])
+			}
+		}
+		for i := range o.Data {
+			if got := out.Data[qOff[b]*dv+i]; got != o.Data[i] {
+				t.Fatalf("segment %d out[%d]: %v != %v", b, i, got, o.Data[i])
+			}
+		}
+	}
+}
+
+// TestSegmentedAttentionParallelBitIdentical forces the goroutine fan-out
+// (GOMAXPROCS > 1, work above the parallel threshold) and asserts the result
+// matches the serial pass bit for bit — the contract that lets batched
+// forwards parallelize without breaking InferBatch/Infer equivalence.
+func TestSegmentedAttentionParallelBitIdentical(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	rng := rand.New(rand.NewSource(7))
+	const segs, m, n, d = 8, 48, 48, 32
+	qOff := make([]int, segs+1)
+	kvOff := make([]int, segs+1)
+	for b := 1; b <= segs; b++ {
+		qOff[b] = qOff[b-1] + m
+		kvOff[b] = kvOff[b-1] + n
+	}
+	q := randDense(rng, qOff[segs], d)
+	k := randDense(rng, kvOff[segs], d)
+	v := randDense(rng, kvOff[segs], d)
+	// Work = segs·m·n·2d ≈ 1.2M flops: above mmParallelFlops, so with
+	// GOMAXPROCS=4 this runs the parallel branch.
+	var ar Arena
+	out, probs := ar.SegmentedAttention(q, k, v, qOff, kvOff, 0.25)
+
+	runtime.GOMAXPROCS(1) // serial reference
+	var ser Arena
+	wantOut, wantProbs := ser.SegmentedAttention(q, k, v, qOff, kvOff, 0.25)
+	runtime.GOMAXPROCS(4)
+	for i := range wantOut.Data {
+		if out.Data[i] != wantOut.Data[i] {
+			t.Fatalf("out[%d]: parallel %v != serial %v", i, out.Data[i], wantOut.Data[i])
+		}
+	}
+	for b := range wantProbs {
+		for i := range wantProbs[b].Data {
+			if probs[b].Data[i] != wantProbs[b].Data[i] {
+				t.Fatalf("probs[%d][%d]: parallel %v != serial %v", b, i, probs[b].Data[i], wantProbs[b].Data[i])
+			}
+		}
+	}
+}
+
+// TestGroupedAttentionParallelBitIdentical does the same for the tree
+// attention fan-out across group chunks.
+func TestGroupedAttentionParallelBitIdentical(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	rng := rand.New(rand.NewSource(9))
+	const rows, d = 256, 32
+	q := randDense(rng, rows, d)
+	k := randDense(rng, rows, d)
+	v := randDense(rng, rows, d)
+	var groups [][]int
+	for lo := 0; lo < rows; lo += 16 {
+		g := make([]int, 16)
+		for i := range g {
+			g[i] = lo + i
+		}
+		groups = append(groups, g)
+	}
+	// Work = 16 groups · 16²·2d ≈ 262k flops: at the parallel threshold.
+	var ar Arena
+	got := ar.GroupedAttention(q, k, v, groups, 0.2)
+	runtime.GOMAXPROCS(1)
+	var ser Arena
+	want := ser.GroupedAttention(q, k, v, groups, 0.2)
+	runtime.GOMAXPROCS(4)
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("out[%d]: parallel %v != serial %v", i, got.Data[i], want.Data[i])
+		}
+	}
+}
