@@ -6,6 +6,7 @@
 //	vmr2l-bench -list              # available experiment ids
 //	vmr2l-bench -hotpath           # hot-path microbenchmarks -> BENCH_hotpath.json
 //	vmr2l-bench -batch             # batched-vs-sequential rollout sweep -> BENCH_batch.json
+//	vmr2l-bench -load              # serving loadgen (scheduler vs per-request) -> BENCH_serving.json
 //	vmr2l-bench -scenario diurnal  # live-cluster session pipeline (solve + churn + repair)
 //	vmr2l-bench -scenarios         # available scenario names
 //
@@ -49,6 +50,9 @@ func main() {
 		batch      = flag.Bool("batch", false, "run the batch-vs-sequential rollout sweep (1/2/4/8 envs) and write -batch-out")
 		batchOut   = flag.String("batch-out", "BENCH_batch.json", "artifact path for -batch")
 		batchCheck = flag.Bool("batch-check", false, "with -batch: exit 1 when the batched wave allocates or (GOMAXPROCS>=4) the 8-env speedup is below 2x")
+		load       = flag.Bool("load", false, "run the serving loadgen (concurrent jobs through the continuous-batching scheduler vs per-request serving) and update -load-out")
+		loadOut    = flag.String("load-out", "BENCH_serving.json", "artifact path for -load")
+		loadCheck  = flag.Bool("load-check", false, "with -load: exit 1 on step-parity violation, (GOMAXPROCS>=4) <1.5x speedup at concurrency>=8, or >25% p99/steps-per-sec drift vs the pinned reference")
 	)
 	flag.Parse()
 	if *list {
@@ -95,6 +99,9 @@ func main() {
 		rep.Fprint(os.Stdout)
 		fmt.Printf("wrote %s\nelapsed: %s\n", *batchOut, time.Since(start).Round(time.Millisecond))
 		if *batchCheck {
+			for _, s := range bench.BatchGateSkips(rep) {
+				fmt.Printf("note: %s\n", s)
+			}
 			if regs := bench.BatchRegressions(rep); len(regs) > 0 {
 				for _, r := range regs {
 					log.Printf("REGRESSION: %s", r)
@@ -102,6 +109,42 @@ func main() {
 				log.Fatalf("batch: %d regression(s)", len(regs))
 			}
 			fmt.Println("batch gate: ok")
+		}
+		return
+	}
+	if *load {
+		start := time.Now()
+		// Snapshot the gate reference before the update replaces the
+		// artifact's current section with this run.
+		var prev bench.ServeArtifact
+		if *loadCheck {
+			var err error
+			if prev, err = bench.LoadServeArtifact(*loadOut); err != nil {
+				log.Fatalf("load: %v", err)
+			}
+		}
+		rep, err := bench.RunServeLoad(func(s string) { log.Printf("load: %s", s) })
+		if err != nil {
+			log.Fatalf("load: %v", err)
+		}
+		art, err := bench.UpdateServeArtifact(*loadOut, rep)
+		if err != nil {
+			log.Fatalf("load: %v", err)
+		}
+		art.Fprint(os.Stdout)
+		fmt.Printf("wrote %s\nelapsed: %s\n", *loadOut, time.Since(start).Round(time.Millisecond))
+		if *loadCheck {
+			ref := prev.GateReference()
+			for _, s := range bench.ServeGateSkips(rep, ref) {
+				fmt.Printf("note: %s\n", s)
+			}
+			if regs := bench.ServeRegressions(ref, rep); len(regs) > 0 {
+				for _, r := range regs {
+					log.Printf("REGRESSION: %s", r)
+				}
+				log.Fatalf("load: %d regression(s)", len(regs))
+			}
+			fmt.Println("serving gate: ok")
 		}
 		return
 	}

@@ -31,10 +31,18 @@
 // "shards"/"portfolio" body fields. The default engine is HA — always
 // within the five-second budget. SIGINT/SIGTERM drain in-flight solves
 // before exit.
+//
+// With -ckpt, every policy forward pass — vmr2l jobs, sharded rollouts,
+// mcts-prior critic scoring — routes through one continuous-batching
+// scheduler (internal/serve): concurrent requests coalesce into shared GEMM
+// waves sized by -wave-rows / -wave-wait, and per-request results stay
+// bit-identical to standalone inference. Scheduler counters are served at
+// /debug/vmr2l/serving on the -pprof listener.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -49,6 +57,7 @@ import (
 	"vmr2l/internal/heuristics"
 	"vmr2l/internal/mcts"
 	"vmr2l/internal/policy"
+	"vmr2l/internal/serve"
 	"vmr2l/internal/service"
 	"vmr2l/internal/shard"
 )
@@ -57,15 +66,17 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("vmr2l-server: ")
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		ckpt    = flag.String("ckpt", "", "VMR2L checkpoint to serve (optional)")
-		dModel  = flag.Int("dmodel", 32, "embedding width (must match training)")
-		blocks  = flag.Int("blocks", 2, "attention blocks (must match training)")
-		workers = flag.Int("workers", 4, "async solve workers")
-		queue   = flag.Int("queue", 64, "async job queue depth")
-		timeout = flag.Duration("timeout", 0, "per-solve budget (0 = paper's 5s limit)")
-		shards  = flag.Int("shards", 8, "partition count of the pre-registered 'sharded' engine")
-		pprofP  = flag.Int("pprof", 0, "expose net/http/pprof on 127.0.0.1:<port> (0 = disabled)")
+		addr     = flag.String("addr", ":8080", "listen address")
+		ckpt     = flag.String("ckpt", "", "VMR2L checkpoint to serve (optional)")
+		dModel   = flag.Int("dmodel", 32, "embedding width (must match training)")
+		blocks   = flag.Int("blocks", 2, "attention blocks (must match training)")
+		workers  = flag.Int("workers", 4, "async solve workers")
+		queue    = flag.Int("queue", 64, "async job queue depth")
+		timeout  = flag.Duration("timeout", 0, "per-solve budget (0 = paper's 5s limit)")
+		shards   = flag.Int("shards", 8, "partition count of the pre-registered 'sharded' engine")
+		pprofP   = flag.Int("pprof", 0, "expose net/http/pprof and /debug/vmr2l/serving on 127.0.0.1:<port> (0 = disabled)")
+		waveRows = flag.Int("wave-rows", 128, "inference scheduler: max rows per shared forward wave")
+		waveWait = flag.Duration("wave-wait", 0, "inference scheduler: admission window to hold a wave open for stragglers (0 = fire immediately)")
 	)
 	flag.Parse()
 
@@ -81,11 +92,27 @@ func main() {
 		fmt.Printf("pprof on http://%s/debug/pprof/\n", pprofAddr)
 	}
 
-	s := service.New(
+	svcOpts := []service.Option{
 		service.WithWorkers(*workers),
 		service.WithQueueDepth(*queue),
 		service.WithTimeout(*timeout),
-	)
+	}
+	var sched *serve.Scheduler
+	var m *policy.Model
+	if *ckpt != "" {
+		m = policy.New(policy.Config{
+			DModel: *dModel, Hidden: 2 * *dModel, Blocks: *blocks,
+			Extractor: policy.SparseAttention, Action: policy.TwoStage,
+		})
+		if err := m.Params.LoadFile(*ckpt); err != nil {
+			log.Fatal(err)
+		}
+		// One shared continuous-batching scheduler serves every policy
+		// forward; the service closes it after the worker pool drains.
+		sched = serve.NewScheduler(m, serve.Options{MaxRows: *waveRows, MaxWait: *waveWait})
+		svcOpts = append(svcOpts, service.WithCloser(sched))
+	}
+	s := service.New(svcOpts...)
 	s.Register("ha", heuristics.HA{})
 	s.Register("swap-ha", heuristics.SwapHA{})
 	s.Register("vbpp", heuristics.VBPP{})
@@ -97,19 +124,18 @@ func main() {
 	scaleOut := []shard.Engine{{Name: "ha", S: heuristics.HA{}}, {Name: "vbpp", S: heuristics.VBPP{}}}
 	s.Register("portfolio", shard.NewPortfolio(scaleOut...))
 	s.Register("sharded", &shard.Solver{Engines: scaleOut, Opts: shard.Options{Shards: *shards}})
-	if *ckpt != "" {
-		m := policy.New(policy.Config{
-			DModel: *dModel, Hidden: 2 * *dModel, Blocks: *blocks,
-			Extractor: policy.SparseAttention, Action: policy.TwoStage,
+	if sched != nil {
+		// The policy engine and the value-prior MCTS both ride the shared
+		// scheduler: concurrent jobs, sharded rollouts, and prior scoring
+		// coalesce into common waves.
+		s.Register("vmr2l", &serve.Agent{Sched: sched, Opts: policy.SampleOpts{Greedy: true}})
+		s.Register("mcts-prior", &mcts.Solver{Iterations: 64, Width: 6, Prior: sched})
+		// Scheduler counters on the pprof (debug) mux, loopback-only.
+		http.HandleFunc("GET /debug/vmr2l/serving", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(sched.Stats())
 		})
-		if err := m.Params.LoadFile(*ckpt); err != nil {
-			log.Fatal(err)
-		}
-		s.Register("vmr2l", &policy.Agent{Model: m, Opts: policy.SampleOpts{Greedy: true}})
-		// Value-prior MCTS: root candidates scored by the checkpoint's critic
-		// in one batched forward per step.
-		s.Register("mcts-prior", &mcts.Solver{Iterations: 64, Width: 6, Prior: m})
-		fmt.Printf("serving VMR2L checkpoint %s\n", *ckpt)
+		fmt.Printf("serving VMR2L checkpoint %s (wave-rows %d, wave-wait %s)\n", *ckpt, *waveRows, *waveWait)
 	}
 
 	srv := &http.Server{Addr: *addr, Handler: s}

@@ -68,10 +68,34 @@
 // modes, batch sizes, and ragged batches. Consumers: rl.Config.Envs
 // lock-steps N training environments per wave, rl.EvalFR batches all test
 // mappings, eval.Options.Batched batches the K risk-seeking trajectories,
-// mcts.Solver.Prior scores root candidates with one batched critic pass,
-// and shard solves route a single policy engine through shard.BatchSolver
-// so all shards share each wave's forward. The batching win scales with
+// mcts.Solver.Prior (any mcts.ValuePrior; mcts.CriticPrior wraps a bare
+// model) scores root candidates with one batched critic pass, and shard
+// solves route a single policy engine through shard.BatchSolver so all
+// shards share each wave's forward. The batching win scales with
 // GOMAXPROCS (stacked GEMMs cross the kernels' parallel threshold);
 // "vmr2l-bench -batch" records the batch-vs-sequential sweep in
 // BENCH_batch.json and "-batch-check" gates it.
+//
+// # Batched serving
+//
+// internal/serve turns the batched forward into a continuous-batching
+// server: one serve.Scheduler per model owns a pooled BatchInferCtx and a
+// single runner goroutine, and every concurrent consumer — v2 jobs on the
+// "vmr2l" engine, sharded rollouts, "mcts-prior" critic scoring, rl eval
+// rollouts — submits one row (Submit / SubmitMany, or the typed
+// Infer/Act/BatchValues) and blocks until its wave executes. Rows that
+// arrive while a wave runs coalesce into the next wave, so batching
+// engages exactly when the server is loaded and a lone caller pays no
+// added latency (Options.MaxWait, default 0, can hold a wave open for
+// stragglers; Options.MaxRows, default 128, caps wave size). Results are
+// bit-identical per request to the standalone paths — property-tested
+// under -race across action modes and GOMAXPROCS — and cancelling a
+// queued request drops only that row, never its wavemates.
+// vmr2l-server wires this up behind -ckpt (knobs -wave-rows/-wave-wait;
+// counters at /debug/vmr2l/serving on the -pprof listener), and
+// "vmr2l-bench -load" replays concurrent greedy episodes through the
+// scheduler and the per-request baseline, recording p50/p99 latency,
+// steps/sec, and achieved wave sizes in BENCH_serving.json;
+// "-load-check" gates step parity, the multi-core speedup bar, and drift
+// against the pinned reference.
 package vmr2l

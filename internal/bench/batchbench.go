@@ -161,6 +161,18 @@ func BatchRegressions(rep BatchReport) []string {
 	return regs
 }
 
+// BatchGateSkips reports, at check time, the gate bars this run did not
+// apply — on a single-core runner the x8 speedup bar is off (no GEMM
+// fan-out to measure), and a green check must say so rather than read as a
+// passed speedup gate.
+func BatchGateSkips(rep BatchReport) []string {
+	if rep.GoMaxProcs < 4 {
+		return []string{fmt.Sprintf(
+			"batch x8 speedup gate skipped (single core: GOMAXPROCS=%d < 4, allocation gate only)", rep.GoMaxProcs)}
+	}
+	return nil
+}
+
 // WriteBatchArtifact writes the sweep to path.
 func WriteBatchArtifact(path string, rep BatchReport) error {
 	f, err := os.Create(path)

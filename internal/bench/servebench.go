@@ -1,0 +1,403 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"vmr2l/internal/cluster"
+	"vmr2l/internal/policy"
+	"vmr2l/internal/serve"
+	"vmr2l/internal/sim"
+)
+
+// The serving loadgen drives concurrent rescheduling jobs against the
+// continuous-batching scheduler (internal/serve) and against the per-request
+// baseline it replaces — every request funneled through one mutex-serialized
+// Model.Infer, one forward pass per request — writing BENCH_serving.json.
+// Run via
+//
+//	vmr2l-bench -load               # sweep -> BENCH_serving.json
+//	vmr2l-bench -load -load-check   # CI gate
+//
+// Each concurrency level replays the same fixed set of greedy episodes on
+// both paths, so the gate can assert exact step parity (batching must never
+// change an answer) alongside the throughput/latency comparison. The check
+// enforces the serving acceptance bar — ≥1.5x steps/sec at concurrency ≥ 8 —
+// only when GOMAXPROCS ≥ 4, where the stacked kernels actually fan out
+// across cores; and it compares against the artifact's pinned reference
+// (fail on >25% p99 growth or >25% steps/sec drop) only when the reference
+// was measured at the same GOMAXPROCS.
+
+// ServeResult is one concurrency level's measurement: the sequential
+// baseline and the scheduler serving the identical workload.
+type ServeResult struct {
+	Concurrency int `json:"concurrency"`
+	// Jobs is the number of episodes replayed at this level (split evenly
+	// across the concurrent clients).
+	Jobs int `json:"jobs"`
+	// SeqSteps and BatchSteps must match exactly: both paths replay the same
+	// deterministic episodes, and batching never changes an answer.
+	SeqSteps   int `json:"seq_steps"`
+	BatchSteps int `json:"batch_steps"`
+	// Throughput, measured as environment steps served per wall-clock second.
+	SeqStepsPerSec   float64 `json:"seq_steps_per_sec"`
+	BatchStepsPerSec float64 `json:"batch_steps_per_sec"`
+	Speedup          float64 `json:"speedup"`
+	// Per-request client-observed inference latency (µs): queueing plus the
+	// forward wave.
+	SeqP50Micros float64 `json:"seq_p50_micros"`
+	SeqP99Micros float64 `json:"seq_p99_micros"`
+	P50Micros    float64 `json:"batch_p50_micros"`
+	P99Micros    float64 `json:"batch_p99_micros"`
+	// Achieved wave shapes from the scheduler's counters at this level.
+	Waves    uint64  `json:"waves"`
+	MeanWave float64 `json:"mean_wave"`
+	MaxWave  int     `json:"max_wave"`
+}
+
+// ServeReport is the JSON report of one loadgen sweep.
+type ServeReport struct {
+	GoVersion  string        `json:"go_version"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	Timestamp  string        `json:"timestamp"`
+	Results    []ServeResult `json:"results"`
+}
+
+// At returns the result at the given concurrency (nil when not swept).
+func (r ServeReport) At(concurrency int) *ServeResult {
+	for i := range r.Results {
+		if r.Results[i].Concurrency == concurrency {
+			return &r.Results[i]
+		}
+	}
+	return nil
+}
+
+// serveConcurrency is the swept client-count grid. 96 jobs divide evenly
+// across every level.
+var serveConcurrency = []int{1, 8, 32}
+
+const (
+	serveJobs       = 96
+	serveEpisodeMNL = 24
+)
+
+// serveLevel is one measured side (sequential or batched) of a level.
+type serveLevel struct {
+	steps   int
+	lat     []float64 // per-request latency, µs, sorted ascending
+	elapsed time.Duration
+}
+
+// runServeClients replays jobs episodes split across `workers` concurrent
+// clients, each episode a greedy rollout to MNL on a fresh reset of the
+// fixture mapping. infer is the serving path under test; it must be safe for
+// concurrent use. Per-request latency is measured around each infer call —
+// queueing included, because that is what a caller of the serving API sees.
+func runServeClients(workers, jobs, mnl int, base *cluster.Cluster, infer func(env *sim.Env, rng *rand.Rand) (vm, pm int, err error)) (serveLevel, error) {
+	envs := make([]*sim.Env, workers)
+	rngs := make([]*rand.Rand, workers)
+	lats := make([][]float64, workers)
+	steps := make([]int, workers)
+	errs := make([]error, workers)
+	for w := range envs {
+		envs[w] = sim.New(base, sim.Config{MNL: mnl, Obj: sim.FR16()})
+		rngs[w] = rand.New(rand.NewSource(int64(w + 1)))
+		lats[w] = make([]float64, 0, (jobs/workers)*mnl)
+	}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			env := envs[w]
+			for e := 0; e < jobs/workers; e++ {
+				env.Reset()
+				for !env.Done() {
+					t0 := time.Now()
+					vm, pm, err := infer(env, rngs[w])
+					lats[w] = append(lats[w], float64(time.Since(t0).Nanoseconds())/1e3)
+					if err != nil {
+						break // no migratable VM: episode over
+					}
+					if _, _, err := env.Step(vm, pm); err != nil {
+						errs[w] = fmt.Errorf("bench: serve step: %w", err)
+						return
+					}
+					steps[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	lv := serveLevel{elapsed: time.Since(start)}
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			return lv, errs[w]
+		}
+		lv.steps += steps[w]
+		lv.lat = append(lv.lat, lats[w]...)
+	}
+	sort.Float64s(lv.lat)
+	return lv, nil
+}
+
+// servePercentile reads the q-quantile from a sorted sample.
+func servePercentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// runServeSweep measures the given grid; RunServeLoad wraps it with the
+// standard parameters, tests with tiny ones.
+func runServeSweep(concurrency []int, jobs, mnl int, progress func(string)) (ServeReport, error) {
+	rep := ServeReport{
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+	}
+	fx := newHotFixture()
+	opts := policy.SampleOpts{Greedy: true}
+	for _, c := range concurrency {
+		if progress != nil {
+			progress(fmt.Sprintf("seq x%d", c))
+		}
+		// Baseline: one shared inference context behind a mutex — one full
+		// forward pass per request, requests strictly serialized. This is the
+		// serving shape before the scheduler existed.
+		var mu sync.Mutex
+		ic := policy.NewInferCtx()
+		seq, err := runServeClients(c, jobs, mnl, fx.c, func(env *sim.Env, rng *rand.Rand) (int, int, error) {
+			mu.Lock()
+			defer mu.Unlock()
+			return fx.model.Infer(ic, env, rng, opts)
+		})
+		if err != nil {
+			return rep, err
+		}
+		if progress != nil {
+			progress(fmt.Sprintf("batch x%d", c))
+		}
+		// A fresh scheduler per level so its counters describe this level.
+		s := serve.NewScheduler(fx.model, serve.Options{})
+		bat, err := runServeClients(c, jobs, mnl, fx.c, func(env *sim.Env, rng *rand.Rand) (int, int, error) {
+			return s.Infer(context.Background(), env, rng, opts)
+		})
+		st := s.Stats()
+		if cerr := s.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return rep, err
+		}
+		res := ServeResult{
+			Concurrency:      c,
+			Jobs:             jobs,
+			SeqSteps:         seq.steps,
+			BatchSteps:       bat.steps,
+			SeqStepsPerSec:   float64(seq.steps) / seq.elapsed.Seconds(),
+			BatchStepsPerSec: float64(bat.steps) / bat.elapsed.Seconds(),
+			SeqP50Micros:     servePercentile(seq.lat, 0.50),
+			SeqP99Micros:     servePercentile(seq.lat, 0.99),
+			P50Micros:        servePercentile(bat.lat, 0.50),
+			P99Micros:        servePercentile(bat.lat, 0.99),
+			Waves:            st.Waves,
+			MeanWave:         st.MeanWave,
+			MaxWave:          st.MaxWave,
+		}
+		if res.SeqStepsPerSec > 0 {
+			res.Speedup = res.BatchStepsPerSec / res.SeqStepsPerSec
+		}
+		rep.Results = append(rep.Results, res)
+	}
+	return rep, nil
+}
+
+// RunServeLoad runs the serving loadgen at the standard grid: 96 greedy
+// episodes replayed at 1, 8, and 32 concurrent clients on both serving
+// paths. progress (may be nil) is called before each measurement.
+func RunServeLoad(progress func(string)) (ServeReport, error) {
+	return runServeSweep(serveConcurrency, serveJobs, serveEpisodeMNL, progress)
+}
+
+// ServeArtifact is the on-disk BENCH_serving.json: the pinned pre-PR
+// baseline and the latest measurement, mirroring BENCH_hotpath.json.
+type ServeArtifact struct {
+	Baseline *ServeReport `json:"baseline,omitempty"`
+	Current  *ServeReport `json:"current,omitempty"`
+}
+
+// GateReference returns the measurement a fresh run must not regress from:
+// the current section (the serving state pinned in the repo), falling back
+// to the baseline; nil when nothing is pinned.
+func (a ServeArtifact) GateReference() *ServeReport {
+	if a.Current != nil {
+		return a.Current
+	}
+	return a.Baseline
+}
+
+// UpdateServeArtifact merges a fresh report into the artifact at path, with
+// the same pinning rule as UpdateHotpathArtifact: baseline pinned on first
+// write, current always replaced.
+func UpdateServeArtifact(path string, rep ServeReport) (ServeArtifact, error) {
+	art, err := LoadServeArtifact(path)
+	if err != nil {
+		return art, err
+	}
+	if art.Baseline == nil {
+		if art.Current != nil {
+			art.Baseline = art.Current
+		} else {
+			art.Baseline = &rep
+		}
+	}
+	art.Current = &rep
+	f, err := os.Create(path)
+	if err != nil {
+		return art, err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(art); err != nil {
+		f.Close()
+		return art, err
+	}
+	if err := f.Close(); err != nil {
+		return art, err
+	}
+	return art, nil
+}
+
+// LoadServeArtifact reads the artifact at path; a missing file yields a zero
+// artifact, a malformed one an error.
+func LoadServeArtifact(path string) (ServeArtifact, error) {
+	var art ServeArtifact
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return art, nil
+		}
+		return art, err
+	}
+	if err := json.Unmarshal(data, &art); err != nil {
+		return art, fmt.Errorf("bench: parse %s: %w", path, err)
+	}
+	return art, nil
+}
+
+// ServeTolerance is the fractional drift the baseline comparison tolerates
+// on p99 latency and steps/sec — same budget as the hot-path gate.
+const ServeTolerance = 0.25
+
+// ServeRegressions applies the serving gate to a fresh sweep:
+//
+//   - step parity between the two paths is exact, always — a mismatch means
+//     batching changed an answer;
+//   - with GOMAXPROCS ≥ 4, every level at concurrency ≥ 8 must reach ≥1.5x
+//     steps/sec over the sequential baseline;
+//   - against the pinned reference (only when it was measured at the same
+//     GOMAXPROCS — cross-machine latency numbers are not comparable), p99
+//     must not grow and steps/sec must not drop by more than ServeTolerance.
+//
+// An empty result passes; ServeGateSkips explains which bars were not
+// applied and why.
+func ServeRegressions(ref *ServeReport, fresh ServeReport) []string {
+	var regs []string
+	for _, r := range fresh.Results {
+		if r.SeqSteps != r.BatchSteps {
+			regs = append(regs, fmt.Sprintf("serving x%d: batched served %d steps, sequential %d (parity violated)",
+				r.Concurrency, r.BatchSteps, r.SeqSteps))
+		}
+	}
+	if fresh.GoMaxProcs >= 4 {
+		for _, r := range fresh.Results {
+			if r.Concurrency >= 8 && r.Speedup < 1.5 {
+				regs = append(regs, fmt.Sprintf("serving x%d: speedup %.2fx < 1.5x (GOMAXPROCS=%d)",
+					r.Concurrency, r.Speedup, fresh.GoMaxProcs))
+			}
+		}
+	}
+	if ref != nil && ref.GoMaxProcs == fresh.GoMaxProcs {
+		for _, r := range fresh.Results {
+			b := ref.At(r.Concurrency)
+			if b == nil {
+				continue
+			}
+			if b.P99Micros > 0 && r.P99Micros > b.P99Micros*(1+ServeTolerance) {
+				regs = append(regs, fmt.Sprintf("serving x%d: p99 %.0fµs -> %.0fµs (+%.0f%%, tolerance %.0f%%)",
+					r.Concurrency, b.P99Micros, r.P99Micros, 100*(r.P99Micros/b.P99Micros-1), 100*ServeTolerance))
+			}
+			if b.BatchStepsPerSec > 0 && r.BatchStepsPerSec < b.BatchStepsPerSec*(1-ServeTolerance) {
+				regs = append(regs, fmt.Sprintf("serving x%d: steps/sec %.0f -> %.0f (-%.0f%%, tolerance %.0f%%)",
+					r.Concurrency, b.BatchStepsPerSec, r.BatchStepsPerSec, 100*(1-r.BatchStepsPerSec/b.BatchStepsPerSec), 100*ServeTolerance))
+			}
+		}
+	}
+	return regs
+}
+
+// ServeGateSkips reports, at check time, every serving gate that this run
+// did not apply — so a green check on a single-core runner reads as the
+// parity-only run it is, not as a passed speedup bar.
+func ServeGateSkips(rep ServeReport, ref *ServeReport) []string {
+	var skips []string
+	if rep.GoMaxProcs < 4 {
+		skips = append(skips, fmt.Sprintf(
+			"serving speedup gate skipped (single core: GOMAXPROCS=%d < 4, parity-only run)", rep.GoMaxProcs))
+	}
+	switch {
+	case ref == nil:
+		skips = append(skips, "serving baseline gate skipped (no pinned reference yet)")
+	case ref.GoMaxProcs != rep.GoMaxProcs:
+		skips = append(skips, fmt.Sprintf(
+			"serving baseline gate skipped (reference pinned at GOMAXPROCS=%d, this run has %d)",
+			ref.GoMaxProcs, rep.GoMaxProcs))
+	}
+	return skips
+}
+
+// Fprint renders the sweep as an aligned table.
+func (r ServeReport) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "serving loadgen: scheduler vs per-request baseline (%s, GOMAXPROCS=%d)\n", r.GoVersion, r.GoMaxProcs)
+	fmt.Fprintf(w, "%-5s %5s %12s %14s %8s %10s %10s %10s %10s %6s\n",
+		"conc", "jobs", "seq steps/s", "batch steps/s", "speedup", "seq p99µs", "p50µs", "p99µs", "mean wave", "max")
+	for _, res := range r.Results {
+		fmt.Fprintf(w, "%-5d %5d %12.0f %14.0f %7.2fx %10.0f %10.0f %10.0f %10.1f %6d\n",
+			res.Concurrency, res.Jobs, res.SeqStepsPerSec, res.BatchStepsPerSec, res.Speedup,
+			res.SeqP99Micros, res.P50Micros, res.P99Micros, res.MeanWave, res.MaxWave)
+	}
+}
+
+// Fprint renders baseline vs current throughput and tail latency.
+func (a ServeArtifact) Fprint(w io.Writer) {
+	if a.Current == nil {
+		fmt.Fprintln(w, "serving artifact: no current measurement")
+		return
+	}
+	a.Current.Fprint(w)
+	if a.Baseline == nil || a.Baseline == a.Current {
+		return
+	}
+	fmt.Fprintf(w, "vs baseline (%s, GOMAXPROCS=%d):\n", a.Baseline.GoVersion, a.Baseline.GoMaxProcs)
+	for _, res := range a.Current.Results {
+		b := a.Baseline.At(res.Concurrency)
+		if b == nil || b.BatchStepsPerSec <= 0 || res.P99Micros <= 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  x%-3d steps/s %.2fx, p99 %.2fx\n",
+			res.Concurrency, res.BatchStepsPerSec/b.BatchStepsPerSec, b.P99Micros/res.P99Micros)
+	}
+}

@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"io"
+	"path/filepath"
+	"testing"
+)
+
+// TestServeSweepSmoke runs a tiny loadgen sweep end to end: both serving
+// paths must replay the identical episodes (exact step parity), latency
+// samples must be populated, and the scheduler counters must account for
+// every batched request.
+func TestServeSweepSmoke(t *testing.T) {
+	rep, err := runServeSweep([]int{2}, 4, 6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 1 {
+		t.Fatalf("want 1 result, got %d", len(rep.Results))
+	}
+	r := rep.Results[0]
+	if r.SeqSteps != r.BatchSteps {
+		t.Fatalf("step parity violated: seq %d != batch %d", r.SeqSteps, r.BatchSteps)
+	}
+	if r.SeqSteps == 0 {
+		t.Fatal("sweep served no steps")
+	}
+	if r.P99Micros <= 0 || r.SeqP99Micros <= 0 {
+		t.Fatalf("missing latency samples: seq p99 %v, batch p99 %v", r.SeqP99Micros, r.P99Micros)
+	}
+	if r.Waves == 0 || r.MeanWave <= 0 {
+		t.Fatalf("scheduler counters empty: waves %d mean %v", r.Waves, r.MeanWave)
+	}
+	// Concurrency 2 is below the speedup bar, so the only gate in play here
+	// is parity — which must hold on any machine.
+	if regs := ServeRegressions(nil, rep); len(regs) > 0 {
+		t.Fatalf("tiny sweep flagged regressions: %v", regs)
+	}
+	rep.Fprint(io.Discard)
+}
+
+// TestServeArtifactRoundTrip pins the artifact lifecycle: first write pins
+// the baseline, later writes replace only the current section, and the gate
+// reference prefers the current section.
+func TestServeArtifactRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_serving.json")
+	first := ServeReport{GoVersion: "go0", GoMaxProcs: 4, Results: []ServeResult{{Concurrency: 8, BatchStepsPerSec: 100, P99Micros: 50}}}
+	art, err := UpdateServeArtifact(path, first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Baseline == nil || art.Baseline.GoVersion != "go0" {
+		t.Fatalf("baseline not pinned on first write: %+v", art.Baseline)
+	}
+	second := ServeReport{GoVersion: "go1", GoMaxProcs: 4, Results: []ServeResult{{Concurrency: 8, BatchStepsPerSec: 120, P99Micros: 40}}}
+	if art, err = UpdateServeArtifact(path, second); err != nil {
+		t.Fatal(err)
+	}
+	if art.Baseline.GoVersion != "go0" || art.Current.GoVersion != "go1" {
+		t.Fatalf("pinning broken: baseline %s current %s", art.Baseline.GoVersion, art.Current.GoVersion)
+	}
+	loaded, err := LoadServeArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref := loaded.GateReference(); ref == nil || ref.GoVersion != "go1" {
+		t.Fatalf("gate reference should be the current section, got %+v", ref)
+	}
+	loaded.Fprint(io.Discard)
+}
+
+// TestServeRegressionsGate pins the gate logic on synthetic reports: parity
+// violations always fail; the speedup bar applies only at GOMAXPROCS >= 4
+// and concurrency >= 8; the baseline comparison applies only at matching
+// GOMAXPROCS; skips name every bar not applied.
+func TestServeRegressionsGate(t *testing.T) {
+	fresh := ServeReport{GoMaxProcs: 4, Results: []ServeResult{
+		{Concurrency: 1, SeqSteps: 10, BatchSteps: 10, Speedup: 0.9},
+		{Concurrency: 8, SeqSteps: 10, BatchSteps: 10, Speedup: 2.0, BatchStepsPerSec: 100, P99Micros: 50},
+	}}
+	if regs := ServeRegressions(nil, fresh); len(regs) != 0 {
+		t.Fatalf("clean report flagged: %v", regs)
+	}
+	bad := fresh
+	bad.Results = append([]ServeResult(nil), fresh.Results...)
+	bad.Results[1].BatchSteps = 9
+	if regs := ServeRegressions(nil, bad); len(regs) != 1 {
+		t.Fatalf("parity violation not flagged: %v", regs)
+	}
+	slow := fresh
+	slow.Results = append([]ServeResult(nil), fresh.Results...)
+	slow.Results[1].Speedup = 1.2
+	if regs := ServeRegressions(nil, slow); len(regs) != 1 {
+		t.Fatalf("speedup miss not flagged: %v", regs)
+	}
+	single := slow
+	single.GoMaxProcs = 1
+	if regs := ServeRegressions(nil, single); len(regs) != 0 {
+		t.Fatalf("speedup bar applied on single core: %v", regs)
+	}
+	ref := &ServeReport{GoMaxProcs: 4, Results: []ServeResult{
+		{Concurrency: 8, BatchStepsPerSec: 200, P99Micros: 20},
+	}}
+	if regs := ServeRegressions(ref, fresh); len(regs) != 2 {
+		t.Fatalf("want p99 + steps/sec regressions vs reference, got %v", regs)
+	}
+	otherProcs := &ServeReport{GoMaxProcs: 16, Results: ref.Results}
+	if regs := ServeRegressions(otherProcs, fresh); len(regs) != 0 {
+		t.Fatalf("cross-machine reference compared: %v", regs)
+	}
+	skips := ServeGateSkips(ServeReport{GoMaxProcs: 1}, otherProcs)
+	if len(skips) != 2 {
+		t.Fatalf("want speedup + baseline skip notes, got %v", skips)
+	}
+}

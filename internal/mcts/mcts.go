@@ -38,14 +38,38 @@ type Solver struct {
 	Deadline time.Duration
 	// Prior, when set, scores every root candidate's post-action state with
 	// the policy network's critic in ONE batched forward pass per
-	// environment step (policy.ValuesBatch) — the DDTS-style neural
-	// candidate scoring the gain-ranked pruning approximates. Each root
-	// child starts with a virtual visit whose return is its immediate gain
-	// plus the critic's estimate of the remaining return, so UCT's first
-	// sweeps favor states the value network likes instead of exploring the
-	// pruned candidates uniformly. Batching the expansion keeps the network
-	// cost one stacked GEMM chain per step rather than Width forwards.
-	Prior *policy.Model
+	// environment step — the DDTS-style neural candidate scoring the
+	// gain-ranked pruning approximates. Each root child starts with a
+	// virtual visit whose return is its immediate gain plus the critic's
+	// estimate of the remaining return, so UCT's first sweeps favor states
+	// the value network likes instead of exploring the pruned candidates
+	// uniformly. Batching the expansion keeps the network cost one stacked
+	// GEMM chain per step rather than Width forwards.
+	//
+	// CriticPrior wraps a bare model; the serving scheduler
+	// (internal/serve) satisfies the interface directly, in which case the
+	// prior's critic batch coalesces with every other consumer's wave.
+	Prior ValuePrior
+}
+
+// ValuePrior scores cluster states with a learned critic in one batched
+// forward. Implemented by CriticPrior (direct model access) and by the
+// continuous-batching scheduler in internal/serve (shared waves).
+type ValuePrior interface {
+	BatchValues(ctx context.Context, states []*cluster.Cluster, dst []float64) ([]float64, error)
+}
+
+// CriticPrior adapts a bare policy model to the ValuePrior contract with a
+// pooled batch context per call.
+type CriticPrior struct {
+	M *policy.Model
+}
+
+// BatchValues implements ValuePrior via policy.Model.ValuesBatch.
+func (c CriticPrior) BatchValues(_ context.Context, states []*cluster.Cluster, dst []float64) ([]float64, error) {
+	bc := policy.AcquireBatchCtx()
+	defer bc.Release()
+	return c.M.ValuesBatch(bc, states, dst), nil
 }
 
 // Meta implements solver.Solver.
@@ -169,15 +193,10 @@ func (s *Solver) Solve(ctx context.Context, env *sim.Env) error {
 	// it in place (CopyFrom) instead of allocating a fresh deep copy — the
 	// dominant allocation of search-based inference at scale.
 	var scratch *cluster.Cluster
-	// Value-prior scratch: one cluster copy per candidate child plus a
-	// batched inference context, reused across every environment step.
+	// Value-prior scratch: one cluster copy per candidate child, reused
+	// across every environment step.
 	var childStates []*cluster.Cluster
 	var childVals []float64
-	var bc *policy.BatchInferCtx
-	if s.Prior != nil {
-		bc = policy.AcquireBatchCtx()
-		defer bc.Release()
-	}
 	for !env.Done() {
 		if ctx.Err() != nil {
 			return nil // budget spent: best-so-far plan is already in env
@@ -200,12 +219,19 @@ func (s *Solver) Solve(ctx context.Context, env *sim.Env) error {
 				kept = append(kept, a)
 			}
 			// One batched forward values every candidate's child state.
-			childVals = s.Prior.ValuesBatch(bc, childStates[:len(kept)], childVals)
-			for j, a := range kept {
-				root.children = append(root.children, &node{
-					action: a, visits: 1, total: a.Gain + childVals[j],
-				})
-				root.visits++
+			vals, err := s.Prior.BatchValues(ctx, childStates[:len(kept)], childVals)
+			if err != nil {
+				// Prior unavailable (cancelled ctx, scheduler closing):
+				// fall back to plain UCT from an unexpanded root.
+				root.expanded = false
+			} else {
+				childVals = vals
+				for j, a := range kept {
+					root.children = append(root.children, &node{
+						action: a, visits: 1, total: a.Gain + childVals[j],
+					})
+					root.visits++
+				}
 			}
 		}
 		for it := 0; it < s.iterations(); it++ {

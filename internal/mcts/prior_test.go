@@ -20,7 +20,7 @@ func TestMCTSPriorBatchedExpansion(t *testing.T) {
 		Extractor: policy.SparseAttention, Action: policy.TwoStage, Seed: 7,
 	})
 	c := trace.MustProfile("tiny").GenerateMapping(rand.New(rand.NewSource(2)))
-	s := &Solver{Iterations: 32, Width: 5, Seed: 3, Prior: prior}
+	s := &Solver{Iterations: 32, Width: 5, Seed: 3, Prior: CriticPrior{M: prior}}
 	res, err := solver.Evaluate(context.Background(), s, c, sim.DefaultConfig(6))
 	if err != nil {
 		t.Fatal(err)

@@ -51,14 +51,20 @@ type BatchInferCtx struct {
 	sortBuf   []float64
 	vmSel     []int
 	values    []float64
+	// actVMProbs retains per-row stage-1 probabilities across the stage-2
+	// pass for WaveAct rows (log-prob needs them); row buffers are reused
+	// across waves.
+	actVMProbs [][]float64
 
-	// Wave scratch for RolloutBatch.
+	// Wave scratch for RolloutBatch and the typed wrappers.
 	clusters []*cluster.Cluster
 	active   []int
 	waveEnvs []*sim.Env
 	waveRngs []*rand.Rand
 	waveOpts []SampleOpts
 	acts     []BatchAction
+	reqs     []WaveReq
+	waveRes  []WaveRes
 }
 
 // NewBatchInferCtx returns an empty batched inference context.
@@ -349,110 +355,24 @@ func (bc *BatchInferCtx) extractBatch(envs []*sim.Env) {
 // single element broadcasts). Environments with no migratable VM get
 // ErrNoMigratableVM in their BatchAction. acts is an optional reusable
 // result slice. Zero heap allocations at a stable batch shape.
+//
+// InferBatch is a homogeneous WaveInfer wave; see Model.ServeWave for the
+// general mixed-kind form the serving scheduler drives.
 func (m *Model) InferBatch(bc *BatchInferCtx, envs []*sim.Env, rngs []*rand.Rand, opts []SampleOpts, acts []BatchAction) []BatchAction {
 	if cap(acts) < len(envs) {
 		acts = make([]BatchAction, len(envs))
 	} else {
 		acts = acts[:len(envs)]
 	}
-	for i := range acts {
-		acts[i] = BatchAction{}
+	bc.reqs = resizeReqs(bc.reqs, len(envs))
+	for i, env := range envs {
+		bc.reqs[i] = WaveReq{Kind: WaveInfer, Env: env, Rng: rngs[i], Opts: optAt(opts, i)}
 	}
-	if len(envs) == 0 {
-		return acts
+	bc.waveRes = m.ServeWave(bc, bc.reqs, bc.waveRes)
+	for i := range envs {
+		acts[i] = BatchAction{VM: bc.waveRes[i].VM, PM: bc.waveRes[i].PM, Err: bc.waveRes[i].Err}
 	}
-	bc.arena.Reset()
-	bc.extractBatch(envs)
-	out := m.forwardInferBatch(bc)
-	fb := &bc.fb
-
-	switch m.Cfg.Action {
-	case FullMask:
-		for b, env := range envs {
-			mTotal := len(fb.Envs[b].VM)
-			nTotal := len(fb.Envs[b].PM)
-			if cap(bc.jointMask) < mTotal*nTotal {
-				bc.jointMask = make([]bool, mTotal*nTotal)
-			} else {
-				bc.jointMask = bc.jointMask[:mTotal*nTotal]
-				for i := range bc.jointMask {
-					bc.jointMask[i] = false
-				}
-			}
-			bc.vmMask = env.VMMaskInto(bc.vmMask)
-			for v := 0; v < mTotal; v++ {
-				if !bc.vmMask[v] {
-					continue
-				}
-				bc.pmMask = env.PMMaskInto(v, bc.pmMask)
-				for p := 0; p < nTotal; p++ {
-					bc.jointMask[v*nTotal+p] = bc.pmMask[p]
-				}
-			}
-			probs := bc.arena.Softmax(m.jointLogitsBatchRow(bc, out, b, bc.jointMask)).Data
-			idx := sampleRow(probs, rngs[b], optAt(opts, b).Greedy)
-			acts[b].VM, acts[b].PM = idx/nTotal, idx%nTotal
-		}
-		return acts
-
-	case Penalty:
-		bc.vmSel = resizeInts(bc.vmSel, len(envs))
-		vmCol := m.vmLogitsBatch(bc, out)
-		for b := range envs {
-			vmProbs := bc.arena.Softmax(m.vmLogitsRow(bc, vmCol, b, nil)).Data
-			bc.vmSel[b] = sampleRow(vmProbs, rngs[b], optAt(opts, b).Greedy)
-			acts[b].VM = bc.vmSel[b]
-		}
-		pmCol := m.pmMergeBatch(bc, out, bc.vmSel)
-		for b := range envs {
-			pmProbs := bc.arena.Softmax(m.pmLogitsRow(bc, pmCol, b, nil)).Data
-			acts[b].PM = sampleRow(pmProbs, rngs[b], optAt(opts, b).Greedy)
-		}
-		return acts
-
-	default: // TwoStage
-		bc.vmSel = resizeInts(bc.vmSel, len(envs))
-		vmCol := m.vmLogitsBatch(bc, out)
-		for b, env := range envs {
-			o := optAt(opts, b)
-			bc.vmMask = env.VMMaskInto(bc.vmMask)
-			if !anyTrue(bc.vmMask) {
-				acts[b].Err = ErrNoMigratableVM
-				bc.vmSel[b] = -1
-				continue
-			}
-			bc.vmProbs = resizeFloats(bc.vmProbs, len(bc.vmMask))
-			copy(bc.vmProbs, bc.arena.Softmax(m.vmLogitsRow(bc, vmCol, b, bc.vmMask)).Data)
-			if o.VMQuantile > 0 {
-				bc.sortBuf = applyThresholdBuf(bc.sortBuf, bc.vmProbs, bc.vmMask, o.VMQuantile)
-			}
-			vm := sampleLegal(bc.vmProbs, bc.vmMask, rngs[b], o.Greedy)
-			bc.vmSel[b] = vm
-			acts[b].VM = vm
-		}
-		pmCol := m.pmMergeBatch(bc, out, bc.vmSel)
-		for b, env := range envs {
-			vm := bc.vmSel[b]
-			if vm < 0 {
-				continue
-			}
-			o := optAt(opts, b)
-			bc.pmMask = env.PMMaskInto(vm, bc.pmMask)
-			bc.pmProbs = resizeFloats(bc.pmProbs, len(bc.pmMask))
-			copy(bc.pmProbs, bc.arena.Softmax(m.pmLogitsRow(bc, pmCol, b, bc.pmMask)).Data)
-			if o.PMQuantile > 0 {
-				bc.sortBuf = applyThresholdBuf(bc.sortBuf, bc.pmProbs, bc.pmMask, o.PMQuantile)
-			}
-			pm := sampleLegal(bc.pmProbs, bc.pmMask, rngs[b], o.Greedy)
-			if m.Cfg.PMSubset > 0 {
-				// Decima-style: resample the PM from a random legal subset,
-				// overriding the learned stage-2 choice.
-				pm = subsetPM(bc.pmMask, m.Cfg.PMSubset, bc.pmProbs, rngs[b])
-			}
-			acts[b].PM = pm
-		}
-		return acts
-	}
+	return acts
 }
 
 // ActBatch is the training-path InferBatch: one batched forward pass, one
@@ -466,98 +386,15 @@ func (m *Model) ActBatch(bc *BatchInferCtx, envs []*sim.Env, rngs []*rand.Rand, 
 	if len(envs) == 0 {
 		return decs
 	}
-	bc.arena.Reset()
-	bc.extractBatch(envs)
-	out := m.forwardInferBatch(bc)
-	fb := &bc.fb
-	bc.values = m.valueInferBatch(bc, out, bc.values)
-	for b := range envs {
-		st := &State{Feat: fb.Envs[b].Clone()}
-		decs[b] = &Decision{State: st, Value: bc.values[b]}
+	bc.reqs = resizeReqs(bc.reqs, len(envs))
+	for i, env := range envs {
+		bc.reqs[i] = WaveReq{Kind: WaveAct, Env: env, Rng: rngs[i], Opts: optAt(opts, i)}
 	}
-
-	switch m.Cfg.Action {
-	case FullMask:
-		for b, env := range envs {
-			st := decs[b].State
-			mTotal := len(fb.Envs[b].VM)
-			nTotal := len(fb.Envs[b].PM)
-			st.JointMask = make([]bool, mTotal*nTotal)
-			vmMask := env.VMMask()
-			for vm := 0; vm < mTotal; vm++ {
-				if !vmMask[vm] {
-					continue
-				}
-				pmMask := env.PMMask(vm)
-				for pm := 0; pm < nTotal; pm++ {
-					st.JointMask[vm*nTotal+pm] = pmMask[pm]
-				}
-			}
-			probs := bc.arena.Softmax(m.jointLogitsBatchRow(bc, out, b, st.JointMask)).Data
-			idx := sampleRow(probs, rngs[b], optAt(opts, b).Greedy)
-			st.VM, st.PM = idx/nTotal, idx%nTotal
-			decs[b].LogProb = logProbOf(probs[idx])
-		}
-		return decs
-
-	case Penalty:
-		bc.vmSel = resizeInts(bc.vmSel, len(envs))
-		vmCol := m.vmLogitsBatch(bc, out)
-		vmProbs := make([][]float64, len(envs))
-		for b := range envs {
-			vmProbs[b] = append([]float64(nil), bc.arena.Softmax(m.vmLogitsRow(bc, vmCol, b, nil)).Data...)
-			decs[b].State.VM = sampleRow(vmProbs[b], rngs[b], optAt(opts, b).Greedy)
-			bc.vmSel[b] = decs[b].State.VM
-		}
-		pmCol := m.pmMergeBatch(bc, out, bc.vmSel)
-		for b := range envs {
-			st := decs[b].State
-			pmProbs := bc.arena.Softmax(m.pmLogitsRow(bc, pmCol, b, nil)).Data
-			st.PM = sampleRow(pmProbs, rngs[b], optAt(opts, b).Greedy)
-			decs[b].LogProb = logProbOf(vmProbs[b][st.VM]) + logProbOf(pmProbs[st.PM])
-		}
-		return decs
-
-	default: // TwoStage
-		bc.vmSel = resizeInts(bc.vmSel, len(envs))
-		vmCol := m.vmLogitsBatch(bc, out)
-		vmProbs := make([][]float64, len(envs))
-		for b, env := range envs {
-			st := decs[b].State
-			o := optAt(opts, b)
-			st.VMMask = env.VMMask()
-			if !anyTrue(st.VMMask) {
-				decs[b] = nil // no migratable VM: episode over for this env
-				bc.vmSel[b] = -1
-				continue
-			}
-			vmProbs[b] = append([]float64(nil), bc.arena.Softmax(m.vmLogitsRow(bc, vmCol, b, st.VMMask)).Data...)
-			if o.VMQuantile > 0 {
-				bc.sortBuf = applyThresholdBuf(bc.sortBuf, vmProbs[b], st.VMMask, o.VMQuantile)
-			}
-			st.VM = sampleLegal(vmProbs[b], st.VMMask, rngs[b], o.Greedy)
-			bc.vmSel[b] = st.VM
-		}
-		pmCol := m.pmMergeBatch(bc, out, bc.vmSel)
-		for b, env := range envs {
-			if decs[b] == nil {
-				continue
-			}
-			st := decs[b].State
-			o := optAt(opts, b)
-			st.PMMask = env.PMMask(st.VM)
-			pmProbs := append([]float64(nil), bc.arena.Softmax(m.pmLogitsRow(bc, pmCol, b, st.PMMask)).Data...)
-			if o.PMQuantile > 0 {
-				bc.sortBuf = applyThresholdBuf(bc.sortBuf, pmProbs, st.PMMask, o.PMQuantile)
-			}
-			st.PM = sampleLegal(pmProbs, st.PMMask, rngs[b], o.Greedy)
-			decs[b].LogProb = logProbOf(vmProbs[b][st.VM]) + logProbOf(pmProbs[st.PM])
-			if m.Cfg.PMSubset > 0 {
-				st.PM = subsetPM(st.PMMask, m.Cfg.PMSubset, pmProbs, rngs[b])
-			}
-		}
-		return decs
+	bc.waveRes = m.ServeWave(bc, bc.reqs, bc.waveRes)
+	for i := range envs {
+		decs[i] = bc.waveRes[i].Dec
 	}
+	return decs
 }
 
 // ValuesBatch returns the critic value of each cluster state through one
@@ -568,10 +405,16 @@ func (m *Model) ValuesBatch(bc *BatchInferCtx, cs []*cluster.Cluster, dst []floa
 	if len(cs) == 0 {
 		return dst[:0]
 	}
-	bc.arena.Reset()
-	bc.fb.Extract(cs)
-	out := m.forwardInferBatch(bc)
-	return m.valueInferBatch(bc, out, dst)
+	bc.reqs = resizeReqs(bc.reqs, len(cs))
+	for i, c := range cs {
+		bc.reqs[i] = WaveReq{Kind: WaveValue, State: c}
+	}
+	bc.waveRes = m.ServeWave(bc, bc.reqs, bc.waveRes)
+	dst = resizeFloats(dst, len(cs))
+	for i := range cs {
+		dst[i] = bc.waveRes[i].Value
+	}
+	return dst
 }
 
 // RolloutBatch rolls every environment to completion in lock-step waves: one
@@ -642,6 +485,14 @@ func (m *Model) RolloutBatch(ctx context.Context, bc *BatchInferCtx, envs []*sim
 func resizeInts(dst []int, n int) []int {
 	if cap(dst) < n {
 		return make([]int, n)
+	}
+	return dst[:n]
+}
+
+// resizeReqs returns dst with length n, reallocating only when needed.
+func resizeReqs(dst []WaveReq, n int) []WaveReq {
+	if cap(dst) < n {
+		return make([]WaveReq, n)
 	}
 	return dst[:n]
 }

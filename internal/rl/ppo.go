@@ -504,6 +504,19 @@ func (t *Trainer) Train(maps []*cluster.Cluster, envCfg sim.Config, n int, onUpd
 // reused across every episode of the call. Greedy selection ignores the rng,
 // so the result equals the sequential per-mapping rollout.
 func EvalFR(m *policy.Model, maps []*cluster.Cluster, envCfg sim.Config) float64 {
+	return EvalFRWith(&policy.Agent{Model: m, Opts: policy.SampleOpts{Greedy: true}}, maps, envCfg)
+}
+
+// BatchRoller rolls a set of environments to completion in lock-step waves.
+// policy.Agent implements it directly; the continuous-batching scheduler's
+// agent (internal/serve) implements it on top of shared serving waves, so an
+// evaluation can ride the same GEMMs as live traffic.
+type BatchRoller interface {
+	SolveBatch(ctx context.Context, envs []*sim.Env) error
+}
+
+// EvalFRWith is EvalFR over any batch-capable rollout engine.
+func EvalFRWith(ag BatchRoller, maps []*cluster.Cluster, envCfg sim.Config) float64 {
 	if len(maps) == 0 {
 		return 0
 	}
@@ -511,7 +524,6 @@ func EvalFR(m *policy.Model, maps []*cluster.Cluster, envCfg sim.Config) float64
 	for i, init := range maps {
 		envs[i] = sim.New(init, envCfg)
 	}
-	ag := policy.Agent{Model: m, Opts: policy.SampleOpts{Greedy: true}}
 	// An agent error leaves episodes short; count current values regardless.
 	_ = ag.SolveBatch(context.Background(), envs)
 	total := 0.0

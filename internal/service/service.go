@@ -29,6 +29,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"sync"
@@ -233,6 +234,12 @@ type Server struct {
 	baseCtx  context.Context
 	cancel   context.CancelFunc
 	stopOnce sync.Once
+
+	// closers are shared resources (e.g. the continuous-batching inference
+	// scheduler) shut down once after the worker pool drains, so no engine
+	// still running can submit to a closed resource.
+	closers     []io.Closer
+	closersOnce sync.Once
 }
 
 // Option configures a Server at construction time.
@@ -266,6 +273,14 @@ func WithWorkers(n int) Option {
 // server's backpressure signal.
 func WithQueueDepth(n int) Option {
 	return func(s *Server) { s.queueDepth = n }
+}
+
+// WithCloser attaches a shared resource to the server's lifecycle: Close
+// closes it after the worker pool has fully drained, so engines that route
+// through it (e.g. the continuous-batching inference scheduler) never see it
+// disappear mid-solve. May be given multiple times; closed in order.
+func WithCloser(c io.Closer) Option {
+	return func(s *Server) { s.closers = append(s.closers, c) }
 }
 
 // New builds a server and starts its worker pool. Unless WithDefaultEngine
@@ -332,6 +347,11 @@ func (s *Server) Close() {
 		s.closeMu.Unlock()
 	})
 	s.wg.Wait()
+	s.closersOnce.Do(func() {
+		for _, c := range s.closers {
+			_ = c.Close()
+		}
+	})
 }
 
 // enqueue hands a job to the worker pool without blocking. It reports
