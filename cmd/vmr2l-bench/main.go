@@ -7,6 +7,7 @@
 //	vmr2l-bench -hotpath           # hot-path microbenchmarks -> BENCH_hotpath.json
 //	vmr2l-bench -batch             # batched-vs-sequential rollout sweep -> BENCH_batch.json
 //	vmr2l-bench -load              # serving loadgen (scheduler vs per-request) -> BENCH_serving.json
+//	vmr2l-bench -chaos             # failure scenarios + shed overload -> BENCH_chaos.json
 //	vmr2l-bench -scenario diurnal  # live-cluster session pipeline (solve + churn + repair)
 //	vmr2l-bench -scenarios         # available scenario names
 //
@@ -53,6 +54,9 @@ func main() {
 		load       = flag.Bool("load", false, "run the serving loadgen (concurrent jobs through the continuous-batching scheduler vs per-request serving) and update -load-out")
 		loadOut    = flag.String("load-out", "BENCH_serving.json", "artifact path for -load")
 		loadCheck  = flag.Bool("load-check", false, "with -load: exit 1 on step-parity violation, (GOMAXPROCS>=4) <1.5x speedup at concurrency>=8, or >25% p99/steps-per-sec drift vs the pinned reference")
+		chaos      = flag.Bool("chaos", false, "run the chaos benchmark (failure scenarios vs healthy twins + degraded-mode shed overload) and update -chaos-out")
+		chaosOut   = flag.String("chaos-out", "BENCH_chaos.json", "artifact path for -chaos")
+		chaosCheck = flag.Bool("chaos-check", false, "with -chaos: exit 1 when the pinned chaos gates fail (invariant violation, evacuation completion below the pin, FR drift above the pin, or shed accounting broken)")
 	)
 	flag.Parse()
 	if *list {
@@ -145,6 +149,29 @@ func main() {
 				log.Fatalf("load: %d regression(s)", len(regs))
 			}
 			fmt.Println("serving gate: ok")
+		}
+		return
+	}
+	if *chaos {
+		start := time.Now()
+		rep, err := bench.RunChaos(func(s string) { log.Printf("chaos: %s", s) })
+		if err != nil {
+			log.Fatalf("chaos: %v", err)
+		}
+		art, err := bench.UpdateChaosArtifact(*chaosOut, rep)
+		if err != nil {
+			log.Fatalf("chaos: %v", err)
+		}
+		art.Fprint(os.Stdout)
+		fmt.Printf("wrote %s\nelapsed: %s\n", *chaosOut, time.Since(start).Round(time.Millisecond))
+		if *chaosCheck {
+			if regs := bench.ChaosRegressions(rep); len(regs) > 0 {
+				for _, r := range regs {
+					log.Printf("REGRESSION: %s", r)
+				}
+				log.Fatalf("chaos: %d gate failure(s)", len(regs))
+			}
+			fmt.Println("chaos gate: ok")
 		}
 		return
 	}

@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunChaosSmall runs the standard-length chaos loop (the failure rates
+// are per simulated minute, so shorter runs inject nothing; the standard run
+// is already CI-sized) plus the shed overload, and requires the result to
+// clear the pinned gates — the same bar the CI chaos-smoke job enforces.
+func TestRunChaosSmall(t *testing.T) {
+	rep, err := runChaos(chaosScenarios, chaosCycles, chaosMinutes, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Scenarios) != len(chaosScenarios) {
+		t.Fatalf("measured %d scenarios, want %d", len(rep.Scenarios), len(chaosScenarios))
+	}
+	for _, sc := range rep.Scenarios {
+		if sc.InvariantErr != "" {
+			t.Errorf("%s: invariant violated: %s", sc.Scenario, sc.InvariantErr)
+		}
+		if sc.CompletionRate < 0 || sc.CompletionRate > 1 {
+			t.Errorf("%s: completion rate %v outside [0,1]", sc.Scenario, sc.CompletionRate)
+		}
+	}
+	// The shed overload is deterministic: the burst rows are always the
+	// strictly-lowest priority against a queue held at ShedDepth.
+	if rep.Shed.Shed != 8 {
+		t.Errorf("shed %d rows, want exactly the 8-row burst", rep.Shed.Shed)
+	}
+	if !rep.Shed.AccountingOK {
+		t.Errorf("shed accounting identity violated: %+v", rep.Shed)
+	}
+	if rep.Shed.ControlShed != 0 {
+		t.Errorf("control shed %d rows with shedding disabled", rep.Shed.ControlShed)
+	}
+	if regs := ChaosRegressions(rep); len(regs) != 0 {
+		t.Errorf("pinned gates failed on a short run: %v", regs)
+	}
+	var buf bytes.Buffer
+	rep.Fprint(&buf)
+	if !strings.Contains(buf.String(), "pm-crash-storm") {
+		t.Errorf("report table missing scenario row:\n%s", buf.String())
+	}
+}
+
+// TestChaosArtifactPinning pins the baseline-on-first-write rule and the
+// load/update roundtrip for BENCH_chaos.json.
+func TestChaosArtifactPinning(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_chaos.json")
+	first := ChaosReport{GoVersion: "go-test", Timestamp: "t1",
+		Scenarios: []ChaosScenarioResult{{Scenario: "pm-crash-storm", CompletionRate: 1}}}
+	art, err := UpdateChaosArtifact(path, first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Baseline == nil || art.Baseline.Timestamp != "t1" {
+		t.Fatalf("baseline not pinned on first write: %+v", art)
+	}
+	second := ChaosReport{GoVersion: "go-test", Timestamp: "t2"}
+	if art, err = UpdateChaosArtifact(path, second); err != nil {
+		t.Fatal(err)
+	}
+	if art.Baseline.Timestamp != "t1" || art.Current.Timestamp != "t2" {
+		t.Fatalf("pinning rule broken: baseline %q current %q", art.Baseline.Timestamp, art.Current.Timestamp)
+	}
+	loaded, err := LoadChaosArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.GateReference() == nil || loaded.GateReference().Timestamp != "t2" {
+		t.Fatalf("gate reference should be the current section: %+v", loaded.GateReference())
+	}
+	if got := loaded.Baseline.At("pm-crash-storm"); got == nil || got.CompletionRate != 1 {
+		t.Fatalf("scenario lookup after roundtrip: %+v", got)
+	}
+	missing, err := LoadChaosArtifact(filepath.Join(t.TempDir(), "absent.json"))
+	if err != nil || missing.Baseline != nil || missing.Current != nil {
+		t.Fatalf("missing artifact must load zero: %+v, %v", missing, err)
+	}
+}
+
+// TestChaosRegressionsGates pins each gate's trigger on synthetic reports.
+func TestChaosRegressionsGates(t *testing.T) {
+	good := ChaosReport{
+		Scenarios: []ChaosScenarioResult{{
+			Scenario: "pm-crash-storm", Crashes: 3, Evacuated: 9, EvacCancelled: 1,
+			CompletionRate: 1, FRDrift: 0.01,
+		}},
+		Shed: ChaosShedResult{Submitted: 12, Rows: 4, Shed: 8, ShedRate: 8.0 / 12, AccountingOK: true},
+	}
+	if regs := ChaosRegressions(good); len(regs) != 0 {
+		t.Fatalf("clean report flagged: %v", regs)
+	}
+	bad := good
+	bad.Scenarios = []ChaosScenarioResult{{
+		Scenario: "pm-crash-storm",                     // no failures injected
+		EvacLost: 5, Evacuated: 5, CompletionRate: 0.5, // below completion pin
+		FRDrift:      ChaosMaxFRDrift + 0.1,
+		PlanSkipped:  2,
+		InvariantErr: "boom",
+	}}
+	bad.Shed = ChaosShedResult{Submitted: 12, Rows: 12, Shed: 0, AccountingOK: false, ControlShed: 3}
+	regs := ChaosRegressions(bad)
+	for _, want := range []string{
+		"invariant violated", "failed to apply", "no failures injected",
+		"completion", "FR drift", "accounting identity", "shed nothing", "control run shed",
+	} {
+		found := false
+		for _, r := range regs {
+			if strings.Contains(r, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("gate %q did not fire: %v", want, regs)
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 
@@ -50,8 +51,9 @@ func WithPollInterval(d time.Duration) Option {
 // WithRetry tunes the 503-backpressure retry policy: up to retries extra
 // attempts with exponential backoff starting at base and capped at max.
 // A 503 means the server shed the request before doing any work (full job
-// queue, session limit), so retrying is always safe. retries = 0 disables.
-// The default is 3 retries, 50 ms base, 1 s cap.
+// queue, session limit), so retrying is always safe. When the 503 carries a
+// Retry-After hint, that delay is used instead of the computed backoff.
+// retries = 0 disables. The default is 3 retries, 50 ms base, 1 s cap.
 func WithRetry(retries int, base, max time.Duration) Option {
 	return func(c *Client) { c.retries, c.retryBase, c.retryCap = retries, base, max }
 }
@@ -82,10 +84,36 @@ type apiError struct {
 type StatusError struct {
 	Code    int
 	Message string
+	// RetryAfter is the server's Retry-After hint, when the response carried
+	// a parseable one (the service computes it from its queue drain rate);
+	// zero means no hint. The retry loop honors it in place of its own
+	// backoff.
+	RetryAfter time.Duration
 }
 
 func (e *StatusError) Error() string {
 	return fmt.Sprintf("server returned %d: %s", e.Code, e.Message)
+}
+
+// parseRetryAfter interprets a Retry-After header value: delay-seconds or an
+// HTTP-date (RFC 9110 §10.2.3). Returns 0 for absent or malformed values —
+// backpressure handling must not fail on a bad hint.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if when, err := http.ParseTime(v); err == nil {
+		if d := time.Until(when); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // do issues one API call, retrying 503 backpressure responses with capped
@@ -116,6 +144,12 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		}
 		if delay > c.retryCap {
 			delay = c.retryCap
+		}
+		// A server Retry-After hint knows the queue's drain rate; honor it
+		// over the blind backoff (uncapped — the context deadline still
+		// bounds the total wait).
+		if se.RetryAfter > 0 {
+			delay = se.RetryAfter
 		}
 		t := time.NewTimer(delay)
 		select {
@@ -148,7 +182,11 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		var ae apiError
 		_ = json.NewDecoder(resp.Body).Decode(&ae)
-		return &StatusError{Code: resp.StatusCode, Message: ae.Error}
+		return &StatusError{
+			Code:       resp.StatusCode,
+			Message:    ae.Error,
+			RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+		}
 	}
 	if out == nil {
 		return nil

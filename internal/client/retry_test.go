@@ -102,3 +102,82 @@ func TestClientRetryHonorsContext(t *testing.T) {
 		t.Fatalf("retry loop ignored context: ran %v", elapsed)
 	}
 }
+
+func TestParseRetryAfter(t *testing.T) {
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{
+		{"", 0},
+		{"5", 5 * time.Second},
+		{"0", 0},
+		{"-3", 0},
+		{"soon", 0},
+		{"1.5", 0}, // delay-seconds is an integer; fractions are malformed
+	}
+	for _, tc := range cases {
+		if got := parseRetryAfter(tc.in); got != tc.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	// HTTP-date form: a timestamp in the future yields a positive delay, a
+	// past one yields zero.
+	future := time.Now().Add(30 * time.Second).UTC().Format(http.TimeFormat)
+	if got := parseRetryAfter(future); got <= 0 || got > 30*time.Second {
+		t.Errorf("parseRetryAfter(future date) = %v", got)
+	}
+	past := time.Now().Add(-30 * time.Second).UTC().Format(http.TimeFormat)
+	if got := parseRetryAfter(past); got != 0 {
+		t.Errorf("parseRetryAfter(past date) = %v, want 0", got)
+	}
+}
+
+// TestClientHonorsRetryAfter pins that an explicit server hint replaces the
+// client's own backoff: with a 1 ms base the retry would otherwise fire
+// nearly instantly, so an observed ~1 s gap proves the Retry-After second
+// was honored.
+func TestClientHonorsRetryAfter(t *testing.T) {
+	var attempts atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if attempts.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_ = json.NewEncoder(w).Encode(map[string]string{"error": "job queue full"})
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		_ = json.NewEncoder(w).Encode(service.JobStatus{ID: "job-1", State: service.JobQueued})
+	}))
+	t.Cleanup(srv.Close)
+	cl := New(srv.URL, WithRetry(2, time.Millisecond, 2*time.Millisecond))
+	start := time.Now()
+	id, err := cl.Submit(context.Background(), service.PlanRequest{MNL: 1})
+	if err != nil || id != "job-1" {
+		t.Fatalf("submit: id=%q err=%v", id, err)
+	}
+	if elapsed := time.Since(start); elapsed < 900*time.Millisecond {
+		t.Fatalf("retry fired after %v; the 1 s Retry-After hint was ignored", elapsed)
+	}
+	// The error surfaced to callers carries the hint too.
+	srv2, _ := flakyServerRetryAfter(t, "2")
+	cl2 := New(srv2.URL, WithRetry(0, time.Millisecond, time.Millisecond))
+	_, err = cl2.Submit(context.Background(), service.PlanRequest{MNL: 1})
+	var se *StatusError
+	if !errors.As(err, &se) || se.RetryAfter != 2*time.Second {
+		t.Fatalf("StatusError.RetryAfter = %+v, want 2s hint", err)
+	}
+}
+
+// flakyServerRetryAfter always 503s with the given Retry-After value.
+func flakyServerRetryAfter(t *testing.T, hint string) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var attempts atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		w.Header().Set("Retry-After", hint)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(map[string]string{"error": "job queue full"})
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &attempts
+}

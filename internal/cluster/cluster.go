@@ -252,18 +252,60 @@ func (c *Cluster) violatesAffinity(v *VM, pmID int) bool {
 	return c.svc.count(pmID, v.Service) > 0
 }
 
-// CanHost reports whether PM pmID can legally receive vmID: capacity on the
-// required NUMAs and, if enabled, anti-affinity. A VM can never "move" to the
-// PM currently hosting it.
+// CanHost reports whether PM pmID can legally receive vmID: the PM is Up,
+// capacity on the required NUMAs and, if enabled, anti-affinity. A VM can
+// never "move" to the PM currently hosting it.
 func (c *Cluster) CanHost(vmID, pmID int) bool {
 	v := &c.VMs[vmID]
 	if v.PM == pmID {
+		return false
+	}
+	if c.PMs[pmID].Health != Up {
 		return false
 	}
 	if c.violatesAffinity(v, pmID) {
 		return false
 	}
 	return c.fitsCapacity(v, &c.PMs[pmID])
+}
+
+// SetHealth transitions PM pmID to health h. Hosted VMs are untouched: a
+// crashed or draining PM keeps its placements until something evacuates
+// them (capacity aggregates are availability-agnostic; health is a
+// placement constraint, enforced by CanHost/BestFit/plan repair — the raw
+// Place/Remove mutations stay health-blind so evacuation rollbacks can
+// always restore a VM to its source).
+func (c *Cluster) SetHealth(pmID int, h Health) error {
+	if pmID < 0 || pmID >= len(c.PMs) {
+		return ErrBadReference
+	}
+	c.PMs[pmID].Health = h
+	return nil
+}
+
+// HealthCounts returns the number of PMs in each health state, indexed by
+// Health value.
+func (c *Cluster) HealthCounts() (counts [3]int) {
+	for i := range c.PMs {
+		h := c.PMs[i].Health
+		if h > Down {
+			h = Down
+		}
+		counts[h]++
+	}
+	return counts
+}
+
+// StrandedVMs appends to dst the ids of VMs hosted on non-Up PMs — the
+// evacuation backlog a degraded fleet carries — and returns it.
+func (c *Cluster) StrandedVMs(dst []int) []int {
+	for i := range c.PMs {
+		if c.PMs[i].Health == Up {
+			continue
+		}
+		dst = append(dst, c.PMs[i].VMs...)
+	}
+	return dst
 }
 
 // BestNuma returns the feasible NUMA of pmID for a single-NUMA VM that
@@ -592,6 +634,9 @@ func (c *Cluster) Validate() error {
 		p := &c.PMs[i]
 		if p.ID != i {
 			return fmt.Errorf("cluster: pm %d has id %d", i, p.ID)
+		}
+		if p.Health > Down {
+			return fmt.Errorf("cluster: pm %d has unknown health %d", i, p.Health)
 		}
 		for j := range p.Numas {
 			n := &p.Numas[j]

@@ -1,0 +1,116 @@
+package cluster
+
+import "testing"
+
+// healthFixture builds a 3-PM cluster with one placed VM per PM and one
+// unplaced VM.
+func healthFixture(t *testing.T) *Cluster {
+	t.Helper()
+	c := New(3, PMSmall)
+	for pm := 0; pm < 3; pm++ {
+		id := c.AddVM(VMType{CPU: 4, Mem: 8, Numas: 1})
+		if err := c.Place(id, pm, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.AddVM(VMType{CPU: 4, Mem: 8, Numas: 1}) // id 3, unplaced
+	return c
+}
+
+func TestHealthString(t *testing.T) {
+	cases := map[Health]string{Up: "up", Draining: "draining", Down: "down", Health(9): "health(9)"}
+	for h, want := range cases {
+		if got := h.String(); got != want {
+			t.Errorf("Health(%d).String() = %q, want %q", h, got, want)
+		}
+	}
+}
+
+func TestCanHostRejectsNonUpPMs(t *testing.T) {
+	for _, h := range []Health{Draining, Down} {
+		c := healthFixture(t)
+		if !c.CanHost(3, 1) {
+			t.Fatalf("health %v: healthy PM should host", h)
+		}
+		if err := c.SetHealth(1, h); err != nil {
+			t.Fatal(err)
+		}
+		if c.CanHost(3, 1) {
+			t.Errorf("CanHost targeted a %v PM", h)
+		}
+		// Migrate goes through CanHost and must refuse too.
+		if err := c.Migrate(0, 1, DefaultFragCores); err == nil {
+			t.Errorf("Migrate landed on a %v PM", h)
+		}
+		// The degraded PM still hosts its VM; moving it OFF stays legal.
+		if err := c.Migrate(1, 2, DefaultFragCores); err != nil {
+			t.Errorf("evacuating off a %v PM failed: %v", h, err)
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSetHealthBoundsAndValidate(t *testing.T) {
+	c := healthFixture(t)
+	if err := c.SetHealth(-1, Down); err == nil {
+		t.Fatal("negative pm accepted")
+	}
+	if err := c.SetHealth(3, Down); err == nil {
+		t.Fatal("out-of-range pm accepted")
+	}
+	c.PMs[0].Health = Health(7)
+	if err := c.Validate(); err == nil {
+		t.Fatal("Validate accepted unknown health state")
+	}
+	c.PMs[0].Health = Up
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHealthCountsAndStranded(t *testing.T) {
+	c := healthFixture(t)
+	if got := c.HealthCounts(); got != [3]int{3, 0, 0} {
+		t.Fatalf("fresh counts %v", got)
+	}
+	_ = c.SetHealth(0, Down)
+	_ = c.SetHealth(2, Draining)
+	if got := c.HealthCounts(); got != [3]int{1, 1, 1} {
+		t.Fatalf("counts %v", got)
+	}
+	stranded := c.StrandedVMs(nil)
+	if len(stranded) != 2 {
+		t.Fatalf("stranded %v, want VMs of PM 0 and PM 2", stranded)
+	}
+	seen := map[int]bool{}
+	for _, id := range stranded {
+		seen[id] = true
+	}
+	if !seen[0] || !seen[2] {
+		t.Fatalf("stranded %v, want {0, 2}", stranded)
+	}
+}
+
+// TestCloneAndCopyFromPreserveHealth pins that the snapshot paths used by
+// the solver carry health with them: a plan computed on a snapshot must see
+// the same degraded fleet the live cluster has.
+func TestCloneAndCopyFromPreserveHealth(t *testing.T) {
+	c := healthFixture(t)
+	_ = c.SetHealth(1, Down)
+	cp := c.Clone()
+	if cp.PMs[1].Health != Down || cp.PMs[0].Health != Up {
+		t.Fatal("Clone dropped health")
+	}
+	var dst Cluster
+	dst.CopyFrom(c)
+	if dst.PMs[1].Health != Down {
+		t.Fatal("CopyFrom dropped health")
+	}
+	// Mutating the copy never affects the original.
+	_ = cp.SetHealth(1, Up)
+	if c.PMs[1].Health != Down {
+		t.Fatal("Clone aliases health state")
+	}
+}

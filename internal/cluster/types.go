@@ -119,12 +119,50 @@ var (
 	PMBig   = PMType{Name: "pm-128c364g", CPUPerNuma: 64, MemPerNuma: 182}
 )
 
+// Health is the availability state of a PM. The zero value is Up, so
+// clusters built before failure dynamics existed (trace loads, struct
+// literals) are healthy by construction.
+type Health uint8
+
+// PM health states. Placement legality (CanHost, BestFit, plan repair)
+// accepts only Up destinations; Draining and Down PMs keep hosting whatever
+// is already on them until it is evacuated.
+const (
+	// Up is the healthy state: the PM accepts new placements.
+	Up Health = iota
+	// Draining marks rolling maintenance: hosted VMs keep running but must
+	// be migrated off, and no new VM may land.
+	Draining
+	// Down marks a crashed PM: hosted VMs are stranded and must be
+	// evacuated before their deadline; no new VM may land.
+	Down
+)
+
+// String returns the wire name of the health state.
+func (h Health) String() string {
+	switch h {
+	case Up:
+		return "up"
+	case Draining:
+		return "draining"
+	case Down:
+		return "down"
+	default:
+		return fmt.Sprintf("health(%d)", uint8(h))
+	}
+}
+
 // PM is a physical machine with two NUMA nodes and a set of hosted VMs.
 type PM struct {
 	ID    int
 	Numas [NumasPerPM]Numa
 	// VMs lists ids of hosted VMs in arbitrary order.
 	VMs []int
+	// Health is the availability state; zero value Up. Non-Up PMs refuse
+	// new placements (CanHost) but retain their current VMs until
+	// evacuation. Mutate through Cluster.SetHealth so future health-aware
+	// aggregates stay consistent.
+	Health Health
 }
 
 // FreeCPU returns spare CPU summed over both NUMAs.

@@ -1,0 +1,89 @@
+package scenario
+
+import (
+	"math/rand"
+	"testing"
+
+	"vmr2l/internal/sched"
+)
+
+func TestFailureScenariosRegistered(t *testing.T) {
+	for _, name := range []string{"pm-crash-storm", "rolling-maintenance"} {
+		s, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Dynamics.Failures == (sched.FailureSpec{}) {
+			t.Fatalf("%s: no failure spec", name)
+		}
+		rng := rand.New(rand.NewSource(s.Seed))
+		c, err := s.Build(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := s.NewDynamics(c, rng)
+		if _, on := d.Failures(); !on {
+			t.Fatalf("%s: NewDynamics did not enable failure dynamics", name)
+		}
+		d.Advance(60)
+		st := d.Stats()
+		if st.Crashes+st.Drains == 0 {
+			t.Fatalf("%s: no failure events in an hour (stats %+v)", name, st)
+		}
+		if err := d.CheckFailureInvariants(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestRandomScenarioAlwaysValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	shapes, failures := map[Shape]bool{}, 0
+	for i := 0; i < 200; i++ {
+		s := RandomScenario(rng)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("draw %d: %v (spec %+v)", i, err, s)
+		}
+		shapes[s.Dynamics.Shape] = true
+		if s.Dynamics.Failures != (sched.FailureSpec{}) {
+			failures++
+		}
+	}
+	if len(shapes) < 4 {
+		t.Fatalf("walk covered only shapes %v", shapes)
+	}
+	if failures < 50 {
+		t.Fatalf("walk degraded the fleet only %d/200 times", failures)
+	}
+}
+
+// TestFuzzedScenarioInvariants is the scenario fuzzer: random specs through
+// the full solve/churn/repair/apply loop, first violation fails.
+func TestFuzzedScenarioInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	n := 6
+	if testing.Short() {
+		n = 2
+	}
+	for i := 0; i < n; i++ {
+		s := RandomScenario(rng)
+		// tiny keeps the fuzz loop fast; the registry test covers the mid
+		// profile.
+		s.Profile = "tiny"
+		if err := RunInvariantCheck(s, int64(i), 3, 17); err != nil {
+			t.Fatalf("fuzz %d: %v\nspec: %+v", i, err, s)
+		}
+	}
+}
+
+func TestRunInvariantCheckNamedScenarios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mid-profile scenarios are not short-mode material")
+	}
+	for _, name := range []string{"pm-crash-storm", "rolling-maintenance"} {
+		s := MustGet(name)
+		if err := RunInvariantCheck(s, s.Seed, 2, 20); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}

@@ -48,6 +48,10 @@ type DynamicsSpec struct {
 	// ArriveFrac is the probability an event is an arrival; zero means the
 	// 50/50 default except for Drain, which forces exits only.
 	ArriveFrac float64
+	// Failures declares PM failure dynamics (crashes, rolling maintenance,
+	// evacuation deadlines) layered over the churn; the zero value leaves
+	// the fleet healthy. See sched.FailureSpec.
+	Failures sched.FailureSpec
 }
 
 // Scenario is a fully declarative experiment setup: everything needed to
@@ -107,6 +111,17 @@ func (s Scenario) Validate() error {
 	}
 	if f := s.Dynamics.ArriveFrac; f < 0 || f > 1 {
 		return fmt.Errorf("scenario %q: ArriveFrac %v outside [0,1]", s.Name, f)
+	}
+	fs := s.Dynamics.Failures
+	if fs.CrashRate < 0 {
+		return fmt.Errorf("scenario %q: negative crash rate %v", s.Name, fs.CrashRate)
+	}
+	if fs.RecoverAfter < 0 || fs.EvacDeadline < 0 || fs.EvacPerMinute < 0 ||
+		fs.MaintenanceEvery < 0 || fs.DrainDuration < 0 {
+		return fmt.Errorf("scenario %q: negative failure-spec interval", s.Name)
+	}
+	if fs.MaxUnavailFrac < 0 || fs.MaxUnavailFrac > 1 {
+		return fmt.Errorf("scenario %q: MaxUnavailFrac %v outside [0,1]", s.Name, fs.MaxUnavailFrac)
 	}
 	return nil
 }
@@ -168,6 +183,9 @@ func (s Scenario) NewDynamics(c *cluster.Cluster, rng *rand.Rand) *sched.Dynamic
 		dyn.SetArriveFrac(0)
 	} else if s.Dynamics.ArriveFrac > 0 {
 		dyn.SetArriveFrac(s.Dynamics.ArriveFrac)
+	}
+	if s.Dynamics.Failures != (sched.FailureSpec{}) {
+		dyn.SetFailures(s.Dynamics.Failures)
 	}
 	return dyn
 }
@@ -269,6 +287,45 @@ func init() {
 		MNL:         64,
 		Seed:        1,
 		Dynamics:    DynamicsSpec{Shape: Diurnal, Rate: 120},
+	})
+	// Failure scenarios for the robustness stack: the serving layer must
+	// keep Validate clean, evacuate under deadline, and account every loss.
+	register(Scenario{
+		Name:        "pm-crash-storm",
+		Description: "Poisson PM crashes under flat churn: evacuation-under-deadline stress",
+		Profile:     "workload-mid-small",
+		MinFR:       0.08,
+		Objective:   "fr16",
+		MNL:         8,
+		Seed:        1,
+		Dynamics: DynamicsSpec{
+			Shape: Flat, Rate: 2,
+			Failures: sched.FailureSpec{
+				CrashRate:      0.08,
+				RecoverAfter:   25,
+				EvacDeadline:   10,
+				EvacPerMinute:  16,
+				MaxUnavailFrac: 0.4,
+			},
+		},
+	})
+	register(Scenario{
+		Name:        "rolling-maintenance",
+		Description: "one PM draining at a time on a fixed rotation, light churn",
+		Profile:     "workload-mid-small",
+		MinFR:       0.08,
+		Objective:   "fr16",
+		MNL:         8,
+		Seed:        1,
+		Dynamics: DynamicsSpec{
+			Shape: Flat, Rate: 1,
+			Failures: sched.FailureSpec{
+				MaintenanceEvery: 20,
+				DrainDuration:    10,
+				EvacDeadline:     15,
+				EvacPerMinute:    32,
+			},
+		},
 	})
 	register(Scenario{
 		Name:          "affinity-diurnal",

@@ -49,6 +49,26 @@ type Stats struct {
 	Rejected int
 	// Exits counts removed VMs.
 	Exits int
+
+	// Failure-dynamics counters (see FailureSpec). The no-silent-loss
+	// accounting bar: every VM that was ever marked evacuation-pending ends
+	// up in exactly one of Evacuated, EvacCancelled, or EvacLost (or exited
+	// through normal churn, counted in Exits).
+
+	// Crashes counts PM crash events (health Up -> Down).
+	Crashes int
+	// Drains counts rolling-maintenance drain starts (Up -> Draining).
+	Drains int
+	// Recoveries counts PMs returned to Up (from Down or Draining).
+	Recoveries int
+	// Evacuated counts VMs successfully migrated off a Down/Draining PM.
+	Evacuated int
+	// EvacCancelled counts pending evacuations voided because the PM
+	// recovered first or the VM exited/moved through normal churn.
+	EvacCancelled int
+	// EvacLost counts VMs removed at their evacuation deadline because no
+	// Up PM could host them — the honest data-loss counter.
+	EvacLost int
 }
 
 // Sub returns the field-wise difference s - prev: the delta between two
@@ -57,11 +77,17 @@ type Stats struct {
 // Stats only needs subtracting once.
 func (s Stats) Sub(prev Stats) Stats {
 	return Stats{
-		Minutes:  s.Minutes - prev.Minutes,
-		Events:   s.Events - prev.Events,
-		Arrivals: s.Arrivals - prev.Arrivals,
-		Rejected: s.Rejected - prev.Rejected,
-		Exits:    s.Exits - prev.Exits,
+		Minutes:       s.Minutes - prev.Minutes,
+		Events:        s.Events - prev.Events,
+		Arrivals:      s.Arrivals - prev.Arrivals,
+		Rejected:      s.Rejected - prev.Rejected,
+		Exits:         s.Exits - prev.Exits,
+		Crashes:       s.Crashes - prev.Crashes,
+		Drains:        s.Drains - prev.Drains,
+		Recoveries:    s.Recoveries - prev.Recoveries,
+		Evacuated:     s.Evacuated - prev.Evacuated,
+		EvacCancelled: s.EvacCancelled - prev.EvacCancelled,
+		EvacLost:      s.EvacLost - prev.EvacLost,
 	}
 }
 
@@ -87,6 +113,9 @@ type Dynamics struct {
 	// keeping len(c.VMs) bounded for long-lived clusters; see SetReuseSlots.
 	reuseSlots bool
 	freeIDs    []int
+	// fail holds the failure-dynamics state (nil when failures are off and
+	// no explicit Crash/Drain has ever been applied); see failures.go.
+	fail *failureState
 }
 
 // NewDynamics builds an engine over the live cluster c. mix is the flavor
@@ -135,7 +164,11 @@ func (d *Dynamics) Stats() Stats { return d.stats }
 // Advance moves the clock forward by the given minutes, generating and
 // applying Poisson event counts minute by minute at the configured rate.
 // It returns the delta stats for just this advance. Advancing with a nil
-// rate or empty mix moves only the clock (a static scenario).
+// rate or empty mix moves only the clock (a static scenario). When failure
+// dynamics are enabled (SetFailures) or pending evacuations exist, every
+// minute also runs one failure step — crashes, drains, recoveries, and
+// evacuation processing — after the churn events; Advance returns with no
+// VM left on a Down/Draining PM past its evacuation deadline.
 func (d *Dynamics) Advance(minutes int) Stats {
 	before := d.stats
 	for m := 0; m < minutes; m++ {
@@ -149,6 +182,7 @@ func (d *Dynamics) Advance(minutes int) Stats {
 				}
 			}
 		}
+		d.failStep()
 		d.minute++
 		d.stats.Minutes++
 	}

@@ -9,6 +9,27 @@
 // the clock is advanced. Stream and Replay are retained as thin
 // compatibility wrappers over the same event application logic for callers
 // that want a precomputed event slice.
+//
+// # Failure dynamics
+//
+// Layered over the churn, Dynamics models PM failure (failures.go): Poisson
+// crashes (Up -> Down), rolling maintenance drains (Up -> Draining), and
+// recovery, driven by a FailureSpec or injected manually with
+// Crash/Drain/Recover (and at scenario level by a ChaosInjector). Every VM
+// on a failed PM becomes evacuation-pending under a deadline; each minute
+// the engine migrates pending VMs to the best-fit Up PM at a bounded rate,
+// and a VM still on a Down PM at its deadline is removed and counted as
+// lost — never silently dropped.
+//
+// The accounting bar is the no-silent-loss identity checked by
+// CheckFailureInvariants: every VM ever marked evacuation-pending resolves
+// into exactly one of Stats.Evacuated (migrated off in time),
+// Stats.EvacCancelled (PM recovered first, or the VM exited/moved through
+// normal churn), or Stats.EvacLost (deadline hit with no Up PM able to host
+// it) — or is still pending within its deadline. The serving layers reuse
+// the same discipline: solver.RepairStats counts forced evacuations and
+// stranded VMs per repaired plan, serve.Stats counts shed waves, and the
+// service's /v2/stats counts shed jobs and budget-dropped migrations.
 package sched
 
 import (
@@ -29,6 +50,12 @@ import (
 func BestFit(c *cluster.Cluster, id int) int {
 	bestPM, bestNuma, bestScore := -1, -1, math.MinInt
 	for pm := range c.PMs {
+		if c.PMs[pm].Health != cluster.Up {
+			// Draining and Down PMs take no new placements; a crashed PM
+			// with freed capacity must never attract the VMs being
+			// evacuated from its neighbors.
+			continue
+		}
 		numa := c.BestNuma(id, pm, cluster.DefaultFragCores)
 		if numa < 0 {
 			continue
@@ -51,8 +78,11 @@ func BestFit(c *cluster.Cluster, id int) int {
 
 // canHostUnplaced mirrors Cluster.CanHost for a VM that is not yet placed
 // (CanHost's "not the current PM" check is vacuous there, but the affinity
-// check is not exported separately).
+// check is not exported separately). Like CanHost, it accepts only Up PMs.
 func canHostUnplaced(c *cluster.Cluster, id, pm int) bool {
+	if c.PMs[pm].Health != cluster.Up {
+		return false
+	}
 	v := c.VMs[id]
 	if v.Service < 0 {
 		return true

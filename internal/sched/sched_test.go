@@ -121,3 +121,33 @@ func TestPoissonMeanRoughlyLambda(t *testing.T) {
 		t.Error("non-positive lambda must yield 0")
 	}
 }
+
+// TestBestFitNeverTargetsDegradedPM is the placement-health regression test:
+// whatever capacity a draining or down PM advertises, neither BestFit nor the
+// unplaced-affinity path may choose it.
+func TestBestFitNeverTargetsDegradedPM(t *testing.T) {
+	for _, h := range []cluster.Health{cluster.Draining, cluster.Down} {
+		// Two PMs: PM 0 empty (the tempting best-fit target), PM 1 half full.
+		c := cluster.New(2, cluster.PMSmall)
+		if err := c.Place(c.AddVM(cluster.VMType{CPU: 20, Mem: 64, Numas: 1}), 1, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.SetHealth(0, h); err != nil {
+			t.Fatal(err)
+		}
+		id := c.AddVM(cluster.VMType{CPU: 8, Mem: 16, Numas: 1})
+		if pm := BestFit(c, id); pm != 1 {
+			t.Fatalf("health %v: BestFit chose pm %d, want 1", h, pm)
+		}
+		if canHostUnplaced(c, c.AddVM(cluster.VMType{CPU: 8, Mem: 16, Numas: 1}), 0) {
+			t.Fatalf("health %v: canHostUnplaced accepted a degraded PM", h)
+		}
+		// With every PM degraded, placement must fail outright.
+		if err := c.SetHealth(1, h); err != nil {
+			t.Fatal(err)
+		}
+		if pm := BestFit(c, c.AddVM(cluster.VMType{CPU: 1, Mem: 1, Numas: 1})); pm != -1 {
+			t.Fatalf("health %v: BestFit placed onto a fully degraded fleet (pm %d)", h, pm)
+		}
+	}
+}

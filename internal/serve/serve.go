@@ -44,6 +44,12 @@ import (
 // ErrClosed is returned by Submit after Close.
 var ErrClosed = errors.New("serve: scheduler closed")
 
+// ErrShed is returned by Submit when the scheduler is in degraded mode
+// (queue beyond ShedDepth) and this row lost the priority comparison — the
+// serving layer's honest load-shedding signal. Every shed is counted in
+// Stats.DroppedShed; a shed row never joins a wave.
+var ErrShed = errors.New("serve: row shed under overload")
+
 // Options configure wave admission.
 type Options struct {
 	// MaxRows caps rows per wave; 0 means 128.
@@ -52,6 +58,33 @@ type Options struct {
 	// fires immediately; coalescing still happens whenever rows arrive
 	// faster than waves execute.
 	MaxWait time.Duration
+	// ShedDepth, when positive, bounds the waiting queue: a Submit that
+	// would push the depth past it sheds the lowest-priority row instead —
+	// the incoming one when it is lowest (newest loses ties), else the
+	// newest queued row of the lowest priority, which resolves with ErrShed.
+	// 0 means never shed.
+	ShedDepth int
+}
+
+// prioKey carries a row's shedding priority in its context.
+type prioKey struct{}
+
+// WithPriority tags ctx with a shedding priority (higher survives longer in
+// degraded mode). Untagged contexts have priority 0; negative priorities
+// mark best-effort work that sheds first.
+func WithPriority(ctx context.Context, p int) context.Context {
+	return context.WithValue(ctx, prioKey{}, p)
+}
+
+// Priority returns ctx's shedding priority (0 when untagged or nil).
+func Priority(ctx context.Context) int {
+	if ctx == nil {
+		return 0
+	}
+	if p, ok := ctx.Value(prioKey{}).(int); ok {
+		return p
+	}
+	return 0
 }
 
 // Stats is a snapshot of scheduler counters, JSON-shaped for the debug mux.
@@ -65,6 +98,9 @@ type Stats struct {
 	// DroppedCancel counts rows dropped because their context was cancelled
 	// before they were sealed into a wave.
 	DroppedCancel uint64 `json:"dropped_cancel"`
+	// DroppedShed counts rows resolved with ErrShed in degraded mode
+	// (queue past ShedDepth, lowest priority loses).
+	DroppedShed uint64 `json:"dropped_shed"`
 	// QueueDepth is the number of rows waiting at snapshot time.
 	QueueDepth int `json:"queue_depth"`
 	// MaxWave and MeanWave describe achieved wave sizes.
@@ -97,6 +133,7 @@ type Scheduler struct {
 	waves     uint64
 	rows      uint64
 	dropped   uint64
+	shed      uint64
 	maxWave   int
 
 	kick      chan struct{}
@@ -153,6 +190,7 @@ func (s *Scheduler) Stats() Stats {
 		Waves:         s.waves,
 		Rows:          s.rows,
 		DroppedCancel: s.dropped,
+		DroppedShed:   s.shed,
 		QueueDepth:    len(s.queue),
 		MaxWave:       s.maxWave,
 	}
@@ -176,8 +214,8 @@ func (s *Scheduler) Submit(ctx context.Context, req policy.WaveReq) (policy.Wave
 		s.mu.Unlock()
 		return policy.WaveRes{}, ErrClosed
 	}
-	s.queue = append(s.queue, p)
 	s.submitted++
+	s.admitLocked(p)
 	s.mu.Unlock()
 	s.kickRunner()
 	select {
@@ -187,6 +225,39 @@ func (s *Scheduler) Submit(ctx context.Context, req policy.WaveReq) (policy.Wave
 		<-p.done
 	}
 	return p.res, p.err
+}
+
+// admitLocked enqueues p, entering degraded mode when ShedDepth is set and
+// the queue is at it: the lowest-priority row is shed (resolved with
+// ErrShed) to keep the bound — the incoming row itself when nothing queued
+// ranks strictly below it (the newer row loses ties), else the newest
+// queued row of the lowest priority. The caller holds mu.
+func (s *Scheduler) admitLocked(p *pending) {
+	if s.opts.ShedDepth > 0 && len(s.queue) >= s.opts.ShedDepth {
+		victim := -1
+		for i, q := range s.queue {
+			qp := Priority(q.ctx)
+			if victim < 0 {
+				if qp < Priority(p.ctx) {
+					victim = i
+				}
+			} else if qp <= Priority(s.queue[victim].ctx) {
+				victim = i
+			}
+		}
+		if victim < 0 {
+			s.shed++
+			p.err = ErrShed
+			close(p.done)
+			return
+		}
+		q := s.queue[victim]
+		s.queue = append(s.queue[:victim], s.queue[victim+1:]...)
+		s.shed++
+		q.err = ErrShed
+		close(q.done)
+	}
+	s.queue = append(s.queue, p)
 }
 
 // SubmitMany enqueues a batch of rows in one shot — a lock-step consumer's
@@ -212,7 +283,7 @@ func (s *Scheduler) SubmitMany(ctx context.Context, reqs []policy.WaveReq, res [
 	}
 	for i := range reqs {
 		ps[i] = &pending{ctx: ctx, req: reqs[i], done: make(chan struct{})}
-		s.queue = append(s.queue, ps[i])
+		s.admitLocked(ps[i])
 	}
 	s.submitted += uint64(len(reqs))
 	s.mu.Unlock()

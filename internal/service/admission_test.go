@@ -1,0 +1,312 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"testing"
+	"time"
+
+	"vmr2l/internal/cluster"
+	"vmr2l/internal/trace"
+)
+
+// busiestPM returns the PM hosting the most VMs in c (the best crash target
+// for deterministic evacuation tests).
+func busiestPM(c *cluster.Cluster) (pm, vms int) {
+	pm = -1
+	for i := range c.PMs {
+		if n := len(c.PMs[i].VMs); n > vms {
+			pm, vms = i, n
+		}
+	}
+	return pm, vms
+}
+
+// crashPM posts the health event that takes one PM down in a session.
+func crashPM(t *testing.T, s *Server, sessID string, pm int) SessionStatus {
+	t.Helper()
+	w := postRaw(t, s, "/v2/clusters/"+sessID+"/events", EventsRequest{
+		Events: []SessionEvent{{Health: "down", PM: &pm}},
+	})
+	if w.Code != http.StatusOK {
+		t.Fatalf("crash event: status %d: %s", w.Code, w.Body.String())
+	}
+	var st SessionStatus
+	if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// runSessionJob submits a session-scoped job and waits for its result.
+func runSessionJob(t *testing.T, s *Server, sessID string, req PlanRequest) *PlanResponse {
+	t.Helper()
+	w := postRaw(t, s, "/v2/clusters/"+sessID+"/jobs", req)
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("session job: status %d: %s", w.Code, w.Body.String())
+	}
+	var st JobStatus
+	if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	final := waitJob(t, s, st.ID, 10*time.Second)
+	if final.State != JobSucceeded {
+		t.Fatalf("session job failed: %+v", final)
+	}
+	if final.Result == nil || final.Result.Repair == nil {
+		t.Fatalf("session job result missing repair report: %+v", final.Result)
+	}
+	return final.Result
+}
+
+// TestRetryAfterHonest pins the backpressure hint: a queue-full 503 carries
+// a Retry-After computed from the pool's drain rate (default budget /
+// workers), not a constant.
+func TestRetryAfterHonest(t *testing.T) {
+	s := New(WithWorkers(1), WithQueueDepth(1))
+	t.Cleanup(s.Close)
+	block := make(chan struct{})
+	defer close(block)
+	s.Register("block", blockingSolver{release: block})
+	mapping, _ := mappingJSON(t, 11)
+
+	want := strconv.Itoa(s.retryAfter())
+	if want != "5" { // FiveSecondLimit / 1 worker
+		t.Fatalf("retryAfter() = %s, want 5", want)
+	}
+	sawBusy := false
+	for i := 0; i < 4; i++ {
+		w := postJSON(t, s, "/v2/jobs", PlanRequest{MNL: 2, Mapping: mapping})
+		if w.Code != http.StatusServiceUnavailable {
+			continue
+		}
+		sawBusy = true
+		if got := w.Header().Get("Retry-After"); got != want {
+			t.Fatalf("Retry-After = %q, want %q", got, want)
+		}
+	}
+	if !sawBusy {
+		t.Fatal("queue never filled")
+	}
+}
+
+// TestStatsEndpoint pins GET /v2/stats: accepted/shed partition every
+// submission, and capacity numbers reflect the server's configuration.
+func TestStatsEndpoint(t *testing.T) {
+	s := New(WithWorkers(1), WithQueueDepth(1))
+	t.Cleanup(s.Close)
+	block := make(chan struct{})
+	s.Register("block", blockingSolver{release: block})
+	mapping, _ := mappingJSON(t, 12)
+
+	accepted, shed := 0, 0
+	for i := 0; i < 5; i++ {
+		switch w := postJSON(t, s, "/v2/jobs", PlanRequest{MNL: 2, Mapping: mapping}); w.Code {
+		case http.StatusAccepted:
+			accepted++
+		case http.StatusServiceUnavailable:
+			shed++
+		default:
+			t.Fatalf("submit %d: status %d", i, w.Code)
+		}
+	}
+	createSession(t, s, SessionRequest{Mapping: mapping})
+
+	var st ServerStats
+	if code := getJSON(t, s, "/v2/stats", &st); code != http.StatusOK {
+		t.Fatalf("/v2/stats: %d", code)
+	}
+	close(block)
+	if st.Workers != 1 || st.QueueCap != 1 {
+		t.Errorf("capacity = %d workers / %d queue, want 1/1", st.Workers, st.QueueCap)
+	}
+	if st.Accepted != uint64(accepted) || st.Shed != uint64(shed) || shed == 0 {
+		t.Errorf("stats accepted=%d shed=%d, observed %d/%d", st.Accepted, st.Shed, accepted, shed)
+	}
+	if st.Sessions != 1 {
+		t.Errorf("sessions = %d, want 1", st.Sessions)
+	}
+	if st.RetryAfterSec < 1 {
+		t.Errorf("retry_after_sec = %d", st.RetryAfterSec)
+	}
+}
+
+// TestSessionHealthEvents drives the chaos API: an explicit crash marks the
+// hosted VMs evacuation-pending, the status reports the degraded fleet, and
+// advancing the clock resolves the evacuations with balanced accounting.
+func TestSessionHealthEvents(t *testing.T) {
+	s := testServer(t)
+	mapping, c := mappingJSON(t, 13)
+	st := createSession(t, s, SessionRequest{Mapping: mapping})
+	if st.Health.Up != len(c.PMs) || st.Health.Down != 0 {
+		t.Fatalf("fresh session health = %+v", st.Health)
+	}
+	pm, vms := busiestPM(c)
+	if vms == 0 {
+		t.Fatal("fixture has no hosted VMs")
+	}
+
+	got := crashPM(t, s, st.ID, pm)
+	if got.Health.Down != 1 || got.Health.Up != len(c.PMs)-1 {
+		t.Fatalf("post-crash health = %+v", got.Health)
+	}
+	if got.Applied == nil || got.Applied.Crashes != 1 {
+		t.Fatalf("applied = %+v, want one crash", got.Applied)
+	}
+	if got.PendingEvacuations != vms {
+		t.Fatalf("pending evacuations = %d, want %d", got.PendingEvacuations, vms)
+	}
+
+	// Unknown health states and missing PM targets are rejected up front.
+	for _, bad := range []SessionEvent{{Health: "exploded", PM: &pm}, {Health: "down"}} {
+		w := postRaw(t, s, "/v2/clusters/"+st.ID+"/events", EventsRequest{Events: []SessionEvent{bad}})
+		if w.Code != http.StatusBadRequest {
+			t.Fatalf("bad health event %+v: status %d", bad, w.Code)
+		}
+	}
+
+	// Advancing resolves the evacuations: every marked VM ends up evacuated
+	// (the lightly loaded fixture always has room), none lost.
+	w := postRaw(t, s, "/v2/clusters/"+st.ID+"/events", EventsRequest{AdvanceMinutes: 30})
+	if w.Code != http.StatusOK {
+		t.Fatalf("advance: status %d: %s", w.Code, w.Body.String())
+	}
+	var after SessionStatus
+	if err := json.Unmarshal(w.Body.Bytes(), &after); err != nil {
+		t.Fatal(err)
+	}
+	if after.PendingEvacuations != 0 {
+		t.Fatalf("evacuations still pending after 30 min: %+v", after)
+	}
+	if after.Stats.EvacLost != 0 || after.Stats.Evacuated+after.Stats.EvacCancelled < vms {
+		t.Fatalf("evacuation accounting: %+v, marked %d", after.Stats, vms)
+	}
+
+	// Recovery brings the PM back and shows up in the counters.
+	w = postRaw(t, s, "/v2/clusters/"+st.ID+"/events", EventsRequest{
+		Events: []SessionEvent{{Health: "up", PM: &pm}},
+	})
+	if w.Code != http.StatusOK {
+		t.Fatalf("recover: status %d", w.Code)
+	}
+	var rec SessionStatus
+	if err := json.Unmarshal(w.Body.Bytes(), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Health.Down != 0 || rec.Health.Up != len(c.PMs) || rec.Stats.Recoveries != 1 {
+		t.Fatalf("post-recovery status = %+v", rec)
+	}
+}
+
+// TestSessionJobForcedEvacuations pins the failure-aware repair path over
+// the wire: with a PM down and its VMs still in place, a session job's plan
+// leads with forced evacuations off the dead PM, flagged as such.
+func TestSessionJobForcedEvacuations(t *testing.T) {
+	s := testServer(t)
+	mapping, c := mappingJSON(t, 14)
+	st := createSession(t, s, SessionRequest{Mapping: mapping})
+	pm, vms := busiestPM(c)
+	crashPM(t, s, st.ID, pm)
+
+	resp := runSessionJob(t, s, st.ID, PlanRequest{MNL: 6})
+	forced := 0
+	for _, m := range resp.Plan {
+		if m.FromPM == pm {
+			if !m.Forced {
+				t.Fatalf("migration off the down PM not flagged forced: %+v", m)
+			}
+			forced++
+		} else if m.Forced {
+			t.Fatalf("forced flag on a migration off healthy PM %d: %+v", m.FromPM, m)
+		}
+		if m.ToPM == pm {
+			t.Fatalf("plan targets the down PM: %+v", m)
+		}
+	}
+	if forced != vms {
+		t.Fatalf("forced evacuations = %d, want %d (all VMs on PM %d)", forced, vms, pm)
+	}
+	if resp.Repair.Evacuated != vms || resp.Repair.EvacFailed != 0 {
+		t.Fatalf("repair stats = %+v, want %d evacuated", resp.Repair.RepairStats, vms)
+	}
+}
+
+// TestSessionMigrationBudget pins budget truncation: non-forced migrations
+// are capped at the session budget, the dropped count is honest, and forced
+// evacuations are exempt.
+func TestSessionMigrationBudget(t *testing.T) {
+	s := testServer(t)
+	// Heavier fragmentation than mappingJSON so the engine wants several
+	// migrations and the budget has something to truncate.
+	c := trace.MustProfile("tiny").GenerateFragmented(rand.New(rand.NewSource(15)), 0.30, 60)
+	var buf bytes.Buffer
+	if err := trace.WriteMapping(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	mapping := buf.Bytes()
+
+	// Unbudgeted baseline: how many migrations does the engine want?
+	base := createSession(t, s, SessionRequest{Mapping: mapping})
+	full := runSessionJob(t, s, base.ID, PlanRequest{MNL: 6})
+	if len(full.Plan) < 2 {
+		t.Fatalf("fixture too easy: baseline plan has %d steps", len(full.Plan))
+	}
+	if full.Repair.BudgetDropped != 0 {
+		t.Fatalf("unbudgeted session dropped %d migrations", full.Repair.BudgetDropped)
+	}
+
+	// Budget 1: one non-forced migration survives, the rest are counted.
+	capped := createSession(t, s, SessionRequest{Mapping: mapping, MigrationBudget: 1})
+	got := runSessionJob(t, s, capped.ID, PlanRequest{MNL: 6})
+	if len(got.Plan) != 1 {
+		t.Fatalf("budget-1 plan has %d steps: %+v", len(got.Plan), got.Plan)
+	}
+	if got.Repair.BudgetDropped != len(full.Plan)-1 {
+		t.Fatalf("budget_dropped = %d, want %d", got.Repair.BudgetDropped, len(full.Plan)-1)
+	}
+
+	// Budget 1 with a crashed PM: the forced evacuations all survive
+	// truncation alongside at most one non-forced migration.
+	hard := createSession(t, s, SessionRequest{Mapping: mapping, MigrationBudget: 1})
+	pm, vms := busiestPM(c)
+	crashPM(t, s, hard.ID, pm)
+	degraded := runSessionJob(t, s, hard.ID, PlanRequest{MNL: 6})
+	forced, normal := 0, 0
+	for _, m := range degraded.Plan {
+		if m.Forced {
+			forced++
+		} else {
+			normal++
+		}
+	}
+	// Every evacuation the repairer managed must survive truncation; the
+	// heavily fragmented fleet may honestly fail to place a few (EvacFailed).
+	if forced != degraded.Repair.Evacuated || forced == 0 {
+		t.Fatalf("forced = %d, want %d evacuated (budget must not drop evacuations)",
+			forced, degraded.Repair.Evacuated)
+	}
+	if got := degraded.Repair.Evacuated + degraded.Repair.EvacFailed; got != vms {
+		t.Fatalf("evacuated %d + failed %d != %d VMs on the down PM",
+			degraded.Repair.Evacuated, degraded.Repair.EvacFailed, vms)
+	}
+	if normal > 1 {
+		t.Fatalf("budget 1 let %d non-forced migrations through", normal)
+	}
+
+	// The server-wide truncation counter saw every dropped migration.
+	var stats ServerStats
+	if code := getJSON(t, s, "/v2/stats", &stats); code != http.StatusOK {
+		t.Fatalf("/v2/stats: %d", code)
+	}
+	if stats.BudgetDropped < uint64(got.Repair.BudgetDropped) {
+		t.Fatalf("server budget_dropped = %d, want >= %d", stats.BudgetDropped, got.Repair.BudgetDropped)
+	}
+
+	// Negative budgets are rejected.
+	if w := postRaw(t, s, "/v2/clusters", SessionRequest{Mapping: mapping, MigrationBudget: -1}); w.Code != http.StatusBadRequest {
+		t.Fatalf("negative budget: status %d", w.Code)
+	}
+}

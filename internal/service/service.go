@@ -32,7 +32,9 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"vmr2l/internal/cluster"
@@ -79,6 +81,10 @@ type PlanMigration struct {
 	FromPM int  `json:"from_pm"`
 	ToPM   int  `json:"to_pm"`
 	Swap   bool `json:"swap,omitempty"`
+	// Forced marks an evacuation the plan repairer emitted because the VM
+	// sat on a Draining/Down PM: mandatory regardless of objective, always
+	// kept even when a session migration budget truncates the plan.
+	Forced bool `json:"forced,omitempty"`
 }
 
 // PlanResponse is the body returned by the reschedule endpoints. Its
@@ -224,6 +230,12 @@ type Server struct {
 	sessions map[string]*session
 	sessSeq  uint64
 
+	// Admission-control counters (GET /v2/stats). Monotonic since start.
+	statAccepted      atomic.Uint64 // jobs admitted to the bounded queue
+	statShed          atomic.Uint64 // jobs refused with 503 (queue full / closing)
+	statSessRejected  atomic.Uint64 // session creations refused at maxSessions
+	statBudgetDropped atomic.Uint64 // plan migrations truncated by session budgets
+
 	queue chan *job
 	wg    sync.WaitGroup
 	// closeMu serializes enqueues against Close: a send on s.queue only
@@ -315,6 +327,7 @@ func New(opts ...Option) *Server {
 	s.mux.HandleFunc("GET /v2/jobs", s.handleListJobs)
 	s.mux.HandleFunc("GET /v2/jobs/{id}", s.handleJobStatus)
 	s.mux.HandleFunc("GET /v2/solvers", s.handleSolversV2)
+	s.mux.HandleFunc("GET /v2/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v2/scenarios", s.handleScenarios)
 	s.mux.HandleFunc("POST /v2/reschedule", s.handleRescheduleV2)
 	// Live cluster sessions: register once, stream churn, solve against
@@ -568,18 +581,53 @@ func solve(ctx context.Context, j *job) (*PlanResponse, bool, error) {
 	if j.sess != nil {
 		j.sess.mu.Lock()
 		rp := solver.RepairPlanObjective(j.sess.c, plan, j.cfg.Obj)
-		j.sess.mu.Unlock()
 		plan = rp.Plan
-		resp.Repair = &RepairReport{
+		report := &RepairReport{
 			RepairStats:   rp.Stats,
 			LiveInitialFR: rp.InitialFR,
 			LiveFinalFR:   rp.FinalFR,
 		}
+		if b := j.sess.budget; b > 0 {
+			capped, dropped := capPlan(plan, b)
+			if dropped > 0 {
+				// Re-repair the truncated plan so it still applies cleanly
+				// (a dropped move can invalidate a later one that depended on
+				// the freed capacity) and the reported live FR stays the truth
+				// about the plan actually returned.
+				rp2 := solver.RepairPlanObjective(j.sess.c, capped, j.cfg.Obj)
+				plan = rp2.Plan
+				report.BudgetDropped = dropped
+				report.LiveFinalFR = rp2.FinalFR
+			}
+		}
+		j.sess.mu.Unlock()
+		resp.Repair = report
 	}
 	for _, m := range plan {
-		resp.Plan = append(resp.Plan, PlanMigration{VM: m.VM, FromPM: m.FromPM, ToPM: m.ToPM, Swap: m.Swap})
+		resp.Plan = append(resp.Plan, PlanMigration{
+			VM: m.VM, FromPM: m.FromPM, ToPM: m.ToPM, Swap: m.Swap, Forced: m.Forced,
+		})
 	}
 	return resp, timedOut, nil
+}
+
+// capPlan enforces a session's migration budget on a repaired plan: forced
+// evacuations are always kept (a VM stranded on a Draining/Down PM must move
+// whatever the budget says), non-forced migrations are kept in plan order
+// until the budget is spent. Returns the kept plan and the dropped count.
+func capPlan(plan []sim.Migration, budget int) ([]sim.Migration, int) {
+	kept := make([]sim.Migration, 0, len(plan))
+	normal := 0
+	for _, m := range plan {
+		if !m.Forced {
+			if normal >= budget {
+				continue
+			}
+			normal++
+		}
+		kept = append(kept, m)
+	}
+	return kept, len(plan) - len(kept)
 }
 
 func (s *Server) worker() {
@@ -597,6 +645,9 @@ func (s *Server) worker() {
 		j.state = JobRunning
 		j.mu.Unlock()
 		resp, timedOut, err := solve(s.baseCtx, j)
+		if resp != nil && resp.Repair != nil && resp.Repair.BudgetDropped > 0 {
+			s.statBudgetDropped.Add(uint64(resp.Repair.BudgetDropped))
+		}
 		j.mu.Lock()
 		j.timedOut = timedOut
 		if err != nil {
@@ -632,10 +683,12 @@ func (s *Server) submitJob(w http.ResponseWriter, j *job) {
 	j.id = fmt.Sprintf("job-%d", s.jobSeq)
 	s.jobsMu.Unlock()
 	if !s.enqueue(j) {
-		w.Header().Set("Retry-After", "1")
+		s.statShed.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
 		httpError(w, http.StatusServiceUnavailable, "job queue full (%d pending)", s.queueDepth)
 		return
 	}
+	s.statAccepted.Add(1)
 	// Record after the enqueue succeeded; the id only reaches the client in
 	// the 202 below, so no one can poll before this insert.
 	s.jobsMu.Lock()
@@ -648,6 +701,61 @@ func (s *Server) submitJob(w http.ResponseWriter, j *job) {
 		st.Session = j.sess.id
 	}
 	writeJSON(w, http.StatusAccepted, st)
+}
+
+// retryAfter estimates, in whole seconds (minimum 1), when a queue slot is
+// likely to free: the pool pulls one job roughly every budget/workers, with
+// budget the default engine's solve budget. An honest hint beats the
+// constant "1" — a client that comes back too early just burns a retry on
+// another 503.
+func (s *Server) retryAfter() int {
+	s.mu.RLock()
+	name := s.fallback
+	s.mu.RUnlock()
+	per := s.budgetFor(name, 0) / time.Duration(s.workers)
+	secs := int((per + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// ServerStats is the body of GET /v2/stats: admission-control counters and
+// the current capacity picture. Counters are monotonic since server start.
+type ServerStats struct {
+	Workers  int `json:"workers"`
+	QueueCap int `json:"queue_cap"`
+	// Queued is the number of jobs sitting in the bounded queue right now.
+	Queued   int `json:"queued"`
+	Sessions int `json:"sessions"`
+	// Accepted/Shed partition every job submission: admitted to the queue
+	// versus refused with 503 before any work was done.
+	Accepted uint64 `json:"accepted"`
+	Shed     uint64 `json:"shed"`
+	// SessionsRejected counts session creations refused at the session limit.
+	SessionsRejected uint64 `json:"sessions_rejected"`
+	// BudgetDropped totals plan migrations truncated by per-session
+	// migration budgets (forced evacuations are never among them).
+	BudgetDropped uint64 `json:"budget_dropped"`
+	// RetryAfterSec is the hint currently attached to queue-full 503s.
+	RetryAfterSec int `json:"retry_after_sec"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.sessMu.RLock()
+	sessions := len(s.sessions)
+	s.sessMu.RUnlock()
+	writeJSON(w, http.StatusOK, ServerStats{
+		Workers:          s.workers,
+		QueueCap:         s.queueDepth,
+		Queued:           len(s.queue),
+		Sessions:         sessions,
+		Accepted:         s.statAccepted.Load(),
+		Shed:             s.statShed.Load(),
+		SessionsRejected: s.statSessRejected.Load(),
+		BudgetDropped:    s.statBudgetDropped.Load(),
+		RetryAfterSec:    s.retryAfter(),
+	})
 }
 
 // maxRetainedJobs bounds the job store: beyond it, the oldest *finished*

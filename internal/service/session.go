@@ -36,17 +36,34 @@ type SessionRequest struct {
 	// Seed drives the scenario build and the session's event stream;
 	// 0 means the scenario's default seed.
 	Seed int64 `json:"seed,omitempty"`
+	// MigrationBudget caps the non-forced migrations any session-scoped job
+	// may return: repaired plans are truncated to the budget, with the
+	// dropped count reported (RepairReport.BudgetDropped). Forced
+	// evacuations — VMs stranded on Draining/Down PMs — are exempt and
+	// always survive truncation. 0 means unlimited.
+	MigrationBudget int `json:"migration_budget,omitempty"`
 }
 
-// SessionEvent is one explicit arrival or exit applied to a session.
+// SessionEvent is one explicit event applied to a session: a VM arrival, a
+// VM exit, or — when Health is set — a PM availability transition (the
+// API-driven face of chaos injection; see sched.ChaosInjector for the
+// random-walk variant).
 type SessionEvent struct {
 	// Arrive true adds a VM of the named standard flavor (placed by
-	// best-fit); false removes a VM.
+	// best-fit); false removes a VM. Ignored when Health is set.
 	Arrive bool `json:"arrive"`
 	// Type is the arriving VM's flavor name (e.g. "xlarge").
 	Type string `json:"type,omitempty"`
 	// VM selects the exiting VM; nil means a uniformly random placed VM.
 	VM *int `json:"vm,omitempty"`
+	// Health, when non-empty, makes this a PM health transition instead:
+	// "down" crashes the PM, "draining" starts a maintenance drain, "up"
+	// recovers it. Crashing or draining marks the hosted VMs
+	// evacuation-pending under the session's evacuation deadline; pending
+	// evacuations resolve as simulated minutes advance.
+	Health string `json:"health,omitempty"`
+	// PM is the target of a health transition; required with Health.
+	PM *int `json:"pm,omitempty"`
 }
 
 // EventsRequest is the body of POST /v2/clusters/{id}/events. The dynamics
@@ -57,13 +74,26 @@ type EventsRequest struct {
 	Events         []SessionEvent `json:"events,omitempty"`
 }
 
-// EventStats mirrors sched.Stats on the wire.
+// EventStats mirrors sched.Stats on the wire. The failure counters are
+// omitted while zero, so healthy-fleet sessions keep their pre-failure wire
+// shape.
 type EventStats struct {
 	Minutes  int `json:"minutes"`
 	Events   int `json:"events"`
 	Arrivals int `json:"arrivals"`
 	Rejected int `json:"rejected"`
 	Exits    int `json:"exits"`
+	// Failure dynamics (scenario-driven or explicit health events).
+	Crashes    int `json:"crashes,omitempty"`
+	Drains     int `json:"drains,omitempty"`
+	Recoveries int `json:"recoveries,omitempty"`
+	// Evacuated/EvacCancelled/EvacLost partition every VM ever marked
+	// evacuation-pending (less the still-pending ones): migrated off in
+	// time, made moot by recovery or churn, or honestly lost at the
+	// deadline with the fleet full.
+	Evacuated     int `json:"evacuated,omitempty"`
+	EvacCancelled int `json:"evac_cancelled,omitempty"`
+	EvacLost      int `json:"evac_lost,omitempty"`
 }
 
 // toEventStats is the single sched.Stats -> wire conversion point.
@@ -71,6 +101,8 @@ func toEventStats(st sched.Stats) EventStats {
 	return EventStats{
 		Minutes: st.Minutes, Events: st.Events,
 		Arrivals: st.Arrivals, Rejected: st.Rejected, Exits: st.Exits,
+		Crashes: st.Crashes, Drains: st.Drains, Recoveries: st.Recoveries,
+		Evacuated: st.Evacuated, EvacCancelled: st.EvacCancelled, EvacLost: st.EvacLost,
 	}
 }
 
@@ -85,10 +117,22 @@ type SessionStatus struct {
 	Minute int `json:"minute"`
 	// FR is the live 16-core fragment rate.
 	FR float64 `json:"fr"`
+	// Health counts PMs by availability state.
+	Health HealthStatus `json:"health"`
+	// PendingEvacuations counts VMs currently marked for forced migration
+	// off a Draining/Down PM (they resolve as minutes advance).
+	PendingEvacuations int `json:"pending_evacuations,omitempty"`
 	// Totals since session creation.
 	Stats EventStats `json:"stats"`
 	// Applied is set on event responses: the delta of just that request.
 	Applied *EventStats `json:"applied,omitempty"`
+}
+
+// HealthStatus counts a session's PMs by availability state.
+type HealthStatus struct {
+	Up       int `json:"up"`
+	Draining int `json:"draining"`
+	Down     int `json:"down"`
 }
 
 // RepairReport is attached to session-scoped job results: what plan
@@ -102,6 +146,10 @@ type RepairReport struct {
 	// the snapshot-relative initial_fr/final_fr of the solve itself.
 	LiveInitialFR float64 `json:"live_initial_fr"`
 	LiveFinalFR   float64 `json:"live_final_fr"`
+	// BudgetDropped counts non-forced migrations truncated from the plan by
+	// the session's migration budget; LiveFinalFR above describes the
+	// truncated plan, not the untruncated one.
+	BudgetDropped int `json:"budget_dropped,omitempty"`
 }
 
 // session is one live cluster registered with the server. All access to the
@@ -110,6 +158,10 @@ type RepairReport struct {
 type session struct {
 	id       string
 	scenario string
+
+	// budget caps non-forced migrations per job result (0 = unlimited);
+	// immutable after creation, so reads need no lock.
+	budget int
 
 	mu  sync.Mutex
 	c   *cluster.Cluster
@@ -123,6 +175,7 @@ func (sess *session) status() SessionStatus {
 }
 
 func (sess *session) statusLocked() SessionStatus {
+	counts := sess.c.HealthCounts()
 	return SessionStatus{
 		ID:       sess.id,
 		Scenario: sess.scenario,
@@ -130,7 +183,13 @@ func (sess *session) statusLocked() SessionStatus {
 		VMs:      sess.c.CountPlaced(),
 		Minute:   sess.dyn.Minute(),
 		FR:       sess.c.FragRate(cluster.DefaultFragCores),
-		Stats:    toEventStats(sess.dyn.Stats()),
+		Health: HealthStatus{
+			Up:       counts[cluster.Up],
+			Draining: counts[cluster.Draining],
+			Down:     counts[cluster.Down],
+		},
+		PendingEvacuations: len(sess.dyn.PendingEvacuations(nil)),
+		Stats:              toEventStats(sess.dyn.Stats()),
 	}
 }
 
@@ -158,6 +217,10 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	}
 	if jsonUnset(req.Mapping) == (req.Scenario == "") {
 		httpError(w, http.StatusBadRequest, "exactly one of mapping or scenario must be set")
+		return
+	}
+	if req.MigrationBudget < 0 {
+		httpError(w, http.StatusBadRequest, "migration_budget must be >= 0")
 		return
 	}
 	var (
@@ -201,10 +264,11 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	// Sessions are long-lived: recycle dead VM records so weeks of simulated
 	// churn don't grow the cluster (and every job snapshot) without bound.
 	dyn.SetReuseSlots(true)
-	sess := &session{scenario: scenName, c: c, dyn: dyn}
+	sess := &session{scenario: scenName, budget: req.MigrationBudget, c: c, dyn: dyn}
 	s.sessMu.Lock()
 	if len(s.sessions) >= maxSessions {
 		s.sessMu.Unlock()
+		s.statSessRejected.Add(1)
 		httpError(w, http.StatusServiceUnavailable, "session limit reached (%d)", maxSessions)
 		return
 	}
@@ -261,10 +325,22 @@ func (s *Server) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "advance_minutes must be in [0, %d]", maxAdvanceMinutes)
 		return
 	}
-	// Validate arrival types before mutating anything.
+	// Validate arrival types and health transitions before mutating anything.
 	types := make([]cluster.VMType, len(req.Events))
 	for i, ev := range req.Events {
-		if ev.Arrive {
+		switch {
+		case ev.Health != "":
+			switch ev.Health {
+			case "up", "draining", "down":
+			default:
+				httpError(w, http.StatusBadRequest, "event %d: unknown health state %q (want up, draining, or down)", i, ev.Health)
+				return
+			}
+			if ev.PM == nil {
+				httpError(w, http.StatusBadRequest, "event %d: health transition needs a pm", i)
+				return
+			}
+		case ev.Arrive:
 			t, ok := cluster.TypeByName(ev.Type)
 			if !ok {
 				httpError(w, http.StatusBadRequest, "event %d: unknown vm type %q", i, ev.Type)
@@ -279,11 +355,24 @@ func (s *Server) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
 		sess.dyn.Advance(req.AdvanceMinutes)
 	}
 	for i, ev := range req.Events {
-		if ev.Arrive {
+		switch {
+		case ev.Health != "":
+			// Idempotent by design: Crash/Drain/Recover refuse transitions
+			// from the wrong state (and out-of-range PMs) rather than erroring
+			// a half-applied batch.
+			switch ev.Health {
+			case "down":
+				sess.dyn.Crash(*ev.PM)
+			case "draining":
+				sess.dyn.Drain(*ev.PM)
+			case "up":
+				sess.dyn.Recover(*ev.PM)
+			}
+		case ev.Arrive:
 			sess.dyn.Arrive(types[i])
-		} else if ev.VM != nil {
+		case ev.VM != nil:
 			sess.dyn.Exit(*ev.VM)
-		} else {
+		default:
 			sess.dyn.ExitRandom()
 		}
 	}

@@ -18,6 +18,10 @@ type Migration struct {
 	ToPM     int
 	ToNuma   int
 	Swap     bool
+	// Forced marks an evacuation the plan repairer emitted because the VM
+	// sat on a Draining/Down PM: mandatory regardless of objective, and
+	// exempt from migration budgets.
+	Forced bool
 }
 
 // Config parameterizes an environment.

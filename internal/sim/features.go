@@ -95,8 +95,17 @@ func (f *Features) reshapeInto(nPM, nVM int, pmFlat, vmFlat []float64) {
 }
 
 // pmRaw fills an 8-feature row for one PM: per NUMA, free CPU, free memory,
-// 16-core fragment, and fragment share of free CPU.
+// 16-core fragment, and fragment share of free CPU. Non-Up PMs (draining or
+// down) report zero spare capacity and zero fragment: to the policy they
+// look exactly like full machines, so no probability mass lands on
+// destinations the placement layer (CanHost) would reject anyway.
 func pmRaw(p *cluster.PM, row []float64) {
+	if p.Health != cluster.Up {
+		for j := range row {
+			row[j] = 0
+		}
+		return
+	}
 	for j := 0; j < cluster.NumasPerPM; j++ {
 		n := &p.Numas[j]
 		free := n.FreeCPU()

@@ -25,6 +25,15 @@ const (
 	// MigrationStaleConflict: the VM moved off its planned source PM, the
 	// destination now hosts an anti-affine peer, or a swap partner failed.
 	MigrationStaleConflict
+	// MigrationStaleDestDown: the destination PM is Draining or Down on the
+	// live cluster — it may well have the capacity, but it takes no new
+	// placements.
+	MigrationStaleDestDown
+	// MigrationEvacRequired: the planned migration is stale AND the VM sits
+	// on a Draining/Down PM, so unlike every other stale class it cannot
+	// simply be dropped — the repairer must move the VM somewhere, objective
+	// improvement or not.
+	MigrationEvacRequired
 )
 
 // String returns the wire name of the status.
@@ -38,6 +47,10 @@ func (s MigrationStatus) String() string {
 		return "stale-dest-full"
 	case MigrationStaleConflict:
 		return "stale-conflict"
+	case MigrationStaleDestDown:
+		return "stale-dest-down"
+	case MigrationEvacRequired:
+		return "evacuation-required"
 	default:
 		return "unknown"
 	}
@@ -56,10 +69,24 @@ func classify(scratch *cluster.Cluster, m sim.Migration) MigrationStatus {
 	if m.VM < 0 || m.VM >= len(scratch.VMs) || !scratch.VMs[m.VM].Placed() {
 		return MigrationStaleVMGone
 	}
+	st := classifyPlaced(scratch, m)
+	if st != MigrationValid && scratch.PMs[scratch.VMs[m.VM].PM].Health != cluster.Up {
+		// The planned move is stale, but the VM is stranded on a degraded
+		// PM: the staleness is not drop-able, it is an evacuation order.
+		return MigrationEvacRequired
+	}
+	return st
+}
+
+// classifyPlaced classifies a migration whose VM is live and placed.
+func classifyPlaced(scratch *cluster.Cluster, m sim.Migration) MigrationStatus {
 	if m.ToPM < 0 || m.ToPM >= len(scratch.PMs) {
 		// The destination does not exist on the live cluster (a plan from a
 		// differently sized cluster): nothing to host the VM.
 		return MigrationStaleDestFull
+	}
+	if scratch.PMs[m.ToPM].Health != cluster.Up {
+		return MigrationStaleDestDown
 	}
 	if scratch.VMs[m.VM].PM != m.FromPM {
 		return MigrationStaleConflict
@@ -128,6 +155,9 @@ func classifySwap(scratch *cluster.Cluster, m, n sim.Migration) []PlanCheck {
 		if x.VM < 0 || x.VM >= len(scratch.VMs) || !scratch.VMs[x.VM].Placed() {
 			return MigrationStaleVMGone
 		}
+		if scratch.PMs[scratch.VMs[x.VM].PM].Health != cluster.Up {
+			return MigrationEvacRequired
+		}
 		return MigrationStaleConflict
 	}
 	applied, _ := sim.ApplyPlan(scratch, []sim.Migration{m, n})
@@ -147,6 +177,13 @@ type RepairStats struct {
 	// Dropped migrations could not be salvaged (VM gone, or no remaining
 	// destination improves the objective).
 	Dropped int `json:"dropped"`
+	// Evacuated counts forced evacuations the pre-pass emitted for VMs
+	// stranded on Draining/Down PMs — mandatory moves that run ahead of (and
+	// regardless of) FR optimization.
+	Evacuated int `json:"evacuated,omitempty"`
+	// EvacFailed counts stranded VMs no Up PM could host: the plan leaves
+	// them in place and the caller must shed load or wait for recoveries.
+	EvacFailed int `json:"evac_failed,omitempty"`
 }
 
 // RepairedPlan is the outcome of validating and repairing a plan against a
@@ -178,14 +215,54 @@ func RepairPlan(live *cluster.Cluster, plan []sim.Migration) RepairedPlan {
 // whole — a half-feasible swap is not re-fitted. The reported
 // InitialFR/FinalFR are always 16-core fragment rates regardless of obj
 // (the cross-objective yardstick of the wire format).
+//
+// When the live fleet is degraded, repair starts with a forced-evacuation
+// pre-pass: every VM stranded on a Draining/Down PM is moved to an Up PM
+// ahead of FR optimization — to the plan's own destination for that VM when
+// it still fits, else to the best-fit destination under obj, accepted even
+// when it worsens the objective (evacuation is mandatory, fragment is not).
+// These emitted migrations carry Forced=true and count in Stats.Evacuated;
+// stranded VMs with no feasible Up destination count in Stats.EvacFailed
+// and stay put. Plan entries whose VM the pre-pass already moved are
+// consumed by it rather than re-repaired.
 func RepairPlanObjective(live *cluster.Cluster, plan []sim.Migration, obj sim.Objective) RepairedPlan {
 	if len(obj.Terms) == 0 {
 		obj = sim.FR16()
 	}
 	scratch := live.Clone()
 	out := RepairedPlan{InitialFR: scratch.FragRate(cluster.DefaultFragCores)}
+
+	// Forced-evacuation pre-pass over the degraded fleet.
+	var evacuated, evacFailed map[int]bool
+	if stranded := scratch.StrandedVMs(nil); len(stranded) > 0 {
+		evacuated, evacFailed = map[int]bool{}, map[int]bool{}
+		planDest := map[int]int{}
+		for _, m := range plan {
+			if !m.Swap && m.VM >= 0 {
+				planDest[m.VM] = m.ToPM
+			}
+		}
+		for _, vm := range stranded {
+			rec, ok := evacOne(scratch, vm, planDest, obj)
+			if !ok {
+				out.Stats.EvacFailed++
+				evacFailed[vm] = true
+				continue
+			}
+			out.Plan = append(out.Plan, rec)
+			out.Stats.Evacuated++
+			evacuated[vm] = true
+		}
+	}
+
 	for i := 0; i < len(plan); i++ {
 		m := plan[i]
+		if !m.Swap && evacuated[m.VM] {
+			// The pre-pass already honored this entry's real intent (get the
+			// VM off its PM); the emitted evacuation consumed it.
+			delete(evacuated, m.VM)
+			continue
+		}
 		if m.Swap && i+1 < len(plan) && plan[i+1].Swap {
 			n := plan[i+1]
 			i++
@@ -207,10 +284,24 @@ func RepairPlanObjective(live *cluster.Cluster, plan []sim.Migration, obj sim.Ob
 				continue
 			}
 			fallthrough
-		case MigrationStaleDestFull, MigrationStaleConflict:
+		case MigrationStaleDestFull, MigrationStaleConflict, MigrationStaleDestDown:
 			if rec, ok := refit(scratch, m.VM, obj); ok {
 				out.Plan = append(out.Plan, rec)
 				out.Stats.Repaired++
+			} else {
+				out.Stats.Dropped++
+			}
+		case MigrationEvacRequired:
+			// The pre-pass could not place this stranded VM, but migrations
+			// applied since may have freed capacity: retry, forced.
+			if rec, ok := refitAny(scratch, m.VM, obj); ok {
+				rec.Forced = true
+				out.Plan = append(out.Plan, rec)
+				out.Stats.Evacuated++
+				if evacFailed[m.VM] {
+					delete(evacFailed, m.VM)
+					out.Stats.EvacFailed--
+				}
 			} else {
 				out.Stats.Dropped++
 			}
@@ -227,13 +318,45 @@ func RepairPlanObjective(live *cluster.Cluster, plan []sim.Migration, obj sim.Ob
 // free resources, so any true improvement clears this comfortably.
 const refitEps = 1e-9
 
+// evacOne force-moves a stranded VM off its degraded PM: to the plan's own
+// destination for it when that still fits (honoring the solver's intent),
+// else to the best feasible destination under obj, accepted regardless of
+// objective sign. The returned record carries Forced=true.
+func evacOne(scratch *cluster.Cluster, vm int, planDest map[int]int, obj sim.Objective) (sim.Migration, bool) {
+	src, srcNuma := scratch.VMs[vm].PM, scratch.VMs[vm].Numa
+	if dst, ok := planDest[vm]; ok && dst >= 0 && dst < len(scratch.PMs) && scratch.CanHost(vm, dst) {
+		if err := scratch.Migrate(vm, dst, cluster.DefaultFragCores); err == nil {
+			return sim.Migration{
+				VM: vm, FromPM: src, FromNuma: srcNuma,
+				ToPM: dst, ToNuma: scratch.VMs[vm].Numa, Forced: true,
+			}, true
+		}
+	}
+	rec, ok := refitAny(scratch, vm, obj)
+	rec.Forced = ok
+	return rec, ok
+}
+
 // refit moves vm (still placed, but its planned destination is stale) to
 // the feasible PM with the largest strict improvement of obj, mirroring the
-// solver's intent with fresh information. Candidates are scored by trial
-// migration against the scratch cluster (O(1) aggregate updates per trial),
-// restoring the exact source placement between trials. Returns the executed
-// migration record, or ok=false when no destination strictly improves.
+// solver's intent with fresh information. Returns ok=false when no
+// destination strictly improves.
 func refit(scratch *cluster.Cluster, vm int, obj sim.Objective) (sim.Migration, bool) {
+	return refitBest(scratch, vm, obj, refitEps)
+}
+
+// refitAny is refit without the strict-improvement bar: any feasible
+// destination qualifies, best objective first — the forced-evacuation mode.
+func refitAny(scratch *cluster.Cluster, vm int, obj sim.Objective) (sim.Migration, bool) {
+	return refitBest(scratch, vm, obj, math.Inf(-1))
+}
+
+// refitBest moves vm to the feasible PM with the best improvement of obj
+// exceeding minScore. Candidates are scored by trial migration against the
+// scratch cluster (O(1) aggregate updates per trial), restoring the exact
+// source placement between trials. Returns the executed migration record,
+// or ok=false when no destination clears the bar.
+func refitBest(scratch *cluster.Cluster, vm int, obj sim.Objective, minScore float64) (sim.Migration, bool) {
 	src, srcNuma := scratch.VMs[vm].PM, scratch.VMs[vm].Numa
 	before := obj.Value(scratch)
 	bestPM, bestScore := -1, math.Inf(-1)
@@ -256,7 +379,7 @@ func refit(scratch *cluster.Cluster, vm int, obj sim.Objective) (sim.Migration, 
 			bestPM, bestScore = pm, score
 		}
 	}
-	if bestPM < 0 || bestScore <= refitEps {
+	if bestPM < 0 || bestScore <= minScore {
 		return sim.Migration{}, false
 	}
 	rec := sim.Migration{VM: vm, FromPM: src, FromNuma: srcNuma, ToPM: bestPM}
