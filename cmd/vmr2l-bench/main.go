@@ -8,6 +8,7 @@
 //	vmr2l-bench -batch             # batched-vs-sequential rollout sweep -> BENCH_batch.json
 //	vmr2l-bench -load              # serving loadgen (scheduler vs per-request) -> BENCH_serving.json
 //	vmr2l-bench -chaos             # failure scenarios + shed overload -> BENCH_chaos.json
+//	vmr2l-bench -quant             # int8 kernel speedups + FR parity -> BENCH_quant.json
 //	vmr2l-bench -scenario diurnal  # live-cluster session pipeline (solve + churn + repair)
 //	vmr2l-bench -scenarios         # available scenario names
 //
@@ -57,6 +58,9 @@ func main() {
 		chaos      = flag.Bool("chaos", false, "run the chaos benchmark (failure scenarios vs healthy twins + degraded-mode shed overload) and update -chaos-out")
 		chaosOut   = flag.String("chaos-out", "BENCH_chaos.json", "artifact path for -chaos")
 		chaosCheck = flag.Bool("chaos-check", false, "with -chaos: exit 1 when the pinned chaos gates fail (invariant violation, evacuation completion below the pin, FR drift above the pin, or shed accounting broken)")
+		quant      = flag.Bool("quant", false, "run the int8 quantization sweep (kernel speedups + float/int8 FR parity across the scenario registry) and write -quant-out")
+		quantOut   = flag.String("quant-out", "BENCH_quant.json", "artifact path for -quant")
+		quantCheck = flag.Bool("quant-check", false, "with -quant: exit 1 when a kernel misses its pinned speedup, allocates, or a scenario's float/int8 FR gap exceeds the pinned epsilon")
 	)
 	flag.Parse()
 	if *list {
@@ -172,6 +176,31 @@ func main() {
 				log.Fatalf("chaos: %d gate failure(s)", len(regs))
 			}
 			fmt.Println("chaos gate: ok")
+		}
+		return
+	}
+	if *quant {
+		start := time.Now()
+		rep, err := bench.RunQuantBench(func(s string) { log.Printf("quant: %s", s) })
+		if err != nil {
+			log.Fatalf("quant: %v", err)
+		}
+		if err := bench.WriteQuantArtifact(*quantOut, rep); err != nil {
+			log.Fatalf("quant: %v", err)
+		}
+		rep.Fprint(os.Stdout)
+		fmt.Printf("wrote %s\nelapsed: %s\n", *quantOut, time.Since(start).Round(time.Millisecond))
+		if *quantCheck {
+			for _, s := range bench.QuantGateSkips(rep) {
+				fmt.Printf("note: %s\n", s)
+			}
+			if regs := bench.QuantRegressions(rep); len(regs) > 0 {
+				for _, r := range regs {
+					log.Printf("REGRESSION: %s", r)
+				}
+				log.Fatalf("quant: %d gate failure(s)", len(regs))
+			}
+			fmt.Println("quant gate: ok")
 		}
 		return
 	}

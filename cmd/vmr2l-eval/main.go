@@ -2,9 +2,13 @@
 // sampling (paper section 3.4) against the HA heuristic on test mappings:
 //
 //	vmr2l-eval -ckpt vmr2l.gob -profile medium-small -mnl 20 -traj 16
+//	vmr2l-eval -ckpt vmr2l.gob -export vmr2l.ckpt -int8   # convert, no eval
 //
 // It reports FR for one greedy trajectory, K sampled trajectories, and K
-// thresholded trajectories, mirroring paper Fig. 12.
+// thresholded trajectories, mirroring paper Fig. 12. With -export it instead
+// re-encodes the loaded checkpoint (either format) as a portable
+// self-describing ckpt — optionally int8-quantized — and exits; the solve
+// produced by a float re-export is bit-identical to the original.
 package main
 
 import (
@@ -36,6 +40,8 @@ func main() {
 		seed    = flag.Int64("seed", 99, "random seed")
 		dModel  = flag.Int("dmodel", 32, "embedding width (must match training)")
 		blocks  = flag.Int("blocks", 2, "attention blocks (must match training)")
+		export  = flag.String("export", "", "re-encode -ckpt as a portable ckpt at this path and exit")
+		toInt8  = flag.Bool("int8", false, "quantize large linears to int8 before -export")
 	)
 	flag.Parse()
 
@@ -44,6 +50,16 @@ func main() {
 	m := policy.New(cfg)
 	if err := m.Params.LoadFile(*ckpt); err != nil {
 		log.Fatal(err)
+	}
+	if *export != "" {
+		if *toInt8 {
+			fmt.Printf("quantized %d linears to int8\n", m.Quantize())
+		}
+		if err := m.Params.SaveCKPTFile(*export, "f64"); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("exported %s -> %s (ckpt, int8=%v)\n", *ckpt, *export, *toInt8)
+		return
 	}
 	p, err := trace.Profiles(*profile)
 	if err != nil {

@@ -6,6 +6,13 @@
 //
 //	vmr2l-server -addr :8080 -workers 4 -queue 64 -timeout 5s -ckpt vmr2l.gob
 //	vmr2l-server -pprof 6060       # expose net/http/pprof on 127.0.0.1:6060
+//	vmr2l-server doctor -ckpt vmr2l.ckpt -addr :8080   # preflight, exit 1 on failure
+//
+// The doctor subcommand runs the serving preflight without starting the
+// server: the checkpoint must be readable in either format (self-describing
+// ckpt or legacy gob) with every tensor shape matching the configured model
+// (dtype and quantized layers are reported), the engine set must register,
+// and the listen address must be bindable.
 //
 //	curl -s localhost:8080/v2/solvers
 //	curl -s -X POST localhost:8080/v2/jobs \
@@ -47,24 +54,130 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	_ "net/http/pprof"
+	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"vmr2l/internal/exact"
 	"vmr2l/internal/heuristics"
 	"vmr2l/internal/mcts"
+	"vmr2l/internal/nn"
 	"vmr2l/internal/policy"
 	"vmr2l/internal/serve"
 	"vmr2l/internal/service"
 	"vmr2l/internal/shard"
 )
 
+// newModel builds the serving model configuration; it must match training.
+func newModel(dModel, blocks int) *policy.Model {
+	return policy.New(policy.Config{
+		DModel: dModel, Hidden: 2 * dModel, Blocks: blocks,
+		Extractor: policy.SparseAttention, Action: policy.TwoStage,
+	})
+}
+
+// registerEngines installs the solver set on s: the heuristic/exact/search
+// engines, the scale-out wrappers, and — when sched is non-nil — the policy
+// agent and value-prior MCTS riding the shared inference scheduler.
+func registerEngines(s *service.Server, sched *serve.Scheduler, shards int) {
+	s.Register("ha", heuristics.HA{})
+	s.Register("swap-ha", heuristics.SwapHA{})
+	s.Register("vbpp", heuristics.VBPP{})
+	s.Register("bnb", &exact.Solver{Beam: 6, AllowLoss: true})
+	s.Register("pop", exact.POP{Parts: 4, Inner: exact.Solver{Beam: 4, AllowLoss: true}})
+	s.Register("mcts", &mcts.Solver{Iterations: 64, Width: 6})
+	// Scale-out engines (internal/shard). Clients can also compose their own
+	// per request via the "shards" and "portfolio" fields of any v2 job.
+	scaleOut := []shard.Engine{{Name: "ha", S: heuristics.HA{}}, {Name: "vbpp", S: heuristics.VBPP{}}}
+	s.Register("portfolio", shard.NewPortfolio(scaleOut...))
+	s.Register("sharded", &shard.Solver{Engines: scaleOut, Opts: shard.Options{Shards: shards}})
+	if sched != nil {
+		// The policy engine and the value-prior MCTS both ride the shared
+		// scheduler: concurrent jobs, sharded rollouts, and prior scoring
+		// coalesce into common waves.
+		s.Register("vmr2l", &serve.Agent{Sched: sched, Opts: policy.SampleOpts{Greedy: true}})
+		s.Register("mcts-prior", &mcts.Solver{Iterations: 64, Width: 6, Prior: sched})
+	}
+}
+
+// runDoctor is the serving preflight: checkpoint readable + shapes valid
+// (dtype and quantized layers reported), engines registered, port bindable.
+// Any failure exits non-zero with the reason.
+func runDoctor(args []string) {
+	fs := flag.NewFlagSet("doctor", flag.ExitOnError)
+	var (
+		ckpt   = fs.String("ckpt", "", "checkpoint to preflight (required)")
+		addr   = fs.String("addr", ":8080", "listen address to probe")
+		dModel = fs.Int("dmodel", 32, "embedding width (must match training)")
+		blocks = fs.Int("blocks", 2, "attention blocks (must match training)")
+		shards = fs.Int("shards", 8, "partition count of the pre-registered 'sharded' engine")
+	)
+	fs.Parse(args)
+	if *ckpt == "" {
+		log.Fatal("doctor: -ckpt is required")
+	}
+
+	// 1. Checkpoint self-description: readable, known format.
+	info, err := nn.InspectFile(*ckpt)
+	if err != nil {
+		log.Fatalf("doctor: checkpoint %s unreadable: %v", *ckpt, err)
+	}
+	byDType := map[string]int{}
+	for _, t := range info.Manifest.Tensors {
+		byDType[t.DType]++
+	}
+	var dtypes []string
+	for _, d := range []string{"f64", "f32", "i8"} {
+		if byDType[d] > 0 {
+			dtypes = append(dtypes, fmt.Sprintf("%d %s", byDType[d], d))
+		}
+	}
+	fmt.Printf("doctor: checkpoint %s: format %s v%d, %d tensors (%s)\n",
+		*ckpt, info.Format, info.Manifest.Version, len(info.Manifest.Tensors), strings.Join(dtypes, ", "))
+
+	// 2. Shape validation against the configured model; a mismatch names the
+	// offending tensor.
+	m := newModel(*dModel, *blocks)
+	if err := m.Params.LoadFile(*ckpt); err != nil {
+		log.Fatalf("doctor: checkpoint does not fit model (dmodel=%d, blocks=%d): %v", *dModel, *blocks, err)
+	}
+	if qn := m.Params.QuantizedLinears(); len(qn) > 0 {
+		fmt.Printf("doctor: model dmodel=%d blocks=%d: shapes valid; %d quantized linears, int8 serving path\n",
+			*dModel, *blocks, len(qn))
+	} else {
+		fmt.Printf("doctor: model dmodel=%d blocks=%d: shapes valid; float64 serving path\n", *dModel, *blocks)
+	}
+
+	// 3. Engine registration, through the same code path serving uses.
+	sched := serve.NewScheduler(m, serve.Options{})
+	defer sched.Close()
+	s := service.New(service.WithWorkers(1))
+	defer s.Close()
+	registerEngines(s, sched, *shards)
+	fmt.Printf("doctor: engines: %s\n", strings.Join(s.Solvers(), ", "))
+
+	// 4. Port bindable.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("doctor: cannot bind %s: %v", *addr, err)
+	}
+	ln.Close()
+	fmt.Printf("doctor: addr %s bindable\n", *addr)
+	fmt.Println("doctor: ok")
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("vmr2l-server: ")
+	if len(os.Args) > 1 && os.Args[1] == "doctor" {
+		runDoctor(os.Args[2:])
+		return
+	}
 	var (
 		addr     = flag.String("addr", ":8080", "listen address")
 		ckpt     = flag.String("ckpt", "", "VMR2L checkpoint to serve (optional)")
@@ -100,10 +213,7 @@ func main() {
 	var sched *serve.Scheduler
 	var m *policy.Model
 	if *ckpt != "" {
-		m = policy.New(policy.Config{
-			DModel: *dModel, Hidden: 2 * *dModel, Blocks: *blocks,
-			Extractor: policy.SparseAttention, Action: policy.TwoStage,
-		})
+		m = newModel(*dModel, *blocks)
 		if err := m.Params.LoadFile(*ckpt); err != nil {
 			log.Fatal(err)
 		}
@@ -113,29 +223,18 @@ func main() {
 		svcOpts = append(svcOpts, service.WithCloser(sched))
 	}
 	s := service.New(svcOpts...)
-	s.Register("ha", heuristics.HA{})
-	s.Register("swap-ha", heuristics.SwapHA{})
-	s.Register("vbpp", heuristics.VBPP{})
-	s.Register("bnb", &exact.Solver{Beam: 6, AllowLoss: true})
-	s.Register("pop", exact.POP{Parts: 4, Inner: exact.Solver{Beam: 4, AllowLoss: true}})
-	s.Register("mcts", &mcts.Solver{Iterations: 64, Width: 6})
-	// Scale-out engines (internal/shard). Clients can also compose their own
-	// per request via the "shards" and "portfolio" fields of any v2 job.
-	scaleOut := []shard.Engine{{Name: "ha", S: heuristics.HA{}}, {Name: "vbpp", S: heuristics.VBPP{}}}
-	s.Register("portfolio", shard.NewPortfolio(scaleOut...))
-	s.Register("sharded", &shard.Solver{Engines: scaleOut, Opts: shard.Options{Shards: *shards}})
+	registerEngines(s, sched, *shards)
 	if sched != nil {
-		// The policy engine and the value-prior MCTS both ride the shared
-		// scheduler: concurrent jobs, sharded rollouts, and prior scoring
-		// coalesce into common waves.
-		s.Register("vmr2l", &serve.Agent{Sched: sched, Opts: policy.SampleOpts{Greedy: true}})
-		s.Register("mcts-prior", &mcts.Solver{Iterations: 64, Width: 6, Prior: sched})
 		// Scheduler counters on the pprof (debug) mux, loopback-only.
 		http.HandleFunc("GET /debug/vmr2l/serving", func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Type", "application/json")
 			_ = json.NewEncoder(w).Encode(sched.Stats())
 		})
-		fmt.Printf("serving VMR2L checkpoint %s (wave-rows %d, wave-wait %s)\n", *ckpt, *waveRows, *waveWait)
+		path := "float64"
+		if m.Quantized() {
+			path = "int8"
+		}
+		fmt.Printf("serving VMR2L checkpoint %s (%s path, wave-rows %d, wave-wait %s)\n", *ckpt, path, *waveRows, *waveWait)
 	}
 
 	srv := &http.Server{Addr: *addr, Handler: s}

@@ -3,10 +3,14 @@
 // a checkpoint:
 //
 //	vmr2l-train -profile medium-small -mnl 20 -updates 60 -ckpt agent.gob
+//	vmr2l-train -ckpt agent.ckpt -format ckpt -int8   # portable int8 export
 //
 // Architecture and action-space ablations are exposed as flags so the
 // paper's variants (vanilla attention, penalty, full-mask, Decima-style
-// subsampling) can be trained with the same binary.
+// subsampling) can be trained with the same binary. -format selects the
+// checkpoint encoding: "gob" (legacy) or "ckpt" (self-describing manifest +
+// raw tensor data; see internal/nn). -int8 additionally quantizes the large
+// linears so the exported checkpoint serves on the int8 path.
 package main
 
 import (
@@ -44,6 +48,8 @@ func main() {
 		freeze    = flag.String("freeze", "", "comma-separated parameter-name prefixes to freeze (e.g. \"block0,pm_embed\")")
 		riskQ     = flag.Float64("risk-quantile", 0, "risk-seeking training quantile in (0,1); 0 disables")
 		workers   = flag.Int("workers", 1, "parallel rollout-collection goroutines")
+		format    = flag.String("format", "gob", "checkpoint encoding: gob|ckpt")
+		toInt8    = flag.Bool("int8", false, "quantize large linears to int8 before saving (requires -format ckpt)")
 	)
 	flag.Parse()
 
@@ -120,8 +126,24 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := m.Params.SaveFile(*ckpt); err != nil {
-		log.Fatal(err)
+	switch *format {
+	case "gob":
+		if *toInt8 {
+			log.Fatal("-int8 requires -format ckpt (gob has no quantized encoding)")
+		}
+		if err := m.Params.SaveFile(*ckpt); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("saved checkpoint to %s (gob)\n", *ckpt)
+	case "ckpt":
+		if *toInt8 {
+			fmt.Printf("quantized %d linears to int8\n", m.Quantize())
+		}
+		if err := m.Params.SaveCKPTFile(*ckpt, "f64"); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("saved checkpoint to %s (ckpt, int8=%v)\n", *ckpt, *toInt8)
+	default:
+		log.Fatalf("unknown -format %q (want gob or ckpt)", *format)
 	}
-	fmt.Printf("saved checkpoint to %s\n", *ckpt)
 }

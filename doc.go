@@ -98,4 +98,27 @@
 // steps/sec, and achieved wave sizes in BENCH_serving.json;
 // "-load-check" gates step parity, the multi-core speedup bar, and drift
 // against the pinned reference.
+//
+// # Int8 inference & portable checkpoints
+//
+// The inference hot path has an int8 twin: policy.Model.Quantize converts
+// the large linears (embeddings, attention projections, FFNs) to
+// per-output-channel symmetric int8 (tensor.QuantizeWeight), and every
+// layer forward then dispatches to packed int8 GEMM kernels
+// (tensor.Arena.LinearQ8) that evaluate four weights per 64-bit multiply —
+// exact integer arithmetic, so the quantized forward is deterministic and
+// row-independent, preserving the batched==sequential bit-parity the
+// serving stack relies on. Activations, biases, norms, and the critic head
+// stay float64. Checkpoints are portable and self-describing
+// (nn.Params.SaveCKPT: magic + JSON manifest + raw little-endian tensors;
+// dtypes f64/f32/i8), auto-detected beside the legacy gob format on every
+// -ckpt flag, validated shape-by-shape before any data is read, and
+// fuzz-tested to fail cleanly on corrupt input. "vmr2l-server doctor" is
+// the preflight (checkpoint/shapes/engines/port; non-zero exit on
+// failure), "vmr2l-train -format ckpt -int8" and "vmr2l-eval -export"
+// produce quantized exports, and "vmr2l-bench -quant" records the int8
+// kernel speedups (pinned >=1.5x single-core at the wide serving shapes)
+// plus fragmentation-rate parity of the quantized policy across the entire
+// scenario registry (mean gap <= 0.02 over 3 replicas per scenario) in
+// BENCH_quant.json; "-quant-check" gates it in CI.
 package vmr2l

@@ -168,7 +168,8 @@ func BatchRegressions(rep BatchReport) []string {
 func BatchGateSkips(rep BatchReport) []string {
 	if rep.GoMaxProcs < 4 {
 		return []string{fmt.Sprintf(
-			"batch x8 speedup gate skipped (single core: GOMAXPROCS=%d < 4, allocation gate only)", rep.GoMaxProcs)}
+			"batch x8 speedup gate skipped (single core: GOMAXPROCS=%d < 4, allocation gate only); "+
+				"the single-core forward speedup is the int8 quantized path, gated separately in BENCH_quant.json (vmr2l-bench -quant-check)", rep.GoMaxProcs)}
 	}
 	return nil
 }

@@ -13,6 +13,7 @@ import (
 	"vmr2l/internal/cluster"
 	"vmr2l/internal/policy"
 	"vmr2l/internal/sim"
+	"vmr2l/internal/tensor"
 )
 
 // The hot-path microbenchmark suite measures the per-operation cost of the
@@ -100,6 +101,9 @@ func HotpathBenchmarks() []NamedBench {
 		{"reset", benchReset},
 		{"forward_act", benchAct},
 		{"forward_infer", benchInfer},
+		{"forward_infer_q8", benchInferQ8},
+		{"gemm_f64_300x64x32", benchGemmF64},
+		{"gemm_q8_300x64x32", benchGemmQ8},
 		{"forward_batch8", benchForwardBatch8},
 		{"rollout_wave", benchRolloutWave},
 		{"e2e_fig9_quick", benchFig9Quick},
@@ -230,6 +234,60 @@ func benchInfer(b *testing.B) {
 		if _, _, err := fx.model.Infer(ic, fx.env, rng, policy.SampleOpts{Greedy: true}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchInferQ8 is benchInfer on a quantized model: the int8 serving forward.
+// Its pinned allocs/op must stay 0 and its ns/op below forward_infer's.
+func benchInferQ8(b *testing.B) {
+	fx := newHotFixture()
+	if fx.model.Quantize() == 0 {
+		b.Fatal("model quantized no layers")
+	}
+	rng := rand.New(rand.NewSource(1))
+	ic := policy.NewInferCtx()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := fx.model.Infer(ic, fx.env, rng, policy.SampleOpts{Greedy: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// gemmFixture is the shared 300x64x32 GEMM state of the kernel benchmarks:
+// the FF-down shape that dominates a mid-size forward.
+func gemmFixture() (x, w, bias *tensor.Tensor, qw *tensor.QuantizedWeight) {
+	rng := rand.New(rand.NewSource(7))
+	w = tensor.Randn(rng, 64, 32, 1.0/8)
+	bias = tensor.Randn(rng, 1, 32, 0.1)
+	x = tensor.Randn(rng, 300, 64, 1)
+	return x, w, bias, tensor.QuantizeWeight(w)
+}
+
+// benchGemmF64 is the float linear inference path at 300x64x32.
+func benchGemmF64(b *testing.B) {
+	x, w, bias, _ := gemmFixture()
+	ar := &tensor.Arena{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ar.Reset()
+		_ = ar.AddRowInPlace(ar.MatMul(x, w), bias)
+	}
+}
+
+// benchGemmQ8 is the fused int8 path (quantize rows + packed matmul +
+// dequantize with bias) at the same shape; allocs/op is pinned at 0.
+func benchGemmQ8(b *testing.B) {
+	x, _, bias, qw := gemmFixture()
+	ar := &tensor.Arena{}
+	ar.LinearQ8(x, qw, bias) // warm the arena pools
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ar.Reset()
+		_ = ar.LinearQ8(x, qw, bias)
 	}
 }
 

@@ -1,0 +1,379 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"vmr2l/internal/cluster"
+	"vmr2l/internal/policy"
+	"vmr2l/internal/scenario"
+	"vmr2l/internal/shard"
+	"vmr2l/internal/sim"
+	"vmr2l/internal/tensor"
+)
+
+// The quantization suite measures the int8 inference path against the float
+// path and gates on absolute pins (chaos-style — no baseline file needed):
+// kernel speedup per serving shape, zero allocations, and final-FR parity
+// between the float and quantized policy across the entire scenario
+// registry. Run via
+//
+//	vmr2l-bench -quant              # sweep -> BENCH_quant.json
+//	vmr2l-bench -quant -quant-check
+//
+// Fleet-scale scenarios (10k PMs) are evaluated on one extracted shard —
+// labeled as such in the artifact, never silently down-sampled — because a
+// greedy per-VM policy episode over the full fleet is not what the int8
+// path serves (scale-out solving shards first; see internal/shard).
+
+// QuantKernelResult is one GEMM shape's float-vs-int8 measurement.
+// MinSpeedup is the absolute bar this shape must clear at check time: ≥1.5x
+// on the shapes that dominate serving forwards, a lower honest bar on the
+// small/skinny shapes where per-row quantization overhead eats more of the
+// win.
+type QuantKernelResult struct {
+	Shape        string  `json:"shape"` // "MxInxOut"
+	M            int     `json:"m"`
+	In           int     `json:"in"`
+	Out          int     `json:"out"`
+	FloatNsPerOp float64 `json:"float_ns_per_op"`
+	Int8NsPerOp  float64 `json:"int8_ns_per_op"`
+	Speedup      float64 `json:"speedup"`
+	Int8Allocs   int64   `json:"int8_allocs_per_op"`
+	MinSpeedup   float64 `json:"min_speedup"`
+}
+
+// QuantParityResult is one scenario's float-vs-int8 outcome, averaged over
+// Replicas independent greedy episodes (distinct cluster builds, or distinct
+// shards for fleet-scale scenarios). Averaging is what makes the gate
+// meaningful: a single episode can diverge on one near-tie argmax flip and
+// land on a different — equally legal — trajectory whose final FR differs
+// far more than any per-step numeric error, while the replica mean isolates
+// systematic quantization bias from trajectory luck. MaxDiff records the
+// worst single replica for the honest tail.
+type QuantParityResult struct {
+	Scenario   string  `json:"scenario"` // registry name, "[shards..]"-suffixed when extracted
+	Replicas   int     `json:"replicas"`
+	PMs        int     `json:"pms"` // per replica (mean, rounded)
+	VMs        int     `json:"vms"`
+	FloatFR    float64 `json:"float_fr"` // mean over replicas
+	QuantFR    float64 `json:"quant_fr"`
+	Diff       float64 `json:"diff"`     // |mean float - mean quant|
+	MaxDiff    float64 `json:"max_diff"` // worst single replica
+	FloatSteps int     `json:"float_steps"`
+	QuantSteps int     `json:"quant_steps"`
+}
+
+// QuantReport is the JSON artifact of one quantization sweep
+// (BENCH_quant.json).
+type QuantReport struct {
+	GoVersion  string              `json:"go_version"`
+	GoMaxProcs int                 `json:"gomaxprocs"`
+	Timestamp  string              `json:"timestamp"`
+	Epsilon    float64             `json:"epsilon"`
+	Kernels    []QuantKernelResult `json:"kernels"`
+	Parity     []QuantParityResult `json:"parity"`
+	Notes      []string            `json:"notes,omitempty"`
+}
+
+// QuantParityEpsilon is the FR-parity bar: the quantized and float policies
+// must land within this absolute final fragment rate of each other on every
+// registry scenario. 7-bit weights plus per-row activation quantization keep
+// logits close, but a near-tie argmax can flip and send the greedy episode
+// down a different (equally legal) trajectory, so the bar allows small
+// divergence rather than demanding identical plans.
+const QuantParityEpsilon = 0.02
+
+// quantParityMaxPMs bounds the cluster a parity episode runs on; larger
+// scenarios are partitioned and shard 0 is evaluated, with the label saying
+// so.
+const quantParityMaxPMs = 128
+
+// quantKernelShapes are the measured GEMM shapes with their pinned bars.
+// 14→64 and the d×d shapes are the policy's embed and attention projections;
+// 32↔64 are its FF layers; m=300 approximates a mid-size cluster's VM rows,
+// m=2000 a large batched wave.
+var quantKernelShapes = []struct {
+	m, in, out int
+	minSpeedup float64
+}{
+	{300, 14, 64, 1.1},  // vm embed: skinny In, quantization overhead visible
+	{300, 64, 32, 1.5},  // FF down / embed out
+	{300, 32, 64, 1.5},  // FF up
+	{300, 32, 32, 1.1},  // attention projection at DModel=32
+	{2000, 32, 64, 1.5}, // FF up, batched-wave row count
+}
+
+// RunQuantBench measures kernels and scenario parity. progress (may be nil)
+// is called before each measurement.
+func RunQuantBench(progress func(name string)) (QuantReport, error) {
+	rep := QuantReport{
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		Epsilon:    QuantParityEpsilon,
+	}
+	for _, sh := range quantKernelShapes {
+		name := fmt.Sprintf("%dx%dx%d", sh.m, sh.in, sh.out)
+		if progress != nil {
+			progress("kernel " + name)
+		}
+		rep.Kernels = append(rep.Kernels, measureQuantKernel(sh.m, sh.in, sh.out, sh.minSpeedup))
+	}
+	for _, sc := range scenario.All() {
+		if progress != nil {
+			progress("parity " + sc.Name)
+		}
+		pr, err := measureQuantParity(sc)
+		if err != nil {
+			return rep, fmt.Errorf("bench: quant parity on %q: %w", sc.Name, err)
+		}
+		rep.Parity = append(rep.Parity, pr)
+		if pr.Scenario != sc.Name {
+			rep.Notes = append(rep.Notes, fmt.Sprintf(
+				"scenario %q exceeds %d PMs; parity ran on extracted shards (%q), not the full fleet",
+				sc.Name, quantParityMaxPMs, pr.Scenario))
+		}
+	}
+	return rep, nil
+}
+
+// measureQuantKernel benchmarks the float Linear inference path against the
+// fused int8 path (quantize rows + packed matmul + dequantize with bias) at
+// one shape.
+func measureQuantKernel(m, in, out int, minSpeedup float64) QuantKernelResult {
+	rng := rand.New(rand.NewSource(7))
+	w := tensor.Randn(rng, in, out, 1/math.Sqrt(float64(in)))
+	bias := tensor.Randn(rng, 1, out, 0.1)
+	x := tensor.Randn(rng, m, in, 1)
+	qw := tensor.QuantizeWeight(w)
+
+	fl := testing.Benchmark(func(b *testing.B) {
+		ar := &tensor.Arena{}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ar.Reset()
+			_ = ar.AddRowInPlace(ar.MatMul(x, w), bias)
+		}
+	})
+	q8 := testing.Benchmark(func(b *testing.B) {
+		ar := &tensor.Arena{}
+		ar.LinearQ8(x, qw, bias) // warm the arena pools
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ar.Reset()
+			_ = ar.LinearQ8(x, qw, bias)
+		}
+	})
+	flNs := float64(fl.T.Nanoseconds()) / float64(fl.N)
+	q8Ns := float64(q8.T.Nanoseconds()) / float64(q8.N)
+	speedup := 0.0
+	if q8Ns > 0 {
+		speedup = flNs / q8Ns
+	}
+	return QuantKernelResult{
+		Shape: fmt.Sprintf("%dx%dx%d", m, in, out),
+		M:     m, In: in, Out: out,
+		FloatNsPerOp: flNs, Int8NsPerOp: q8Ns,
+		Speedup: speedup, Int8Allocs: q8.AllocsPerOp(),
+		MinSpeedup: minSpeedup,
+	}
+}
+
+// quantParityReplicas is how many independent episodes each scenario's
+// parity comparison averages over.
+const quantParityReplicas = 3
+
+// quantParityClusters builds the scenario's parity replicas. Small
+// scenarios rebuild with consecutive seeds; fleet-scale scenarios build
+// once and take the first replicas of a balanced shard partition (a greedy
+// per-VM episode over the full 10k-PM fleet is not the int8 path's serving
+// shape — scale-out solving shards first). The label names the extraction.
+func quantParityClusters(sc scenario.Scenario) ([]*cluster.Cluster, string, error) {
+	probe, err := sc.Build(rand.New(rand.NewSource(sc.Seed)))
+	if err != nil {
+		return nil, "", err
+	}
+	if len(probe.PMs) <= quantParityMaxPMs {
+		cs := []*cluster.Cluster{probe}
+		for i := 1; i < quantParityReplicas; i++ {
+			c, err := sc.Build(rand.New(rand.NewSource(sc.Seed + int64(i))))
+			if err != nil {
+				return nil, "", err
+			}
+			cs = append(cs, c)
+		}
+		return cs, sc.Name, nil
+	}
+	k := (len(probe.PMs) + quantParityMaxPMs - 1) / quantParityMaxPMs
+	parts, _ := shard.Partition(probe, k)
+	n := quantParityReplicas
+	if n > len(parts) {
+		n = len(parts)
+	}
+	var cs []*cluster.Cluster
+	for i := 0; i < n; i++ {
+		sub, _ := probe.ExtractSub(parts[i])
+		cs = append(cs, sub)
+	}
+	return cs, fmt.Sprintf("%s[shards0-%d/%d]", sc.Name, n-1, len(parts)), nil
+}
+
+// measureQuantParity runs the replica episodes on identical weights per
+// numeric path and compares mean final fragment rates.
+func measureQuantParity(sc scenario.Scenario) (QuantParityResult, error) {
+	clusters, label, err := quantParityClusters(sc)
+	if err != nil {
+		return QuantParityResult{}, err
+	}
+	obj, err := sc.ParseObjective()
+	if err != nil {
+		return QuantParityResult{}, err
+	}
+	cfg := policy.DefaultConfig()
+	mFloat := policy.New(cfg)
+	mQuant := policy.New(cfg) // same seed: identical weights
+	if mQuant.Quantize() == 0 {
+		return QuantParityResult{}, fmt.Errorf("model quantized no layers")
+	}
+	res := QuantParityResult{Scenario: label, Replicas: len(clusters)}
+	for _, c := range clusters {
+		fFR, fSteps := greedyFinalFR(mFloat, c, obj, sc.MNL)
+		qFR, qSteps := greedyFinalFR(mQuant, c, obj, sc.MNL)
+		res.PMs += len(c.PMs)
+		res.VMs += len(c.VMs)
+		res.FloatFR += fFR
+		res.QuantFR += qFR
+		res.FloatSteps += fSteps
+		res.QuantSteps += qSteps
+		if d := math.Abs(fFR - qFR); d > res.MaxDiff {
+			res.MaxDiff = d
+		}
+	}
+	n := float64(len(clusters))
+	res.PMs = int(math.Round(float64(res.PMs) / n))
+	res.VMs = int(math.Round(float64(res.VMs) / n))
+	res.FloatFR /= n
+	res.QuantFR /= n
+	res.Diff = math.Abs(res.FloatFR - res.QuantFR)
+	return res, nil
+}
+
+// greedyFinalFR plays one greedy episode of m on c and returns the final
+// 16-core fragment rate and the migrations taken. An inference error (no
+// legal action left) ends the episode early — both paths get the same rule.
+func greedyFinalFR(m *policy.Model, c *cluster.Cluster, obj sim.Objective, mnl int) (float64, int) {
+	env := sim.New(c, sim.Config{MNL: mnl, Obj: obj})
+	ic := policy.NewInferCtx()
+	rng := rand.New(rand.NewSource(1))
+	steps := 0
+	for !env.Done() {
+		vm, pm, err := m.Infer(ic, env, rng, policy.SampleOpts{Greedy: true})
+		if err != nil {
+			break
+		}
+		if _, _, err := env.Step(vm, pm); err != nil {
+			break
+		}
+		steps++
+	}
+	return env.FragRate(), steps
+}
+
+// QuantRegressions applies the absolute gates: every kernel shape must clear
+// its pinned speedup with zero allocations, and every scenario's float/int8
+// FR gap must stay within the pinned epsilon. An empty result passes.
+func QuantRegressions(rep QuantReport) []string {
+	var regs []string
+	for _, k := range rep.Kernels {
+		if k.Speedup < k.MinSpeedup {
+			regs = append(regs, fmt.Sprintf("kernel %s: int8 speedup %.2fx < pinned %.2fx",
+				k.Shape, k.Speedup, k.MinSpeedup))
+		}
+		if k.Int8Allocs > 0 {
+			regs = append(regs, fmt.Sprintf("kernel %s: %d allocs/op (want 0)", k.Shape, k.Int8Allocs))
+		}
+	}
+	eps := rep.Epsilon
+	if eps <= 0 {
+		eps = QuantParityEpsilon
+	}
+	for _, p := range rep.Parity {
+		if p.Diff > eps {
+			regs = append(regs, fmt.Sprintf("parity %s: |FR_float - FR_int8| = %.4f > epsilon %.4f (%.4f vs %.4f)",
+				p.Scenario, p.Diff, eps, p.FloatFR, p.QuantFR))
+		}
+	}
+	return regs
+}
+
+// QuantGateSkips names, at check time, what the gate did not cover: parity
+// on fleet-scale scenarios ran on one extracted shard, and there is no
+// multi-core speedup claim — the pinned bars are single-core by design (the
+// kernels are row-parallel; see tensor.MatMulQ8).
+func QuantGateSkips(rep QuantReport) []string {
+	var skips []string
+	for _, n := range rep.Notes {
+		skips = append(skips, n)
+	}
+	if rep.GoMaxProcs == 1 {
+		skips = append(skips, "int8 speedup pins measured on 1 core; multi-core fan-out not exercised in this run")
+	}
+	return skips
+}
+
+// WriteQuantArtifact writes the sweep to path.
+func WriteQuantArtifact(path string, rep QuantReport) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadQuantArtifact reads a previously written sweep.
+func LoadQuantArtifact(path string) (QuantReport, error) {
+	var rep QuantReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("bench: parse %s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// Fprint renders the sweep as aligned tables.
+func (r QuantReport) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "int8 quantization sweep (%s, GOMAXPROCS=%d)\n", r.GoVersion, r.GoMaxProcs)
+	fmt.Fprintf(w, "%-14s %14s %14s %9s %8s %11s\n", "kernel", "float ns/op", "int8 ns/op", "speedup", "pin", "allocs/op")
+	for _, k := range r.Kernels {
+		fmt.Fprintf(w, "%-14s %14.1f %14.1f %8.2fx %7.2fx %11d\n",
+			k.Shape, k.FloatNsPerOp, k.Int8NsPerOp, k.Speedup, k.MinSpeedup, k.Int8Allocs)
+	}
+	fmt.Fprintf(w, "\nFR parity, float vs int8 greedy episodes (mean of replicas, epsilon %.4f)\n", r.Epsilon)
+	fmt.Fprintf(w, "%-30s %4s %6s %6s %10s %10s %8s %8s %6s %6s\n", "scenario", "reps", "PMs", "VMs", "float FR", "int8 FR", "|diff|", "maxdiff", "stepF", "stepQ")
+	for _, p := range r.Parity {
+		fmt.Fprintf(w, "%-30s %4d %6d %6d %10.4f %10.4f %8.4f %8.4f %6d %6d\n",
+			p.Scenario, p.Replicas, p.PMs, p.VMs, p.FloatFR, p.QuantFR, p.Diff, p.MaxDiff, p.FloatSteps, p.QuantSteps)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+}

@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"vmr2l/internal/scenario"
+)
+
+// TestQuantParityDeterministic pins that the parity measurement is exactly
+// reproducible: integer-exact kernels plus fixed seeds leave nothing
+// timing-dependent in the FR numbers, which is what lets the epsilon gate
+// run without a noise margin.
+func TestQuantParityDeterministic(t *testing.T) {
+	sc := scenario.MustGet("static")
+	a, err := measureQuantParity(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := measureQuantParity(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("parity measurement not deterministic:\n%+v\n%+v", a, b)
+	}
+	if a.Replicas != quantParityReplicas {
+		t.Fatalf("replicas = %d, want %d", a.Replicas, quantParityReplicas)
+	}
+	if a.FloatSteps == 0 || a.QuantSteps == 0 {
+		t.Fatal("parity episodes took no steps")
+	}
+}
+
+// TestQuantParityShardsHyperscale pins the no-silent-caps contract: a
+// fleet-scale scenario must come back labeled as shard-extracted, never
+// silently down-sampled under the registry name.
+func TestQuantParityShardsHyperscale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("hyperscale build is slow")
+	}
+	sc := scenario.MustGet("large-static")
+	pr, err := measureQuantParity(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(pr.Scenario, "[shards") {
+		t.Fatalf("fleet-scale parity label %q does not declare shard extraction", pr.Scenario)
+	}
+	if pr.PMs > quantParityMaxPMs {
+		t.Fatalf("parity replica has %d PMs, above the %d bound", pr.PMs, quantParityMaxPMs)
+	}
+}
+
+// TestQuantRegressionsGates exercises the gate logic on synthetic reports.
+func TestQuantRegressionsGates(t *testing.T) {
+	ok := QuantReport{
+		Epsilon: QuantParityEpsilon,
+		Kernels: []QuantKernelResult{{Shape: "300x64x32", Speedup: 1.8, MinSpeedup: 1.5}},
+		Parity:  []QuantParityResult{{Scenario: "static", Diff: 0.01}},
+	}
+	if regs := QuantRegressions(ok); len(regs) != 0 {
+		t.Fatalf("clean report flagged: %v", regs)
+	}
+	bad := QuantReport{
+		Epsilon: QuantParityEpsilon,
+		Kernels: []QuantKernelResult{
+			{Shape: "300x64x32", Speedup: 1.2, MinSpeedup: 1.5},
+			{Shape: "300x32x64", Speedup: 1.8, MinSpeedup: 1.5, Int8Allocs: 3},
+		},
+		Parity: []QuantParityResult{{Scenario: "static", Diff: 0.05}},
+	}
+	regs := QuantRegressions(bad)
+	if len(regs) != 3 {
+		t.Fatalf("want 3 gate failures, got %d: %v", len(regs), regs)
+	}
+	for _, want := range []string{"speedup", "allocs", "epsilon"} {
+		found := false
+		for _, r := range regs {
+			if strings.Contains(r, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("no gate failure mentions %q: %v", want, regs)
+		}
+	}
+}

@@ -356,7 +356,8 @@ func ServeGateSkips(rep ServeReport, ref *ServeReport) []string {
 	var skips []string
 	if rep.GoMaxProcs < 4 {
 		skips = append(skips, fmt.Sprintf(
-			"serving speedup gate skipped (single core: GOMAXPROCS=%d < 4, parity-only run)", rep.GoMaxProcs))
+			"serving speedup gate skipped (single core: GOMAXPROCS=%d < 4, parity-only run); "+
+				"the single-core serving speedup is the int8 quantized path, gated separately in BENCH_quant.json (vmr2l-bench -quant-check)", rep.GoMaxProcs))
 	}
 	switch {
 	case ref == nil:

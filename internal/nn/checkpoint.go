@@ -1,14 +1,18 @@
 package nn
 
 import (
+	"bufio"
 	"encoding/gob"
 	"fmt"
 	"io"
 	"os"
 )
 
-// checkpoint is the on-disk format: named tensors with shapes. The format is
-// self-describing so checkpoints survive refactors that keep names stable.
+// checkpoint is the legacy gob on-disk format: named tensors with shapes.
+// The format is self-describing so checkpoints survive refactors that keep
+// names stable, but gob is Go-only; the portable format in ckpt.go (magic
+// "VMR2LCK1", JSON manifest, raw little-endian data) supersedes it for new
+// exports. Load reads both.
 type checkpoint struct {
 	Version int
 	Rows    map[string]int
@@ -33,9 +37,20 @@ func (p *Params) Save(w io.Writer) error {
 	return gob.NewEncoder(w).Encode(ck)
 }
 
-// Load restores parameter values from a gob stream written by Save. Every
-// registered parameter must be present with a matching shape.
+// Load restores parameter values from a checkpoint stream in either format:
+// the portable ckpt format (sniffed by its magic, see ckpt.go) or the legacy
+// gob format written by Save. Every registered parameter must be present
+// with a matching shape. A corrupt or truncated stream returns an error,
+// never panics, and a validation failure leaves the parameters untouched.
 func (p *Params) Load(r io.Reader) error {
+	br := bufio.NewReader(r)
+	if magic, err := br.Peek(len(ckptMagic)); err == nil && string(magic) == ckptMagic {
+		return p.loadCKPT(br)
+	}
+	return p.loadGob(br)
+}
+
+func (p *Params) loadGob(r io.Reader) error {
 	var ck checkpoint
 	if err := gob.NewDecoder(r).Decode(&ck); err != nil {
 		return fmt.Errorf("nn: decode checkpoint: %w", err)
@@ -50,7 +65,14 @@ func (p *Params) Load(r io.Reader) error {
 			return fmt.Errorf("nn: checkpoint shape mismatch for %q: %dx%d vs %dx%d",
 				name, ck.Rows[name], ck.Cols[name], t.Rows, t.Cols)
 		}
-		copy(t.Data, data)
+	}
+	for _, name := range p.Names() {
+		copy(p.Get(name).Data, ck.Data[name])
+	}
+	// The weights just changed; any quantized forms derived from the old
+	// values are stale.
+	for _, l := range p.linears {
+		l.Q = nil
 	}
 	return nil
 }

@@ -12,12 +12,53 @@ import (
 // gradients); rollouts, search, and serving use Infer. Outputs are valid
 // until the arena's next Reset.
 
-// Infer applies the linear layer without building a graph. The bias add
-// lands in the matmul output in place: the intermediate is single-use, so
-// skipping the extra tensor halves the layer's arena footprint — what keeps
-// large batched forwards cache-resident.
+// Infer applies the linear layer without building a graph. A quantized
+// layer dispatches to the fused int8 kernel (quantize rows, packed-lane
+// matmul, dequantize with the bias folded in). On the float path the bias
+// add lands in the matmul output in place: the intermediate is single-use,
+// so skipping the extra tensor halves the layer's arena footprint — what
+// keeps large batched forwards cache-resident.
 func (l *Linear) Infer(ar *tensor.Arena, x *tensor.Tensor) *tensor.Tensor {
+	if l.Q != nil {
+		return ar.LinearQ8(x, l.Q, l.B)
+	}
 	return ar.AddRowInPlace(ar.MatMul(x, l.W), l.B)
+}
+
+// inferPre applies the layer to activations that may already be quantized:
+// qx non-nil means x's rows were quantized once by the caller and shared
+// across several projections (attention's Q/K/V over the same input).
+func (l *Linear) inferPre(ar *tensor.Arena, x *tensor.Tensor, qx *tensor.QuantActs) *tensor.Tensor {
+	if l.Q != nil && qx != nil {
+		return ar.MatMulQ8(qx, l.Q, l.B)
+	}
+	return l.Infer(ar, x)
+}
+
+// quantInputs quantizes the attention inputs once for sharing across the
+// per-head Q/K/V projections, when every head is quantized. Self-attention
+// (q == kv) packs a single buffer for both sides.
+func (a *Attention) quantInputs(ar *tensor.Arena, q, kv *tensor.Tensor) (qq8, qkv8 *tensor.QuantActs) {
+	if !a.quantizedHeads() {
+		return nil, nil
+	}
+	qq8 = ar.QuantizeActs(q)
+	if kv == q {
+		return qq8, qq8
+	}
+	return qq8, ar.QuantizeActs(kv)
+}
+
+// quantizedHeads reports whether every per-head projection of the attention
+// module is quantized — the precondition for quantizing the input rows once
+// and sharing the packed form across heads.
+func (a *Attention) quantizedHeads() bool {
+	for h := range a.Wq {
+		if a.Wq[h].Q == nil || a.Wk[h].Q == nil || a.Wv[h].Q == nil {
+			return false
+		}
+	}
+	return len(a.Wq) > 0
 }
 
 // Infer normalizes x row-wise without building a graph.
@@ -31,14 +72,20 @@ func (m *MLP) Infer(ar *tensor.Arena, x *tensor.Tensor) *tensor.Tensor {
 	return m.Out.Infer(ar, ar.ReLUInPlace(m.In.Infer(ar, x)))
 }
 
-// InferTree is the arena-allocated, graph-free ForwardTree.
+// InferTree is the arena-allocated, graph-free ForwardTree. With quantized
+// heads the input rows are quantized once and the packed form feeds all
+// 3·heads projections.
 func (a *Attention) InferTree(ar *tensor.Arena, x *tensor.Tensor, groups [][]int) *tensor.Tensor {
 	var concat *tensor.Tensor
+	var qx *tensor.QuantActs
+	if a.quantizedHeads() {
+		qx = ar.QuantizeActs(x)
+	}
 	scale := 1 / math.Sqrt(float64(a.headDim))
 	for h := range a.Wq {
-		qq := a.Wq[h].Infer(ar, x)
-		kk := a.Wk[h].Infer(ar, x)
-		vv := a.Wv[h].Infer(ar, x)
+		qq := a.Wq[h].inferPre(ar, x, qx)
+		kk := a.Wk[h].inferPre(ar, x, qx)
+		vv := a.Wv[h].inferPre(ar, x, qx)
 		head := ar.GroupedAttention(qq, kk, vv, groups, scale)
 		if concat == nil {
 			concat = head
@@ -76,11 +123,12 @@ func (a *Attention) InferSeg(ar *tensor.Arena, q, kv *tensor.Tensor, qOff, kvOff
 		probs = probs[:nSeg]
 	}
 	var concat *tensor.Tensor
+	qq8, qkv8 := a.quantInputs(ar, q, kv)
 	scale := 1 / math.Sqrt(float64(a.headDim))
 	for h := range a.Wq {
-		qq := a.Wq[h].Infer(ar, q)
-		kk := a.Wk[h].Infer(ar, kv)
-		vv := a.Wv[h].Infer(ar, kv)
+		qq := a.Wq[h].inferPre(ar, q, qq8)
+		kk := a.Wk[h].inferPre(ar, kv, qkv8)
+		vv := a.Wv[h].inferPre(ar, kv, qkv8)
 		head, hp := ar.SegmentedAttention(qq, kk, vv, qOff, kvOff, scale)
 		if h == 0 {
 			copy(probs, hp)
@@ -110,11 +158,12 @@ func (a *Attention) InferSeg(ar *tensor.Arena, q, kv *tensor.Tensor, qOff, kvOff
 func (a *Attention) Infer(ar *tensor.Arena, q, kv *tensor.Tensor, mask []bool) (*tensor.Tensor, *tensor.Tensor) {
 	var concat *tensor.Tensor
 	var probsMean *tensor.Tensor
+	qq8, qkv8 := a.quantInputs(ar, q, kv)
 	scale := 1 / math.Sqrt(float64(a.headDim))
 	for h := range a.Wq {
-		qq := a.Wq[h].Infer(ar, q)
-		kk := a.Wk[h].Infer(ar, kv)
-		vv := a.Wv[h].Infer(ar, kv)
+		qq := a.Wq[h].inferPre(ar, q, qq8)
+		kk := a.Wk[h].inferPre(ar, kv, qkv8)
+		vv := a.Wv[h].inferPre(ar, kv, qkv8)
 		scores := ar.Scale(ar.MatMulT(qq, kk), scale)
 		if mask != nil {
 			scores = ar.MaskedFill(scores, mask, -1e9)

@@ -1,8 +1,24 @@
 // Package nn provides the neural-network building blocks for the VMR2L
 // policy: parameter registries, linear layers, layer norm, scaled dot-product
-// attention with additive masks, the Adam optimizer, and gob checkpoints.
+// attention with additive masks, the Adam optimizer, and checkpointing.
 // It is the thin "framework" layer over package tensor that replaces
 // PyTorch's nn module (see DESIGN.md).
+//
+// Checkpoints come in two formats, auto-detected by Params.Load: the legacy
+// gob encoding (Params.Save) and the portable self-describing "ckpt" format
+// (Params.SaveCKPT / ckpt.go) — magic header, JSON manifest of tensor
+// names/dtypes/shapes/offsets, then tightly-packed little-endian data.
+// The ckpt format round-trips float64 parameters bit-identically, carries
+// int8-quantized linears (per-output-channel weights + scales, dtype "i8")
+// so a quantized export serves on the int8 kernel path after load, and
+// validates every manifest entry against the registered parameter shapes
+// before reading any tensor data — corrupt or hostile files fail cleanly
+// with named-tensor errors and never half-apply (see FuzzParamsLoad).
+//
+// Quantization itself lives in quantize.go: Params.QuantizeLinears converts
+// the large linears to tensor.QuantizedWeight form (biases, norms, and
+// small layers stay float64), after which layer forwards dispatch to the
+// packed int8 GEMM kernels automatically.
 package nn
 
 import (
@@ -17,15 +33,17 @@ import (
 
 // Params is a named registry of trainable tensors. Modules register their
 // parameters here so the optimizer and checkpointing can enumerate them
-// deterministically.
+// deterministically. Linear layers additionally register themselves so
+// quantization and checkpointing can find the module that owns a weight.
 type Params struct {
-	byName map[string]*tensor.Tensor
-	frozen map[string]bool
+	byName  map[string]*tensor.Tensor
+	frozen  map[string]bool
+	linears map[string]*Linear
 }
 
 // NewParams returns an empty registry.
 func NewParams() *Params {
-	return &Params{byName: map[string]*tensor.Tensor{}, frozen: map[string]bool{}}
+	return &Params{byName: map[string]*tensor.Tensor{}, frozen: map[string]bool{}, linears: map[string]*Linear{}}
 }
 
 // Freeze marks every parameter whose name starts with prefix as frozen:
@@ -141,19 +159,26 @@ func (p *Params) ClipGrad(maxNorm float64) {
 	})
 }
 
-// Linear is a dense layer y = x·W + b.
+// Linear is a dense layer y = x·W + b. When Q is non-nil the layer also
+// carries an int8 per-output-channel quantization of W, and Infer dispatches
+// to the packed int8 kernel; Forward (the autograd path) always uses W.
 type Linear struct {
 	W *tensor.Tensor // in×out
 	B *tensor.Tensor // 1×out
+	// Q is the quantized form of W, set by Params.QuantizeLinears or by
+	// loading an int8 checkpoint. Nil means the layer serves in float64.
+	Q *tensor.QuantizedWeight
 }
 
 // NewLinear registers a Kaiming-initialized linear layer.
 func NewLinear(p *Params, name string, rng *rand.Rand, in, out int) *Linear {
 	std := math.Sqrt(2.0 / float64(in))
-	return &Linear{
+	l := &Linear{
 		W: p.Register(name+".w", tensor.Randn(rng, in, out, std)),
 		B: p.Register(name+".b", tensor.New(1, out)),
 	}
+	p.linears[name] = l
+	return l
 }
 
 // Forward applies the layer to x (m×in) producing (m×out) as one fused

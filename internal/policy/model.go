@@ -10,6 +10,7 @@ package policy
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"vmr2l/internal/cluster"
 	"vmr2l/internal/nn"
@@ -135,6 +136,23 @@ func New(cfg Config) *Model {
 	m.critic = nn.NewMLP(p, "critic", rng, 2*d, h, 1)
 	return m
 }
+
+// Quantize converts every eligible Linear of the model to the int8
+// inference path (per-output-channel symmetric scales, packed-lane kernels)
+// and returns how many layers were converted. The critic is skipped — value
+// estimates drive PPO's advantage baseline and stay full precision — and
+// tiny heads (vm_head, pm_merge output) fall below the eligibility floor.
+// Float weights are untouched: Forward keeps full precision, and Infer
+// dispatches per layer, so only the actor's GEMMs change.
+func (m *Model) Quantize() int {
+	return m.Params.QuantizeLinears(func(name string) bool {
+		return strings.HasPrefix(name, "critic")
+	})
+}
+
+// Quantized reports whether any layer currently serves through the int8
+// kernels.
+func (m *Model) Quantized() bool { return len(m.Params.QuantizedLinears()) > 0 }
 
 // forwardOut carries the extractor outputs.
 type forwardOut struct {

@@ -1,0 +1,122 @@
+package policy
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"vmr2l/internal/sim"
+	"vmr2l/internal/tensor"
+)
+
+// TestQuantizeSkipsCriticAndTinyHeads pins which layers Quantize converts:
+// the actor's GEMMs go int8, the critic and the sub-eligibility heads
+// (vm_head, pm_merge output) stay float.
+func TestQuantizeSkipsCriticAndTinyHeads(t *testing.T) {
+	m := New(DefaultConfig())
+	n := m.Quantize()
+	if n == 0 {
+		t.Fatal("Quantize converted no layers")
+	}
+	names := m.Params.QuantizedLinears()
+	if len(names) != n {
+		t.Fatalf("QuantizedLinears reports %d, Quantize returned %d", len(names), n)
+	}
+	for _, name := range names {
+		if strings.HasPrefix(name, "critic") {
+			t.Fatalf("critic layer %q was quantized", name)
+		}
+		if name == "vm_head" || name == "pm_merge.out" {
+			t.Fatalf("tiny head %q was quantized (below eligibility floor)", name)
+		}
+	}
+	if !m.Quantized() {
+		t.Fatal("Quantized() false after Quantize")
+	}
+	for _, want := range []string{"pm_embed.in", "block0.pm_ff.in", "block1.tree.wo"} {
+		if m.Params.Linear(want) == nil || m.Params.Linear(want).Q == nil {
+			t.Fatalf("expected %q to be quantized", want)
+		}
+	}
+	if m.Params.DequantizeLinears() != n {
+		t.Fatal("DequantizeLinears count mismatch")
+	}
+	if m.Quantized() {
+		t.Fatal("Quantized() true after DequantizeLinears")
+	}
+}
+
+// TestQuantizedBatchBitIdentical re-pins the batching contract on the int8
+// path: per-row dynamic quantization makes every output row independent of
+// how many other rows share the stacked GEMM, so the batched quantized
+// forward must reproduce the sequential quantized forward bit for bit.
+func TestQuantizedBatchBitIdentical(t *testing.T) {
+	cfg := Config{DModel: 16, Hidden: 24, Blocks: 2, Heads: 2, Extractor: SparseAttention, Seed: 13}
+	m := New(cfg)
+	if m.Quantize() == 0 {
+		t.Fatal("Quantize converted no layers")
+	}
+	const B = 3
+	envs := make([]*sim.Env, B)
+	for b := range envs {
+		envs[b] = batchTestEnv(t, int64(300+b), 3+b, 8+3*b, 6)
+	}
+	bc := NewBatchInferCtx()
+	bc.arena.Reset()
+	bc.extractBatch(envs)
+	out := m.forwardInferBatch(bc)
+	for b, env := range envs {
+		ic := NewInferCtx()
+		ic.arena.Reset()
+		feat := sim.Extract(env.Cluster())
+		seq := m.forwardInfer(ic, feat)
+		pmSeg := tensor.New(seq.pmE.Rows, seq.pmE.Cols)
+		copy(pmSeg.Data, out.pmAll.Data[bc.fb.PMOff[b]*cfg.DModel:bc.fb.PMOff[b+1]*cfg.DModel])
+		bitEqual(t, "quantized pmE", seq.pmE, pmSeg)
+		vmSeg := tensor.New(seq.vmE.Rows, seq.vmE.Cols)
+		copy(vmSeg.Data, out.vmAll.Data[bc.fb.VMOff[b]*cfg.DModel:bc.fb.VMOff[b+1]*cfg.DModel])
+		bitEqual(t, "quantized vmE", seq.vmE, vmSeg)
+	}
+}
+
+// TestQuantizedInferSolves runs a greedy episode end to end on a quantized
+// model: actions stay legal and the environment steps without error.
+func TestQuantizedInferSolves(t *testing.T) {
+	m := New(DefaultConfig())
+	m.Quantize()
+	env := batchTestEnv(t, 42, 4, 16, 8)
+	ic := NewInferCtx()
+	rng := rand.New(rand.NewSource(1))
+	for step := 0; step < 8; step++ {
+		vm, pm, err := m.Infer(ic, env, rng, SampleOpts{Greedy: true})
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		if _, _, err := env.Step(vm, pm); err != nil {
+			t.Fatalf("step %d apply: %v", step, err)
+		}
+	}
+}
+
+// TestQuantizedInferAllocFree pins the steady-state allocation contract on
+// the quantized path, matching the float path's zero-alloc guarantee.
+func TestQuantizedInferAllocFree(t *testing.T) {
+	m := New(DefaultConfig())
+	m.Quantize()
+	env := batchTestEnv(t, 43, 4, 16, 8)
+	ic := NewInferCtx()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 3; i++ {
+		if _, _, err := m.Infer(ic, env, rng, SampleOpts{Greedy: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, _, err := m.Infer(ic, env, rng, SampleOpts{Greedy: true}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("quantized Infer allocates %.1f/op at steady state, want 0", allocs)
+	}
+}

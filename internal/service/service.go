@@ -394,6 +394,19 @@ func (s *Server) Register(name string, sv solver.Solver) {
 	s.solvers[name] = sv
 }
 
+// Solvers returns the registered engine names, sorted — the programmatic
+// form of GET /v1/solvers for preflight checks (vmr2l-server doctor).
+func (s *Server) Solvers() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.solvers))
+	for n := range s.solvers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // lookup resolves a request's engine name under the read lock.
 func (s *Server) lookup(name string) (string, solver.Solver, bool) {
 	s.mu.RLock()

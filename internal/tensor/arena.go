@@ -30,11 +30,14 @@ type Arena struct {
 	// per-segment probability lists).
 	tslices [][]*Tensor
 	tsnext  int
+	// qacts are recycled quantized-activation buffers (QuantizeActs).
+	qacts []*QuantActs
+	qnext int
 }
 
-// Reset recycles all tensors, views, and tensor slices handed out since the
-// last Reset.
-func (ar *Arena) Reset() { ar.next, ar.vnext, ar.tsnext = 0, 0, 0 }
+// Reset recycles all tensors, views, tensor slices, and quantized-activation
+// buffers handed out since the last Reset.
+func (ar *Arena) Reset() { ar.next, ar.vnext, ar.tsnext, ar.qnext = 0, 0, 0, 0 }
 
 // tensorSlice returns a recycled []*Tensor of length n.
 func (ar *Arena) tensorSlice(n int) []*Tensor {

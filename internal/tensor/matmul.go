@@ -94,6 +94,94 @@ func matMulRange(dst, a, b []float64, i0, i1, k, n int) {
 	}
 }
 
+// matMulQ8Into computes the quantized linear dst = dequant(x·wᵀ) + bias
+// over packed lane representations (see quant.go for the encoding): xp/xs/xsum
+// are the m packed activation rows with per-row scales and unsigned lane sums,
+// wp/ws/wsum the n packed weight channels. bias must hold n values (callers
+// pass a zeroed row for bias-free products — the epilogue folds it in
+// unconditionally to keep branches out of the hot loop). dst need not be
+// zeroed — every cell is written exactly once. Large products fan out rows
+// across GOMAXPROCS goroutines like the float kernel.
+func matMulQ8Into(dst []float64, xp []uint64, xs []float64, xsum []int64, wp []uint64, ws []float64, wsum []int64, bias []float64, m, k, kp, n int) {
+	if m == 0 || k == 0 || n == 0 {
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 1 && m >= 2*mmBlock && m*k*n >= mmParallelFlops {
+		if workers > (m+mmBlock-1)/mmBlock {
+			workers = (m + mmBlock - 1) / mmBlock
+		}
+		var wg sync.WaitGroup
+		chunk := (m + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo, hi := w*chunk, min((w+1)*chunk, m)
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				matMulQ8Range(dst, xp, xs, xsum, wp, ws, wsum, bias, lo, hi, k, kp, n)
+			}(lo, hi)
+		}
+		wg.Wait()
+		return
+	}
+	matMulQ8Range(dst, xp, xs, xsum, wp, ws, wsum, bias, 0, m, k, kp, n)
+}
+
+// matMulQ8Range computes activation rows [i0,i1) of the quantized linear.
+// Four output channels advance together so each packed activation word is
+// loaded once per four dot products, and the inner loop's 64-bit multiply
+// computes four multiply-accumulates at a time — the packed-lane trick that
+// makes this kernel beat the float64 GEMM on one core.
+func matMulQ8Range(dst []float64, xp []uint64, xs []float64, xsum []int64, wp []uint64, ws []float64, wsum []int64, bias []float64, i0, i1, k, kp, n int) {
+	kOffSq := int64(k) * (qOff * qOff)
+	for i := i0; i < i1; i++ {
+		xr := xp[i*kp : (i+1)*kp : (i+1)*kp]
+		dr := dst[i*n : (i+1)*n : (i+1)*n]
+		sa := xs[i]
+		// Per-row half of the offset correction (see quant.go):
+		// Σqa·qw = P − qOff·Σau − qOff·Σwu + qOff²·k.
+		rowCorr := kOffSq - qOff*xsum[i]
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			w0 := wp[j*kp : (j+1)*kp : (j+1)*kp]
+			w1 := wp[(j+1)*kp : (j+2)*kp : (j+2)*kp]
+			w2 := wp[(j+2)*kp : (j+3)*kp : (j+3)*kp]
+			w3 := wp[(j+3)*kp : (j+4)*kp : (j+4)*kp]
+			var p0, p1, p2, p3 uint64
+			t := 0
+			for ; t+2 <= len(xr); t += 2 {
+				a0, a1 := xr[t], xr[t+1]
+				p0 += (a0*w0[t])>>48 + (a1*w0[t+1])>>48
+				p1 += (a0*w1[t])>>48 + (a1*w1[t+1])>>48
+				p2 += (a0*w2[t])>>48 + (a1*w2[t+1])>>48
+				p3 += (a0*w3[t])>>48 + (a1*w3[t+1])>>48
+			}
+			if t < len(xr) {
+				a := xr[t]
+				p0 += (a * w0[t]) >> 48
+				p1 += (a * w1[t]) >> 48
+				p2 += (a * w2[t]) >> 48
+				p3 += (a * w3[t]) >> 48
+			}
+			dr[j] = bias[j] + sa*ws[j]*float64(int64(p0)-qOff*wsum[j]+rowCorr)
+			dr[j+1] = bias[j+1] + sa*ws[j+1]*float64(int64(p1)-qOff*wsum[j+1]+rowCorr)
+			dr[j+2] = bias[j+2] + sa*ws[j+2]*float64(int64(p2)-qOff*wsum[j+2]+rowCorr)
+			dr[j+3] = bias[j+3] + sa*ws[j+3]*float64(int64(p3)-qOff*wsum[j+3]+rowCorr)
+		}
+		for ; j < n; j++ {
+			wr := wp[j*kp : (j+1)*kp : (j+1)*kp]
+			var p0 uint64
+			for t := 0; t < len(xr); t++ {
+				p0 += (xr[t] * wr[t]) >> 48
+			}
+			dr[j] = bias[j] + sa*ws[j]*float64(int64(p0)-qOff*wsum[j]+rowCorr)
+		}
+	}
+}
+
 // matMulTInto computes dst = a·bᵀ for a (m×k), b (n×k). dst need not be
 // zeroed: every cell is written exactly once.
 func matMulTInto(dst, a, b []float64, m, k, n int) {
