@@ -9,6 +9,7 @@
 //	vmr2l-bench -load              # serving loadgen (scheduler vs per-request) -> BENCH_serving.json
 //	vmr2l-bench -chaos             # failure scenarios + shed overload -> BENCH_chaos.json
 //	vmr2l-bench -quant             # int8 kernel speedups + FR parity -> BENCH_quant.json
+//	vmr2l-bench -incr              # incremental-inference parity + step speedup -> BENCH_incr.json
 //	vmr2l-bench -scenario diurnal  # live-cluster session pipeline (solve + churn + repair)
 //	vmr2l-bench -scenarios         # available scenario names
 //
@@ -61,6 +62,9 @@ func main() {
 		quant      = flag.Bool("quant", false, "run the int8 quantization sweep (kernel speedups + float/int8 FR parity across the scenario registry) and write -quant-out")
 		quantOut   = flag.String("quant-out", "BENCH_quant.json", "artifact path for -quant")
 		quantCheck = flag.Bool("quant-check", false, "with -quant: exit 1 when a kernel misses its pinned speedup, allocates, or a scenario's float/int8 FR gap exceeds the pinned epsilon")
+		incr       = flag.Bool("incr", false, "run the incremental-inference sweep (exact-trajectory parity across the scenario registry + single-core step speedup on large mappings) and write -incr-out")
+		incrOut    = flag.String("incr-out", "BENCH_incr.json", "artifact path for -incr")
+		incrCheck  = flag.Bool("incr-check", false, "with -incr: exit 1 when an incremental trajectory diverges from the full recompute, a counter loses a forward, or a >=1k-PM bar misses its pinned 2x single-core speedup / allocates / never hits the cache")
 	)
 	flag.Parse()
 	if *list {
@@ -204,6 +208,28 @@ func main() {
 		}
 		return
 	}
+	if *incr {
+		start := time.Now()
+		rep, err := bench.RunIncrBench(func(s string) { log.Printf("incr: %s", s) })
+		if err != nil {
+			log.Fatalf("incr: %v", err)
+		}
+		if err := bench.WriteIncrArtifact(*incrOut, rep); err != nil {
+			log.Fatalf("incr: %v", err)
+		}
+		rep.Fprint(os.Stdout)
+		fmt.Printf("wrote %s\nelapsed: %s\n", *incrOut, time.Since(start).Round(time.Millisecond))
+		if *incrCheck {
+			if regs := bench.IncrRegressions(rep); len(regs) > 0 {
+				for _, r := range regs {
+					log.Printf("REGRESSION: %s", r)
+				}
+				log.Fatalf("incr: %d gate failure(s)", len(regs))
+			}
+			fmt.Println("incr gate: ok")
+		}
+		return
+	}
 	if *hotpath {
 		// Snapshot the gate reference before the update overwrites the
 		// artifact's current section with this run.
@@ -222,11 +248,16 @@ func main() {
 		art.Fprint(os.Stdout)
 		fmt.Printf("wrote %s\n", *hotOut)
 		if *hotCheck {
-			if regs := bench.HotpathRegressions(prev.GateReference(), rep, 0); len(regs) > 0 {
+			ref := prev.GateReference()
+			if regs := bench.HotpathRegressions(ref, rep, 0); len(regs) > 0 {
 				for _, r := range regs {
 					log.Printf("REGRESSION: %s", r)
 				}
-				log.Fatalf("hotpath: %d regression(s) vs the pinned reference", len(regs))
+				// Name both environments so a gate diff is attributable: a
+				// toolchain or core-count change between the pinned reference
+				// and this run explains drift that a code change does not.
+				log.Fatalf("hotpath: %d regression(s) vs the pinned reference (reference: %s GOMAXPROCS=%d; this run: %s GOMAXPROCS=%d)",
+					len(regs), ref.GoVersion, ref.GoMaxProcs, rep.GoVersion, rep.GoMaxProcs)
 			}
 			fmt.Println("hotpath regression gate: ok")
 		}

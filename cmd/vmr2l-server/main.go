@@ -73,12 +73,38 @@ import (
 	"vmr2l/internal/shard"
 )
 
-// newModel builds the serving model configuration; it must match training.
-func newModel(dModel, blocks int) *policy.Model {
-	return policy.New(policy.Config{
+// newModel builds the serving model configuration; it must match training
+// (vmr2l-train's -dmodel/-blocks/-extractor).
+func newModel(dModel, blocks int, extractor string) *policy.Model {
+	cfg := policy.Config{
 		DModel: dModel, Hidden: 2 * dModel, Blocks: blocks,
-		Extractor: policy.SparseAttention, Action: policy.TwoStage,
-	})
+		Action: policy.TwoStage,
+	}
+	switch extractor {
+	case "sparse":
+		cfg.Extractor = policy.SparseAttention
+	case "vanilla":
+		cfg.Extractor = policy.VanillaAttention
+	case "mlp":
+		cfg.Extractor = policy.NoAttention
+	default:
+		log.Fatalf("unknown extractor %q (sparse|vanilla|mlp)", extractor)
+	}
+	return policy.New(cfg)
+}
+
+// parseIncremental maps the -incremental flag to the scheduler mode.
+func parseIncremental(s string) serve.IncrementalMode {
+	switch s {
+	case "auto":
+		return serve.IncrementalAuto
+	case "on":
+		return serve.IncrementalOn
+	case "off":
+		return serve.IncrementalOff
+	}
+	log.Fatalf("unknown -incremental mode %q (auto|on|off)", s)
+	return serve.IncrementalAuto
 }
 
 // registerEngines installs the solver set on s: the heuristic/exact/search
@@ -115,6 +141,7 @@ func runDoctor(args []string) {
 		addr   = fs.String("addr", ":8080", "listen address to probe")
 		dModel = fs.Int("dmodel", 32, "embedding width (must match training)")
 		blocks = fs.Int("blocks", 2, "attention blocks (must match training)")
+		extr   = fs.String("extractor", "sparse", "feature extractor: sparse|vanilla|mlp (must match training)")
 		shards = fs.Int("shards", 8, "partition count of the pre-registered 'sharded' engine")
 	)
 	fs.Parse(args)
@@ -142,9 +169,10 @@ func runDoctor(args []string) {
 
 	// 2. Shape validation against the configured model; a mismatch names the
 	// offending tensor.
-	m := newModel(*dModel, *blocks)
+	m := newModel(*dModel, *blocks, *extr)
 	if err := m.Params.LoadFile(*ckpt); err != nil {
-		log.Fatalf("doctor: checkpoint does not fit model (dmodel=%d, blocks=%d): %v", *dModel, *blocks, err)
+		log.Fatalf("doctor: checkpoint does not fit model (dmodel=%d, blocks=%d, extractor=%s): %v",
+			*dModel, *blocks, *extr, err)
 	}
 	if qn := m.Params.QuantizedLinears(); len(qn) > 0 {
 		fmt.Printf("doctor: model dmodel=%d blocks=%d: shapes valid; %d quantized linears, int8 serving path\n",
@@ -183,6 +211,8 @@ func main() {
 		ckpt     = flag.String("ckpt", "", "VMR2L checkpoint to serve (optional)")
 		dModel   = flag.Int("dmodel", 32, "embedding width (must match training)")
 		blocks   = flag.Int("blocks", 2, "attention blocks (must match training)")
+		extr     = flag.String("extractor", "sparse", "feature extractor: sparse|vanilla|mlp (must match training)")
+		incrMode = flag.String("incremental", "auto", "per-session incremental inference for rollout rows: auto|on|off (auto engages for -extractor mlp)")
 		workers  = flag.Int("workers", 4, "async solve workers")
 		queue    = flag.Int("queue", 64, "async job queue depth")
 		timeout  = flag.Duration("timeout", 0, "per-solve budget (0 = paper's 5s limit)")
@@ -213,13 +243,16 @@ func main() {
 	var sched *serve.Scheduler
 	var m *policy.Model
 	if *ckpt != "" {
-		m = newModel(*dModel, *blocks)
+		m = newModel(*dModel, *blocks, *extr)
 		if err := m.Params.LoadFile(*ckpt); err != nil {
 			log.Fatal(err)
 		}
 		// One shared continuous-batching scheduler serves every policy
 		// forward; the service closes it after the worker pool drains.
-		sched = serve.NewScheduler(m, serve.Options{MaxRows: *waveRows, MaxWait: *waveWait})
+		sched = serve.NewScheduler(m, serve.Options{
+			MaxRows: *waveRows, MaxWait: *waveWait,
+			Incremental: parseIncremental(*incrMode),
+		})
 		svcOpts = append(svcOpts, service.WithCloser(sched))
 	}
 	s := service.New(svcOpts...)

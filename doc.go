@@ -121,4 +121,30 @@
 // plus fragmentation-rate parity of the quantized policy across the entire
 // scenario registry (mean gap <= 0.02 over 3 replicas per scenario) in
 // BENCH_quant.json; "-quant-check" gates it in CI.
+//
+// # Incremental inference
+//
+// Rollout steps change one VM placement, so consecutive policy forwards
+// share almost all of their work. The incremental path makes that sharing
+// explicit and bit-exact: the cluster keeps a dirty journal of touched
+// PM/VM ids (generation-tokened, full-dirty on bulk restores),
+// sim.Features.UpdateInto re-extracts only dirty machines against cached
+// raw rows — re-verifying the global min-max normalizers by fresh column
+// scan, renormalizing a whole side whenever a bound moved — and
+// policy.InferCtx.SetIncremental(true) caches every activation across
+// Infer calls, patching only dirty rows through row-sliced kernels
+// (tensor.LinearRows/LinearQ8Rows/LayerNormRows/GroupedAttentionRows,
+// group-diffed tree attention via nn.InferTreeRows). Cache keys cover
+// model identity, parameter version, cluster identity, and journal token;
+// any mismatch or moved normalizer falls back to a full recompute into the
+// same caches. Every forward is counted as a hit, miss, or fallback
+// (InferCtx.IncrStats) — recomputes are never silent. internal/serve
+// routes Env-carrying rollout requests through LRU-bounded per-session
+// incremental contexts (Options.Incremental: Auto engages for the fully
+// incremental extractor=none models) and surfaces incr_* counters at
+// /debug/vmr2l/serving. "vmr2l-bench -incr" records exact-trajectory
+// parity on every registry scenario (float and int8) and the single-core
+// per-step speedup bars (pinned >=2x at >=1k PMs, zero steady-state
+// allocations) in BENCH_incr.json; "-incr-check" gates it in CI
+// (incr-smoke job).
 package vmr2l

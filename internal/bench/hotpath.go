@@ -102,6 +102,8 @@ func HotpathBenchmarks() []NamedBench {
 		{"forward_act", benchAct},
 		{"forward_infer", benchInfer},
 		{"forward_infer_q8", benchInferQ8},
+		{"forward_incremental", benchForwardIncr},
+		{"step_incremental", benchStepIncr},
 		{"gemm_f64_300x64x32", benchGemmF64},
 		{"gemm_q8_300x64x32", benchGemmQ8},
 		{"forward_batch8", benchForwardBatch8},
@@ -252,6 +254,82 @@ func benchInferQ8(b *testing.B) {
 		if _, _, err := fx.model.Infer(ic, fx.env, rng, policy.SampleOpts{Greedy: true}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// incrHotFixture is the hot fixture with the fully incremental extractor:
+// the step-cache bars measure the row-patched serving path, so they use the
+// NoAttention model the cache fully covers. Existing step/forward bars keep
+// their full-recompute meaning (the cache is opt-in).
+func incrHotFixture() *hotFixture {
+	fx := newHotFixture()
+	fx.model = policy.New(agentSpec(policy.TwoStage, policy.NoAttention, 7))
+	return fx
+}
+
+// benchForwardIncr is benchInfer through a warm step cache with one VM
+// bouncing between two PMs: per iteration one migration dirties a couple of
+// rows and the forward patches them. Allocs/op is pinned at 0.
+func benchForwardIncr(b *testing.B) {
+	fx := incrHotFixture()
+	rng := rand.New(rand.NewSource(1))
+	ic := policy.NewInferCtx()
+	ic.SetIncremental(true)
+	step := func() {
+		to := fx.pmB
+		if fx.env.Cluster().VMs[fx.vm].PM == fx.pmB {
+			to = fx.pmA
+		}
+		if _, _, err := fx.env.Step(fx.vm, to); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := fx.model.Infer(ic, fx.env, rng, policy.SampleOpts{Greedy: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		step() // prime the cache and settle the buffers
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i&4095 == 4095 {
+			fx.env.Reset() // bound the recorded plan, as in benchStep
+		}
+		step()
+	}
+}
+
+// benchStepIncr is the greedy-rollout step through the step cache: the
+// policy picks the migration (instead of the forced bounce above), the env
+// applies it — the serving loop's unit of work.
+func benchStepIncr(b *testing.B) {
+	fx := incrHotFixture()
+	rng := rand.New(rand.NewSource(1))
+	ic := policy.NewInferCtx()
+	ic.SetIncremental(true)
+	step := func() {
+		vm, pm, err := fx.model.Infer(ic, fx.env, rng, policy.SampleOpts{Greedy: true})
+		if err != nil {
+			// No migratable VM left on this tiny map: start the episode over
+			// (a counted fallback on the next forward, like any Reset).
+			fx.env.Reset()
+			return
+		}
+		if _, _, err := fx.env.Step(vm, pm); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		step()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i&1023 == 1023 {
+			fx.env.Reset()
+		}
+		step()
 	}
 }
 

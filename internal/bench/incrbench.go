@@ -1,0 +1,420 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"vmr2l/internal/cluster"
+	"vmr2l/internal/policy"
+	"vmr2l/internal/scenario"
+	"vmr2l/internal/sim"
+	"vmr2l/internal/trace"
+)
+
+// The incremental-inference suite measures the step cache
+// (policy.InferCtx.SetIncremental) against the full recompute path and gates
+// on absolute pins, quant-style (no baseline file needed):
+//
+//   - parity: over every registry scenario, a greedy episode driven by an
+//     incremental context must pick the identical action at every step as a
+//     plain context (the step cache is bit-exact, so the trajectories are
+//     the same episode) — in float and int8;
+//   - speedup: on large (≥1k-PM) mappings with the fully incremental
+//     extractor, the per-step cost must beat the full path by the pinned
+//     factor on a single core, with zero steady-state allocations and a
+//     cache that actually hits.
+//
+// Run via
+//
+//	vmr2l-bench -incr               # sweep -> BENCH_incr.json
+//	vmr2l-bench -incr -incr-check
+//
+// Fleet-scale registry scenarios (10k PMs) are parity-checked on one
+// extracted shard — labeled, never silently down-sampled — and their
+// speedup bars are skipped with a note: the full-path reference at 10k PMs
+// costs minutes per episode, and the 1k/2k bars already pin the scaling
+// win.
+
+// IncrParityResult is one scenario×variant exact-trajectory comparison.
+type IncrParityResult struct {
+	Scenario string `json:"scenario"` // registry name, "[shards..]"-suffixed when extracted
+	Variant  string `json:"variant"`  // extractor/numeric-path, e.g. "none/int8"
+	PMs      int    `json:"pms"`
+	VMs      int    `json:"vms"`
+	Steps    int    `json:"steps"`
+	// Match is true when the incremental and plain contexts picked the same
+	// (vm, pm) at every step and ended on the same fragment rate.
+	Match   bool    `json:"match"`
+	FinalFR float64 `json:"final_fr"`
+	// Cache outcome counters of the incremental context (no silent losses:
+	// Hits+Misses+Fallbacks == Steps).
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Fallbacks uint64 `json:"fallbacks"`
+}
+
+// IncrSpeedupResult is one large-mapping single-core throughput bar.
+type IncrSpeedupResult struct {
+	Scenario      string  `json:"scenario"`
+	PMs           int     `json:"pms"`
+	VMs           int     `json:"vms"`
+	Steps         int     `json:"steps"`
+	FullNsPerStep float64 `json:"full_ns_per_step"`
+	IncrNsPerStep float64 `json:"incr_ns_per_step"`
+	Speedup       float64 `json:"speedup"`
+	// IncrAllocs is allocations per steady-state incremental forward (the
+	// Infer call alone; env.Step's cluster mutation is excluded), pinned 0.
+	IncrAllocs float64 `json:"incr_allocs_per_step"`
+	Hits       uint64  `json:"hits"`
+	Misses     uint64  `json:"misses"`
+	Fallbacks  uint64  `json:"fallbacks"`
+	// MinSpeedup is the absolute bar at check time (0 = informational).
+	MinSpeedup float64 `json:"min_speedup"`
+}
+
+// IncrReport is the JSON artifact of one sweep (BENCH_incr.json).
+type IncrReport struct {
+	GoVersion  string              `json:"go_version"`
+	GoMaxProcs int                 `json:"gomaxprocs"`
+	Timestamp  string              `json:"timestamp"`
+	Parity     []IncrParityResult  `json:"parity"`
+	Speedup    []IncrSpeedupResult `json:"speedup"`
+	Notes      []string            `json:"notes,omitempty"`
+}
+
+// IncrMinSpeedup is the pinned single-core step-throughput bar on ≥1k-PM
+// mappings with the fully incremental extractor: one migration dirties a
+// handful of rows out of thousands, so the row-patched step must beat the
+// full recompute by at least this factor.
+const IncrMinSpeedup = 2.0
+
+// incrParityMaxPMs bounds the cluster a parity episode runs on; fleet-scale
+// scenarios are parity-checked on extracted shards (the full path's per-step
+// cost at 10k PMs is exactly what the cache exists to avoid), labeled as
+// such.
+const incrParityMaxPMs = 256
+
+// incrParitySteps caps the compared episode length per scenario.
+const incrParitySteps = 24
+
+// incrVariants are the model variants every registry scenario is
+// parity-swept with: the fully incremental extractor in both numeric paths,
+// and the tree extractor (partial coverage: extract + embeddings + block-0
+// tree) in float.
+var incrVariants = []struct {
+	name      string
+	extractor policy.ExtractorMode
+	quantize  bool
+}{
+	{"none/float", policy.NoAttention, false},
+	{"none/int8", policy.NoAttention, true},
+	{"sparse/float", policy.SparseAttention, false},
+}
+
+// incrSpeedupBars are the throughput measurements: custom large mappings
+// from the trace generator (the registry's own large scenarios are 10k PMs
+// — see the skip note) plus a small informational bar.
+var incrSpeedupBars = []struct {
+	name       string
+	profile    string
+	numPMs     int // 0 = profile default
+	steps      int
+	minSpeedup float64
+}{
+	{"mid-small", "workload-mid-small", 0, 64, 0}, // informational: dirt fraction is large on small maps
+	{"medium-1k", "medium", 1000, 40, IncrMinSpeedup},
+	{"large-2k", "large", 2000, 16, IncrMinSpeedup},
+}
+
+// RunIncrBench runs the sweep. progress (may be nil) is called before each
+// measurement.
+func RunIncrBench(progress func(name string)) (IncrReport, error) {
+	rep := IncrReport{
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+	}
+	for _, sc := range scenario.All() {
+		for _, v := range incrVariants {
+			if progress != nil {
+				progress(fmt.Sprintf("parity %s %s", sc.Name, v.name))
+			}
+			pr, err := measureIncrParity(sc, v.extractor, v.quantize, v.name)
+			if err != nil {
+				return rep, fmt.Errorf("bench: incr parity on %q: %w", sc.Name, err)
+			}
+			rep.Parity = append(rep.Parity, pr)
+			if pr.Scenario != sc.Name {
+				rep.Notes = append(rep.Notes, fmt.Sprintf(
+					"scenario %q exceeds %d PMs; parity ran on an extracted shard (%q), not the full fleet",
+					sc.Name, incrParityMaxPMs, pr.Scenario))
+			}
+		}
+	}
+	for _, bar := range incrSpeedupBars {
+		if progress != nil {
+			progress("speedup " + bar.name)
+		}
+		sr, err := measureIncrSpeedup(bar.name, bar.profile, bar.numPMs, bar.steps, bar.minSpeedup)
+		if err != nil {
+			return rep, fmt.Errorf("bench: incr speedup %q: %w", bar.name, err)
+		}
+		rep.Speedup = append(rep.Speedup, sr)
+	}
+	rep.Notes = append(rep.Notes,
+		"speedup bars skipped for fleet-scale registry scenarios large-static and hyperscale-diurnal (10k PMs): the full-path reference costs minutes per episode; medium-1k and large-2k pin the ≥1k-PM win",
+		"speedup bars measured at GOMAXPROCS=1 (single-core, per the pinned bar); parity sweeps run at the ambient setting")
+	return rep, nil
+}
+
+// incrParityCluster builds the scenario's parity mapping, extracting a shard
+// for fleet-scale scenarios exactly like the quant suite does.
+func incrParityCluster(sc scenario.Scenario) (*cluster.Cluster, string, error) {
+	cs, label, err := quantParityClusters(sc)
+	if err != nil {
+		return nil, "", err
+	}
+	return cs[0], label, nil
+}
+
+// measureIncrParity plays twin greedy episodes — one incremental context,
+// one plain — on identical mappings and compares every action.
+func measureIncrParity(sc scenario.Scenario, ex policy.ExtractorMode, quantize bool, variant string) (IncrParityResult, error) {
+	c, label, err := incrParityCluster(sc)
+	if err != nil {
+		return IncrParityResult{}, err
+	}
+	obj, err := sc.ParseObjective()
+	if err != nil {
+		return IncrParityResult{}, err
+	}
+	cfg := policy.DefaultConfig()
+	cfg.Extractor = ex
+	m := policy.New(cfg)
+	if quantize && m.Quantize() == 0 {
+		return IncrParityResult{}, fmt.Errorf("model quantized no layers")
+	}
+	mnl := sc.MNL
+	if mnl > incrParitySteps {
+		mnl = incrParitySteps
+	}
+	envI := sim.New(c.Clone(), sim.Config{MNL: mnl, Obj: obj})
+	envF := sim.New(c.Clone(), sim.Config{MNL: mnl, Obj: obj})
+	icI, icF := policy.NewInferCtx(), policy.NewInferCtx()
+	icI.SetIncremental(true)
+
+	res := IncrParityResult{Scenario: label, Variant: variant,
+		PMs: len(c.PMs), VMs: len(c.VMs), Match: true}
+	for !envI.Done() && !envF.Done() {
+		vmI, pmI, errI := m.Infer(icI, envI, rand.New(rand.NewSource(1)), policy.SampleOpts{Greedy: true})
+		vmF, pmF, errF := m.Infer(icF, envF, rand.New(rand.NewSource(1)), policy.SampleOpts{Greedy: true})
+		if (errI != nil) != (errF != nil) || vmI != vmF || pmI != pmF {
+			res.Match = false
+			break
+		}
+		if errI != nil {
+			break
+		}
+		if _, _, err := envI.Step(vmI, pmI); err != nil {
+			return res, err
+		}
+		if _, _, err := envF.Step(vmF, pmF); err != nil {
+			return res, err
+		}
+		res.Steps++
+	}
+	if envI.FragRate() != envF.FragRate() {
+		res.Match = false
+	}
+	res.FinalFR = envI.FragRate()
+	st := icI.IncrStats()
+	res.Hits, res.Misses, res.Fallbacks = st.Hits, st.Misses, st.Fallbacks
+	return res, nil
+}
+
+// measureIncrSpeedup times greedy rollout steps through the full and the
+// incremental path on identical mappings, single-core, and measures
+// steady-state allocations of the incremental step.
+func measureIncrSpeedup(name, profile string, numPMs, steps int, minSpeedup float64) (IncrSpeedupResult, error) {
+	p := trace.MustProfile(profile)
+	if numPMs > 0 {
+		p.NumPMs = numPMs
+	}
+	c := p.GenerateMapping(rand.New(rand.NewSource(11)))
+	res := IncrSpeedupResult{Scenario: name, PMs: len(c.PMs), VMs: len(c.VMs),
+		Steps: steps, MinSpeedup: minSpeedup}
+
+	cfg := policy.DefaultConfig()
+	cfg.Extractor = policy.NoAttention
+	m := policy.New(cfg)
+
+	prev := runtime.GOMAXPROCS(1) // the pinned bar is single-core
+	defer runtime.GOMAXPROCS(prev)
+
+	run := func(env *sim.Env, ic *policy.InferCtx, n int) (float64, error) {
+		rng := rand.New(rand.NewSource(3))
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			vm, pm, err := m.Infer(ic, env, rng, policy.SampleOpts{Greedy: true})
+			if err != nil {
+				return 0, fmt.Errorf("step %d: %w", i, err)
+			}
+			if _, _, err := env.Step(vm, pm); err != nil {
+				return 0, fmt.Errorf("step %d: %w", i, err)
+			}
+		}
+		return float64(time.Since(start).Nanoseconds()) / float64(n), nil
+	}
+
+	// Full path.
+	envF := sim.New(c.Clone(), sim.Config{MNL: 1 << 30, Obj: sim.FR16()})
+	icF := policy.NewInferCtx()
+	if _, err := run(envF, icF, 2); err != nil { // warm buffers
+		return res, err
+	}
+	full, err := run(envF, icF, steps)
+	if err != nil {
+		return res, err
+	}
+
+	// Incremental path: warm (prime + settle), then measure time and
+	// steady-state allocations.
+	envI := sim.New(c.Clone(), sim.Config{MNL: 1 << 30, Obj: sim.FR16()})
+	icI := policy.NewInferCtx()
+	icI.SetIncremental(true)
+	if _, err := run(envI, icI, 6); err != nil {
+		return res, err
+	}
+	incr, err := run(envI, icI, steps)
+	if err != nil {
+		return res, err
+	}
+	// Steady-state allocations of the incremental forward itself, measured
+	// around Infer only: env.Step mutates the cluster (the destination PM's
+	// VM list can grow), which is simulator cost the cache cannot and need
+	// not avoid.
+	const allocSteps = 8
+	var ms0, ms1 runtime.MemStats
+	var allocs uint64
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < allocSteps; i++ {
+		runtime.ReadMemStats(&ms0)
+		vm, pm, err := m.Infer(icI, envI, rng, policy.SampleOpts{Greedy: true})
+		runtime.ReadMemStats(&ms1)
+		if err != nil {
+			return res, err
+		}
+		allocs += ms1.Mallocs - ms0.Mallocs
+		if _, _, err := envI.Step(vm, pm); err != nil {
+			return res, err
+		}
+	}
+	res.IncrAllocs = float64(allocs) / allocSteps
+
+	res.FullNsPerStep, res.IncrNsPerStep = full, incr
+	if incr > 0 {
+		res.Speedup = full / incr
+	}
+	st := icI.IncrStats()
+	res.Hits, res.Misses, res.Fallbacks = st.Hits, st.Misses, st.Fallbacks
+	return res, nil
+}
+
+// IncrRegressions applies the absolute gates: every parity row must match
+// exactly with counters that account for every step, and every pinned
+// speedup bar must clear its factor with zero steady-state allocations and
+// a cache that hits. An empty result passes.
+func IncrRegressions(rep IncrReport) []string {
+	var regs []string
+	for _, p := range rep.Parity {
+		if !p.Match {
+			regs = append(regs, fmt.Sprintf("parity %s %s: incremental trajectory diverged from full recompute",
+				p.Scenario, p.Variant))
+		}
+		// One Infer per step, plus at most one final Infer that ended the
+		// episode (no-migratable-VM): every forward is a counted hit, miss,
+		// or fallback.
+		sum := p.Hits + p.Misses + p.Fallbacks
+		if sum < uint64(p.Steps) || sum > uint64(p.Steps)+1 {
+			regs = append(regs, fmt.Sprintf("parity %s %s: counters (%d+%d+%d) don't cover %d steps (silent loss)",
+				p.Scenario, p.Variant, p.Hits, p.Misses, p.Fallbacks, p.Steps))
+		}
+	}
+	for _, s := range rep.Speedup {
+		if s.MinSpeedup <= 0 {
+			continue
+		}
+		if s.Speedup < s.MinSpeedup {
+			regs = append(regs, fmt.Sprintf("speedup %s (%d PMs): %.2fx < pinned %.2fx",
+				s.Scenario, s.PMs, s.Speedup, s.MinSpeedup))
+		}
+		if s.IncrAllocs > 0 {
+			regs = append(regs, fmt.Sprintf("speedup %s: %.1f allocs per steady-state incremental step (pinned 0)",
+				s.Scenario, s.IncrAllocs))
+		}
+		if s.Hits == 0 {
+			regs = append(regs, fmt.Sprintf("speedup %s: cache never hit (hits=0, misses=%d, fallbacks=%d)",
+				s.Scenario, s.Misses, s.Fallbacks))
+		}
+	}
+	return regs
+}
+
+// WriteIncrArtifact writes the sweep to path (BENCH_incr.json).
+func WriteIncrArtifact(path string, rep IncrReport) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadIncrArtifact reads a previously written sweep.
+func LoadIncrArtifact(path string) (IncrReport, error) {
+	var rep IncrReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("bench: parse %s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// Fprint renders the report as aligned tables.
+func (r IncrReport) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "incremental inference (%s, GOMAXPROCS=%d)\n", r.GoVersion, r.GoMaxProcs)
+	fmt.Fprintf(w, "parity (exact trajectories)\n")
+	fmt.Fprintf(w, "%-28s %-14s %6s %7s %6s %6s %7s %10s %6s\n",
+		"scenario", "variant", "pms", "vms", "steps", "hits", "misses", "fallbacks", "match")
+	for _, p := range r.Parity {
+		fmt.Fprintf(w, "%-28s %-14s %6d %7d %6d %6d %7d %10d %6v\n",
+			p.Scenario, p.Variant, p.PMs, p.VMs, p.Steps, p.Hits, p.Misses, p.Fallbacks, p.Match)
+	}
+	fmt.Fprintf(w, "single-core step throughput\n")
+	fmt.Fprintf(w, "%-12s %6s %7s %14s %14s %9s %8s %7s\n",
+		"scenario", "pms", "vms", "full ns/step", "incr ns/step", "speedup", "allocs", "pinned")
+	for _, s := range r.Speedup {
+		pin := "-"
+		if s.MinSpeedup > 0 {
+			pin = fmt.Sprintf("%.1fx", s.MinSpeedup)
+		}
+		fmt.Fprintf(w, "%-12s %6d %7d %14.0f %14.0f %8.2fx %8.1f %7s\n",
+			s.Scenario, s.PMs, s.VMs, s.FullNsPerStep, s.IncrNsPerStep, s.Speedup, s.IncrAllocs, pin)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+}

@@ -1,0 +1,202 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"vmr2l/internal/policy"
+	"vmr2l/internal/scenario"
+	"vmr2l/internal/sim"
+)
+
+// TestIncrParityDeterministic pins that the parity measurement is exactly
+// reproducible: the step cache is bit-exact and the drivers are seeded, so
+// nothing in the compared trajectories is timing-dependent.
+func TestIncrParityDeterministic(t *testing.T) {
+	sc := scenario.MustGet("static")
+	a, err := measureIncrParity(sc, policy.NoAttention, false, "none/float")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := measureIncrParity(sc, policy.NoAttention, false, "none/float")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("parity measurement not deterministic:\n%+v\n%+v", a, b)
+	}
+	if !a.Match {
+		t.Fatalf("incremental trajectory diverged on static: %+v", a)
+	}
+	if a.Steps == 0 {
+		t.Fatal("parity episode took no steps")
+	}
+}
+
+// TestIncrParityShardsHyperscale pins the no-silent-caps contract for the
+// incremental suite: fleet-scale scenarios come back labeled as
+// shard-extracted, never silently down-sampled under the registry name.
+func TestIncrParityShardsHyperscale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("hyperscale build is slow")
+	}
+	sc := scenario.MustGet("large-static")
+	pr, err := measureIncrParity(sc, policy.NoAttention, false, "none/float")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(pr.Scenario, "[shards") {
+		t.Fatalf("fleet-scale parity label %q does not declare shard extraction", pr.Scenario)
+	}
+	if pr.PMs > quantParityMaxPMs {
+		t.Fatalf("parity replica has %d PMs, above the %d bound", pr.PMs, quantParityMaxPMs)
+	}
+	if !pr.Match {
+		t.Fatalf("incremental trajectory diverged on the extracted shard: %+v", pr)
+	}
+}
+
+// TestIncrRandomScenarioStreamParity fuzzes the step cache against
+// scenario.RandomScenario specs: twin greedy episodes — one incremental
+// context, one plain — run on twin clusters while each scenario's own
+// dynamics engine (churn, crashes, drains, evacuations) mutates both live
+// clusters between steps through identically seeded event streams. Every
+// action must agree. This reaches the invalidation edges the registry sweep
+// cannot: VM arrivals reshape the row space, health transitions and
+// evacuations dirty rows through the cluster journal rather than env.Step,
+// and mid-episode Reset and Fork must reprime cleanly.
+func TestIncrRandomScenarioStreamParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	var totalHits uint64
+	for n := 0; n < 6; n++ {
+		sc := scenario.RandomScenario(rng)
+		ex := policy.NoAttention
+		if n%3 == 2 {
+			ex = policy.SparseAttention
+		}
+		quantize := n%2 == 1
+		t.Run(fmt.Sprintf("%s/ex%d/q%v", sc.Name, ex, quantize), func(t *testing.T) {
+			obj, err := sc.ParseObjective()
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := sc.Build(rand.New(rand.NewSource(sc.Seed)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := policy.DefaultConfig()
+			cfg.Extractor = ex
+			m := policy.New(cfg)
+			if quantize && m.Quantize() == 0 {
+				t.Fatal("model quantized no layers")
+			}
+			envI := sim.New(c, sim.Config{MNL: 64, Obj: obj})
+			envF := sim.New(c, sim.Config{MNL: 64, Obj: obj})
+			dynI := sc.NewDynamics(envI.Cluster(), rand.New(rand.NewSource(sc.Seed+1)))
+			dynF := sc.NewDynamics(envF.Cluster(), rand.New(rand.NewSource(sc.Seed+1)))
+			icI, icF := policy.NewInferCtx(), policy.NewInferCtx()
+			icI.SetIncremental(true)
+			for step := 0; step < 24; step++ {
+				if step > 0 && step%3 == 0 {
+					dynI.Advance(1)
+					dynF.Advance(1)
+					if envI.FragRate() != envF.FragRate() {
+						t.Fatalf("step %d: twin dynamics diverged before inference", step)
+					}
+				}
+				if step == 12 {
+					envI.Reset()
+					envF.Reset()
+				}
+				vmI, pmI, errI := m.Infer(icI, envI,
+					rand.New(rand.NewSource(int64(step))), policy.SampleOpts{Greedy: true})
+				vmF, pmF, errF := m.Infer(icF, envF,
+					rand.New(rand.NewSource(int64(step))), policy.SampleOpts{Greedy: true})
+				if (errI != nil) != (errF != nil) || vmI != vmF || pmI != pmF {
+					t.Fatalf("step %d: incremental (%d,%d,%v) != full (%d,%d,%v)",
+						step, vmI, pmI, errI, vmF, pmF, errF)
+				}
+				if errI != nil {
+					break // no migratable VM under this churn state: both agree
+				}
+				if _, _, err := envI.Step(vmI, pmI); err != nil {
+					t.Fatal(err)
+				}
+				if _, _, err := envF.Step(vmF, pmF); err != nil {
+					t.Fatal(err)
+				}
+				if step == 8 {
+					// Fork edge: a fresh incremental context priming on a
+					// mid-episode fork must agree with the plain context too.
+					fI, fF := envI.Fork(), envF.Fork()
+					icFork := policy.NewInferCtx()
+					icFork.SetIncremental(true)
+					fvI, fpI, feI := m.Infer(icFork, fI,
+						rand.New(rand.NewSource(99)), policy.SampleOpts{Greedy: true})
+					fvF, fpF, feF := m.Infer(icF, fF,
+						rand.New(rand.NewSource(99)), policy.SampleOpts{Greedy: true})
+					if (feI != nil) != (feF != nil) || fvI != fvF || fpI != fpF {
+						t.Fatalf("fork: incremental (%d,%d,%v) != full (%d,%d,%v)",
+							fvI, fpI, feI, fvF, fpF, feF)
+					}
+					fI.Release()
+					fF.Release()
+				}
+			}
+			st := icI.IncrStats()
+			if st.Hits+st.Misses+st.Fallbacks == 0 {
+				t.Fatalf("incremental path never ran: %+v", st)
+			}
+			totalHits += st.Hits
+		})
+	}
+	// Small fuzz clusters can legitimately fall back often (the dirty
+	// fraction is large), but across six scenarios the fast path must land.
+	if totalHits == 0 {
+		t.Fatal("no random-scenario stream ever hit the cache")
+	}
+}
+
+// TestIncrRegressionsGates exercises the gate logic on synthetic reports.
+func TestIncrRegressionsGates(t *testing.T) {
+	ok := IncrReport{
+		Parity: []IncrParityResult{
+			{Scenario: "static", Variant: "none/float", Steps: 10, Match: true, Hits: 8, Misses: 1, Fallbacks: 1},
+			{Scenario: "static", Variant: "none/int8", Steps: 10, Match: true, Hits: 9, Misses: 1, Fallbacks: 1},
+		},
+		Speedup: []IncrSpeedupResult{
+			{Scenario: "mid-small", Speedup: 0.9}, // informational: no pin
+			{Scenario: "medium-1k", Speedup: 3.1, MinSpeedup: 2.0, Hits: 10},
+		},
+	}
+	if regs := IncrRegressions(ok); len(regs) != 0 {
+		t.Fatalf("clean report flagged: %v", regs)
+	}
+	bad := IncrReport{
+		Parity: []IncrParityResult{
+			{Scenario: "static", Variant: "none/float", Steps: 10, Match: false, Hits: 8, Misses: 1, Fallbacks: 1},
+			{Scenario: "burst", Variant: "none/int8", Steps: 10, Match: true, Hits: 3, Misses: 1, Fallbacks: 1},
+		},
+		Speedup: []IncrSpeedupResult{
+			{Scenario: "medium-1k", Speedup: 1.4, MinSpeedup: 2.0, Hits: 10},
+			{Scenario: "large-2k", Speedup: 3.0, MinSpeedup: 2.0, IncrAllocs: 2, Hits: 0},
+		},
+	}
+	regs := IncrRegressions(bad)
+	if len(regs) != 5 {
+		t.Fatalf("want 5 gate failures, got %d: %v", len(regs), regs)
+	}
+	for _, want := range []string{"diverged", "silent loss", "pinned 2.00x", "allocs", "never hit"} {
+		found := false
+		for _, r := range regs {
+			if strings.Contains(r, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("no gate failure mentions %q: %v", want, regs)
+		}
+	}
+}

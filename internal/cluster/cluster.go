@@ -27,6 +27,9 @@ type Cluster struct {
 	svc svcIndex
 	// agg holds the lazily initialized incremental aggregates.
 	agg aggregates
+	// j is the dirty journal feeding incremental feature extraction; see
+	// journal.go. Zero value = everything dirty.
+	j journal
 }
 
 // svcIndex tracks hosted VMs per (PM, service) in one dense array:
@@ -135,6 +138,7 @@ func (c *Cluster) AddVM(t VMType) int {
 	c.VMs = append(c.VMs, VM{
 		ID: id, CPU: t.CPU, Mem: t.Mem, Numas: t.Numas, PM: -1, Numa: -1, Service: -1,
 	})
+	c.j.markFull() // the row space itself changed shape
 	return id
 }
 
@@ -198,6 +202,7 @@ func (c *Cluster) fragTotal(chunk int, cpu bool) int {
 // addUsage applies a usage delta to NUMA j of PM p, keeping the tracked
 // aggregates in sync. All placement mutations must go through here.
 func (c *Cluster) addUsage(p *PM, j, dCPU, dMem int) {
+	c.j.touchPM(p.ID)
 	n := &p.Numas[j]
 	if c.agg.valid {
 		c.agg.freeCPU -= dCPU
@@ -279,6 +284,7 @@ func (c *Cluster) SetHealth(pmID int, h Health) error {
 	if pmID < 0 || pmID >= len(c.PMs) {
 		return ErrBadReference
 	}
+	c.j.touchPM(pmID)
 	c.PMs[pmID].Health = h
 	return nil
 }
@@ -369,6 +375,7 @@ func (c *Cluster) Place(vmID, pmID, numa int) error {
 	}
 	v.PM, v.Numa = pmID, numa
 	p.VMs = append(p.VMs, vmID)
+	c.j.touchVM(vmID)
 	if c.AntiAffinity {
 		c.svc.add(pmID, v.Service, 1, len(c.PMs))
 	}
@@ -402,6 +409,7 @@ func (c *Cluster) Remove(vmID int) error {
 	if c.AntiAffinity {
 		c.svc.add(v.PM, v.Service, -1, len(c.PMs))
 	}
+	c.j.touchVM(vmID)
 	v.PM, v.Numa = -1, -1
 	return nil
 }
@@ -562,6 +570,7 @@ func (c *Cluster) CopyFrom(src *Cluster) {
 	if c == src {
 		return
 	}
+	c.j.markFull() // bulk restore: too coarse to journal row by row
 	c.AntiAffinity = src.AntiAffinity
 	c.VMs = append(c.VMs[:0], src.VMs...)
 	if cap(c.PMs) < len(src.PMs) {

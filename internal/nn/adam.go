@@ -30,6 +30,7 @@ func NewAdam(p *Params, lr float64) *Adam {
 // Step applies one update from the accumulated gradients.
 func (a *Adam) Step() {
 	a.t++
+	a.params.version++
 	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
 	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
 	for pi, name := range a.ordered {

@@ -70,10 +70,11 @@ func (p *Params) loadGob(r io.Reader) error {
 		copy(p.Get(name).Data, ck.Data[name])
 	}
 	// The weights just changed; any quantized forms derived from the old
-	// values are stale.
+	// values are stale, as is any inference cache keyed on the version.
 	for _, l := range p.linears {
 		l.Q = nil
 	}
+	p.version++
 	return nil
 }
 

@@ -339,6 +339,7 @@ func (p *Params) loadCKPT(r io.Reader) error {
 		}
 		copy(t.Data, s.data)
 	}
+	p.version++ // new weights: invalidate version-keyed inference caches
 	return nil
 }
 

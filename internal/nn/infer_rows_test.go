@@ -1,0 +1,128 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"vmr2l/internal/tensor"
+)
+
+func assertBitsNN(t *testing.T, name string, got, want *tensor.Tensor) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("%s: shape %dx%d != %dx%d", name, got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i, w := range want.Data {
+		if math.Float64bits(got.Data[i]) != math.Float64bits(w) {
+			t.Fatalf("%s: element %d = %v, want %v", name, i, got.Data[i], w)
+		}
+	}
+}
+
+// mutateRows overwrites the selected rows of x with fresh random values and
+// returns the row ids.
+func mutateRows(rng *rand.Rand, x *tensor.Tensor, frac float64) []int {
+	var rows []int
+	for i := 0; i < x.Rows; i++ {
+		if rng.Float64() < frac {
+			rows = append(rows, i)
+			for j := 0; j < x.Cols; j++ {
+				x.Data[i*x.Cols+j] = rng.NormFloat64()
+			}
+		}
+	}
+	return rows
+}
+
+// TestMLPInferRowsBitParity drives cached-MLP patches against full recompute
+// in float and int8 across many mutation steps.
+func TestMLPInferRowsBitParity(t *testing.T) {
+	for _, quant := range []bool{false, true} {
+		rng := rand.New(rand.NewSource(31))
+		p := NewParams()
+		m := NewMLP(p, "m", rng, 16, 32, 24)
+		if quant {
+			if p.QuantizeLinears(nil) == 0 {
+				t.Fatal("no layers quantized")
+			}
+		}
+		ar := &tensor.Arena{}
+		x := tensor.Randn(rng, 40, 16, 1)
+		var c MLPCache
+		ar.Reset()
+		m.InferInto(ar, &c, x)
+		for step := 0; step < 25; step++ {
+			rows := mutateRows(rng, x, 0.2)
+			ar.Reset()
+			m.InferRows(ar, &c, x, rows)
+			want := m.Infer(ar, x)
+			assertBitsNN(t, "MLP out", c.Out, want)
+		}
+	}
+}
+
+// TestInferTreeRowsBitParity drives cached tree-attention patches against
+// full recompute, float and int8, one and two heads, with dirty rows both
+// inside and outside groups.
+func TestInferTreeRowsBitParity(t *testing.T) {
+	for _, quant := range []bool{false, true} {
+		for _, heads := range []int{1, 2} {
+			rng := rand.New(rand.NewSource(int64(41 + heads)))
+			p := NewParams()
+			a := NewMultiHeadAttention(p, "a", rng, 16, heads)
+			if quant {
+				if p.QuantizeLinears(nil) == 0 {
+					t.Fatal("no layers quantized")
+				}
+			}
+			n := 60
+			x := tensor.Randn(rng, n, 16, 1)
+			// Disjoint groups over ~80% of the rows; the rest belong to none.
+			perm := rng.Perm(n)
+			var groups [][]int
+			for at := 0; at < 4*n/5; {
+				s := 1 + rng.Intn(6)
+				if at+s > 4*n/5 {
+					s = 4*n/5 - at
+				}
+				groups = append(groups, perm[at:at+s])
+				at += s
+			}
+			groupOf := make([]int, n)
+			for i := range groupOf {
+				groupOf[i] = -1
+			}
+			for g, rowsOf := range groups {
+				for _, r := range rowsOf {
+					groupOf[r] = g
+				}
+			}
+			ar := &tensor.Arena{}
+			var c TreeCache
+			ar.Reset()
+			a.InferTreeInto(ar, &c, x, groups)
+			for step := 0; step < 25; step++ {
+				dirtyRows := mutateRows(rng, x, 0.15)
+				inGroup := map[int]bool{}
+				for _, r := range dirtyRows {
+					if g := groupOf[r]; g >= 0 {
+						inGroup[g] = true
+					}
+				}
+				var dirtyGroups [][]int
+				var groupRows []int
+				for g := range groups {
+					if inGroup[g] {
+						dirtyGroups = append(dirtyGroups, groups[g])
+						groupRows = append(groupRows, groups[g]...)
+					}
+				}
+				ar.Reset()
+				a.InferTreeRows(ar, &c, x, dirtyRows, dirtyGroups, groupRows)
+				want := a.InferTree(ar, x, groups)
+				assertBitsNN(t, "tree out", c.Out, want)
+			}
+		}
+	}
+}

@@ -39,7 +39,22 @@ type Params struct {
 	byName  map[string]*tensor.Tensor
 	frozen  map[string]bool
 	linears map[string]*Linear
+	// version counts parameter mutations (optimizer steps, checkpoint loads,
+	// quantize/dequantize). Inference caches key on it to detect that a
+	// cached activation was computed with stale weights.
+	version uint64
 }
+
+// Version returns the mutation counter for the registry's parameter values.
+// It advances on every Adam step, checkpoint load, and quantization state
+// change; two calls returning the same value bracket a window in which every
+// forward pass saw identical weights.
+func (p *Params) Version() uint64 { return p.version }
+
+// BumpVersion records that parameter values changed outside the standard
+// mutation paths (e.g. a caller writing W.Data directly must invalidate
+// inference caches by hand).
+func (p *Params) BumpVersion() { p.version++ }
 
 // NewParams returns an empty registry.
 func NewParams() *Params {

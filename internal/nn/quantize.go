@@ -39,6 +39,9 @@ func (p *Params) QuantizeLinears(skip func(name string) bool) int {
 		l.Q = tensor.QuantizeWeight(l.W)
 		n++
 	}
+	if n > 0 {
+		p.version++ // inference now takes the int8 path: cached floats are stale
+	}
 	return n
 }
 
@@ -51,6 +54,9 @@ func (p *Params) DequantizeLinears() int {
 			l.Q = nil
 			n++
 		}
+	}
+	if n > 0 {
+		p.version++
 	}
 	return n
 }

@@ -31,6 +31,16 @@ type InferCtx struct {
 	vmProbs   []float64
 	pmProbs   []float64
 	sortBuf   []float64
+	// incr enables the step cache (incr.go): embeddings and other row-wise
+	// stages carry over from the previous Infer on the same cluster and only
+	// dirty rows recompute. Off by default; results are bit-identical either
+	// way.
+	incr  bool
+	cache stepCache
+	// vmHeadCached, when non-nil, is the cache's maintained vm_head output
+	// column (M×1) for the current forward; vmLogitsInfer uses it instead of
+	// re-running the head GEMM. Reset by every forward entry.
+	vmHeadCached *tensor.Tensor
 }
 
 // NewInferCtx returns an empty inference context.
@@ -44,17 +54,26 @@ var inferPool = sync.Pool{New: func() any { return NewInferCtx() }}
 // identical math to forward, no autograd graph, no steady-state allocation.
 func (m *Model) forwardInfer(ic *InferCtx, f *sim.Features) *forwardOut {
 	ar := &ic.arena
+	ic.vmHeadCached = nil
 	pmE := m.pmEmbed.Infer(ar, ar.FromFlat(len(f.PM), sim.PMFeatDim, f.FlatPM()))
 	vmE := m.vmEmbed.Infer(ar, ar.FromFlat(len(f.VM), sim.VMFeatDim, f.FlatVM()))
+	groups := m.treeGroups(&ic.gb, f)
+	return m.forwardTail(ic, f, pmE, vmE, groups, false)
+}
+
+// forwardTail runs the block stack from given PM/VM embeddings onward —
+// shared between forwardInfer and the incremental path, which enters with
+// cached (and possibly row-patched) embeddings. skipFirstTree skips block
+// 0's tree stage: the incremental path has already patched it and hands in
+// pmE/vmE as views of the cached post-tree residual. pmE/vmE may be
+// persistent cache tensors; every stage here treats its inputs read-only.
+func (m *Model) forwardTail(ic *InferCtx, f *sim.Features, pmE, vmE *tensor.Tensor, groups [][]int, skipFirstTree bool) *forwardOut {
+	ar := &ic.arena
 	out := &ic.out
 	out.pmE, out.vmE, out.crossProbs = nil, nil, nil
 	numPM := len(f.PM)
-	var groups [][]int
-	if m.Cfg.Extractor == SparseAttention {
-		groups = ic.gb.build(f.HostPM, numPM)
-	}
-	for _, blk := range m.blocks {
-		if blk.tree != nil {
+	for bi, blk := range m.blocks {
+		if blk.tree != nil && !(skipFirstTree && bi == 0) {
 			// Stage 1: tree-local attention over stacked [PM; VM] rows,
 			// computed block-diagonally per PM tree.
 			x := ar.ConcatRows(pmE, vmE)
@@ -82,10 +101,18 @@ func (m *Model) forwardInfer(ic *InferCtx, f *sim.Features) *forwardOut {
 	return out
 }
 
-// vmLogitsInfer is the graph-free vmLogits.
+// vmLogitsInfer is the graph-free vmLogits. When the step cache maintains
+// the vm_head output column (NoAttention mode), the M×d head GEMM is
+// replaced by a transpose of the cached column — same bits, the cache
+// patches the column with the same kernel dispatch the full head uses.
 func (m *Model) vmLogitsInfer(ic *InferCtx, out *forwardOut, mask []bool) *tensor.Tensor {
 	ar := &ic.arena
-	row := ar.Transpose(m.vmHead.Infer(ar, out.vmE)) // 1×M
+	var row *tensor.Tensor
+	if ic.vmHeadCached != nil {
+		row = ar.Transpose(ic.vmHeadCached) // 1×M
+	} else {
+		row = ar.Transpose(m.vmHead.Infer(ar, out.vmE)) // 1×M
+	}
 	if mask != nil {
 		row = ar.MaskedFill(row, mask, -1e9)
 	}
@@ -182,8 +209,13 @@ func (ic *InferCtx) applyThreshold(probs []float64, mask []bool, q float64) {
 // record (state snapshot, log-prob, value) must be retained for training.
 func (m *Model) Infer(ic *InferCtx, env *sim.Env, rng *rand.Rand, opts SampleOpts) (vm, pm int, err error) {
 	ic.arena.Reset()
-	sim.ExtractInto(&ic.feat, env.Cluster())
-	out := m.forwardInfer(ic, &ic.feat)
+	var out *forwardOut
+	if ic.incr {
+		out = m.forwardIncr(ic, env)
+	} else {
+		sim.ExtractInto(&ic.feat, env.Cluster())
+		out = m.forwardInfer(ic, &ic.feat)
+	}
 
 	switch m.Cfg.Action {
 	case FullMask:

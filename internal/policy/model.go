@@ -5,6 +5,14 @@
 // penalty-based and full-mask action spaces, Decima-style PM subsampling,
 // and the NeuPlan-style hybrid — are configuration switches so every learned
 // baseline shares one training stack.
+//
+// Sequential rollouts can opt into incremental inference
+// (InferCtx.SetIncremental): the context then caches every forward
+// activation across Infer calls and recomputes only the rows reached by the
+// cluster's dirty journal, bit-identically to a full forward. See incr.go
+// for the cache-invalidation contract — generation-token keys, the
+// global-normalizer fallback, and the sharing rules (one context per
+// goroutine, one live incremental context per cluster).
 package policy
 
 import (
@@ -241,16 +249,13 @@ func (m *Model) forward(f *sim.Features) *forwardOut {
 	vmE := m.vmEmbed.Forward(tensor.FromRows(f.VM))
 	out := &forwardOut{}
 	numPM := len(f.PM)
-	var groups [][]int
-	if m.Cfg.Extractor == SparseAttention {
-		// The partition must be freshly allocated here: GroupedAttention's
-		// backward closure retains it until loss.Backward(), long after this
-		// forward returns, so a pooled/reused buffer would be clobbered by
-		// the next transition's forward. (The inference path reuses its
-		// InferCtx buffer safely — arena ops never retain groups.)
-		var gb groupBuf
-		groups = gb.build(f.HostPM, numPM)
-	}
+	// The groupBuf must be freshly allocated here: GroupedAttention's
+	// backward closure retains the groups until loss.Backward(), long after
+	// this forward returns, so a pooled/reused buffer would be clobbered by
+	// the next transition's forward. (The inference paths reuse their
+	// InferCtx buffer safely — arena ops never retain groups.)
+	var gb groupBuf
+	groups := m.treeGroups(&gb, f)
 	for _, blk := range m.blocks {
 		if blk.tree != nil {
 			// Stage 1: tree-local attention over stacked [PM; VM] rows,
@@ -280,6 +285,17 @@ func (m *Model) forward(f *sim.Features) *forwardOut {
 	return out
 }
 
+// treeGroups builds the tree partition of the stacked [PM; VM] rows when the
+// extractor has a tree stage, and returns nil otherwise. It is the single
+// group-building entry shared by forward, forwardInfer and the incremental
+// path, so the partition definition cannot drift between them.
+func (m *Model) treeGroups(gb *groupBuf, f *sim.Features) [][]int {
+	if m.Cfg.Extractor != SparseAttention {
+		return nil
+	}
+	return gb.build(f.HostPM, len(f.PM))
+}
+
 func seq(lo, hi int) []int {
 	s := make([]int, hi-lo)
 	for i := range s {
@@ -292,7 +308,7 @@ func seq(lo, hi int) []int {
 // VMs with -1e9.
 func (m *Model) vmLogits(out *forwardOut, mask []bool) *tensor.Tensor {
 	logits := m.vmHead.Forward(out.vmE) // M×1
-	row := transposeCol(logits)         // 1×M
+	row := transpose(logits)            // 1×M
 	if mask != nil {
 		row = tensor.MaskedFill(row, mask, -1e9)
 	}
@@ -312,13 +328,13 @@ func (m *Model) pmLogits(out *forwardOut, vm int, mask []bool) *tensor.Tensor {
 	selB := tensor.MatMul(ones, sel) // N×d
 	var score *tensor.Tensor
 	if out.crossProbs != nil {
-		score = transposeRow(tensor.GatherRows(out.crossProbs, []int{vm})) // N×1
+		score = transpose(tensor.GatherRows(out.crossProbs, []int{vm})) // N×1
 	} else {
 		score = tensor.New(n, 1)
 	}
 	merged := tensor.ConcatCols(tensor.ConcatCols(out.pmE, selB), score) // N×(2d+1)
 	logits := m.pmMerge.Forward(merged)                                  // N×1
-	row := transposeCol(logits)                                          // 1×N
+	row := transpose(logits)                                             // 1×N
 	if mask != nil {
 		row = tensor.MaskedFill(row, mask, -1e9)
 	}
@@ -331,11 +347,9 @@ func (m *Model) value(out *forwardOut) *tensor.Tensor {
 	return m.critic.Forward(pooled)
 }
 
-// transposeCol turns an n×1 tensor into 1×n, preserving gradients.
-func transposeCol(t *tensor.Tensor) *tensor.Tensor { return tensor.Transpose(t) }
-
-// transposeRow turns a 1×n tensor into n×1, preserving gradients.
-func transposeRow(t *tensor.Tensor) *tensor.Tensor { return tensor.Transpose(t) }
+// transpose flips a vector tensor between n×1 and 1×n, preserving gradients
+// — the logits heads use it in both directions.
+func transpose(t *tensor.Tensor) *tensor.Tensor { return tensor.Transpose(t) }
 
 // FragCores re-exported for callers assembling environments.
 const FragCores = cluster.DefaultFragCores

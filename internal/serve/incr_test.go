@@ -1,0 +1,136 @@
+package serve
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"vmr2l/internal/policy"
+)
+
+func incrModel() *policy.Model {
+	return policy.New(policy.Config{DModel: 16, Hidden: 24, Blocks: 2,
+		Extractor: policy.NoAttention, Seed: 31})
+}
+
+// TestIncrementalServeParity runs several concurrent rollout sessions
+// through a scheduler with session caches enabled and checks every step
+// agrees with the standalone greedy path on an identical twin env, and that
+// the cache counters add up with no silent losses.
+func TestIncrementalServeParity(t *testing.T) {
+	m := incrModel()
+	s := NewScheduler(m, Options{Incremental: IncrementalAuto})
+	defer s.Close()
+
+	const sessions = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, sessions)
+	for w := 0; w < sessions; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			env := testEnv(t, int64(100+w), 8, 24, 12)
+			ref := testEnv(t, int64(100+w), 8, 24, 12)
+			ic := policy.NewInferCtx()
+			for !env.Done() {
+				vm, pm, err := s.Infer(context.Background(), env,
+					rand.New(rand.NewSource(int64(w))), policy.SampleOpts{Greedy: true})
+				rvm, rpm, rerr := m.Infer(ic, ref,
+					rand.New(rand.NewSource(int64(w))), policy.SampleOpts{Greedy: true})
+				if (err != nil) != (rerr != nil) {
+					t.Errorf("session %d: err %v vs %v", w, err, rerr)
+					return
+				}
+				if err != nil {
+					return // no migratable VM: both paths agree
+				}
+				if vm != rvm || pm != rpm {
+					t.Errorf("session %d: served (%d,%d) != standalone (%d,%d)", w, vm, pm, rvm, rpm)
+					return
+				}
+				if _, _, err := env.Step(vm, pm); err != nil {
+					t.Errorf("session %d: %v", w, err)
+					return
+				}
+				if _, _, err := ref.Step(rvm, rpm); err != nil {
+					t.Errorf("session %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+
+	st := s.Stats()
+	if st.IncrRows == 0 {
+		t.Fatalf("no rows went through session caches: %+v", st)
+	}
+	if st.IncrRows != st.IncrHits+st.IncrMisses+st.IncrFallbacks {
+		t.Fatalf("counters don't add up (silent loss): %+v", st)
+	}
+	if st.IncrMisses < sessions {
+		t.Fatalf("each session's first row must miss: %+v", st)
+	}
+	if st.IncrSessions == 0 || st.IncrSessions > maxIncrSessions {
+		t.Fatalf("bad session count: %+v", st)
+	}
+}
+
+// TestIncrementalModeGating: Auto only engages for fully incremental
+// extractors; Off disables; On forces.
+func TestIncrementalModeGating(t *testing.T) {
+	sparse := policy.New(policy.Config{DModel: 16, Hidden: 24, Blocks: 1, Heads: 1, Seed: 3})
+	cases := []struct {
+		name string
+		m    *policy.Model
+		mode IncrementalMode
+		want bool
+	}{
+		{"auto/none", incrModel(), IncrementalAuto, true},
+		{"auto/sparse", sparse, IncrementalAuto, false},
+		{"on/sparse", sparse, IncrementalOn, true},
+		{"off/none", incrModel(), IncrementalOff, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := NewScheduler(tc.m, Options{Incremental: tc.mode})
+			defer s.Close()
+			env := testEnv(t, 7, 8, 24, 4)
+			if _, _, err := s.Infer(context.Background(), env,
+				rand.New(rand.NewSource(1)), policy.SampleOpts{Greedy: true}); err != nil {
+				t.Fatal(err)
+			}
+			got := s.Stats().IncrRows > 0
+			if got != tc.want {
+				t.Fatalf("incremental engaged = %v, want %v (stats %+v)", got, tc.want, s.Stats())
+			}
+		})
+	}
+}
+
+// TestIncrementalSessionEviction drives more envs than the LRU bound and
+// checks the map stays bounded while every answer stays correct.
+func TestIncrementalSessionEviction(t *testing.T) {
+	m := incrModel()
+	s := NewScheduler(m, Options{Incremental: IncrementalOn})
+	defer s.Close()
+	for round := 0; round < 2; round++ {
+		for w := 0; w < maxIncrSessions+8; w++ {
+			env := testEnv(t, int64(500+w), 6, 16, 2)
+			ref := testEnv(t, int64(500+w), 6, 16, 2)
+			ic := policy.NewInferCtx()
+			vm, pm, err := s.Infer(context.Background(), env,
+				rand.New(rand.NewSource(9)), policy.SampleOpts{Greedy: true})
+			rvm, rpm, rerr := m.Infer(ic, ref,
+				rand.New(rand.NewSource(9)), policy.SampleOpts{Greedy: true})
+			if (err != nil) != (rerr != nil) || vm != rvm || pm != rpm {
+				t.Fatalf("env %d: served (%d,%d,%v) != standalone (%d,%d,%v)", w, vm, pm, err, rvm, rpm, rerr)
+			}
+		}
+	}
+	if st := s.Stats(); st.IncrSessions > maxIncrSessions {
+		t.Fatalf("session map unbounded: %+v", st)
+	}
+}

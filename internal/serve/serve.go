@@ -64,6 +64,9 @@ type Options struct {
 	// newest queued row of the lowest priority, which resolves with ErrShed.
 	// 0 means never shed.
 	ShedDepth int
+	// Incremental routes WaveInfer rows through per-session step caches
+	// (see incr.go). The zero value is IncrementalAuto.
+	Incremental IncrementalMode
 }
 
 // prioKey carries a row's shedding priority in its context.
@@ -106,6 +109,16 @@ type Stats struct {
 	// MaxWave and MeanWave describe achieved wave sizes.
 	MaxWave  int     `json:"max_wave"`
 	MeanWave float64 `json:"mean_wave"`
+	// IncrRows counts rows served through per-session step caches instead
+	// of batched waves; IncrHits/IncrMisses/IncrFallbacks break those rows
+	// down by cache outcome (see policy.IncrStats — every full recompute is
+	// a counted miss or fallback, never silent). IncrSessions is the number
+	// of live session caches.
+	IncrRows      uint64 `json:"incr_rows"`
+	IncrHits      uint64 `json:"incr_hits"`
+	IncrMisses    uint64 `json:"incr_misses"`
+	IncrFallbacks uint64 `json:"incr_fallbacks"`
+	IncrSessions  int    `json:"incr_sessions"`
 }
 
 // pending is one submitted row: the request, and the slot its result is
@@ -141,11 +154,22 @@ type Scheduler struct {
 	ran       chan struct{}
 	closeOnce sync.Once
 
+	// Incremental-serving counters (published under mu by flushIncr).
+	incrRows, incrHits, incrMisses, incrFallbacks uint64
+	incrSessions                                  int
+
 	// Runner-owned scratch; only the runner goroutine touches these.
-	bc       *policy.BatchInferCtx
-	reqBuf   []policy.WaveReq
-	resBuf   []policy.WaveRes
-	wavePend []*pending
+	bc        *policy.BatchInferCtx
+	reqBuf    []policy.WaveReq
+	resBuf    []policy.WaveRes
+	wavePend  []*pending
+	batchPend []*pending
+
+	// Runner-owned incremental-serving state (see incr.go).
+	incrOn                                    bool
+	sessions                                  map[*sim.Env]*incrSession
+	waveSeq                                   uint64
+	accRows, accHits, accMisses, accFallbacks uint64
 }
 
 // NewScheduler starts a scheduler serving waves for m. Close it to stop the
@@ -162,6 +186,7 @@ func NewScheduler(m *policy.Model, opts Options) *Scheduler {
 		ran:   make(chan struct{}),
 		bc:    policy.AcquireBatchCtx(),
 	}
+	s.incrOn = incrEnabled(opts.Incremental, m)
 	go s.run()
 	return s
 }
@@ -197,6 +222,11 @@ func (s *Scheduler) Stats() Stats {
 	if s.waves > 0 {
 		st.MeanWave = float64(s.rows) / float64(s.waves)
 	}
+	st.IncrRows = s.incrRows
+	st.IncrHits = s.incrHits
+	st.IncrMisses = s.incrMisses
+	st.IncrFallbacks = s.incrFallbacks
+	st.IncrSessions = s.incrSessions
 	return st
 }
 
@@ -470,12 +500,34 @@ func (s *Scheduler) wave() {
 	if n == 0 {
 		return
 	}
+	// Route cache-friendly rows through their session's incremental ctx;
+	// everything else shares one batched ServeWave. Both paths produce
+	// identical bits for identical requests, so the split never changes
+	// results, only which kernels compute them.
+	batch := s.batchPend[:0]
+	if s.incrOn {
+		s.waveSeq++
+		for _, p := range s.wavePend {
+			if p.req.Kind == policy.WaveInfer && p.req.Env != nil {
+				s.serveIncr(p)
+				continue
+			}
+			batch = append(batch, p)
+		}
+		s.flushIncr()
+	} else {
+		batch = append(batch, s.wavePend...)
+	}
+	s.batchPend = batch
+	if len(batch) == 0 {
+		return
+	}
 	s.reqBuf = s.reqBuf[:0]
-	for _, p := range s.wavePend {
+	for _, p := range batch {
 		s.reqBuf = append(s.reqBuf, p.req)
 	}
 	s.resBuf = s.model.ServeWave(s.bc, s.reqBuf, s.resBuf)
-	for i, p := range s.wavePend {
+	for i, p := range batch {
 		p.res = s.resBuf[i] // written before close: the close is the fence
 		close(p.done)
 	}

@@ -27,6 +27,19 @@ type Features struct {
 	// FeatureBatch's stacked buffers and leave buf nil.
 	buf            []float64
 	pmFlat, vmFlat []float64
+
+	// Incremental-extraction state (features_incr.go): raw pre-normalization
+	// rows, the per-column min/max the normalized rows were computed with,
+	// and scratch for re-verifying them. rawValid gates the UpdateInto fast
+	// path; any full re-extraction through fill invalidates it.
+	rawPM, rawVM   []float64
+	pmLo, pmHi     []float64
+	vmLo, vmHi     []float64
+	scanLo, scanHi []float64
+	rawValid       bool
+	vmMark         []uint64
+	markEpoch      uint64
+	vmDirty        []int
 }
 
 // FlatPM returns the PM rows as one row-major slice (len(PM)*PMFeatDim).
@@ -142,6 +155,7 @@ func ExtractInto(f *Features, c *cluster.Cluster) {
 // headers. Per-column normalization spans only this environment's machines,
 // so filling into a batch slot is bit-identical to a standalone extraction.
 func (f *Features) fill(c *cluster.Cluster) {
+	f.rawValid = false // normalized in place below; the raw cache goes stale
 	for i := range c.PMs {
 		pmRaw(&c.PMs[i], f.PM[i])
 	}
@@ -252,7 +266,9 @@ func resizeZeroed(dst []float64, n int) []float64 {
 	return dst
 }
 
-// normalize applies per-column min-max scaling in place.
+// normalize applies per-column min-max scaling in place. Its arithmetic must
+// stay element-for-element identical to normalizeCaptured (features_incr.go),
+// which the incremental path uses; the parity tests pin the equivalence.
 func normalize(rows [][]float64) {
 	if len(rows) == 0 {
 		return

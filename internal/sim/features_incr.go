@@ -1,0 +1,258 @@
+package sim
+
+import "vmr2l/internal/cluster"
+
+// Incremental feature extraction. One policy step migrates one VM, so
+// between consecutive forwards only the source PM, the destination PM and
+// the moved VM have new raw features — but the paper's per-column min-max
+// normalization is a global: a raw change that moves a column's min or max
+// rescales every row. UpdateInto therefore keeps the raw (pre-normalization)
+// rows cached, re-extracts only the dirty machines, and re-verifies every
+// column's (lo, hi) against a fresh scan each call. When the normalizers are
+// bitwise stable only the dirty rows are renormalized; when any column's
+// bounds moved, that whole side (PM or VM) is renormalized from the raw
+// cache and reported all-dirty. Either way the resulting rows are
+// bit-identical to a full ExtractInto — correctness first, fast path only
+// when the globals are stable.
+//
+// The (lo, hi) verification is a full column rescan: O((nPM+nVM)·dim)
+// float compares per step. That is deliberate — exact, branch-trivial, and
+// three orders of magnitude cheaper than the embedding GEMMs the cache
+// saves; a min/max tracking structure could drop it to O(dirty) but would
+// put a data structure between the features and their proof of parity.
+
+// UpdateResult reports which normalized feature rows changed in an
+// UpdateInto call. When PMAll (resp. VMAll) is set, every row of that side
+// must be treated as changed and PMRows (resp. VMRows) is meaningless.
+// The row slices alias internal scratch (or the caller's dirty slices) and
+// are valid only until the next UpdateInto.
+type UpdateResult struct {
+	PMAll, VMAll bool
+	PMRows       []int
+	VMRows       []int
+}
+
+// UpdateInto incrementally re-extracts the features of c into f. dirtyPM and
+// dirtyVM are the machine ids touched since the features were last in sync —
+// normally the cluster journal's DirtyPMs/DirtyVMs — each id unique and in
+// range; they may over-approximate (rolled-back mutations) but must never
+// omit a changed machine. full forces a complete refresh (pass
+// c.DirtyFull(), and set it on the first call for a fresh Features). The
+// returned rows are bit-identical to ExtractInto on the same state.
+//
+// The VM dirty set is expanded internally: a VM row embeds its host PM's raw
+// features and fragment deltas, so every VM currently hosted on a dirty PM
+// is re-extracted too.
+func (f *Features) UpdateInto(c *cluster.Cluster, dirtyPM, dirtyVM []int, full bool) UpdateResult {
+	nPM, nVM := len(c.PMs), len(c.VMs)
+	if full || !f.rawValid || len(f.PM) != nPM || len(f.VM) != nVM {
+		f.refreshAll(c)
+		return UpdateResult{PMAll: true, VMAll: true}
+	}
+
+	// Expand the VM dirty set: directly-touched VMs plus every VM hosted on
+	// a dirty PM (their rows carry the host's raw features). Dedup with an
+	// epoch-stamped mark so the scratch list stays bounded.
+	f.markEpoch++
+	f.vmMark = resizeMarks(f.vmMark, nVM)
+	vmRows := f.vmDirty[:0]
+	for _, v := range dirtyVM {
+		if f.vmMark[v] != f.markEpoch {
+			f.vmMark[v] = f.markEpoch
+			vmRows = append(vmRows, v)
+		}
+	}
+	for _, p := range dirtyPM {
+		for _, v := range c.PMs[p].VMs {
+			if f.vmMark[v] != f.markEpoch {
+				f.vmMark[v] = f.markEpoch
+				vmRows = append(vmRows, v)
+			}
+		}
+	}
+	f.vmDirty = vmRows
+
+	// Re-extract raw rows for the dirty machines only.
+	for _, p := range dirtyPM {
+		pmRaw(&c.PMs[p], f.rawPM[p*PMFeatDim:(p+1)*PMFeatDim])
+	}
+	for _, v := range vmRows {
+		row := f.rawVM[v*VMFeatDim : (v+1)*VMFeatDim]
+		for i := range row {
+			row[i] = 0
+		}
+		f.fillRawVM(c, v, row)
+	}
+
+	// Verify the normalizers against a fresh scan; renormalize a side fully
+	// when any of its column bounds moved.
+	res := UpdateResult{}
+	if f.boundsStable(f.rawPM, PMFeatDim, f.pmLo, f.pmHi) {
+		for _, p := range dirtyPM {
+			normRow(f.PM[p], f.rawPM[p*PMFeatDim:(p+1)*PMFeatDim], f.pmLo, f.pmHi)
+		}
+		res.PMRows = dirtyPM
+	} else {
+		copy(f.pmLo, f.scanLo)
+		copy(f.pmHi, f.scanHi)
+		for i := range f.PM {
+			normRow(f.PM[i], f.rawPM[i*PMFeatDim:(i+1)*PMFeatDim], f.pmLo, f.pmHi)
+		}
+		res.PMAll = true
+	}
+	if f.boundsStable(f.rawVM, VMFeatDim, f.vmLo, f.vmHi) {
+		for _, v := range vmRows {
+			normRow(f.VM[v], f.rawVM[v*VMFeatDim:(v+1)*VMFeatDim], f.vmLo, f.vmHi)
+		}
+		res.VMRows = vmRows
+	} else {
+		copy(f.vmLo, f.scanLo)
+		copy(f.vmHi, f.scanHi)
+		for v := range f.VM {
+			normRow(f.VM[v], f.rawVM[v*VMFeatDim:(v+1)*VMFeatDim], f.vmLo, f.vmHi)
+		}
+		res.VMAll = true
+	}
+	return res
+}
+
+// refreshAll rebuilds the full feature state — normalized rows, raw caches
+// and normalizer bounds — bit-identically to ExtractInto.
+func (f *Features) refreshAll(c *cluster.Cluster) {
+	nPM, nVM := len(c.PMs), len(c.VMs)
+	f.reshape(nPM, nVM)
+	f.rawPM = resizeZeroed(f.rawPM, nPM*PMFeatDim)
+	f.rawVM = resizeZeroed(f.rawVM, nVM*VMFeatDim)
+	for i := range c.PMs {
+		pmRaw(&c.PMs[i], f.rawPM[i*PMFeatDim:(i+1)*PMFeatDim])
+	}
+	for v := range c.VMs {
+		f.fillRawVM(c, v, f.rawVM[v*VMFeatDim:(v+1)*VMFeatDim])
+	}
+	copy(f.pmFlat, f.rawPM)
+	copy(f.vmFlat, f.rawVM)
+	f.pmLo, f.pmHi = normalizeCaptured(f.PM, f.pmLo, f.pmHi)
+	f.vmLo, f.vmHi = normalizeCaptured(f.VM, f.vmLo, f.vmHi)
+	f.rawValid = true
+}
+
+// fillRawVM writes VM v's raw feature row (the exact pre-normalization
+// values fill computes) into row, which must be zeroed, and refreshes
+// HostPM[v].
+func (f *Features) fillRawVM(c *cluster.Cluster, v int, row []float64) {
+	vm := &c.VMs[v]
+	f.HostPM[v] = vm.PM
+	row[0] = float64(vm.CPUPerNuma())
+	row[1] = float64(vm.MemPerNuma())
+	if vm.Numas == 2 {
+		row[2] = float64(vm.CPUPerNuma())
+		row[3] = float64(vm.MemPerNuma())
+	}
+	if vm.Placed() {
+		p := &c.PMs[vm.PM]
+		for j := 0; j < cluster.NumasPerPM; j++ {
+			n := p.Numas[j]
+			occupies := vm.Numas == 2 || vm.Numa == j
+			if !occupies {
+				continue
+			}
+			before := n.Fragment(cluster.DefaultFragCores)
+			after := (n.FreeCPU() + vm.CPUPerNuma()) % cluster.DefaultFragCores
+			row[4+j] = float64(after - before)
+		}
+		pmRaw(p, row[6:])
+	}
+}
+
+// boundsStable scans flat's per-column min/max into the scan scratch and
+// reports whether they are bitwise equal to the cached bounds. The fresh
+// scan stays in f.scanLo/f.scanHi for the caller to adopt on instability.
+func (f *Features) boundsStable(flat []float64, dim int, lo, hi []float64) bool {
+	f.scanLo = resizeFloatsSim(f.scanLo, dim)
+	f.scanHi = resizeFloatsSim(f.scanHi, dim)
+	if len(flat) == 0 {
+		return true
+	}
+	copy(f.scanLo, flat[:dim])
+	copy(f.scanHi, flat[:dim])
+	for base := dim; base < len(flat); base += dim {
+		for col := 0; col < dim; col++ {
+			v := flat[base+col]
+			if v < f.scanLo[col] {
+				f.scanLo[col] = v
+			}
+			if v > f.scanHi[col] {
+				f.scanHi[col] = v
+			}
+		}
+	}
+	for col := 0; col < dim; col++ {
+		if f.scanLo[col] != lo[col] || f.scanHi[col] != hi[col] {
+			return false
+		}
+	}
+	return true
+}
+
+// normRow renormalizes one row from its raw values with the cached bounds —
+// the same arithmetic normalize applies, element for element.
+func normRow(dst, raw, lo, hi []float64) {
+	for col := range dst {
+		span := hi[col] - lo[col]
+		if span == 0 {
+			dst[col] = 0
+		} else {
+			dst[col] = (raw[col] - lo[col]) / span
+		}
+	}
+}
+
+// normalizeCaptured is normalize with the per-column bounds recorded into
+// (possibly reused) lo/hi slices. normalize delegates here so the two can
+// never drift numerically.
+func normalizeCaptured(rows [][]float64, lo, hi []float64) ([]float64, []float64) {
+	if len(rows) == 0 {
+		return lo[:0], hi[:0]
+	}
+	dim := len(rows[0])
+	lo = resizeFloatsSim(lo, dim)
+	hi = resizeFloatsSim(hi, dim)
+	for col := 0; col < dim; col++ {
+		l, h := rows[0][col], rows[0][col]
+		for _, r := range rows {
+			if r[col] < l {
+				l = r[col]
+			}
+			if r[col] > h {
+				h = r[col]
+			}
+		}
+		span := h - l
+		for _, r := range rows {
+			if span == 0 {
+				r[col] = 0
+			} else {
+				r[col] = (r[col] - l) / span
+			}
+		}
+		lo[col], hi[col] = l, h
+	}
+	return lo, hi
+}
+
+// resizeMarks returns s with length n, zero-filling only grown storage (the
+// epoch scheme makes stale stamps harmless).
+func resizeMarks(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	return s[:n]
+}
+
+// resizeFloatsSim returns dst with length n, reallocating only when needed.
+func resizeFloatsSim(dst []float64, n int) []float64 {
+	if cap(dst) < n {
+		return make([]float64, n)
+	}
+	return dst[:n]
+}
