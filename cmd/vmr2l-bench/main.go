@@ -8,6 +8,7 @@
 //	vmr2l-bench -batch             # batched-vs-sequential rollout sweep -> BENCH_batch.json
 //	vmr2l-bench -load              # serving loadgen (scheduler vs per-request) -> BENCH_serving.json
 //	vmr2l-bench -chaos             # failure scenarios + shed overload -> BENCH_chaos.json
+//	vmr2l-bench -fleet             # multi-node replica-kill failover -> BENCH_fleet.json
 //	vmr2l-bench -quant             # int8 kernel speedups + FR parity -> BENCH_quant.json
 //	vmr2l-bench -incr              # incremental-inference parity + step speedup -> BENCH_incr.json
 //	vmr2l-bench -scenario diurnal  # live-cluster session pipeline (solve + churn + repair)
@@ -59,6 +60,9 @@ func main() {
 		chaos      = flag.Bool("chaos", false, "run the chaos benchmark (failure scenarios vs healthy twins + degraded-mode shed overload) and update -chaos-out")
 		chaosOut   = flag.String("chaos-out", "BENCH_chaos.json", "artifact path for -chaos")
 		chaosCheck = flag.Bool("chaos-check", false, "with -chaos: exit 1 when the pinned chaos gates fail (invariant violation, evacuation completion below the pin, FR drift above the pin, or shed accounting broken)")
+		fleet      = flag.Bool("fleet", false, "run the node-level chaos benchmark (3 coordinated replicas, one killed mid-advance under concurrent jobs, sessions re-homed from snapshots) and update -fleet-out")
+		fleetOut   = flag.String("fleet-out", "BENCH_fleet.json", "artifact path for -fleet")
+		fleetCheck = flag.Bool("fleet-check", false, "with -fleet: exit 1 when a pinned fleet gate fails (failover accounting broken, re-homed state not bit-identical to the snapshot/twin, a job unaccounted, or the fleet unserviceable after failover)")
 		quant      = flag.Bool("quant", false, "run the int8 quantization sweep (kernel speedups + float/int8 FR parity across the scenario registry) and write -quant-out")
 		quantOut   = flag.String("quant-out", "BENCH_quant.json", "artifact path for -quant")
 		quantCheck = flag.Bool("quant-check", false, "with -quant: exit 1 when a kernel misses its pinned speedup, allocates, or a scenario's float/int8 FR gap exceeds the pinned epsilon")
@@ -180,6 +184,29 @@ func main() {
 				log.Fatalf("chaos: %d gate failure(s)", len(regs))
 			}
 			fmt.Println("chaos gate: ok")
+		}
+		return
+	}
+	if *fleet {
+		start := time.Now()
+		rep, err := bench.RunFleet(func(s string) { log.Printf("fleet: %s", s) })
+		if err != nil {
+			log.Fatalf("fleet: %v", err)
+		}
+		art, err := bench.UpdateFleetArtifact(*fleetOut, rep)
+		if err != nil {
+			log.Fatalf("fleet: %v", err)
+		}
+		art.Fprint(os.Stdout)
+		fmt.Printf("wrote %s\nelapsed: %s\n", *fleetOut, time.Since(start).Round(time.Millisecond))
+		if *fleetCheck {
+			if regs := bench.FleetRegressions(rep); len(regs) > 0 {
+				for _, r := range regs {
+					log.Printf("REGRESSION: %s", r)
+				}
+				log.Fatalf("fleet: %d gate failure(s)", len(regs))
+			}
+			fmt.Println("fleet gate: ok")
 		}
 		return
 	}

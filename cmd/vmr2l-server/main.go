@@ -12,7 +12,12 @@
 // server: the checkpoint must be readable in either format (self-describing
 // ckpt or legacy gob) with every tensor shape matching the configured model
 // (dtype and quantized layers are reported), the engine set must register,
-// and the listen address must be bindable.
+// and the listen address must be bindable. With -coord it also probes the
+// fleet coordinator (vmr2l-coord): reachable, at least one Up replica, hash
+// ring consistent, and — with -self — this replica registered; in that mode
+// -ckpt is optional.
+//
+//	vmr2l-server doctor -coord http://coord:8090 -self http://this-host:8080
 //
 //	curl -s localhost:8080/v2/solvers
 //	curl -s -X POST localhost:8080/v2/jobs \
@@ -63,6 +68,7 @@ import (
 	"syscall"
 	"time"
 
+	"vmr2l/internal/coord"
 	"vmr2l/internal/exact"
 	"vmr2l/internal/heuristics"
 	"vmr2l/internal/mcts"
@@ -132,58 +138,68 @@ func registerEngines(s *service.Server, sched *serve.Scheduler, shards int) {
 }
 
 // runDoctor is the serving preflight: checkpoint readable + shapes valid
-// (dtype and quantized layers reported), engines registered, port bindable.
-// Any failure exits non-zero with the reason.
+// (dtype and quantized layers reported), engines registered, port bindable,
+// and — with -coord — the fleet coordinator reachable, this replica
+// registered, and the hash ring consistent. Any failure exits non-zero with
+// the reason.
 func runDoctor(args []string) {
 	fs := flag.NewFlagSet("doctor", flag.ExitOnError)
 	var (
-		ckpt   = fs.String("ckpt", "", "checkpoint to preflight (required)")
-		addr   = fs.String("addr", ":8080", "listen address to probe")
-		dModel = fs.Int("dmodel", 32, "embedding width (must match training)")
-		blocks = fs.Int("blocks", 2, "attention blocks (must match training)")
-		extr   = fs.String("extractor", "sparse", "feature extractor: sparse|vanilla|mlp (must match training)")
-		shards = fs.Int("shards", 8, "partition count of the pre-registered 'sharded' engine")
+		ckpt     = fs.String("ckpt", "", "checkpoint to preflight (required unless -coord)")
+		addr     = fs.String("addr", ":8080", "listen address to probe")
+		dModel   = fs.Int("dmodel", 32, "embedding width (must match training)")
+		blocks   = fs.Int("blocks", 2, "attention blocks (must match training)")
+		extr     = fs.String("extractor", "sparse", "feature extractor: sparse|vanilla|mlp (must match training)")
+		shards   = fs.Int("shards", 8, "partition count of the pre-registered 'sharded' engine")
+		coordURL = fs.String("coord", "", "fleet coordinator URL to probe (makes -ckpt optional)")
+		self     = fs.String("self", "", "this replica's advertised URL; doctor verifies the coordinator lists it")
 	)
 	fs.Parse(args)
-	if *ckpt == "" {
-		log.Fatal("doctor: -ckpt is required")
+	if *ckpt == "" && *coordURL == "" {
+		log.Fatal("doctor: -ckpt is required (or -coord for a fleet-only preflight)")
 	}
 
-	// 1. Checkpoint self-description: readable, known format.
-	info, err := nn.InspectFile(*ckpt)
-	if err != nil {
-		log.Fatalf("doctor: checkpoint %s unreadable: %v", *ckpt, err)
-	}
-	byDType := map[string]int{}
-	for _, t := range info.Manifest.Tensors {
-		byDType[t.DType]++
-	}
-	var dtypes []string
-	for _, d := range []string{"f64", "f32", "i8"} {
-		if byDType[d] > 0 {
-			dtypes = append(dtypes, fmt.Sprintf("%d %s", byDType[d], d))
+	var m *policy.Model
+	if *ckpt != "" {
+		// 1. Checkpoint self-description: readable, known format.
+		info, err := nn.InspectFile(*ckpt)
+		if err != nil {
+			log.Fatalf("doctor: checkpoint %s unreadable: %v", *ckpt, err)
 		}
-	}
-	fmt.Printf("doctor: checkpoint %s: format %s v%d, %d tensors (%s)\n",
-		*ckpt, info.Format, info.Manifest.Version, len(info.Manifest.Tensors), strings.Join(dtypes, ", "))
+		byDType := map[string]int{}
+		for _, t := range info.Manifest.Tensors {
+			byDType[t.DType]++
+		}
+		var dtypes []string
+		for _, d := range []string{"f64", "f32", "i8"} {
+			if byDType[d] > 0 {
+				dtypes = append(dtypes, fmt.Sprintf("%d %s", byDType[d], d))
+			}
+		}
+		fmt.Printf("doctor: checkpoint %s: format %s v%d, %d tensors (%s)\n",
+			*ckpt, info.Format, info.Manifest.Version, len(info.Manifest.Tensors), strings.Join(dtypes, ", "))
 
-	// 2. Shape validation against the configured model; a mismatch names the
-	// offending tensor.
-	m := newModel(*dModel, *blocks, *extr)
-	if err := m.Params.LoadFile(*ckpt); err != nil {
-		log.Fatalf("doctor: checkpoint does not fit model (dmodel=%d, blocks=%d, extractor=%s): %v",
-			*dModel, *blocks, *extr, err)
-	}
-	if qn := m.Params.QuantizedLinears(); len(qn) > 0 {
-		fmt.Printf("doctor: model dmodel=%d blocks=%d: shapes valid; %d quantized linears, int8 serving path\n",
-			*dModel, *blocks, len(qn))
-	} else {
-		fmt.Printf("doctor: model dmodel=%d blocks=%d: shapes valid; float64 serving path\n", *dModel, *blocks)
+		// 2. Shape validation against the configured model; a mismatch names
+		// the offending tensor.
+		m = newModel(*dModel, *blocks, *extr)
+		if err := m.Params.LoadFile(*ckpt); err != nil {
+			log.Fatalf("doctor: checkpoint does not fit model (dmodel=%d, blocks=%d, extractor=%s): %v",
+				*dModel, *blocks, *extr, err)
+		}
+		if qn := m.Params.QuantizedLinears(); len(qn) > 0 {
+			fmt.Printf("doctor: model dmodel=%d blocks=%d: shapes valid; %d quantized linears, int8 serving path\n",
+				*dModel, *blocks, len(qn))
+		} else {
+			fmt.Printf("doctor: model dmodel=%d blocks=%d: shapes valid; float64 serving path\n", *dModel, *blocks)
+		}
 	}
 
 	// 3. Engine registration, through the same code path serving uses.
-	sched := serve.NewScheduler(m, serve.Options{})
-	defer sched.Close()
+	var sched *serve.Scheduler
+	if m != nil {
+		sched = serve.NewScheduler(m, serve.Options{})
+		defer sched.Close()
+	}
 	s := service.New(service.WithWorkers(1))
 	defer s.Close()
 	registerEngines(s, sched, *shards)
@@ -196,7 +212,72 @@ func runDoctor(args []string) {
 	}
 	ln.Close()
 	fmt.Printf("doctor: addr %s bindable\n", *addr)
+
+	// 5. Fleet preflight: coordinator reachable, healthy replicas present,
+	// ring consistent, and (with -self) this replica registered.
+	if *coordURL != "" {
+		probeCoord(*coordURL, *self)
+	}
 	fmt.Println("doctor: ok")
+}
+
+// probeCoord runs the fleet half of the doctor preflight against a running
+// coordinator.
+func probeCoord(coordURL, self string) {
+	coordURL = strings.TrimRight(coordURL, "/")
+	hc := &http.Client{Timeout: 5 * time.Second}
+	resp, err := hc.Get(coordURL + "/healthz")
+	if err != nil {
+		log.Fatalf("doctor: coordinator %s unreachable: %v", coordURL, err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("doctor: coordinator %s /healthz returned %d", coordURL, resp.StatusCode)
+	}
+	resp, err = hc.Get(coordURL + "/v2/fleet")
+	if err != nil {
+		log.Fatalf("doctor: coordinator %s /v2/fleet: %v", coordURL, err)
+	}
+	defer resp.Body.Close()
+	var fleet coord.FleetStatus
+	if err := json.NewDecoder(resp.Body).Decode(&fleet); err != nil {
+		log.Fatalf("doctor: coordinator %s /v2/fleet: decode: %v", coordURL, err)
+	}
+	up := 0
+	for _, rep := range fleet.Replicas {
+		if rep.State == coord.ReplicaUp {
+			up++
+		}
+	}
+	fmt.Printf("doctor: coordinator %s: %d replicas (%d up), %d sessions, rehomed %d = restored %d + restore_failed %d\n",
+		coordURL, len(fleet.Replicas), up, fleet.Sessions,
+		fleet.Stats.Rehomed, fleet.Stats.Restored, fleet.Stats.RestoreFailed)
+	if up == 0 {
+		log.Fatalf("doctor: coordinator %s has no Up replica", coordURL)
+	}
+	if !fleet.RingOK {
+		log.Fatalf("doctor: coordinator %s hash ring inconsistent (a session's owner is unknown or down)", coordURL)
+	}
+	if fleet.Stats.Rehomed != fleet.Stats.Restored+fleet.Stats.RestoreFailed {
+		log.Fatalf("doctor: coordinator %s accounting broken: rehomed %d != restored %d + restore_failed %d",
+			coordURL, fleet.Stats.Rehomed, fleet.Stats.Restored, fleet.Stats.RestoreFailed)
+	}
+	if self != "" {
+		want := strings.TrimRight(self, "/")
+		found := false
+		for _, rep := range fleet.Replicas {
+			if strings.TrimRight(rep.URL, "/") == want {
+				found = true
+				fmt.Printf("doctor: this replica registered as %q, state %s\n", rep.Name, rep.State)
+				if rep.State != coord.ReplicaUp {
+					log.Fatalf("doctor: this replica (%s) is %s on the coordinator", want, rep.State)
+				}
+			}
+		}
+		if !found {
+			log.Fatalf("doctor: this replica (%s) is not registered on coordinator %s", want, coordURL)
+		}
+	}
 }
 
 func main() {
@@ -254,6 +335,26 @@ func main() {
 			Incremental: parseIncremental(*incrMode),
 		})
 		svcOpts = append(svcOpts, service.WithCloser(sched))
+		// Inference-scheduler counters join GET /metrics alongside the
+		// service's own, so one Prometheus scrape covers the whole replica.
+		svcOpts = append(svcOpts, service.WithMetrics(func() map[string]float64 {
+			st := sched.Stats()
+			return map[string]float64{
+				"vmr2l_serve_submitted_total":      float64(st.Submitted),
+				"vmr2l_serve_waves_total":          float64(st.Waves),
+				"vmr2l_serve_rows_total":           float64(st.Rows),
+				"vmr2l_serve_dropped_cancel_total": float64(st.DroppedCancel),
+				"vmr2l_serve_dropped_shed_total":   float64(st.DroppedShed),
+				"vmr2l_serve_queue_depth":          float64(st.QueueDepth),
+				"vmr2l_serve_max_wave":             float64(st.MaxWave),
+				"vmr2l_serve_mean_wave":            st.MeanWave,
+				"vmr2l_serve_incr_rows_total":      float64(st.IncrRows),
+				"vmr2l_serve_incr_hits_total":      float64(st.IncrHits),
+				"vmr2l_serve_incr_misses_total":    float64(st.IncrMisses),
+				"vmr2l_serve_incr_fallbacks_total": float64(st.IncrFallbacks),
+				"vmr2l_serve_incr_sessions":        float64(st.IncrSessions),
+			}
+		}))
 	}
 	s := service.New(svcOpts...)
 	registerEngines(s, sched, *shards)

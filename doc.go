@@ -147,4 +147,24 @@
 // per-step speedup bars (pinned >=2x at >=1k PMs, zero steady-state
 // allocations) in BENCH_incr.json; "-incr-check" gates it in CI
 // (incr-smoke job).
+//
+// # Multi-node serving & failover
+//
+// Sessions survive node death: every session serializes to a
+// self-describing VMR2LSS1 snapshot blob (GET/PUT
+// /v2/clusters/{id}/snapshot) whose restore is bit-identical under replay —
+// snapshot → restore → Advance equals the uninterrupted session, RNG
+// position and pending evacuations included. internal/coord (binary:
+// vmr2l-coord) spreads sessions across vmr2l-server replicas by consistent
+// hashing, heartbeat-probes them through an Up/Suspect/Down lifecycle,
+// keeps rev-skipped snapshots of dirty sessions, and re-homes a dead
+// replica's sessions onto survivors from their last snapshots with exact
+// accounting (rehomed == restored + restore_failed; 503+Retry-After while
+// re-homing, 410 with a reason for anything genuinely lost). Both tiers
+// serve Prometheus-text GET /metrics, and "vmr2l-server doctor -coord"
+// preflights the fleet. "vmr2l-bench -fleet" is the node-level chaos gate:
+// it kills a replica mid-advance under concurrent jobs and pins the
+// failover accounting, byte-identical re-homed state (vs both the pre-kill
+// snapshot and a failure-free twin), and full job accounting in
+// BENCH_fleet.json; "-fleet-check" gates it in CI (fleet-smoke job).
 package vmr2l

@@ -1,0 +1,509 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vmr2l/internal/client"
+	"vmr2l/internal/coord"
+	"vmr2l/internal/heuristics"
+	"vmr2l/internal/service"
+)
+
+// The fleet benchmark measures the multi-node failover story end to end and
+// writes BENCH_fleet.json. Run via
+//
+//	vmr2l-bench -fleet               # measure -> BENCH_fleet.json
+//	vmr2l-bench -fleet -fleet-check  # CI gate
+//
+// The scripted chaos scenario: three vmr2l-server replicas behind a
+// coordinator carry live sessions; after the coordinator snapshots them, job
+// submitters and per-minute churn run concurrently against every session
+// while one replica is killed abruptly (listener and all connections torn
+// down mid-advance). The coordinator's next heartbeat rounds declare it Down
+// and re-home its sessions onto the survivors from the last snapshots.
+//
+// Every gate is an absolute pin:
+//
+//   - exact accounting: rehomed == restored + restore_failed, with zero
+//     restore failures, zero lost sessions, and no re-homing left pending;
+//   - bit-identical recovery: each re-homed session's snapshot on its new
+//     replica byte-equals both the pre-kill snapshot and the snapshot of a
+//     failure-free twin (same id/seed/scenario on an untouched control
+//     server, advanced to the same snapshot minute);
+//   - no silent job loss: every job submitted during the chaos window is
+//     accounted completed or failed — and some completed;
+//   - the fleet stays serviceable: the hash ring is consistent and re-homed
+//     sessions take advances and jobs after the failover.
+
+// Fleet-run shape: enough sessions that the killed replica owns several,
+// short enough for a CI smoke job.
+const (
+	fleetReplicas    = 3
+	fleetSessions    = 6
+	fleetSnapMinutes = 12
+	fleetSeedBase    = 100
+	fleetScenario    = "diurnal"
+)
+
+// FleetSessionResult is one session's failover outcome. Snapshot/twin
+// comparisons are only performed for moved sessions (survivor-owned sessions
+// keep advancing through the chaos window, so their state legitimately
+// drifts past the snapshot).
+type FleetSessionResult struct {
+	ID      string `json:"id"`
+	Replica string `json:"replica"`
+	// Moved marks sessions that lived on the killed replica.
+	Moved      bool   `json:"moved"`
+	NewReplica string `json:"new_replica,omitempty"`
+	// SnapshotMatch: the re-homed session's snapshot byte-equals the
+	// pre-kill snapshot. TwinMatch: it also byte-equals the failure-free
+	// twin's snapshot at the same minute.
+	SnapshotMatch bool `json:"snapshot_match,omitempty"`
+	TwinMatch     bool `json:"twin_match,omitempty"`
+	// Minute is the session clock after failover: moved sessions are back
+	// at the snapshot minute, survivors are past it.
+	Minute int `json:"minute"`
+}
+
+// FleetReport is the JSON report of one fleet chaos run.
+type FleetReport struct {
+	GoVersion  string `json:"go_version"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	Timestamp  string `json:"timestamp"`
+
+	Replicas       int    `json:"replicas"`
+	Sessions       int    `json:"sessions"`
+	SnapshotMinute int    `json:"snapshot_minute"`
+	KilledReplica  string `json:"killed_replica"`
+	Moved          int    `json:"moved"`
+
+	PerSession []FleetSessionResult `json:"per_session"`
+
+	// Failover accounting from the coordinator (coord.FleetStats).
+	Rehomed       uint64 `json:"rehomed"`
+	Restored      uint64 `json:"restored"`
+	RestoreFailed uint64 `json:"restore_failed"`
+	LostJobs      uint64 `json:"lost_jobs"`
+	LostSessions  int    `json:"lost_sessions"`
+	RehomingLeft  int    `json:"rehoming_left"`
+	RingOK        bool   `json:"ring_ok"`
+	// AccountingOK pins rehomed == restored + restore_failed.
+	AccountingOK bool `json:"accounting_ok"`
+
+	// Job accounting over the chaos window (submissions racing the kill).
+	JobsSubmitted   int64 `json:"jobs_submitted"`
+	JobsCompleted   int64 `json:"jobs_completed"`
+	JobsFailed      int64 `json:"jobs_failed"`
+	JobAccountingOK bool  `json:"job_accounting_ok"`
+
+	// PostFailoverOK: every re-homed session took an advance and a full
+	// job round-trip on its new replica.
+	PostFailoverOK bool `json:"post_failover_ok"`
+}
+
+// fleetNode is one in-process vmr2l-server replica on a real loopback
+// listener, so the kill is a genuine TCP-level death, not a mock.
+type fleetNode struct {
+	name string
+	svc  *service.Server
+	srv  *http.Server
+	url  string
+}
+
+func startFleetNode(name string) (*fleetNode, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("bench: fleet: listen: %w", err)
+	}
+	svc := service.New(service.WithWorkers(2))
+	svc.Register("ha", heuristics.HA{})
+	srv := &http.Server{Handler: svc}
+	go srv.Serve(ln)
+	return &fleetNode{name: name, svc: svc, srv: srv, url: "http://" + ln.Addr().String()}, nil
+}
+
+// kill tears the replica down abruptly: listener closed, every open
+// connection severed, in-flight requests dropped on the floor.
+func (n *fleetNode) kill() { n.srv.Close() }
+
+func (n *fleetNode) stop() {
+	n.srv.Close()
+	n.svc.Close()
+}
+
+// fetchSnapshot GETs a session's raw snapshot blob.
+func fetchSnapshot(hc *http.Client, baseURL, id string) ([]byte, error) {
+	resp, err := hc.Get(baseURL + "/v2/clusters/" + id + "/snapshot")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("snapshot %s: status %d", id, resp.StatusCode)
+	}
+	return io.ReadAll(io.LimitReader(resp.Body, 1<<28))
+}
+
+// RunFleet runs the node-level chaos scenario and returns its report.
+// progress (may be nil) is called before each phase.
+func RunFleet(progress func(string)) (FleetReport, error) {
+	rep := FleetReport{
+		GoVersion:      runtime.Version(),
+		GoMaxProcs:     runtime.GOMAXPROCS(0),
+		Timestamp:      time.Now().UTC().Format(time.RFC3339),
+		Replicas:       fleetReplicas,
+		Sessions:       fleetSessions,
+		SnapshotMinute: fleetSnapMinutes,
+	}
+	note := func(s string) {
+		if progress != nil {
+			progress(s)
+		}
+	}
+
+	note(fmt.Sprintf("starting %d replicas + control", fleetReplicas))
+	nodes := make([]*fleetNode, 0, fleetReplicas)
+	urls := map[string]string{}
+	for i := 0; i < fleetReplicas; i++ {
+		n, err := startFleetNode(fmt.Sprintf("r%d", i+1))
+		if err != nil {
+			return rep, err
+		}
+		defer n.stop()
+		nodes = append(nodes, n)
+		urls[n.name] = n.url
+	}
+	control, err := startFleetNode("control")
+	if err != nil {
+		return rep, err
+	}
+	defer control.stop()
+
+	co := coord.New(urls, coord.Config{
+		// Heartbeats and background snapshots are driven explicitly
+		// (CheckNow / SnapshotAll) so the failover point is scripted, not
+		// timer-raced.
+		Heartbeat:     -1,
+		SnapshotEvery: -1,
+		SuspectAfter:  1,
+		DownAfter:     2,
+		Client:        &http.Client{Timeout: 5 * time.Second},
+	})
+	defer co.Close()
+	coLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return rep, fmt.Errorf("bench: fleet: coordinator listen: %w", err)
+	}
+	coSrv := &http.Server{Handler: co}
+	go coSrv.Serve(coLn)
+	defer coSrv.Close()
+	coURL := "http://" + coLn.Addr().String()
+
+	cl := client.New(coURL, client.WithRetry(2, 50*time.Millisecond, 250*time.Millisecond),
+		client.WithPollInterval(5*time.Millisecond))
+	ctl := client.New(control.url, client.WithPollInterval(5*time.Millisecond))
+	hc := &http.Client{Timeout: 5 * time.Second}
+	ctx := context.Background()
+
+	// Sessions through the coordinator, failure-free twins on the control
+	// server: same explicit id, scenario, and seed, so their event streams
+	// are bit-identical up to the snapshot minute.
+	note(fmt.Sprintf("creating %d sessions (+twins)", fleetSessions))
+	ids := make([]string, fleetSessions)
+	sessions := make([]*client.Session, fleetSessions)
+	twins := make([]*client.Session, fleetSessions)
+	for i := range ids {
+		req := service.SessionRequest{
+			ID:       fmt.Sprintf("fleet-s%d", i),
+			Scenario: fleetScenario,
+			Seed:     int64(fleetSeedBase + i),
+		}
+		ids[i] = req.ID
+		if sessions[i], _, err = cl.CreateSession(ctx, req); err != nil {
+			return rep, fmt.Errorf("bench: fleet: create %s: %w", req.ID, err)
+		}
+		if twins[i], _, err = ctl.CreateSession(ctx, req); err != nil {
+			return rep, fmt.Errorf("bench: fleet: create twin %s: %w", req.ID, err)
+		}
+	}
+	for i := range ids {
+		if _, err := sessions[i].Advance(ctx, fleetSnapMinutes); err != nil {
+			return rep, fmt.Errorf("bench: fleet: advance %s: %w", ids[i], err)
+		}
+		if _, err := twins[i].Advance(ctx, fleetSnapMinutes); err != nil {
+			return rep, fmt.Errorf("bench: fleet: advance twin %s: %w", ids[i], err)
+		}
+	}
+
+	note("snapshotting fleet")
+	co.SnapshotAll()
+	expected := map[string][]byte{}
+	twinBlob := map[string][]byte{}
+	owners := map[string]string{}
+	for i, id := range ids {
+		if expected[id], err = fetchSnapshot(hc, coURL, id); err != nil {
+			return rep, fmt.Errorf("bench: fleet: %w", err)
+		}
+		if twinBlob[id], err = fetchSnapshot(hc, control.url, id); err != nil {
+			return rep, fmt.Errorf("bench: fleet: twin %w", err)
+		}
+		name, ok := co.Owner(id)
+		if !ok {
+			return rep, fmt.Errorf("bench: fleet: session %s has no owner", id)
+		}
+		owners[id] = name
+		_ = i
+	}
+
+	// Chaos window: per-session submitters run jobs and per-minute churn
+	// against the coordinator while the victim replica dies under them.
+	note("chaos window: concurrent jobs + churn, killing a replica")
+	var submitted, completed, failed atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := range sessions {
+		wg.Add(1)
+		go func(sess *client.Session) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				jctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+				submitted.Add(1)
+				jobID, err := sess.Submit(jctx, service.PlanRequest{MNL: 4, Solver: "ha"})
+				if err == nil {
+					_, err = cl.Wait(jctx, jobID)
+				}
+				if err != nil {
+					failed.Add(1)
+				} else {
+					completed.Add(1)
+				}
+				cancel()
+				// Post-snapshot churn: rolled back on failover by design.
+				actx, acancel := context.WithTimeout(context.Background(), 3*time.Second)
+				_, _ = sess.Advance(actx, 1)
+				acancel()
+			}
+		}(sessions[i])
+	}
+	time.Sleep(250 * time.Millisecond)
+	victim := owners[ids[0]]
+	rep.KilledReplica = victim
+	for _, n := range nodes {
+		if n.name == victim {
+			n.kill()
+		}
+	}
+	// Let submissions race the dead replica before the failover round.
+	time.Sleep(250 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	rep.JobsSubmitted = submitted.Load()
+	rep.JobsCompleted = completed.Load()
+	rep.JobsFailed = failed.Load()
+	rep.JobAccountingOK = rep.JobsSubmitted == rep.JobsCompleted+rep.JobsFailed
+
+	note("failover: heartbeat rounds + re-home")
+	co.CheckNow()
+	co.CheckNow()
+
+	fs := co.Fleet()
+	rep.Rehomed = fs.Stats.Rehomed
+	rep.Restored = fs.Stats.Restored
+	rep.RestoreFailed = fs.Stats.RestoreFailed
+	rep.LostJobs = fs.Stats.LostJobs
+	rep.LostSessions = fs.Lost
+	rep.RehomingLeft = fs.Rehoming
+	rep.RingOK = fs.RingOK
+	rep.AccountingOK = fs.Stats.Rehomed == fs.Stats.Restored+fs.Stats.RestoreFailed
+
+	note("verifying re-homed state bit-identical to snapshots and twins")
+	rep.PostFailoverOK = true
+	for i, id := range ids {
+		res := FleetSessionResult{ID: id, Replica: owners[id], Moved: owners[id] == victim}
+		if newOwner, ok := co.Owner(id); ok && newOwner != owners[id] {
+			res.NewReplica = newOwner
+		}
+		if st, err := sessions[i].Status(ctx); err == nil {
+			res.Minute = st.Minute
+		}
+		if res.Moved {
+			rep.Moved++
+			blob, err := fetchSnapshot(hc, coURL, id)
+			if err == nil {
+				res.SnapshotMatch = bytes.Equal(blob, expected[id])
+				res.TwinMatch = bytes.Equal(blob, twinBlob[id])
+			}
+			// The re-homed session must be live: advance and a full job
+			// round-trip on the new replica.
+			if _, err := sessions[i].Advance(ctx, 3); err != nil {
+				rep.PostFailoverOK = false
+			} else if _, err := sessions[i].Reschedule(ctx, service.PlanRequest{MNL: 4, Solver: "ha"}); err != nil {
+				rep.PostFailoverOK = false
+			}
+		}
+		rep.PerSession = append(rep.PerSession, res)
+	}
+	return rep, nil
+}
+
+// FleetArtifact is the on-disk BENCH_fleet.json: the pinned first
+// measurement and the latest one, mirroring BENCH_chaos.json.
+type FleetArtifact struct {
+	Baseline *FleetReport `json:"baseline,omitempty"`
+	Current  *FleetReport `json:"current,omitempty"`
+}
+
+// UpdateFleetArtifact merges a fresh report into the artifact at path:
+// baseline pinned on first write, current always replaced.
+func UpdateFleetArtifact(path string, rep FleetReport) (FleetArtifact, error) {
+	art, err := LoadFleetArtifact(path)
+	if err != nil {
+		return art, err
+	}
+	if art.Baseline == nil {
+		if art.Current != nil {
+			art.Baseline = art.Current
+		} else {
+			art.Baseline = &rep
+		}
+	}
+	art.Current = &rep
+	f, err := os.Create(path)
+	if err != nil {
+		return art, err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(art); err != nil {
+		f.Close()
+		return art, err
+	}
+	if err := f.Close(); err != nil {
+		return art, err
+	}
+	return art, nil
+}
+
+// LoadFleetArtifact reads the artifact at path; a missing file yields a zero
+// artifact, a malformed one an error.
+func LoadFleetArtifact(path string) (FleetArtifact, error) {
+	var art FleetArtifact
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return art, nil
+		}
+		return art, err
+	}
+	if err := json.Unmarshal(data, &art); err != nil {
+		return art, fmt.Errorf("bench: parse %s: %w", path, err)
+	}
+	return art, nil
+}
+
+// FleetRegressions applies the fleet gate to a fresh report — every bar is
+// an absolute pin (see the package comment at the top of this file).
+func FleetRegressions(rep FleetReport) []string {
+	var regs []string
+	if rep.Moved == 0 {
+		regs = append(regs, "fleet: replica kill moved no sessions (chaos proved nothing)")
+	}
+	if !rep.AccountingOK {
+		regs = append(regs, fmt.Sprintf("fleet: accounting identity violated: rehomed %d != restored %d + restore_failed %d",
+			rep.Rehomed, rep.Restored, rep.RestoreFailed))
+	}
+	if rep.RestoreFailed != 0 {
+		regs = append(regs, fmt.Sprintf("fleet: %d session(s) failed to restore", rep.RestoreFailed))
+	}
+	if rep.LostSessions != 0 {
+		regs = append(regs, fmt.Sprintf("fleet: %d session(s) lost", rep.LostSessions))
+	}
+	if rep.RehomingLeft != 0 {
+		regs = append(regs, fmt.Sprintf("fleet: %d session(s) still re-homing after failover", rep.RehomingLeft))
+	}
+	if !rep.RingOK {
+		regs = append(regs, "fleet: hash ring inconsistent after failover")
+	}
+	for _, s := range rep.PerSession {
+		if !s.Moved {
+			continue
+		}
+		if !s.SnapshotMatch {
+			regs = append(regs, fmt.Sprintf("fleet: %s: re-homed state does not byte-match the pre-kill snapshot", s.ID))
+		}
+		if !s.TwinMatch {
+			regs = append(regs, fmt.Sprintf("fleet: %s: re-homed state does not byte-match the failure-free twin", s.ID))
+		}
+		if s.NewReplica == "" || s.NewReplica == rep.KilledReplica {
+			regs = append(regs, fmt.Sprintf("fleet: %s: not re-assigned off the killed replica (owner %q)", s.ID, s.NewReplica))
+		}
+	}
+	if rep.JobsSubmitted == 0 {
+		regs = append(regs, "fleet: no jobs ran during the chaos window")
+	}
+	if !rep.JobAccountingOK {
+		regs = append(regs, fmt.Sprintf("fleet: job accounting violated: %d submitted != %d completed + %d failed",
+			rep.JobsSubmitted, rep.JobsCompleted, rep.JobsFailed))
+	}
+	if rep.JobsCompleted == 0 {
+		regs = append(regs, "fleet: no job completed during the chaos window")
+	}
+	if !rep.PostFailoverOK {
+		regs = append(regs, "fleet: a re-homed session rejected work after failover")
+	}
+	return regs
+}
+
+// Fprint renders the fleet report as an aligned table.
+func (r FleetReport) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "fleet benchmark: %d replicas, %d sessions, snapshot at minute %d, killed %s (%s, GOMAXPROCS=%d)\n",
+		r.Replicas, r.Sessions, r.SnapshotMinute, r.KilledReplica, r.GoVersion, r.GoMaxProcs)
+	fmt.Fprintf(w, "%-10s %-8s %-8s %6s %5s %5s %6s\n", "session", "was", "now", "moved", "snap", "twin", "minute")
+	for _, s := range r.PerSession {
+		now := s.NewReplica
+		if now == "" {
+			now = s.Replica
+		}
+		snap, twin := "-", "-"
+		if s.Moved {
+			snap, twin = fmt.Sprint(s.SnapshotMatch), fmt.Sprint(s.TwinMatch)
+		}
+		fmt.Fprintf(w, "%-10s %-8s %-8s %6v %5s %5s %6d\n", s.ID, s.Replica, now, s.Moved, snap, twin, s.Minute)
+	}
+	fmt.Fprintf(w, "failover: rehomed %d = restored %d + restore_failed %d; lost sessions %d, lost jobs %d, ring ok=%v\n",
+		r.Rehomed, r.Restored, r.RestoreFailed, r.LostSessions, r.LostJobs, r.RingOK)
+	fmt.Fprintf(w, "jobs during chaos: %d submitted = %d completed + %d failed (accounted=%v); post-failover ok=%v\n",
+		r.JobsSubmitted, r.JobsCompleted, r.JobsFailed, r.JobAccountingOK, r.PostFailoverOK)
+}
+
+// Fprint renders current vs baseline failover accounting.
+func (a FleetArtifact) Fprint(w io.Writer) {
+	if a.Current == nil {
+		fmt.Fprintln(w, "fleet artifact: no current measurement")
+		return
+	}
+	a.Current.Fprint(w)
+	if a.Baseline == nil || a.Baseline == a.Current {
+		return
+	}
+	fmt.Fprintf(w, "vs baseline (%s): moved %d -> %d, restored %d -> %d, jobs completed %d -> %d\n",
+		a.Baseline.Timestamp, a.Baseline.Moved, a.Current.Moved,
+		a.Baseline.Restored, a.Current.Restored,
+		a.Baseline.JobsCompleted, a.Current.JobsCompleted)
+}

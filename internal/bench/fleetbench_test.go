@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunFleet runs the full replica-kill chaos scenario — the same run the
+// CI fleet-smoke job gates — and requires it to clear every pinned gate.
+func TestRunFleet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet chaos run takes seconds; skipped in -short")
+	}
+	rep, err := RunFleet(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs := FleetRegressions(rep); len(regs) != 0 {
+		t.Errorf("pinned fleet gates failed: %v", regs)
+	}
+	if rep.Moved == 0 || int(rep.Rehomed) != rep.Moved {
+		t.Errorf("rehomed %d, moved %d: the kill must move every victim session exactly once", rep.Rehomed, rep.Moved)
+	}
+	for _, s := range rep.PerSession {
+		// The minute is recorded before the post-failover liveness advance:
+		// a restored session is back exactly at the snapshot clock, with the
+		// post-snapshot churn rolled away.
+		if s.Moved && s.Minute != rep.SnapshotMinute {
+			t.Errorf("%s: restored clock %d, want snapshot minute %d", s.ID, s.Minute, rep.SnapshotMinute)
+		}
+	}
+	var buf bytes.Buffer
+	rep.Fprint(&buf)
+	if !strings.Contains(buf.String(), rep.KilledReplica) {
+		t.Errorf("report table missing killed replica:\n%s", buf.String())
+	}
+}
+
+// TestFleetArtifactPinning pins the baseline-on-first-write rule and the
+// load/update roundtrip for BENCH_fleet.json.
+func TestFleetArtifactPinning(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_fleet.json")
+	first := FleetReport{GoVersion: "go-test", Timestamp: "t1", Moved: 2}
+	art, err := UpdateFleetArtifact(path, first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Baseline == nil || art.Baseline.Timestamp != "t1" {
+		t.Fatalf("baseline not pinned on first write: %+v", art)
+	}
+	second := FleetReport{GoVersion: "go-test", Timestamp: "t2"}
+	if art, err = UpdateFleetArtifact(path, second); err != nil {
+		t.Fatal(err)
+	}
+	if art.Baseline.Timestamp != "t1" || art.Current.Timestamp != "t2" {
+		t.Fatalf("pinning rule broken: baseline %q current %q", art.Baseline.Timestamp, art.Current.Timestamp)
+	}
+	loaded, err := LoadFleetArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Baseline == nil || loaded.Baseline.Moved != 2 {
+		t.Fatalf("baseline lost in roundtrip: %+v", loaded.Baseline)
+	}
+	missing, err := LoadFleetArtifact(filepath.Join(t.TempDir(), "absent.json"))
+	if err != nil || missing.Baseline != nil || missing.Current != nil {
+		t.Fatalf("missing artifact must load zero: %+v, %v", missing, err)
+	}
+}
+
+// TestFleetRegressionsGates pins each gate's trigger on synthetic reports.
+func TestFleetRegressionsGates(t *testing.T) {
+	good := FleetReport{
+		KilledReplica: "r1", Moved: 2,
+		PerSession: []FleetSessionResult{
+			{ID: "s0", Replica: "r1", Moved: true, NewReplica: "r2", SnapshotMatch: true, TwinMatch: true},
+			{ID: "s1", Replica: "r1", Moved: true, NewReplica: "r3", SnapshotMatch: true, TwinMatch: true},
+			{ID: "s2", Replica: "r2"},
+		},
+		Rehomed: 2, Restored: 2,
+		RingOK: true, AccountingOK: true,
+		JobsSubmitted: 10, JobsCompleted: 9, JobsFailed: 1, JobAccountingOK: true,
+		PostFailoverOK: true,
+	}
+	if regs := FleetRegressions(good); len(regs) != 0 {
+		t.Fatalf("clean report flagged: %v", regs)
+	}
+	bad := FleetReport{
+		KilledReplica: "r1", Moved: 0, // kill moved nothing
+		PerSession: []FleetSessionResult{
+			// Not re-assigned, blob mismatches.
+			{ID: "s0", Replica: "r1", Moved: true, NewReplica: "r1"},
+		},
+		Rehomed: 3, Restored: 1, RestoreFailed: 1, // identity broken AND a failure
+		LostSessions: 1, RehomingLeft: 1,
+		RingOK: false, AccountingOK: false,
+		JobsSubmitted: 10, JobsCompleted: 7, JobsFailed: 2, JobAccountingOK: false,
+		PostFailoverOK: false,
+	}
+	regs := FleetRegressions(bad)
+	for _, want := range []string{
+		"moved no sessions", "accounting identity", "failed to restore",
+		"session(s) lost", "still re-homing", "ring inconsistent",
+		"pre-kill snapshot", "failure-free twin", "not re-assigned",
+		"job accounting", "rejected work",
+	} {
+		found := false
+		for _, r := range regs {
+			if strings.Contains(r, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("gate %q did not fire: %v", want, regs)
+		}
+	}
+	empty := FleetReport{Moved: 1, Rehomed: 1, Restored: 1, RingOK: true, AccountingOK: true, PostFailoverOK: true}
+	regs = FleetRegressions(empty)
+	fired := false
+	for _, r := range regs {
+		if strings.Contains(r, "no jobs ran") {
+			fired = true
+		}
+	}
+	if !fired {
+		t.Errorf("zero-job gate did not fire: %v", regs)
+	}
+}

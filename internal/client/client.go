@@ -146,9 +146,12 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 			delay = c.retryCap
 		}
 		// A server Retry-After hint knows the queue's drain rate; honor it
-		// over the blind backoff (uncapped — the context deadline still
-		// bounds the total wait).
-		if se.RetryAfter > 0 {
+		// when it asks for a longer wait than the blind backoff (uncapped —
+		// the context deadline still bounds the total wait). A hint shorter
+		// than the backoff never shrinks it: a past HTTP-date or a skewed
+		// server clock would otherwise collapse the delay to ~zero and turn
+		// the retry loop into a hot spin against an overloaded server.
+		if se.RetryAfter > delay {
 			delay = se.RetryAfter
 		}
 		t := time.NewTimer(delay)

@@ -181,3 +181,55 @@ func flakyServerRetryAfter(t *testing.T, hint string) (*httptest.Server, *atomic
 	t.Cleanup(srv.Close)
 	return srv, &attempts
 }
+
+// TestClientRetryAfterFloorsAtBackoff pins the clamp semantics: a
+// Retry-After hint can only lengthen the wait, never shorten it below the
+// computed backoff. A past HTTP-date (skewed server clock) or a hint
+// smaller than the backoff must not collapse the delay toward zero and hot
+// spin against an overloaded server.
+func TestClientRetryAfterFloorsAtBackoff(t *testing.T) {
+	// Past HTTP-date: parses to zero, so the computed backoff must hold.
+	past := time.Now().Add(-30 * time.Second).UTC().Format(http.TimeFormat)
+	var attempts atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if attempts.Add(1) == 1 {
+			w.Header().Set("Retry-After", past)
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_ = json.NewEncoder(w).Encode(map[string]string{"error": "job queue full"})
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		_ = json.NewEncoder(w).Encode(service.JobStatus{ID: "job-1", State: service.JobQueued})
+	}))
+	t.Cleanup(srv.Close)
+	cl := New(srv.URL, WithRetry(2, 200*time.Millisecond, time.Second))
+	start := time.Now()
+	if _, err := cl.Submit(context.Background(), service.PlanRequest{MNL: 1}); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 150*time.Millisecond {
+		t.Fatalf("retry fired after %v; a past Retry-After date collapsed the backoff", elapsed)
+	}
+
+	// Positive hint below the backoff: the larger backoff wins.
+	attempts.Store(0)
+	srv2 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if attempts.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_ = json.NewEncoder(w).Encode(map[string]string{"error": "job queue full"})
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		_ = json.NewEncoder(w).Encode(service.JobStatus{ID: "job-2", State: service.JobQueued})
+	}))
+	t.Cleanup(srv2.Close)
+	cl2 := New(srv2.URL, WithRetry(2, 1500*time.Millisecond, 2*time.Second))
+	start = time.Now()
+	if _, err := cl2.Submit(context.Background(), service.PlanRequest{MNL: 1}); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 1400*time.Millisecond {
+		t.Fatalf("retry fired after %v; a 1 s hint shrank the 1.5 s backoff floor", elapsed)
+	}
+}

@@ -1,0 +1,492 @@
+package coord
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+
+	"vmr2l/internal/service"
+)
+
+// The proxy half of the coordinator: the v2 session API re-exposed at fleet
+// scope. Session requests route to the owning replica; job ids are
+// namespaced "<replica>~job-N" so results stay addressable fleet-wide; a
+// session mid-re-home answers 503 with Retry-After; a session or job that
+// died beyond recovery answers 410 Gone — an honest verdict beats a
+// timeout.
+
+// maxProxyBody bounds a proxied request body (snapshots are the largest).
+const maxProxyBody = 1 << 28
+
+// rehomeRetryAfter is the Retry-After hint attached to 503s answered while
+// a session is being re-homed or its replica is unreachable.
+const rehomeRetryAfter = "1"
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func jsonUnmarshal(b []byte, v any) error { return json.Unmarshal(b, v) }
+
+func (co *Coordinator) routes() {
+	co.mux.HandleFunc("POST /v2/clusters", co.handleCreate)
+	co.mux.HandleFunc("GET /v2/clusters/{id}", co.handleSessionGet)
+	co.mux.HandleFunc("DELETE /v2/clusters/{id}", co.handleSessionDelete)
+	co.mux.HandleFunc("POST /v2/clusters/{id}/events", co.handleSessionProxy)
+	co.mux.HandleFunc("POST /v2/clusters/{id}/jobs", co.handleSessionJob)
+	co.mux.HandleFunc("GET /v2/clusters/{id}/snapshot", co.handleSessionProxy)
+	co.mux.HandleFunc("GET /v2/jobs/{id}", co.handleJobGet)
+	co.mux.HandleFunc("GET /v2/fleet", co.handleFleet)
+	co.mux.HandleFunc("GET /metrics", co.handleMetrics)
+	co.mux.HandleFunc("GET /v2/solvers", co.handleAnyReplica)
+	co.mux.HandleFunc("GET /v2/scenarios", co.handleAnyReplica)
+	co.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+}
+
+// ServeHTTP implements http.Handler.
+func (co *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) { co.mux.ServeHTTP(w, r) }
+
+// roundTrip issues one request to a replica and returns the status code and
+// body. Transport errors age the replica's health state exactly like a
+// missed heartbeat.
+func (co *Coordinator) roundTrip(rep *replica, method, path, contentType string, body []byte) (int, []byte, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, rep.url+path, rd)
+	if err != nil {
+		return 0, nil, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := co.cfg.Client.Do(req)
+	if err != nil {
+		co.recordFailure(rep)
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(io.LimitReader(resp.Body, maxProxyBody))
+	if err != nil {
+		co.recordFailure(rep)
+		return 0, nil, err
+	}
+	return resp.StatusCode, out, nil
+}
+
+// sessionReplica resolves a session id to its live owning replica, writing
+// the appropriate error (404 unknown, 410 lost, 503 re-homing/unreachable)
+// when it cannot. The boolean reports success.
+func (co *Coordinator) sessionReplica(w http.ResponseWriter, id string) (*replica, bool) {
+	co.mu.RLock()
+	rehoming := co.rehoming[id]
+	lostReason, lost := co.lost[id]
+	owner, assigned := co.assign[id]
+	co.mu.RUnlock()
+	switch {
+	case rehoming:
+		co.statUnavailable.Add(1)
+		w.Header().Set("Retry-After", rehomeRetryAfter)
+		httpError(w, http.StatusServiceUnavailable, "session %q is being re-homed after a replica failure; retry shortly", id)
+		return nil, false
+	case lost:
+		httpError(w, http.StatusGone, "session %q was lost: %s", id, lostReason)
+		return nil, false
+	case !assigned:
+		httpError(w, http.StatusNotFound, "unknown cluster session %q", id)
+		return nil, false
+	}
+	rep := co.replicas[owner]
+	if st, _, _ := rep.snapshot(); st == ReplicaDown {
+		// Death detected but re-homing hasn't run yet (next CheckNow).
+		co.statUnavailable.Add(1)
+		w.Header().Set("Retry-After", rehomeRetryAfter)
+		httpError(w, http.StatusServiceUnavailable, "replica %q holding session %q is down; re-homing pending", owner, id)
+		return nil, false
+	}
+	return rep, true
+}
+
+// relay forwards a request to a replica and copies the response through.
+// Replica-unreachable becomes an honest 503 + Retry-After (the health
+// machinery has already been fed the failure).
+func (co *Coordinator) relay(w http.ResponseWriter, rep *replica, method, path, contentType string, body []byte) {
+	co.statProxied.Add(1)
+	code, out, err := co.roundTrip(rep, method, path, contentType, body)
+	if err != nil {
+		co.statUnavailable.Add(1)
+		w.Header().Set("Retry-After", rehomeRetryAfter)
+		httpError(w, http.StatusServiceUnavailable, "replica %q unreachable: %v", rep.name, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if method == http.MethodGet && strings.HasSuffix(path, "/snapshot") {
+		w.Header().Set("Content-Type", "application/octet-stream")
+	}
+	w.WriteHeader(code)
+	_, _ = w.Write(out)
+}
+
+// readBody slurps a bounded request body.
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxProxyBody))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "read request: %v", err)
+		return nil, false
+	}
+	return body, true
+}
+
+// handleCreate places a new session: the coordinator names it (unless the
+// client did), picks the ring owner among Up replicas, creates it there,
+// and eagerly snapshots it so even a session that dies seconds later can be
+// re-homed.
+func (co *Coordinator) handleCreate(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	var req service.SessionRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		httpError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	co.mu.Lock()
+	if req.ID == "" {
+		co.sessSeq++
+		req.ID = fmt.Sprintf("fleet-%d", co.sessSeq)
+	}
+	if _, dup := co.assign[req.ID]; dup {
+		co.mu.Unlock()
+		httpError(w, http.StatusConflict, "session %q already exists", req.ID)
+		return
+	}
+	delete(co.lost, req.ID) // a recreated id is a new session, not the lost one
+	owner := co.ring.owner(req.ID, co.up)
+	co.mu.Unlock()
+	if owner == "" {
+		co.statUnavailable.Add(1)
+		w.Header().Set("Retry-After", rehomeRetryAfter)
+		httpError(w, http.StatusServiceUnavailable, "no healthy replica to place session %q on", req.ID)
+		return
+	}
+	rep := co.replicas[owner]
+	encoded, err := json.Marshal(req)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "encode request: %v", err)
+		return
+	}
+	co.statProxied.Add(1)
+	code, out, err := co.roundTrip(rep, http.MethodPost, "/v2/clusters", "application/json", encoded)
+	if err != nil {
+		co.statUnavailable.Add(1)
+		w.Header().Set("Retry-After", rehomeRetryAfter)
+		httpError(w, http.StatusServiceUnavailable, "replica %q unreachable: %v", owner, err)
+		return
+	}
+	if code == http.StatusCreated {
+		co.mu.Lock()
+		co.assign[req.ID] = owner
+		co.mu.Unlock()
+		// Eager first snapshot: a session is durable from birth.
+		co.snapshotSession(req.ID, owner)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_, _ = w.Write(out)
+}
+
+func (co *Coordinator) handleSessionGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rep, ok := co.sessionReplica(w, id)
+	if !ok {
+		return
+	}
+	if co.cfg.RedirectReads {
+		// Hand the client the replica's address: reads bypass the
+		// coordinator from here on (clients follow 307s natively).
+		http.Redirect(w, r, rep.url+"/v2/clusters/"+id, http.StatusTemporaryRedirect)
+		return
+	}
+	co.relay(w, rep, http.MethodGet, "/v2/clusters/"+id, "", nil)
+}
+
+func (co *Coordinator) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rep, ok := co.sessionReplica(w, id)
+	if !ok {
+		return
+	}
+	co.statProxied.Add(1)
+	code, out, err := co.roundTrip(rep, http.MethodDelete, "/v2/clusters/"+id, "", nil)
+	if err != nil {
+		co.statUnavailable.Add(1)
+		w.Header().Set("Retry-After", rehomeRetryAfter)
+		httpError(w, http.StatusServiceUnavailable, "replica %q unreachable: %v", rep.name, err)
+		return
+	}
+	if code == http.StatusNoContent {
+		co.mu.Lock()
+		delete(co.assign, id)
+		delete(co.snaps, id)
+		delete(co.snapRevs, id)
+		co.mu.Unlock()
+		w.WriteHeader(code)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_, _ = w.Write(out)
+}
+
+// handleSessionProxy forwards session-scoped requests (events, snapshot
+// reads) verbatim to the owning replica.
+func (co *Coordinator) handleSessionProxy(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rep, ok := co.sessionReplica(w, id)
+	if !ok {
+		return
+	}
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	path := "/v2/clusters/" + id + strings.TrimPrefix(r.URL.Path, "/v2/clusters/"+id)
+	co.relay(w, rep, r.Method, path, r.Header.Get("Content-Type"), body)
+}
+
+// handleSessionJob submits a session-scoped job on the owning replica and
+// namespaces the returned job id with the replica name, so the result stays
+// addressable through the coordinator no matter which replica ran it.
+func (co *Coordinator) handleSessionJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rep, ok := co.sessionReplica(w, id)
+	if !ok {
+		return
+	}
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	co.statProxied.Add(1)
+	code, out, err := co.roundTrip(rep, http.MethodPost, "/v2/clusters/"+id+"/jobs", "application/json", body)
+	if err != nil {
+		co.statUnavailable.Add(1)
+		w.Header().Set("Retry-After", rehomeRetryAfter)
+		httpError(w, http.StatusServiceUnavailable, "replica %q unreachable: %v", rep.name, err)
+		return
+	}
+	if code == http.StatusAccepted {
+		var st service.JobStatus
+		if err := json.Unmarshal(out, &st); err == nil {
+			st.ID = rep.name + "~" + st.ID
+			writeJSON(w, code, st)
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_, _ = w.Write(out)
+}
+
+// handleJobGet resolves a namespaced job id ("<replica>~job-N"). A result
+// whose replica died is gone with its process — answered 410, counted, and
+// never a hang.
+func (co *Coordinator) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	full := r.PathValue("id")
+	name, rawID, ok := strings.Cut(full, "~")
+	if !ok {
+		httpError(w, http.StatusBadRequest, "job id %q is not namespaced (<replica>~<id>)", full)
+		return
+	}
+	co.mu.RLock()
+	rep, known := co.replicas[name]
+	co.mu.RUnlock()
+	if !known {
+		httpError(w, http.StatusNotFound, "unknown replica %q in job id", name)
+		return
+	}
+	if st, _, _ := rep.snapshot(); st == ReplicaDown {
+		co.statLostJobs.Add(1)
+		httpError(w, http.StatusGone, "job %q was lost: replica %q died; resubmit against the re-homed session", full, name)
+		return
+	}
+	co.statProxied.Add(1)
+	code, out, err := co.roundTrip(rep, http.MethodGet, "/v2/jobs/"+rawID, "", nil)
+	if err != nil {
+		co.statUnavailable.Add(1)
+		w.Header().Set("Retry-After", rehomeRetryAfter)
+		httpError(w, http.StatusServiceUnavailable, "replica %q unreachable: %v", name, err)
+		return
+	}
+	if code == http.StatusOK {
+		var st service.JobStatus
+		if err := json.Unmarshal(out, &st); err == nil {
+			st.ID = full
+			writeJSON(w, code, st)
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_, _ = w.Write(out)
+}
+
+// handleAnyReplica forwards fleet-agnostic reads (solvers, scenarios) to
+// any live replica.
+func (co *Coordinator) handleAnyReplica(w http.ResponseWriter, r *http.Request) {
+	co.mu.RLock()
+	var rep *replica
+	names := make([]string, 0, len(co.replicas))
+	for name := range co.replicas {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if co.up(name) {
+			rep = co.replicas[name]
+			break
+		}
+	}
+	co.mu.RUnlock()
+	if rep == nil {
+		co.statUnavailable.Add(1)
+		w.Header().Set("Retry-After", rehomeRetryAfter)
+		httpError(w, http.StatusServiceUnavailable, "no healthy replica")
+		return
+	}
+	co.relay(w, rep, http.MethodGet, r.URL.Path, "", nil)
+}
+
+// ReplicaInfo is one replica's row in GET /v2/fleet.
+type ReplicaInfo struct {
+	Name     string       `json:"name"`
+	URL      string       `json:"url"`
+	State    ReplicaState `json:"state"`
+	Sessions int          `json:"sessions"`
+	Misses   int          `json:"misses,omitempty"`
+}
+
+// FleetStats is the coordinator's accounting. Rehomed == Restored +
+// RestoreFailed always holds: every re-homed session lands in exactly one
+// bucket.
+type FleetStats struct {
+	Rehomed       uint64 `json:"rehomed"`
+	Restored      uint64 `json:"restored"`
+	RestoreFailed uint64 `json:"restore_failed"`
+	LostJobs      uint64 `json:"lost_jobs"`
+	Snapshots     uint64 `json:"snapshots"`
+	Proxied       uint64 `json:"proxied"`
+	Unavailable   uint64 `json:"unavailable"`
+}
+
+// FleetStatus is the body of GET /v2/fleet.
+type FleetStatus struct {
+	Replicas []ReplicaInfo `json:"replicas"`
+	// Sessions counts fleet-wide assigned sessions; Rehoming and Lost count
+	// sessions mid-failover and permanently lost.
+	Sessions int `json:"sessions"`
+	Rehoming int `json:"rehoming"`
+	Lost     int `json:"lost"`
+	// RingOK reports hash-ring/assignment consistency: every assigned
+	// session's owner is a known, live replica.
+	RingOK bool       `json:"ring_ok"`
+	Stats  FleetStats `json:"stats"`
+}
+
+// Fleet builds the coordinator's fleet-wide status (the programmatic form
+// of GET /v2/fleet, used by the doctor probe and the chaos bench).
+func (co *Coordinator) Fleet() FleetStatus {
+	co.mu.RLock()
+	defer co.mu.RUnlock()
+	perOwner := map[string]int{}
+	ringOK := true
+	for _, owner := range co.assign {
+		perOwner[owner]++
+		rep, known := co.replicas[owner]
+		if !known {
+			ringOK = false
+			continue
+		}
+		if st, _, _ := rep.snapshot(); st == ReplicaDown {
+			ringOK = false
+		}
+	}
+	names := make([]string, 0, len(co.replicas))
+	for name := range co.replicas {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fs := FleetStatus{
+		Sessions: len(co.assign),
+		Rehoming: len(co.rehoming),
+		Lost:     len(co.lost),
+		RingOK:   ringOK,
+		Stats: FleetStats{
+			Rehomed:       co.statRehomed.Load(),
+			Restored:      co.statRestored.Load(),
+			RestoreFailed: co.statRestoreFailed.Load(),
+			LostJobs:      co.statLostJobs.Load(),
+			Snapshots:     co.statSnapshots.Load(),
+			Proxied:       co.statProxied.Load(),
+			Unavailable:   co.statUnavailable.Load(),
+		},
+	}
+	for _, name := range names {
+		rep := co.replicas[name]
+		st, misses, _ := rep.snapshot()
+		fs.Replicas = append(fs.Replicas, ReplicaInfo{
+			Name: name, URL: rep.url, State: st,
+			Sessions: perOwner[name], Misses: misses,
+		})
+	}
+	return fs
+}
+
+func (co *Coordinator) handleFleet(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, co.Fleet())
+}
+
+// handleMetrics exposes the fleet counters in Prometheus text format,
+// mirroring the replica-level /metrics.
+func (co *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	fs := co.Fleet()
+	var states = map[ReplicaState]int{}
+	for _, rep := range fs.Replicas {
+		states[rep.State]++
+	}
+	var b strings.Builder
+	emit := func(name, kind string, v float64) {
+		fmt.Fprintf(&b, "# TYPE %s %s\n%s %g\n", name, kind, name, v)
+	}
+	emit("vmr2l_coord_replicas_up", "gauge", float64(states[ReplicaUp]))
+	emit("vmr2l_coord_replicas_suspect", "gauge", float64(states[ReplicaSuspect]))
+	emit("vmr2l_coord_replicas_down", "gauge", float64(states[ReplicaDown]))
+	emit("vmr2l_coord_sessions", "gauge", float64(fs.Sessions))
+	emit("vmr2l_coord_sessions_rehoming", "gauge", float64(fs.Rehoming))
+	emit("vmr2l_coord_sessions_lost", "gauge", float64(fs.Lost))
+	emit("vmr2l_coord_rehomed_total", "counter", float64(fs.Stats.Rehomed))
+	emit("vmr2l_coord_restored_total", "counter", float64(fs.Stats.Restored))
+	emit("vmr2l_coord_restore_failed_total", "counter", float64(fs.Stats.RestoreFailed))
+	emit("vmr2l_coord_lost_jobs_total", "counter", float64(fs.Stats.LostJobs))
+	emit("vmr2l_coord_snapshots_total", "counter", float64(fs.Stats.Snapshots))
+	emit("vmr2l_coord_proxied_total", "counter", float64(fs.Stats.Proxied))
+	emit("vmr2l_coord_unavailable_total", "counter", float64(fs.Stats.Unavailable))
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(b.String()))
+}

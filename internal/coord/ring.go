@@ -1,0 +1,87 @@
+package coord
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// The ring maps session ids onto replicas with consistent hashing: each
+// replica contributes vnodes points on a uint64 circle (FNV-1a of
+// "name#i"), and a session id is owned by the first point clockwise of its
+// own hash. Adding or removing one replica moves only the sessions whose
+// arcs it owned — the property that keeps a replica death from reshuffling
+// the whole fleet.
+
+type ringPoint struct {
+	hash    uint64
+	replica string
+}
+
+type ring struct {
+	points []ringPoint
+}
+
+// hashKey is FNV-1a with a splitmix64-style avalanche finalizer. Raw FNV of
+// short, similar keys ("r1#0", "r1#1", …) is nearly sequential — the point
+// runs it produces wreck ring balance — so the mix spreads every input bit
+// over the whole word. Stdlib-only and stable across processes.
+func hashKey(key string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// newRing builds a ring of the given replicas with vnodes points each.
+func newRing(replicas []string, vnodes int) *ring {
+	if vnodes < 1 {
+		vnodes = 1
+	}
+	r := &ring{points: make([]ringPoint, 0, len(replicas)*vnodes)}
+	for _, name := range replicas {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{
+				hash:    hashKey(fmt.Sprintf("%s#%d", name, i)),
+				replica: name,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Tie-break on name so the ring order is deterministic even in the
+		// (astronomically unlikely) event of a hash collision.
+		return r.points[i].replica < r.points[j].replica
+	})
+	return r
+}
+
+// owner returns the replica owning key, skipping replicas for which alive
+// reports false (nil means everyone is alive). Returns "" when the ring is
+// empty or nobody is alive.
+func (r *ring) owner(key string, alive func(string) bool) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hashKey(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	seen := map[string]bool{}
+	for i := 0; i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if seen[p.replica] {
+			continue
+		}
+		seen[p.replica] = true
+		if alive == nil || alive(p.replica) {
+			return p.replica
+		}
+	}
+	return ""
+}

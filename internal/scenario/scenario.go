@@ -159,10 +159,8 @@ func (s Scenario) Mix() []cluster.VMType {
 	return mix
 }
 
-// Rate returns the sched rate curve declared by the dynamics spec (nil for
-// Static).
-func (s Scenario) Rate() sched.RateFunc {
-	d := s.Dynamics
+// RateFunc returns the sched rate curve the spec declares (nil for Static).
+func (d DynamicsSpec) RateFunc() sched.RateFunc {
 	switch d.Shape {
 	case Diurnal:
 		return sched.Diurnal(d.Rate)
@@ -175,19 +173,32 @@ func (s Scenario) Rate() sched.RateFunc {
 	}
 }
 
+// NewDynamics builds a churn engine over c exactly as the spec declares,
+// with an explicit flavor mix. This is the declarative construction path the
+// session snapshot codec restores through: the spec (embedded in a snapshot
+// manifest) plus the mix fully determine the engine's configuration, with no
+// registry lookup.
+func (d DynamicsSpec) NewDynamics(c *cluster.Cluster, rng *rand.Rand, mix []cluster.VMType) *sched.Dynamics {
+	dyn := sched.NewDynamics(c, rng, mix, d.RateFunc())
+	if d.Shape == Drain {
+		dyn.SetArriveFrac(0)
+	} else if d.ArriveFrac > 0 {
+		dyn.SetArriveFrac(d.ArriveFrac)
+	}
+	if d.Failures != (sched.FailureSpec{}) {
+		dyn.SetFailures(d.Failures)
+	}
+	return dyn
+}
+
+// Rate returns the sched rate curve declared by the dynamics spec (nil for
+// Static).
+func (s Scenario) Rate() sched.RateFunc { return s.Dynamics.RateFunc() }
+
 // NewDynamics builds the live-cluster churn engine over c as the scenario
 // declares it.
 func (s Scenario) NewDynamics(c *cluster.Cluster, rng *rand.Rand) *sched.Dynamics {
-	dyn := sched.NewDynamics(c, rng, s.Mix(), s.Rate())
-	if s.Dynamics.Shape == Drain {
-		dyn.SetArriveFrac(0)
-	} else if s.Dynamics.ArriveFrac > 0 {
-		dyn.SetArriveFrac(s.Dynamics.ArriveFrac)
-	}
-	if s.Dynamics.Failures != (sched.FailureSpec{}) {
-		dyn.SetFailures(s.Dynamics.Failures)
-	}
-	return dyn
+	return s.Dynamics.NewDynamics(c, rng, s.Mix())
 }
 
 // ParseObjective returns the scenario's parsed objective.
@@ -204,13 +215,25 @@ func (s Scenario) ParseObjective() (sim.Objective, error) {
 var registry = map[string]Scenario{}
 
 func register(s Scenario) {
-	if err := s.Validate(); err != nil {
+	if err := Register(s); err != nil {
 		panic(err)
 	}
+}
+
+// Register adds a scenario to the registry so it becomes addressable by name
+// (GET /v2/scenarios, session creation, the bench sweeps). It validates the
+// scenario and refuses duplicate names. The built-ins register at init; this
+// exported path is for callers minting scenarios at runtime — e.g. fuzzed
+// scenarios (RandomScenario) a test wants to serve over the session API.
+func Register(s Scenario) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
 	if _, dup := registry[s.Name]; dup {
-		panic(fmt.Sprintf("scenario: duplicate registration %q", s.Name))
+		return fmt.Errorf("scenario: duplicate registration %q", s.Name)
 	}
 	registry[s.Name] = s
+	return nil
 }
 
 func init() {

@@ -87,9 +87,12 @@ type failureState struct {
 	// since records the minute of each non-Up PM's last transition.
 	since map[int]int
 	// evacs is the pending-evacuation queue in mark order; pending indexes
-	// it by VM id so storms stay O(1) per membership check.
+	// it by VM id (value: the PM of the VM's queue entry) so storms stay
+	// O(1) per membership check and stale entries — a recycled VM id or a
+	// VM migrated onto a newly failed PM before lazy cancellation ran — are
+	// detectable at mark time. At most one queue entry exists per VM.
 	evacs   []Evacuation
-	pending map[int]bool
+	pending map[int]int
 	// nextMaint is the minute of the next rolling-maintenance drain;
 	// maintIdx the rotation cursor.
 	nextMaint int
@@ -101,7 +104,7 @@ type failureState struct {
 // failState lazily allocates the failure bookkeeping.
 func (d *Dynamics) failState() *failureState {
 	if d.fail == nil {
-		d.fail = &failureState{since: map[int]int{}, pending: map[int]bool{}}
+		d.fail = &failureState{since: map[int]int{}, pending: map[int]int{}}
 	}
 	return d.fail
 }
@@ -204,13 +207,38 @@ func (d *Dynamics) markEvacuations(pm int) {
 	f := d.failState()
 	deadline := d.minute + f.spec.deadline()
 	for _, vm := range d.c.PMs[pm].VMs {
-		if f.pending[vm] {
-			continue // already pending from an earlier failure; keep its deadline
+		if epm, ok := f.pending[vm]; ok {
+			if epm == pm {
+				continue // already pending from an earlier failure of this PM; keep its deadline
+			}
+			// The entry refers to a different PM than the one currently
+			// hosting the VM: the id was recycled through churn, or the VM
+			// migrated onto this PM, after its old entry was enqueued but
+			// before lazy cancellation processed it. Cancel the stale entry
+			// now and fall through to re-mark — otherwise the VM would sit
+			// on a Down PM with no pending evacuation.
+			d.cancelPending(vm)
 		}
-		f.pending[vm] = true
+		f.pending[vm] = pm
 		f.marked++
 		f.evacs = append(f.evacs, Evacuation{VM: vm, PM: pm, Deadline: deadline})
 	}
+}
+
+// cancelPending removes vm's queue entry (there is at most one) and counts
+// it cancelled.
+func (d *Dynamics) cancelPending(vm int) {
+	f := d.fail
+	kept := f.evacs[:0]
+	for _, ev := range f.evacs {
+		if ev.VM == vm {
+			d.stats.EvacCancelled++
+			continue
+		}
+		kept = append(kept, ev)
+	}
+	f.evacs = kept
+	delete(f.pending, vm)
 }
 
 // failStep runs one minute of failure dynamics: automatic recoveries,
@@ -398,7 +426,7 @@ func (d *Dynamics) CheckFailureInvariants() error {
 	if d.fail != nil {
 		f = *d.fail
 	} else {
-		f.pending = map[int]bool{}
+		f.pending = map[int]int{}
 	}
 	st := d.stats
 	if got := st.Evacuated + st.EvacCancelled + st.EvacLost + len(f.evacs); got != f.marked {
@@ -410,7 +438,7 @@ func (d *Dynamics) CheckFailureInvariants() error {
 			continue
 		}
 		for _, vm := range d.c.PMs[i].VMs {
-			if !f.pending[vm] {
+			if _, ok := f.pending[vm]; !ok {
 				return fmt.Errorf("sched: vm %d stranded on down pm %d with no pending evacuation", vm, i)
 			}
 		}

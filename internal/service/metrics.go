@@ -1,0 +1,136 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+
+	"vmr2l/internal/cluster"
+)
+
+// GET /metrics exposes the server's operational counters in the Prometheus
+// text exposition format, hand-written against the stdlib (no client
+// library). Everything already reported by /v2/stats appears here under a
+// vmr2l_ prefix, plus live session aggregates (PM health, pending
+// evacuations, cumulative churn/failure stats summed over sessions) that
+// previously had to be scraped per-session. Names ending in _total are
+// counters; everything else is a gauge.
+
+// WithMetrics registers an extra metrics source: fn is called on every
+// GET /metrics scrape and its key/value pairs are emitted verbatim as
+// gauges (or counters when the name ends in _total). Used by vmr2l-server
+// to surface the continuous-batching inference scheduler's serving stats.
+// May be given multiple times; later sources win name collisions.
+func WithMetrics(fn func() map[string]float64) Option {
+	return func(s *Server) { s.metricsFns = append(s.metricsFns, fn) }
+}
+
+// metricHelp documents the fixed server metrics.
+var metricHelp = map[string]string{
+	"vmr2l_workers":                      "Solver worker-pool size.",
+	"vmr2l_queue_cap":                    "Bounded job-queue capacity.",
+	"vmr2l_queue_depth":                  "Jobs sitting in the bounded queue right now.",
+	"vmr2l_sessions":                     "Live cluster sessions registered.",
+	"vmr2l_jobs_accepted_total":          "Jobs admitted to the bounded queue.",
+	"vmr2l_jobs_shed_total":              "Jobs refused with 503 (queue full or closing).",
+	"vmr2l_sessions_rejected_total":      "Session creations refused at the session limit.",
+	"vmr2l_budget_dropped_total":         "Plan migrations truncated by session migration budgets.",
+	"vmr2l_snapshots_total":              "Session snapshots served.",
+	"vmr2l_restores_total":               "Sessions restored from snapshots.",
+	"vmr2l_retry_after_seconds":          "Retry-After hint currently attached to queue-full 503s.",
+	"vmr2l_session_pms_up":               "PMs in health state up, summed over sessions.",
+	"vmr2l_session_pms_draining":         "PMs in health state draining, summed over sessions.",
+	"vmr2l_session_pms_down":             "PMs in health state down, summed over sessions.",
+	"vmr2l_session_pending_evacuations":  "VMs currently marked evacuation-pending, summed over sessions.",
+	"vmr2l_session_arrivals_total":       "VM arrivals applied to sessions.",
+	"vmr2l_session_rejected_total":       "VM arrivals rejected (no capacity), summed over sessions.",
+	"vmr2l_session_exits_total":          "VM exits applied to sessions.",
+	"vmr2l_session_crashes_total":        "PM crashes across sessions.",
+	"vmr2l_session_drains_total":         "PM maintenance drains across sessions.",
+	"vmr2l_session_recoveries_total":     "PM recoveries across sessions.",
+	"vmr2l_session_evacuated_total":      "Evacuations completed in time across sessions.",
+	"vmr2l_session_evac_cancelled_total": "Evacuations made moot by recovery or churn across sessions.",
+	"vmr2l_session_evac_lost_total":      "Evacuations lost at the deadline across sessions.",
+}
+
+// writeMetrics emits one metric in exposition format. Counter/gauge type is
+// derived from the _total suffix convention.
+func writeMetric(b *strings.Builder, name string, value float64) {
+	if help, ok := metricHelp[name]; ok {
+		fmt.Fprintf(b, "# HELP %s %s\n", name, help)
+	}
+	kind := "gauge"
+	if strings.HasSuffix(name, "_total") {
+		kind = "counter"
+	}
+	fmt.Fprintf(b, "# TYPE %s %s\n", name, kind)
+	fmt.Fprintf(b, "%s %g\n", name, value)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.sessMu.RLock()
+	sessions := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.sessMu.RUnlock()
+	var health [3]int
+	var pending int
+	var agg EventStats
+	for _, sess := range sessions {
+		st := sess.status()
+		health[cluster.Up] += st.Health.Up
+		health[cluster.Draining] += st.Health.Draining
+		health[cluster.Down] += st.Health.Down
+		pending += st.PendingEvacuations
+		agg.Arrivals += st.Stats.Arrivals
+		agg.Rejected += st.Stats.Rejected
+		agg.Exits += st.Stats.Exits
+		agg.Crashes += st.Stats.Crashes
+		agg.Drains += st.Stats.Drains
+		agg.Recoveries += st.Stats.Recoveries
+		agg.Evacuated += st.Stats.Evacuated
+		agg.EvacCancelled += st.Stats.EvacCancelled
+		agg.EvacLost += st.Stats.EvacLost
+	}
+
+	var b strings.Builder
+	writeMetric(&b, "vmr2l_workers", float64(s.workers))
+	writeMetric(&b, "vmr2l_queue_cap", float64(s.queueDepth))
+	writeMetric(&b, "vmr2l_queue_depth", float64(len(s.queue)))
+	writeMetric(&b, "vmr2l_sessions", float64(len(sessions)))
+	writeMetric(&b, "vmr2l_jobs_accepted_total", float64(s.statAccepted.Load()))
+	writeMetric(&b, "vmr2l_jobs_shed_total", float64(s.statShed.Load()))
+	writeMetric(&b, "vmr2l_sessions_rejected_total", float64(s.statSessRejected.Load()))
+	writeMetric(&b, "vmr2l_budget_dropped_total", float64(s.statBudgetDropped.Load()))
+	writeMetric(&b, "vmr2l_snapshots_total", float64(s.statSnapshots.Load()))
+	writeMetric(&b, "vmr2l_restores_total", float64(s.statRestores.Load()))
+	writeMetric(&b, "vmr2l_retry_after_seconds", float64(s.retryAfter()))
+	writeMetric(&b, "vmr2l_session_pms_up", float64(health[cluster.Up]))
+	writeMetric(&b, "vmr2l_session_pms_draining", float64(health[cluster.Draining]))
+	writeMetric(&b, "vmr2l_session_pms_down", float64(health[cluster.Down]))
+	writeMetric(&b, "vmr2l_session_pending_evacuations", float64(pending))
+	writeMetric(&b, "vmr2l_session_arrivals_total", float64(agg.Arrivals))
+	writeMetric(&b, "vmr2l_session_rejected_total", float64(agg.Rejected))
+	writeMetric(&b, "vmr2l_session_exits_total", float64(agg.Exits))
+	writeMetric(&b, "vmr2l_session_crashes_total", float64(agg.Crashes))
+	writeMetric(&b, "vmr2l_session_drains_total", float64(agg.Drains))
+	writeMetric(&b, "vmr2l_session_recoveries_total", float64(agg.Recoveries))
+	writeMetric(&b, "vmr2l_session_evacuated_total", float64(agg.Evacuated))
+	writeMetric(&b, "vmr2l_session_evac_cancelled_total", float64(agg.EvacCancelled))
+	writeMetric(&b, "vmr2l_session_evac_lost_total", float64(agg.EvacLost))
+	for _, fn := range s.metricsFns {
+		extra := fn()
+		names := make([]string, 0, len(extra))
+		for name := range extra {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			writeMetric(&b, name, extra[name])
+		}
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(b.String()))
+}

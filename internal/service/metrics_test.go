@@ -1,0 +1,86 @@
+package service
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func scrapeMetrics(t *testing.T, s *Server) string {
+	t.Helper()
+	r := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, r)
+	if w.Code != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d: %s", w.Code, w.Body.String())
+	}
+	if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q, want Prometheus text exposition", ct)
+	}
+	return w.Body.String()
+}
+
+// metricValue extracts "name value" from an exposition body ("" when the
+// metric is absent).
+func metricValue(body, name string) string {
+	for _, line := range strings.Split(body, "\n") {
+		if val, ok := strings.CutPrefix(line, name+" "); ok {
+			return val
+		}
+	}
+	return ""
+}
+
+// TestMetricsEndpoint pins the Prometheus exposition: session gauges track
+// live sessions, snapshot counters move with the snapshot routes, counters
+// are TYPEd by the _total convention, and WithMetrics sources are merged.
+func TestMetricsEndpoint(t *testing.T) {
+	extra := map[string]float64{"vmr2l_extra_widgets_total": 0}
+	s := testServer(t, WithWorkers(1), WithMetrics(func() map[string]float64 {
+		out := map[string]float64{}
+		for k, v := range extra {
+			out[k] = v
+		}
+		return out
+	}))
+
+	body := scrapeMetrics(t, s)
+	if got := metricValue(body, "vmr2l_sessions"); got != "0" {
+		t.Errorf("vmr2l_sessions = %q before any session, want 0", got)
+	}
+	if !strings.Contains(body, "# TYPE vmr2l_jobs_accepted_total counter") {
+		t.Errorf("_total metric not typed as counter:\n%s", body)
+	}
+	if !strings.Contains(body, "# TYPE vmr2l_queue_depth gauge") {
+		t.Errorf("non-_total metric not typed as gauge:\n%s", body)
+	}
+
+	st := createSession(t, s, SessionRequest{Scenario: "diurnal", Seed: 3})
+	advance(t, s, st.ID, EventsRequest{AdvanceMinutes: 5})
+	blob := getSnapshot(t, s, st.ID)
+	if w := putSnapshot(t, s, st.ID, blob); w.Code != http.StatusOK {
+		t.Fatalf("restore: status %d: %s", w.Code, w.Body.String())
+	}
+	extra["vmr2l_extra_widgets_total"] = 7
+
+	body = scrapeMetrics(t, s)
+	if got := metricValue(body, "vmr2l_sessions"); got != "1" {
+		t.Errorf("vmr2l_sessions = %q with one live session", got)
+	}
+	if got := metricValue(body, "vmr2l_snapshots_total"); got != "1" {
+		t.Errorf("vmr2l_snapshots_total = %q after one GET", got)
+	}
+	if got := metricValue(body, "vmr2l_restores_total"); got != "1" {
+		t.Errorf("vmr2l_restores_total = %q after one PUT", got)
+	}
+	if got := metricValue(body, "vmr2l_session_arrivals_total"); got == "" || got == "0" {
+		t.Errorf("vmr2l_session_arrivals_total = %q after 5 minutes of diurnal churn", got)
+	}
+	if got := metricValue(body, "vmr2l_extra_widgets_total"); got != "7" {
+		t.Errorf("WithMetrics source not merged: vmr2l_extra_widgets_total = %q", got)
+	}
+	if !strings.Contains(body, "# TYPE vmr2l_extra_widgets_total counter") {
+		t.Errorf("extra _total metric not typed as counter:\n%s", body)
+	}
+}

@@ -22,6 +22,16 @@
 // plan is only as good as what still applies by the time it lands. Session
 // job results carry a RepairReport (valid/repaired/dropped, live fragment
 // delta) and a plan that applies cleanly to the live cluster.
+//
+// Sessions are durable: GET /v2/clusters/{id}/snapshot serializes the full
+// session (cluster mapping with PM health, dynamics RNG/clock/pending
+// evacuations, migration budget, event counters) into a self-describing
+// VMR2LSS1 blob, and PUT restores it staged-then-committed with an exact
+// invariant — snapshot → restore → Advance is bit-identical to the
+// uninterrupted session. A fleet coordinator (internal/coord) uses the pair
+// to re-home sessions across replicas on node death. GET /metrics serves
+// the server's counters (queue, sessions, PM health, evacuations, plus any
+// WithMetrics sources) in Prometheus text format.
 package service
 
 import (
@@ -235,6 +245,8 @@ type Server struct {
 	statShed          atomic.Uint64 // jobs refused with 503 (queue full / closing)
 	statSessRejected  atomic.Uint64 // session creations refused at maxSessions
 	statBudgetDropped atomic.Uint64 // plan migrations truncated by session budgets
+	statSnapshots     atomic.Uint64 // session snapshots served (GET .../snapshot)
+	statRestores      atomic.Uint64 // sessions restored from snapshots (PUT .../snapshot)
 
 	queue chan *job
 	wg    sync.WaitGroup
@@ -252,6 +264,10 @@ type Server struct {
 	// still running can submit to a closed resource.
 	closers     []io.Closer
 	closersOnce sync.Once
+
+	// metricsFns are extra GET /metrics sources (WithMetrics), scraped on
+	// every request after the built-in server metrics.
+	metricsFns []func() map[string]float64
 }
 
 // Option configures a Server at construction time.
@@ -337,6 +353,13 @@ func New(opts ...Option) *Server {
 	s.mux.HandleFunc("DELETE /v2/clusters/{id}", s.handleDeleteSession)
 	s.mux.HandleFunc("POST /v2/clusters/{id}/events", s.handleSessionEvents)
 	s.mux.HandleFunc("POST /v2/clusters/{id}/jobs", s.handleSessionJob)
+	// Durable session snapshots: GET serializes the full replayable state,
+	// PUT restores (or re-homes) a session from one. See snapshot.go.
+	s.mux.HandleFunc("GET /v2/clusters/{id}/snapshot", s.handleSnapshotGet)
+	s.mux.HandleFunc("PUT /v2/clusters/{id}/snapshot", s.handleSnapshotPut)
+	// Prometheus text exposition of the /v2/stats counters plus session
+	// aggregates. See metrics.go.
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	// v1 compatibility shims: same engines, same response bytes as before v2.
 	s.mux.HandleFunc("/v1/reschedule", s.handleRescheduleV1)
 	s.mux.HandleFunc("/v1/solvers", s.handleSolversV1)
@@ -750,6 +773,10 @@ type ServerStats struct {
 	// BudgetDropped totals plan migrations truncated by per-session
 	// migration budgets (forced evacuations are never among them).
 	BudgetDropped uint64 `json:"budget_dropped"`
+	// Snapshots/Restores count durable-session traffic: snapshots served and
+	// sessions restored from one (GET/PUT /v2/clusters/{id}/snapshot).
+	Snapshots uint64 `json:"snapshots,omitempty"`
+	Restores  uint64 `json:"restores,omitempty"`
 	// RetryAfterSec is the hint currently attached to queue-full 503s.
 	RetryAfterSec int `json:"retry_after_sec"`
 }
@@ -767,6 +794,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Shed:             s.statShed.Load(),
 		SessionsRejected: s.statSessRejected.Load(),
 		BudgetDropped:    s.statBudgetDropped.Load(),
+		Snapshots:        s.statSnapshots.Load(),
+		Restores:         s.statRestores.Load(),
 		RetryAfterSec:    s.retryAfter(),
 	})
 }

@@ -33,6 +33,11 @@ type SessionRequest struct {
 	// Scenario names a registry entry (GET /v2/scenarios lists them); the
 	// session's dynamics (mix, rate shape) come from the scenario.
 	Scenario string `json:"scenario,omitempty"`
+	// ID, when set, names the session instead of the server-assigned
+	// sess-N. A fleet coordinator sets it to keep session ids globally
+	// unique across replicas (each replica numbers its own sessions).
+	// Creation fails with 409 when the id is already in use.
+	ID string `json:"id,omitempty"`
 	// Seed drives the scenario build and the session's event stream;
 	// 0 means the scenario's default seed.
 	Seed int64 `json:"seed,omitempty"`
@@ -126,6 +131,11 @@ type SessionStatus struct {
 	Stats EventStats `json:"stats"`
 	// Applied is set on event responses: the delta of just that request.
 	Applied *EventStats `json:"applied,omitempty"`
+	// Rev counts state-mutating requests applied to the session since
+	// creation (or since the revision recorded in a restored snapshot). A
+	// coordinator compares it against the rev of its last snapshot to skip
+	// re-snapshotting idle sessions.
+	Rev uint64 `json:"rev,omitempty"`
 }
 
 // HealthStatus counts a session's PMs by availability state.
@@ -163,9 +173,23 @@ type session struct {
 	// immutable after creation, so reads need no lock.
 	budget int
 
+	// Snapshot identity (immutable after creation): the seed and counted
+	// source position determine the RNG stream; spec and mix rebuild the
+	// dynamics engine declaratively on restore, with no registry lookup.
+	seed int64
+	spec scenario.DynamicsSpec
+	mix  []cluster.VMType
+
 	mu  sync.Mutex
 	c   *cluster.Cluster
 	dyn *sched.Dynamics
+	// src is the session RNG's counted source (guarded by mu like the
+	// engine that draws from it).
+	src *sched.CountedSource
+	// rev counts state-mutating requests (events, restores). Jobs never
+	// mutate session state (they solve on a clone), so rev is the dirty
+	// marker a coordinator needs to skip re-snapshotting idle sessions.
+	rev uint64
 }
 
 func (sess *session) status() SessionStatus {
@@ -190,6 +214,7 @@ func (sess *session) statusLocked() SessionStatus {
 		},
 		PendingEvacuations: len(sess.dyn.PendingEvacuations(nil)),
 		Stats:              toEventStats(sess.dyn.Stats()),
+		Rev:                sess.rev,
 	}
 }
 
@@ -223,10 +248,15 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "migration_budget must be >= 0")
 		return
 	}
+	if req.ID != "" && !validSessionID(req.ID) {
+		httpError(w, http.StatusBadRequest, "session id must be 1-64 chars of [A-Za-z0-9._-]")
+		return
+	}
 	var (
 		c        *cluster.Cluster
-		dyn      *sched.Dynamics
 		scenName string
+		spec     scenario.DynamicsSpec
+		mix      []cluster.VMType
 	)
 	seed := req.Seed
 	if req.Scenario != "" {
@@ -238,14 +268,7 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		if seed == 0 {
 			seed = sc.Seed
 		}
-		rng := rand.New(rand.NewSource(seed))
-		c, err = sc.Build(rng)
-		if err != nil {
-			httpError(w, http.StatusBadRequest, "%v", err)
-			return
-		}
-		dyn = sc.NewDynamics(c, rng)
-		scenName = sc.Name
+		scenName, spec, mix = sc.Name, sc.Dynamics, sc.Mix()
 	} else {
 		var err error
 		c, err = trace.ReadMapping(bytes.NewReader(req.Mapping))
@@ -259,24 +282,73 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		if seed == 0 {
 			seed = 1
 		}
-		dyn = sched.NewDynamics(c, rand.New(rand.NewSource(seed)), cluster.StandardTypes, sched.Diurnal(2))
+		spec = scenario.DynamicsSpec{Shape: scenario.Diurnal, Rate: 2}
+		mix = cluster.StandardTypes
 	}
+	// The session RNG runs on a counted source so its position serializes
+	// into snapshots as (seed, draws); the stream is identical to the plain
+	// rand.NewSource it replaced.
+	src := sched.NewCountedSource(seed)
+	rng := rand.New(src)
+	if req.Scenario != "" {
+		sc, _ := scenario.Get(req.Scenario)
+		var err error
+		c, err = sc.Build(rng)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	dyn := spec.NewDynamics(c, rng, mix)
 	// Sessions are long-lived: recycle dead VM records so weeks of simulated
 	// churn don't grow the cluster (and every job snapshot) without bound.
 	dyn.SetReuseSlots(true)
-	sess := &session{scenario: scenName, budget: req.MigrationBudget, c: c, dyn: dyn}
+	sess := &session{
+		scenario: scenName, budget: req.MigrationBudget,
+		seed: seed, spec: spec, mix: mix,
+		c: c, dyn: dyn, src: src,
+	}
 	s.sessMu.Lock()
+	if req.ID != "" {
+		if _, dup := s.sessions[req.ID]; dup {
+			s.sessMu.Unlock()
+			httpError(w, http.StatusConflict, "session %q already exists", req.ID)
+			return
+		}
+	}
 	if len(s.sessions) >= maxSessions {
 		s.sessMu.Unlock()
 		s.statSessRejected.Add(1)
 		httpError(w, http.StatusServiceUnavailable, "session limit reached (%d)", maxSessions)
 		return
 	}
-	s.sessSeq++
-	sess.id = fmt.Sprintf("sess-%d", s.sessSeq)
+	if req.ID != "" {
+		sess.id = req.ID
+	} else {
+		s.sessSeq++
+		sess.id = fmt.Sprintf("sess-%d", s.sessSeq)
+	}
 	s.sessions[sess.id] = sess
 	s.sessMu.Unlock()
 	writeJSON(w, http.StatusCreated, sess.status())
+}
+
+// validSessionID bounds client-supplied session ids to a safe URL-path
+// charset.
+func validSessionID(id string) bool {
+	if len(id) == 0 || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
 }
 
 func (s *Server) lookupSession(id string) (*session, bool) {
@@ -350,6 +422,7 @@ func (s *Server) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	sess.mu.Lock()
+	sess.rev++
 	before := sess.dyn.Stats()
 	if req.AdvanceMinutes > 0 {
 		sess.dyn.Advance(req.AdvanceMinutes)

@@ -1,0 +1,229 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"vmr2l/internal/scenario"
+)
+
+func getSnapshot(t *testing.T, s *Server, id string) []byte {
+	t.Helper()
+	r := httptest.NewRequest(http.MethodGet, "/v2/clusters/"+id+"/snapshot", nil)
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, r)
+	if w.Code != http.StatusOK {
+		t.Fatalf("GET snapshot: status %d: %s", w.Code, w.Body.String())
+	}
+	return w.Body.Bytes()
+}
+
+func putSnapshot(t *testing.T, s *Server, id string, blob []byte) *httptest.ResponseRecorder {
+	t.Helper()
+	r := httptest.NewRequest(http.MethodPut, "/v2/clusters/"+id+"/snapshot", bytes.NewReader(blob))
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, r)
+	return w
+}
+
+func advance(t *testing.T, s *Server, id string, req EventsRequest) SessionStatus {
+	t.Helper()
+	w := postRaw(t, s, "/v2/clusters/"+id+"/events", req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("events: status %d: %s", w.Code, w.Body.String())
+	}
+	var st SessionStatus
+	mustDecode(t, w, &st)
+	return st
+}
+
+func mustDecode(t *testing.T, w *httptest.ResponseRecorder, out any) {
+	t.Helper()
+	if err := json.Unmarshal(w.Body.Bytes(), out); err != nil {
+		t.Fatalf("decode response: %v (%s)", err, w.Body.String())
+	}
+}
+
+// sessionFR reads a session's live fragment rate directly (exact bits, no
+// JSON round-trip).
+func sessionFR(t *testing.T, s *Server, id string) float64 {
+	t.Helper()
+	sess, ok := s.lookupSession(id)
+	if !ok {
+		t.Fatalf("session %q not found", id)
+	}
+	st := sess.status()
+	return st.FR
+}
+
+// TestSnapshotRestoreBitIdentical is the core durability invariant:
+// snapshot → restore on a different server → Advance is bit-identical to
+// the uninterrupted session, including mid-evacuation and post-crash state.
+func TestSnapshotRestoreBitIdentical(t *testing.T) {
+	a := testServer(t)
+	b := testServer(t)
+	st := createSession(t, a, SessionRequest{Scenario: "pm-crash-storm", Seed: 7})
+
+	// Drive the session into an interesting state: churn, an explicit crash
+	// (pending evacuations), more churn.
+	advance(t, a, st.ID, EventsRequest{AdvanceMinutes: 20})
+	pm := 0
+	advance(t, a, st.ID, EventsRequest{Events: []SessionEvent{{Health: "down", PM: &pm}}})
+	advance(t, a, st.ID, EventsRequest{AdvanceMinutes: 3})
+
+	blob := getSnapshot(t, a, st.ID)
+	if w := putSnapshot(t, b, st.ID, blob); w.Code != http.StatusCreated {
+		t.Fatalf("PUT snapshot: status %d: %s", w.Code, w.Body.String())
+	}
+
+	// Restore → snapshot is byte-identical (idempotence): the blob fully
+	// determines the session.
+	if again := getSnapshot(t, b, st.ID); !bytes.Equal(blob, again) {
+		t.Fatalf("restore → snapshot is not byte-identical (%d vs %d bytes)", len(blob), len(again))
+	}
+
+	// Both sessions now advance through identical scenario churn: the
+	// restored RNG must continue the exact stream of the original.
+	for i := 0; i < 6; i++ {
+		sa := advance(t, a, st.ID, EventsRequest{AdvanceMinutes: 7})
+		sb := advance(t, b, st.ID, EventsRequest{AdvanceMinutes: 7})
+		if math.Float64bits(sa.FR) != math.Float64bits(sb.FR) {
+			t.Fatalf("step %d: FR diverged: %v vs %v", i, sa.FR, sb.FR)
+		}
+		if sa.Stats != sb.Stats || sa.Health != sb.Health || sa.Minute != sb.Minute {
+			t.Fatalf("step %d: status diverged:\n  orig     %+v\n  restored %+v", i, sa, sb)
+		}
+	}
+	if !bytes.Equal(getSnapshot(t, a, st.ID), getSnapshot(t, b, st.ID)) {
+		t.Fatal("final snapshots differ: advance after restore is not bit-identical")
+	}
+}
+
+// TestSnapshotRestoreBitIdenticalProperty fuzzes the invariant across
+// random scenarios (random shapes, failure dynamics, affinity levels).
+// Restore is registry-independent — the spec and mix travel in the
+// manifest — so even never-registered randomized scenarios restore.
+func TestSnapshotRestoreBitIdenticalProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test")
+	}
+	for _, seed := range []int64{2, 11, 42, 99} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			sc := scenario.RandomScenario(rng)
+			if err := scenario.Register(sc); err != nil {
+				t.Fatalf("register %q: %v", sc.Name, err)
+			}
+			a := testServer(t)
+			b := testServer(t)
+			st := createSession(t, a, SessionRequest{Scenario: sc.Name, Seed: sc.Seed})
+
+			advance(t, a, st.ID, EventsRequest{AdvanceMinutes: 10 + rng.Intn(30)})
+			// Half the runs snapshot mid-evacuation after an explicit crash.
+			if rng.Intn(2) == 0 {
+				pm := rng.Intn(st.PMs)
+				advance(t, a, st.ID, EventsRequest{Events: []SessionEvent{{Health: "down", PM: &pm}}})
+				advance(t, a, st.ID, EventsRequest{AdvanceMinutes: 1 + rng.Intn(4)})
+			}
+
+			blob := getSnapshot(t, a, st.ID)
+			if w := putSnapshot(t, b, st.ID, blob); w.Code != http.StatusCreated {
+				t.Fatalf("PUT snapshot: status %d: %s", w.Code, w.Body.String())
+			}
+			if again := getSnapshot(t, b, st.ID); !bytes.Equal(blob, again) {
+				t.Fatal("restore → snapshot is not byte-identical")
+			}
+			for i := 0; i < 4; i++ {
+				sa := advance(t, a, st.ID, EventsRequest{AdvanceMinutes: 9})
+				sb := advance(t, b, st.ID, EventsRequest{AdvanceMinutes: 9})
+				if math.Float64bits(sa.FR) != math.Float64bits(sb.FR) || sa.Stats != sb.Stats {
+					t.Fatalf("step %d: diverged:\n  orig     %+v\n  restored %+v", i, sa, sb)
+				}
+			}
+			if !bytes.Equal(getSnapshot(t, a, st.ID), getSnapshot(t, b, st.ID)) {
+				t.Fatal("final snapshots differ")
+			}
+			if math.Float64bits(sessionFR(t, a, st.ID)) != math.Float64bits(sessionFR(t, b, st.ID)) {
+				t.Fatal("final FR bits differ")
+			}
+		})
+	}
+}
+
+// TestSnapshotReplace: PUT over an existing session replaces it (the
+// re-homing semantic) and reports 200, not 201.
+func TestSnapshotReplace(t *testing.T) {
+	s := testServer(t)
+	st := createSession(t, s, SessionRequest{Scenario: "diurnal", Seed: 5})
+	blob := getSnapshot(t, s, st.ID)
+	advance(t, s, st.ID, EventsRequest{AdvanceMinutes: 15})
+	w := putSnapshot(t, s, st.ID, blob)
+	if w.Code != http.StatusOK {
+		t.Fatalf("PUT over live session: status %d: %s", w.Code, w.Body.String())
+	}
+	var got SessionStatus
+	mustDecode(t, w, &got)
+	if got.Minute != 0 {
+		t.Fatalf("replaced session at minute %d, want 0 (rolled back to snapshot)", got.Minute)
+	}
+}
+
+func TestSnapshotPutValidation(t *testing.T) {
+	s := testServer(t)
+	st := createSession(t, s, SessionRequest{Scenario: "diurnal", Seed: 5})
+	blob := getSnapshot(t, s, st.ID)
+
+	cases := []struct {
+		name string
+		id   string
+		blob []byte
+	}{
+		{"garbage", st.ID, []byte("not a snapshot at all")},
+		{"bad magic", st.ID, append([]byte("XXXXXXXX"), blob[8:]...)},
+		{"truncated", st.ID, blob[:len(blob)-9]},
+		{"wrong id", "someone-else", blob},
+		{"empty", st.ID, nil},
+	}
+	for _, tc := range cases {
+		if w := putSnapshot(t, s, tc.id, tc.blob); w.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", tc.name, w.Code, w.Body.String())
+		}
+	}
+	// Nothing above may have perturbed the live session.
+	if again := getSnapshot(t, s, st.ID); !bytes.Equal(blob, again) {
+		t.Fatal("rejected PUTs perturbed the session")
+	}
+
+	r := httptest.NewRequest(http.MethodGet, "/v2/clusters/nope/snapshot", nil)
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, r)
+	if w.Code != http.StatusNotFound {
+		t.Fatalf("GET snapshot of unknown session: status %d", w.Code)
+	}
+}
+
+// TestSnapshotMappingSession: sessions created from an explicit mapping
+// (no scenario) snapshot and restore too.
+func TestSnapshotMappingSession(t *testing.T) {
+	a := testServer(t)
+	b := testServer(t)
+	mapping, _ := mappingJSON(t, 5)
+	st := createSession(t, a, SessionRequest{Mapping: mapping})
+	advance(t, a, st.ID, EventsRequest{AdvanceMinutes: 12})
+	blob := getSnapshot(t, a, st.ID)
+	if w := putSnapshot(t, b, st.ID, blob); w.Code != http.StatusCreated {
+		t.Fatalf("PUT snapshot: status %d: %s", w.Code, w.Body.String())
+	}
+	sa := advance(t, a, st.ID, EventsRequest{AdvanceMinutes: 12})
+	sb := advance(t, b, st.ID, EventsRequest{AdvanceMinutes: 12})
+	if math.Float64bits(sa.FR) != math.Float64bits(sb.FR) || sa.Stats != sb.Stats {
+		t.Fatalf("mapping session diverged:\n  orig     %+v\n  restored %+v", sa, sb)
+	}
+}
